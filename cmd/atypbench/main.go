@@ -1,0 +1,91 @@
+// Command atypbench runs the experiment suite reproducing every table and
+// figure of the paper's evaluation (Section V) and prints the results as
+// aligned text tables (or CSV).
+//
+// Usage:
+//
+//	atypbench [-exp fig17] [-csv] [-sensors 400] [-months 12] [-querymonths 3]
+//	          [-days 28] [-seed 42] [-deltas 0.02] [-deltad 1.5] [-deltat 15m]
+//	          [-deltasim 0.5] [-balance avg]
+//
+// Without -exp, all experiments run in presentation order. Fig. 15 also
+// emits Fig. 16 (they share a sweep).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (fig14, fig15, fig17, fig18, fig19, fig20, fig21); empty = all")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		sensors  = flag.Int("sensors", 400, "approximate deployment size")
+		months   = flag.Int("months", 12, "datasets for the construction sweep (figs 15-16)")
+		qmonths  = flag.Int("querymonths", 3, "datasets ingested for query experiments (figs 17-19)")
+		days     = flag.Int("days", 28, "days per dataset")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		deltaS   = flag.Float64("deltas", 0.02, "severity threshold δs")
+		deltaD   = flag.Float64("deltad", 1.5, "distance threshold δd (miles)")
+		deltaT   = flag.Duration("deltat", 15*time.Minute, "time interval threshold δt")
+		deltaSim = flag.Float64("deltasim", 0.5, "similarity threshold δsim")
+		balance  = flag.String("balance", "avg", "balance function g (avg, max, min, geo, har)")
+	)
+	flag.Parse()
+
+	bal, err := cluster.ParseBalance(*balance)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := experiments.Config{
+		Sensors:      *sensors,
+		Months:       *months,
+		QueryMonths:  *qmonths,
+		DaysPerMonth: *days,
+		Seed:         *seed,
+		DeltaS:       *deltaS,
+		DeltaD:       *deltaD,
+		DeltaT:       *deltaT,
+		DeltaSim:     *deltaSim,
+		Balance:      bal,
+	}
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# deployment: %d sensors, %d highways, %d regions; seed %d\n\n",
+		env.Net.NumSensors(), len(env.Net.Highways), env.Net.Grid.NumRegions(), cfg.Seed)
+
+	ids := experiments.Order
+	if *exp != "" {
+		fn, ok := experiments.Registry[*exp]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", *exp))
+		}
+		_ = fn
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables := experiments.Registry[id](env)
+		for _, tab := range tables {
+			if *csv {
+				fmt.Printf("# %s: %s\n%s\n", tab.ID, tab.Title, tab.CSV())
+			} else {
+				fmt.Println(tab.Render())
+			}
+		}
+		fmt.Printf("# %s completed in %s\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atypbench:", err)
+	os.Exit(1)
+}

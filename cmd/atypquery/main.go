@@ -1,0 +1,137 @@
+// Command atypquery answers analytical queries Q(W, T) against a forest
+// built by atypforest, printing the significant atypical clusters with
+// their spatial and temporal profile — the Example 1 questions: where the
+// congestions happen, when they start, and which segment is most serious.
+//
+// Usage:
+//
+//	atypquery -forest forest/ -data data/ -from 0 -days 7
+//	          [-strategy gui] [-deltas 0.02] [-sensors 400] [-seed 42]
+//	          [-minlat x -minlon x -maxlat x -maxlon x]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/cube"
+	"github.com/cpskit/atypical/internal/forest"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/query"
+	"github.com/cpskit/atypical/internal/report"
+	"github.com/cpskit/atypical/internal/storage"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+func main() {
+	var (
+		forestDir = flag.String("forest", "forest", "directory of a saved forest")
+		data      = flag.String("data", "data", "directory of .rec files (for the red-zone severity index)")
+		from      = flag.Int("from", 0, "first day of the query range")
+		days      = flag.Int("days", 7, "number of days in the query range")
+		strat     = flag.String("strategy", "gui", "query strategy: all, pru or gui")
+		deltaS    = flag.Float64("deltas", 0.02, "severity threshold δs")
+		deltaSim  = flag.Float64("deltasim", 0.5, "similarity threshold δsim")
+		sensors   = flag.Int("sensors", 400, "approximate deployment size (must match atypgen)")
+		seed      = flag.Int64("seed", 42, "deployment seed (must match atypgen)")
+		minLat    = flag.Float64("minlat", 0, "spatial range: south edge (0 = whole city)")
+		minLon    = flag.Float64("minlon", 0, "spatial range: west edge")
+		maxLat    = flag.Float64("maxlat", 0, "spatial range: north edge")
+		maxLon    = flag.Float64("maxlon", 0, "spatial range: east edge")
+		showMap   = flag.Bool("map", false, "print the region severity map with red zones")
+	)
+	flag.Parse()
+
+	strategy, err := parseStrategy(*strat)
+	if err != nil {
+		fatal(err)
+	}
+	netCfg := traffic.ScaledConfig(*sensors)
+	netCfg.Seed = *seed
+	net := traffic.GenerateNetwork(netCfg)
+	spec := cps.DefaultSpec()
+
+	var idgen cluster.IDGen
+	opts := cluster.IntegrateOptions{
+		SimThreshold: *deltaSim,
+		Balance:      cluster.Arithmetic,
+		Period:       cps.Window(spec.PerDay()),
+	}
+	f, err := forest.Load(*forestDir, spec, &idgen, opts, 28)
+	if err != nil {
+		fatal(err)
+	}
+	// Cluster IDs in the loaded forest may collide with fresh ones; skip
+	// the generator past a safe point.
+	for i := 0; i < 1_000_000; i++ {
+		idgen.Next()
+	}
+
+	sev := cube.NewSeverityIndex(net, spec)
+	catalog, err := storage.OpenCatalog(*data)
+	if err != nil {
+		fatal(err)
+	}
+	for _, info := range catalog.List() {
+		rs, err := catalog.Read(info.Name)
+		if err != nil {
+			fatal(err)
+		}
+		sev.Add(rs.Records())
+	}
+
+	engine := &query.Engine{Net: net, Forest: f, Severity: sev, Gen: &idgen}
+	var q query.Query
+	if *maxLat != 0 || *maxLon != 0 {
+		box := geo.BBox{Min: geo.Point{Lat: *minLat, Lon: *minLon}, Max: geo.Point{Lat: *maxLat, Lon: *maxLon}}
+		q = query.BoxQuery(net, spec, box, *from, *days, *deltaS)
+	} else {
+		q = query.CityQuery(net, spec, *from, *days, *deltaS)
+	}
+	res := engine.Run(q, strategy)
+
+	fmt.Printf("query: days [%d, %d), %d regions, strategy %s, δs=%.3g (bound %.0f severity-min)\n",
+		*from, *from+*days, len(q.Regions), res.Strategy, *deltaS, float64(res.Bound))
+	fmt.Printf("inputs: %d of %d micro-clusters", res.InputMicros, res.CandidateMicros)
+	if strategy == query.Gui {
+		fmt.Printf(" (%d red zones)", res.RedZones)
+	}
+	fmt.Printf("; %d macro-clusters, %d significant; %s\n\n",
+		len(res.Macros), len(res.Significant), res.Elapsed.Round(time.Millisecond))
+
+	fmt.Print(report.Ranking(net, spec, res.Significant))
+	if len(res.Significant) == 0 {
+		fmt.Println("no significant clusters in range — lower δs or widen the range")
+	}
+	if *showMap {
+		n := 0
+		for _, r := range q.Regions {
+			n += len(net.SensorsInRegion(r))
+		}
+		zones := sev.GuidedRedZones(q.Regions, q.Time, q.DeltaS, n)
+		fmt.Println()
+		fmt.Print(report.RegionHeatmap(net, sev, q.Time, zones))
+	}
+}
+
+func parseStrategy(s string) (query.Strategy, error) {
+	switch s {
+	case "all":
+		return query.All, nil
+	case "pru":
+		return query.Pru, nil
+	case "gui":
+		return query.Gui, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want all, pru or gui)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atypquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,46 @@
+package atypical_test
+
+import (
+	"fmt"
+
+	atypical "github.com/cpskit/atypical"
+)
+
+// Two congestion events on the same road segments at the same time of day
+// are highly similar; the same segments at a different time of day are not
+// (the paper's Example 5).
+func ExampleSimilarity() {
+	morningA := atypical.MicroClusterFromRecords([]atypical.Record{
+		{Sensor: 1, Window: 97, Severity: 4},
+		{Sensor: 2, Window: 98, Severity: 5},
+	})
+	morningB := atypical.MicroClusterFromRecords([]atypical.Record{
+		{Sensor: 1, Window: 97, Severity: 5},
+		{Sensor: 2, Window: 98, Severity: 3},
+	})
+	evening := atypical.MicroClusterFromRecords([]atypical.Record{
+		{Sensor: 1, Window: 220, Severity: 5},
+		{Sensor: 2, Window: 221, Severity: 3},
+	})
+	fmt.Printf("same time:      %.2f\n", atypical.Similarity(morningA, morningB, atypical.BalanceArithmetic))
+	fmt.Printf("different time: %.2f\n", atypical.Similarity(morningA, evening, atypical.BalanceArithmetic))
+	// Output:
+	// same time:      1.00
+	// different time: 0.50
+}
+
+// A micro-cluster answers the Example 1 questions directly from its
+// features: total severity, the most serious sensor, the peak window.
+func ExampleMicroClusterFromRecords() {
+	c := atypical.MicroClusterFromRecords([]atypical.Record{
+		{Sensor: 1, Window: 97, Severity: 4},
+		{Sensor: 1, Window: 98, Severity: 5},
+		{Sensor: 2, Window: 98, Severity: 5},
+	})
+	peakSensor, mu := c.PeakSensor()
+	peakWindow, nu := c.PeakWindow()
+	fmt.Printf("severity %.0f; worst sensor %d (%.0f min); peak window %d (%.0f min)\n",
+		float64(c.Severity()), peakSensor, float64(mu), peakWindow, float64(nu))
+	// Output:
+	// severity 14; worst sensor 1 (9 min); peak window 98 (10 min)
+}

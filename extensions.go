@@ -1,0 +1,119 @@
+package atypical
+
+import (
+	"fmt"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/forest"
+	"github.com/cpskit/atypical/internal/predict"
+	"github.com/cpskit/atypical/internal/stream"
+	"github.com/cpskit/atypical/internal/trust"
+)
+
+// This file exposes the Section VII extensions through the facade: online
+// (streaming) event maintenance, event prediction, and trustworthiness
+// analysis of sensors.
+
+// StreamProcessor maintains atypical events over an ordered record stream,
+// emitting micro-clusters as events close.
+type StreamProcessor = stream.Processor
+
+// NewStreamProcessor returns a processor wired to this system's thresholds
+// (δd, δt). Emitted clusters carry system-unique IDs; feed them to the
+// forest with IngestClusters or consume them directly.
+func (s *System) NewStreamProcessor(emit func(*Cluster)) (*StreamProcessor, error) {
+	return stream.New(stream.Config{
+		Neighbors: s.neighbors,
+		MaxGap:    s.maxGap,
+		Emit:      emit,
+	}, &s.idgen)
+}
+
+// IngestClusters adds externally produced micro-clusters (e.g. from a
+// StreamProcessor) to the forest under their first record's day.
+func (s *System) IngestClusters(micros []*Cluster) {
+	perDay := Window(s.spec.PerDay())
+	byDay := make(map[int][]*Cluster)
+	for _, c := range micros {
+		if len(c.TF) == 0 {
+			continue
+		}
+		day := int(c.TF[0].Key / perDay)
+		byDay[day] = append(byDay[day], c)
+	}
+	for day, cs := range byDay {
+		if existing := s.forest.Day(day); existing != nil {
+			cs = append(existing, cs...)
+		}
+		s.forest.AddDay(day, cs)
+	}
+}
+
+// PredictionModel forecasts per-sensor and per-window severity from
+// historical macro-clusters.
+type PredictionModel = predict.Model
+
+// TrainPredictor integrates the micro-clusters of the day range
+// [firstDay, firstDay+days) and trains a prediction model on the resulting
+// macro-clusters (Section VII future work: event prediction). MinRecurrence
+// drops patterns striking on a smaller fraction of days.
+func (s *System) TrainPredictor(firstDay, days int, minRecurrence float64) (*PredictionModel, error) {
+	if days <= 0 {
+		return nil, fmt.Errorf("atypical: training range must be positive, got %d days", days)
+	}
+	micros := s.forest.MicrosInRange(cps.DayRange(s.spec, firstDay, days))
+	if len(micros) == 0 {
+		return nil, fmt.Errorf("atypical: no micro-clusters in days [%d, %d)", firstDay, firstDay+days)
+	}
+	macros := cluster.Integrate(&s.idgen, micros, s.forest.Options())
+	return predict.Train(macros, predict.Config{
+		TrainingDays:  days,
+		Period:        s.spec.PerDay(),
+		MinRecurrence: minRecurrence,
+	})
+}
+
+// TrustScore is one sensor's trustworthiness assessment.
+type TrustScore = trust.Score
+
+// TrustScores scores every reporting sensor of the record set by neighbor
+// corroboration (Section VII future work: trustworthiness analysis).
+func (s *System) TrustScores(rs *RecordSet) ([]TrustScore, error) {
+	a, err := trust.New(trust.Config{Neighbors: s.neighbors, MaxGap: s.maxGap})
+	if err != nil {
+		return nil, err
+	}
+	return a.Scores(rs.Records()), nil
+}
+
+// FilterUntrusted returns a record set without the records of sensors whose
+// trust falls below minTrust.
+func (s *System) FilterUntrusted(rs *RecordSet, scores []TrustScore, minTrust float64) *RecordSet {
+	filtered := trust.Filter(rs.Records(), scores, minTrust)
+	out, err := cps.FromSorted(filtered)
+	if err != nil {
+		// Filter preserves canonical order; an error is a programming bug.
+		panic(err)
+	}
+	return out
+}
+
+// SaveForest persists the forest's materialized days (and any memoized
+// week/month levels) to dir.
+func (s *System) SaveForest(dir string) error {
+	return s.forest.Save(dir)
+}
+
+// LoadForest replaces the system's forest with one previously saved by
+// SaveForest. The severity index is not persisted; re-Ingest the record
+// sets (or rebuild it) before running Guided queries.
+func (s *System) LoadForest(dir string) error {
+	f, err := forest.Load(dir, s.spec, &s.idgen, s.forest.Options(), s.cfg.DaysPerMonth)
+	if err != nil {
+		return err
+	}
+	s.forest = f
+	s.engine.Forest = f
+	return nil
+}

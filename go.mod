@@ -1,0 +1,3 @@
+module github.com/cpskit/atypical
+
+go 1.22

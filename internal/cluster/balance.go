@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Balance selects the mathematical balance function g(p1, p2) of Equations
+// 3–4, which reconciles the two per-cluster overlap percentages when the
+// clusters differ in size: max is the most aggressive integrator, min the
+// most conservative (Section V-C, Fig. 21).
+type Balance uint8
+
+// The five balance functions evaluated in the paper.
+const (
+	Arithmetic Balance = iota // (p1+p2)/2 — the paper's default
+	Max
+	Min
+	Geometric
+	Harmonic
+)
+
+// Balances lists every balance function in the order the paper's Fig. 21
+// legend uses.
+var Balances = []Balance{Min, Harmonic, Geometric, Arithmetic, Max}
+
+// String implements fmt.Stringer using the paper's figure labels.
+func (b Balance) String() string {
+	switch b {
+	case Arithmetic:
+		return "avg"
+	case Max:
+		return "max"
+	case Min:
+		return "min"
+	case Geometric:
+		return "geo"
+	case Harmonic:
+		return "har"
+	default:
+		return fmt.Sprintf("balance(%d)", uint8(b))
+	}
+}
+
+// ParseBalance converts a figure label back into a Balance.
+func ParseBalance(s string) (Balance, error) {
+	switch s {
+	case "avg", "arith", "arithmetic":
+		return Arithmetic, nil
+	case "max":
+		return Max, nil
+	case "min":
+		return Min, nil
+	case "geo", "geometric":
+		return Geometric, nil
+	case "har", "harmonic":
+		return Harmonic, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown balance function %q", s)
+	}
+}
+
+// Apply evaluates g(p1, p2). Inputs are overlap fractions in [0, 1]; the
+// result stays in [0, 1] for every balance function.
+func (b Balance) Apply(p1, p2 float64) float64 {
+	switch b {
+	case Max:
+		return math.Max(p1, p2)
+	case Min:
+		return math.Min(p1, p2)
+	case Geometric:
+		return math.Sqrt(p1 * p2)
+	case Harmonic:
+		if p1+p2 == 0 {
+			return 0
+		}
+		return 2 * p1 * p2 / (p1 + p2)
+	default: // Arithmetic
+		return (p1 + p2) / 2
+	}
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBalanceApplyKnownValues(t *testing.T) {
+	cases := []struct {
+		b      Balance
+		p1, p2 float64
+		want   float64
+	}{
+		{Max, 0.2, 0.8, 0.8},
+		{Min, 0.2, 0.8, 0.2},
+		{Arithmetic, 0.2, 0.8, 0.5},
+		{Geometric, 0.25, 1, 0.5},
+		{Harmonic, 0.5, 0.5, 0.5},
+		{Harmonic, 0, 0.8, 0},
+		{Harmonic, 0, 0, 0},
+		{Geometric, 0, 0.9, 0},
+	}
+	for _, c := range cases {
+		if got := c.b.Apply(c.p1, c.p2); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v.Apply(%v, %v) = %v, want %v", c.b, c.p1, c.p2, got, c.want)
+		}
+	}
+}
+
+// Property: every balance function is symmetric, bounded by [min, max] of
+// its inputs, and maps [0,1]² into [0,1]. The ordering min ≤ har ≤ geo ≤
+// avg ≤ max (AM–GM–HM chain) underlies the Fig. 21 curve ordering.
+func TestBalanceOrderingProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		p1 := float64(a) / 255
+		p2 := float64(b) / 255
+		vals := make(map[Balance]float64)
+		for _, g := range Balances {
+			v := g.Apply(p1, p2)
+			if math.Abs(v-g.Apply(p2, p1)) > 1e-12 {
+				return false // symmetric
+			}
+			if v < -1e-12 || v > 1+1e-12 {
+				return false // bounded
+			}
+			vals[g] = v
+		}
+		const eps = 1e-12
+		return vals[Min] <= vals[Harmonic]+eps &&
+			vals[Harmonic] <= vals[Geometric]+eps &&
+			vals[Geometric] <= vals[Arithmetic]+eps &&
+			vals[Arithmetic] <= vals[Max]+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalanceString(t *testing.T) {
+	want := map[Balance]string{Arithmetic: "avg", Max: "max", Min: "min", Geometric: "geo", Harmonic: "har"}
+	for b, s := range want {
+		if b.String() != s {
+			t.Errorf("%d.String() = %q, want %q", b, b.String(), s)
+		}
+	}
+	if Balance(99).String() != "balance(99)" {
+		t.Error("unknown balance string")
+	}
+}
+
+func TestParseBalance(t *testing.T) {
+	for _, b := range Balances {
+		got, err := ParseBalance(b.String())
+		if err != nil || got != b {
+			t.Errorf("ParseBalance(%q) = %v, %v", b.String(), got, err)
+		}
+	}
+	if _, err := ParseBalance("median"); err == nil {
+		t.Error("unknown name should fail")
+	}
+	if got, _ := ParseBalance("arithmetic"); got != Arithmetic {
+		t.Error("long names should parse")
+	}
+}

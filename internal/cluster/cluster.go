@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/cpskit/atypical/internal/cps"
+)
+
+// ID identifies a cluster. Fresh IDs come from an IDGen; merged clusters get
+// new IDs (Algorithm 2, line 1).
+type ID uint64
+
+// IDGen hands out unique cluster IDs. Safe for concurrent use.
+type IDGen struct {
+	next atomic.Uint64
+}
+
+// Next returns a fresh ID, starting at 1 so the zero ID stays available as a
+// sentinel.
+func (g *IDGen) Next() ID { return ID(g.next.Add(1)) }
+
+// Cluster is an atypical cluster C = ⟨ID, SF, TF⟩ (Definition 4). A cluster
+// summarizing a single atypical event is a micro-cluster; clusters produced
+// by merging are macro-clusters.
+type Cluster struct {
+	ID ID
+	// SF aggregates severity by sensor (how long each sensor was atypical
+	// in the event).
+	SF SpatialFeature
+	// TF aggregates severity by time window (how much atypical mass fell
+	// in each window).
+	TF TemporalFeature
+	// Micros counts the micro-clusters integrated into this cluster (1 for
+	// a micro-cluster itself).
+	Micros int
+	// Children are the two clusters a macro-cluster was merged from; nil
+	// for micro-clusters. They form the clustering tree of Section III-C.
+	Children []*Cluster
+
+	sev cps.Severity // cached Severity(); 0 means not yet computed
+
+	// foldedTF caches the time-of-day projection of TF for periodic
+	// similarity (foldedPeriod 0 = not cached). Clusters are immutable
+	// after construction; the cache is not safe for concurrent first use.
+	foldedTF     TemporalFeature
+	foldedPeriod cps.Window
+}
+
+// New builds a cluster from canonical features, validating the algebraic
+// invariant ΣSF = ΣTF that holds for any cluster derived from records.
+func New(id ID, sf SpatialFeature, tf TemporalFeature) (*Cluster, error) {
+	if !sf.Valid() || !tf.Valid() {
+		return nil, fmt.Errorf("cluster %d: invalid feature", id)
+	}
+	ssf, stf := sf.Total(), tf.Total()
+	if !approxEq(float64(ssf), float64(stf)) {
+		return nil, fmt.Errorf("cluster %d: feature totals disagree: SF=%v TF=%v", id, ssf, stf)
+	}
+	return &Cluster{ID: id, SF: sf, TF: tf, Micros: 1, sev: ssf}, nil
+}
+
+// FromRecords summarizes an atypical event's records into a micro-cluster
+// (Algorithm 1, lines 6–12). The records need not be sorted.
+func FromRecords(id ID, recs []cps.Record) *Cluster {
+	sfe := make([]Entry[cps.SensorID], 0, len(recs))
+	tfe := make([]Entry[cps.Window], 0, len(recs))
+	for _, r := range recs {
+		sfe = append(sfe, Entry[cps.SensorID]{Key: r.Sensor, Sev: r.Severity})
+		tfe = append(tfe, Entry[cps.Window]{Key: r.Window, Sev: r.Severity})
+	}
+	c := &Cluster{ID: id, SF: NewFeature(sfe), TF: NewFeature(tfe), Micros: 1}
+	c.sev = c.SF.Total()
+	return c
+}
+
+// Severity returns the cluster's total severity Σμ = Σν (Definition 5).
+func (c *Cluster) Severity() cps.Severity {
+	if c.sev == 0 && len(c.SF) > 0 {
+		c.sev = c.SF.Total()
+	}
+	return c.sev
+}
+
+// Sensors returns the cluster's sensor set in ascending order.
+func (c *Cluster) Sensors() []cps.SensorID { return c.SF.Keys() }
+
+// WindowSpan returns the half-open window range covered by TF, or an empty
+// range for an empty cluster.
+func (c *Cluster) WindowSpan() cps.TimeRange {
+	if len(c.TF) == 0 {
+		return cps.TimeRange{}
+	}
+	return cps.TimeRange{From: c.TF[0].Key, To: c.TF[len(c.TF)-1].Key + 1}
+}
+
+// PeakSensor returns the sensor with the highest aggregated severity and
+// that severity — "on which road segment is the congestion most serious"
+// from Example 1. Returns (0, 0) for an empty cluster.
+func (c *Cluster) PeakSensor() (cps.SensorID, cps.Severity) {
+	var best cps.SensorID
+	var bestSev cps.Severity
+	for _, e := range c.SF {
+		if e.Sev > bestSev {
+			best, bestSev = e.Key, e.Sev
+		}
+	}
+	return best, bestSev
+}
+
+// PeakWindow returns the window with the highest aggregated severity — "when
+// is the congestion most serious".
+func (c *Cluster) PeakWindow() (cps.Window, cps.Severity) {
+	var best cps.Window
+	var bestSev cps.Severity
+	for _, e := range c.TF {
+		if e.Sev > bestSev {
+			best, bestSev = e.Key, e.Sev
+		}
+	}
+	return best, bestSev
+}
+
+// Merge integrates two clusters into a fresh macro-cluster (Algorithm 2):
+// common sensors and windows accumulate severities, the rest carry over, and
+// a new ID is assigned. The inputs are not modified. The operation is
+// commutative and associative (paper Property 3); see the property tests.
+func Merge(gen *IDGen, a, b *Cluster) *Cluster {
+	out := &Cluster{
+		ID:       gen.Next(),
+		SF:       MergeFeature(a.SF, b.SF),
+		TF:       MergeFeature(a.TF, b.TF),
+		Micros:   a.Micros + b.Micros,
+		Children: []*Cluster{a, b},
+	}
+	out.sev = a.Severity() + b.Severity()
+	return out
+}
+
+// SignificanceBound returns the severity a cluster must exceed to be
+// significant for a query over numSensors sensors and a period of
+// numWindows windows at relative threshold deltaS (Definition 5:
+// severity(C) > δs · length(T) · N).
+func SignificanceBound(deltaS float64, numWindows, numSensors int) cps.Severity {
+	return cps.Severity(deltaS * float64(numWindows) * float64(numSensors))
+}
+
+// Significant reports whether c passes Definition 5 for the given bound.
+func (c *Cluster) Significant(bound cps.Severity) bool {
+	return c.Severity() > bound
+}
+
+// Similarity computes Sim(C1, C2) (Equation 2): the mean of the spatial and
+// temporal feature similarities, each the g-balanced pair of common-severity
+// fractions (Equations 3–4). The result lies in [0, 1]. Temporal windows are
+// compared by absolute index; use SimilarityAt with a period for the paper's
+// time-of-day window identity.
+func Similarity(a, b *Cluster, g Balance) float64 {
+	return SimilarityAt(a, b, g, 0)
+}
+
+// SimilarityAt computes Sim(C1, C2) comparing temporal features folded onto
+// a period of the given number of windows (e.g. one day). The paper's
+// temporal features identify windows by time of day (Fig. 5: "8:05am -
+// 8:10am"), which is what lets a corridor's recurring morning congestions
+// integrate across days while morning and evening events stay apart
+// (Example 5). Period 0 compares absolute windows.
+func SimilarityAt(a, b *Cluster, g Balance, period cps.Window) float64 {
+	s1, s2 := OverlapFractions(a.SF, b.SF)
+	t1, t2 := OverlapFractions(a.foldTF(period), b.foldTF(period))
+	return (g.Apply(s1, s2) + g.Apply(t1, t2)) / 2
+}
+
+// SpatialSimilarity exposes Equation 3 alone.
+func SpatialSimilarity(a, b *Cluster, g Balance) float64 {
+	p1, p2 := OverlapFractions(a.SF, b.SF)
+	return g.Apply(p1, p2)
+}
+
+// TemporalSimilarity exposes Equation 4 alone (absolute windows).
+func TemporalSimilarity(a, b *Cluster, g Balance) float64 {
+	p1, p2 := OverlapFractions(a.TF, b.TF)
+	return g.Apply(p1, p2)
+}
+
+// TemporalSimilarityAt exposes Equation 4 with time-of-day folding.
+func TemporalSimilarityAt(a, b *Cluster, g Balance, period cps.Window) float64 {
+	p1, p2 := OverlapFractions(a.foldTF(period), b.foldTF(period))
+	return g.Apply(p1, p2)
+}
+
+// FoldTemporal projects a temporal feature onto period-of-day buckets,
+// summing severities of windows sharing the same offset within the period.
+// Period <= 0 returns the input unchanged.
+func FoldTemporal(tf TemporalFeature, period cps.Window) TemporalFeature {
+	if period <= 0 {
+		return tf
+	}
+	entries := make([]Entry[cps.Window], len(tf))
+	for i, e := range tf {
+		entries[i] = Entry[cps.Window]{Key: floorMod(e.Key, period), Sev: e.Sev}
+	}
+	return NewFeature(entries)
+}
+
+// foldTF returns the cached folded temporal feature for the period.
+func (c *Cluster) foldTF(period cps.Window) TemporalFeature {
+	if period <= 0 {
+		return c.TF
+	}
+	if c.foldedPeriod != period {
+		c.foldedTF = FoldTemporal(c.TF, period)
+		c.foldedPeriod = period
+	}
+	return c.foldedTF
+}
+
+// FoldedKeys returns the distinct time-of-day window offsets of the cluster
+// for the period, ascending. Integration uses them for candidate postings.
+func (c *Cluster) FoldedKeys(period cps.Window) []cps.Window {
+	if period <= 0 {
+		return c.TF.Keys()
+	}
+	return c.foldTF(period).Keys()
+}
+
+func floorMod(w, p cps.Window) cps.Window {
+	m := w % p
+	if m < 0 {
+		m += p
+	}
+	return m
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("C%d{sensors:%d windows:%d sev:%.0f micros:%d}",
+		c.ID, len(c.SF), len(c.TF), float64(c.Severity()), c.Micros)
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= 1e-6*scale
+}

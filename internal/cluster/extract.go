@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/dsu"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/index"
+)
+
+// MaxWindowGap converts the paper's time interval threshold δt into the
+// largest window-index gap that still links two records: records ri, rj are
+// temporally related iff interval(ti, tj) < δt, i.e. |wi−wj|·width < δt.
+func MaxWindowGap(deltaT, width time.Duration) int {
+	if deltaT <= 0 || width <= 0 {
+		return 0
+	}
+	gap := int((deltaT - 1) / width)
+	return gap
+}
+
+// ExtractEvents partitions canonical records into atypical events
+// (Definition 3): the connected components of the "direct atypical related"
+// relation (Definition 1 — sensors within δd and windows within δt).
+//
+// neighbors[s] must list the sensors strictly within δd of s (e.g. from
+// index.NewNeighborIndex(...).NeighborLists()); maxGap is MaxWindowGap(δt,
+// width). This is the indexed O(N + n·log n) path of Proposition 1. Events
+// are returned with records in canonical order, sorted by first record.
+func ExtractEvents(recs []cps.Record, neighbors [][]cps.SensorID, maxGap int) [][]cps.Record {
+	if len(recs) == 0 {
+		return nil
+	}
+	widx := index.NewWindowIndex(recs)
+	d := dsu.New(len(recs))
+	for i, r := range recs {
+		for gap := 0; gap <= maxGap; gap++ {
+			w := r.Window - cps.Window(gap)
+			if gap > 0 {
+				// The same sensor in an earlier window is always within δd.
+				if j := widx.IndexOf(w, r.Sensor); j >= 0 {
+					d.Union(i, j)
+				}
+			}
+			for _, nb := range neighbors[r.Sensor] {
+				if gap == 0 && nb >= r.Sensor {
+					// Within one window, each unordered pair is visited
+					// once from its higher-sensor endpoint.
+					continue
+				}
+				if j := widx.IndexOf(w, nb); j >= 0 {
+					d.Union(i, j)
+				}
+			}
+		}
+	}
+	return componentsToEvents(recs, d)
+}
+
+// ExtractEventsBrute is the unindexed O(n²) pairwise variant of Proposition
+// 1, kept as the correctness oracle and ablation baseline. locs maps
+// SensorID to location; deltaD is the distance threshold in miles.
+func ExtractEventsBrute(recs []cps.Record, locs []geo.Point, deltaD float64, maxGap int) [][]cps.Record {
+	if len(recs) == 0 {
+		return nil
+	}
+	d := dsu.New(len(recs))
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j++ {
+			gap := recs[j].Window - recs[i].Window
+			if gap < 0 {
+				gap = -gap
+			}
+			if int(gap) > maxGap {
+				continue
+			}
+			if recs[i].Sensor == recs[j].Sensor ||
+				geo.DistanceMiles(locs[recs[i].Sensor], locs[recs[j].Sensor]) < deltaD {
+				d.Union(i, j)
+			}
+		}
+	}
+	return componentsToEvents(recs, d)
+}
+
+func componentsToEvents(recs []cps.Record, d *dsu.DSU) [][]cps.Record {
+	comps := d.Components()
+	events := make([][]cps.Record, 0, len(comps))
+	for _, members := range comps {
+		ev := make([]cps.Record, len(members))
+		for k, idx := range members {
+			ev[k] = recs[idx]
+		}
+		// Members are ascending record indices over a canonical slice, so
+		// each event is already in canonical order.
+		events = append(events, ev)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i][0].Less(events[j][0]) })
+	return events
+}
+
+// ExtractMicroClusters runs Algorithm 1 end to end: extract the atypical
+// events and summarize each into a micro-cluster.
+func ExtractMicroClusters(gen *IDGen, recs []cps.Record, neighbors [][]cps.SensorID, maxGap int) []*Cluster {
+	events := ExtractEvents(recs, neighbors, maxGap)
+	out := make([]*Cluster, len(events))
+	for i, ev := range events {
+		out[i] = FromRecords(gen.Next(), ev)
+	}
+	return out
+}

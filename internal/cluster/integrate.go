@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"github.com/cpskit/atypical/internal/cps"
+)
+
+// IntegrateOptions configures cluster integration (Algorithm 3).
+type IntegrateOptions struct {
+	// SimThreshold is δsim: clusters with similarity strictly above it
+	// merge. Must be positive — at zero, clusters with no overlap at all
+	// would merge and the candidate index would be unsound.
+	SimThreshold float64
+	// Balance is the g function of Equations 3–4.
+	Balance Balance
+	// Period folds temporal features onto a time-of-day period (in
+	// windows) for similarity, matching the paper's daily window identity
+	// (see SimilarityAt). Zero compares absolute windows.
+	Period cps.Window
+}
+
+// similarity evaluates Sim under the options.
+func (o IntegrateOptions) similarity(a, b *Cluster) float64 {
+	return SimilarityAt(a, b, o.Balance, o.Period)
+}
+
+// Integrate merges every pair of clusters whose similarity exceeds δsim
+// until no pair qualifies (Algorithm 3), returning the resulting
+// macro-cluster set. The input slice is not modified; returned clusters may
+// alias inputs that merged with nothing.
+//
+// The implementation is the inverted-index variant: only cluster pairs
+// sharing at least one sensor or window can have positive similarity (every
+// balance function maps (0,0) to 0), so candidates come from per-key posting
+// lists instead of the O(n²) all-pairs scan. Results satisfy the same
+// fixpoint postcondition as the textbook algorithm: no surviving pair has
+// similarity above δsim. Merge order — which the paper notes can influence
+// hard-clustering results — is deterministic (ascending input position).
+func Integrate(gen *IDGen, micros []*Cluster, opts IntegrateOptions) []*Cluster {
+	if opts.SimThreshold <= 0 {
+		panic("cluster: IntegrateOptions.SimThreshold must be positive")
+	}
+	n := len(micros)
+	if n <= 1 {
+		out := make([]*Cluster, n)
+		copy(out, micros)
+		return out
+	}
+
+	// active holds all clusters ever created; alive marks the live ones.
+	active := make([]*Cluster, n, 2*n)
+	copy(active, micros)
+	alive := make([]bool, n, 2*n)
+	for i := range alive {
+		alive[i] = true
+	}
+
+	// Posting lists: key -> positions of clusters featuring the key.
+	// Entries go stale when clusters die; consumers skip dead positions.
+	bySensor := make(map[cps.SensorID][]int)
+	byWindow := make(map[cps.Window][]int)
+	post := func(pos int) {
+		c := active[pos]
+		for _, e := range c.SF {
+			bySensor[e.Key] = append(bySensor[e.Key], pos)
+		}
+		for _, k := range c.FoldedKeys(opts.Period) {
+			byWindow[k] = append(byWindow[k], pos)
+		}
+	}
+	for i := range micros {
+		post(i)
+	}
+
+	// candidates gathers live positions sharing a key with active[pos].
+	seen := make(map[int]struct{})
+	candidates := func(pos int) []int {
+		c := active[pos]
+		clear(seen)
+		var out []int
+		add := func(positions []int) {
+			for _, p := range positions {
+				if p == pos || !alive[p] {
+					continue
+				}
+				if _, dup := seen[p]; dup {
+					continue
+				}
+				seen[p] = struct{}{}
+				out = append(out, p)
+			}
+		}
+		for _, e := range c.SF {
+			add(bySensor[e.Key])
+		}
+		for _, k := range c.FoldedKeys(opts.Period) {
+			add(byWindow[k])
+		}
+		return out
+	}
+
+	// Work queue: clusters whose merge opportunities need (re)checking.
+	// A merged cluster can only gain overlap, so only new clusters need
+	// re-examination; unchanged non-mergeable pairs stay non-mergeable.
+	queue := make([]int, n)
+	for i := range queue {
+		queue[i] = i
+	}
+	for len(queue) > 0 {
+		pos := queue[0]
+		queue = queue[1:]
+		if !alive[pos] {
+			continue
+		}
+	repeat:
+		for _, cand := range candidates(pos) {
+			if opts.similarity(active[pos], active[cand]) > opts.SimThreshold {
+				merged := Merge(gen, active[pos], active[cand])
+				alive[pos] = false
+				alive[cand] = false
+				active = append(active, merged)
+				alive = append(alive, true)
+				newPos := len(active) - 1
+				post(newPos)
+				pos = newPos
+				goto repeat
+			}
+		}
+	}
+
+	var out []*Cluster
+	for i, ok := range alive {
+		if ok {
+			out = append(out, active[i])
+		}
+	}
+	return out
+}
+
+// IntegrateNaive is the literal Algorithm 3: repeatedly scan every cluster
+// pair and merge the first one whose similarity exceeds δsim, until a full
+// pass finds nothing. Quadratic per pass; kept as the correctness oracle and
+// the ablation baseline for Integrate.
+func IntegrateNaive(gen *IDGen, micros []*Cluster, opts IntegrateOptions) []*Cluster {
+	if opts.SimThreshold <= 0 {
+		panic("cluster: IntegrateOptions.SimThreshold must be positive")
+	}
+	set := make([]*Cluster, len(micros))
+	copy(set, micros)
+	for {
+		merged := false
+		for i := 0; i < len(set) && !merged; i++ {
+			for j := i + 1; j < len(set); j++ {
+				if opts.similarity(set[i], set[j]) > opts.SimThreshold {
+					c := Merge(gen, set[i], set[j])
+					// Remove j first (higher index), then i.
+					set = append(set[:j], set[j+1:]...)
+					set = append(set[:i], set[i+1:]...)
+					set = append(set, c)
+					merged = true
+					break
+				}
+			}
+		}
+		if !merged {
+			return set
+		}
+	}
+}
+
+// FixpointHolds verifies the Algorithm 3 postcondition: no pair of clusters
+// in set has similarity above δsim. Exposed for tests and debugging.
+func FixpointHolds(set []*Cluster, opts IntegrateOptions) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if opts.similarity(set[i], set[j]) > opts.SimThreshold {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cpskit/atypical/internal/cps"
+)
+
+const day = cps.Window(288)
+
+// dailyCluster builds a cluster active at windows offset..offset+n-1 of the
+// given day.
+func dailyCluster(g *IDGen, dayIdx int, sensor int, offset, n int) *Cluster {
+	var recs []cps.Record
+	for k := 0; k < n; k++ {
+		recs = append(recs, cps.Record{
+			Sensor:   cps.SensorID(sensor),
+			Window:   cps.Window(dayIdx)*day + cps.Window(offset+k),
+			Severity: 4,
+		})
+	}
+	return FromRecords(g.Next(), recs)
+}
+
+func TestFoldTemporal(t *testing.T) {
+	tf := TemporalFeature{
+		{Key: 100, Sev: 2},       // day 0, offset 100
+		{Key: day + 100, Sev: 3}, // day 1, offset 100 — folds onto the same bucket
+		{Key: day + 200, Sev: 1}, // day 1, offset 200
+	}
+	folded := FoldTemporal(tf, day)
+	if len(folded) != 2 {
+		t.Fatalf("folded = %v", folded)
+	}
+	if folded.Get(100) != 5 || folded.Get(200) != 1 {
+		t.Errorf("folded = %v", folded)
+	}
+	if folded.Total() != tf.Total() {
+		t.Error("folding must conserve mass")
+	}
+	// Period 0 returns the input unchanged.
+	if got := FoldTemporal(tf, 0); len(got) != 3 {
+		t.Errorf("period 0 = %v", got)
+	}
+}
+
+func TestFoldTemporalNegativeWindows(t *testing.T) {
+	tf := TemporalFeature{{Key: -1, Sev: 1}} // last window of "day -1"
+	folded := FoldTemporal(tf, day)
+	if len(folded) != 1 || folded[0].Key != day-1 {
+		t.Errorf("negative fold = %v", folded)
+	}
+}
+
+func TestSimilarityAtRecurringDays(t *testing.T) {
+	var g IDGen
+	monday := dailyCluster(&g, 0, 1, 90, 10)
+	tuesday := dailyCluster(&g, 1, 1, 90, 10)
+	// Absolute similarity: same sensor, disjoint windows -> 0.5.
+	if got := Similarity(monday, tuesday, Arithmetic); got != 0.5 {
+		t.Errorf("absolute similarity = %v", got)
+	}
+	// Periodic similarity: same time of day too -> 1.
+	if got := SimilarityAt(monday, tuesday, Arithmetic, day); math.Abs(got-1) > 1e-12 {
+		t.Errorf("periodic similarity = %v", got)
+	}
+	// Morning vs evening on the same sensor stays 0.5 even folded
+	// (Example 2's distinction).
+	evening := dailyCluster(&g, 1, 1, 200, 10)
+	if got := SimilarityAt(monday, evening, Arithmetic, day); got != 0.5 {
+		t.Errorf("morning-vs-evening periodic similarity = %v", got)
+	}
+}
+
+func TestTemporalSimilarityAt(t *testing.T) {
+	var g IDGen
+	a := dailyCluster(&g, 0, 1, 90, 10)
+	b := dailyCluster(&g, 3, 2, 90, 10) // different sensor, same time of day
+	if got := TemporalSimilarityAt(a, b, Arithmetic, day); math.Abs(got-1) > 1e-12 {
+		t.Errorf("folded temporal similarity = %v", got)
+	}
+	if got := TemporalSimilarity(a, b, Arithmetic); got != 0 {
+		t.Errorf("absolute temporal similarity = %v", got)
+	}
+}
+
+func TestFoldedKeys(t *testing.T) {
+	var g IDGen
+	c := Merge(&g, dailyCluster(&g, 0, 1, 90, 2), dailyCluster(&g, 1, 1, 90, 2))
+	keys := c.FoldedKeys(day)
+	if len(keys) != 2 || keys[0] != 90 || keys[1] != 91 {
+		t.Errorf("folded keys = %v", keys)
+	}
+	// Absolute keys without a period.
+	if got := c.FoldedKeys(0); len(got) != 4 {
+		t.Errorf("absolute keys = %v", got)
+	}
+}
+
+func TestFoldCacheInvalidatesOnPeriodChange(t *testing.T) {
+	var g IDGen
+	c := Merge(&g, dailyCluster(&g, 0, 1, 90, 2), dailyCluster(&g, 1, 1, 90, 2))
+	if got := len(c.FoldedKeys(day)); got != 2 {
+		t.Fatalf("day fold = %d keys", got)
+	}
+	// A different period must not serve the stale cache.
+	if got := len(c.FoldedKeys(day * 2)); got != 4 {
+		t.Errorf("two-day fold = %d keys, want 4", got)
+	}
+	if got := len(c.FoldedKeys(day)); got != 2 {
+		t.Errorf("re-fold = %d keys, want 2", got)
+	}
+}
+
+// Integration with a period merges recurring daily events; without, it
+// cannot.
+func TestIntegratePeriodic(t *testing.T) {
+	var g IDGen
+	micros := []*Cluster{
+		dailyCluster(&g, 0, 1, 90, 10),
+		dailyCluster(&g, 1, 1, 90, 10),
+		dailyCluster(&g, 2, 1, 90, 10),
+	}
+	absolute := Integrate(&g, micros, IntegrateOptions{SimThreshold: 0.5, Balance: Arithmetic})
+	if len(absolute) != 3 {
+		t.Errorf("absolute integration merged: %d clusters", len(absolute))
+	}
+	periodic := Integrate(&g, micros, IntegrateOptions{SimThreshold: 0.5, Balance: Arithmetic, Period: day})
+	if len(periodic) != 1 {
+		t.Fatalf("periodic integration = %d clusters, want 1", len(periodic))
+	}
+	if periodic[0].Micros != 3 {
+		t.Errorf("merged micros = %d", periodic[0].Micros)
+	}
+}
+
+// Properties of periodic similarity: symmetry, bounds, reflexivity, and
+// equality with absolute similarity when all windows share one period.
+func TestSimilarityAtProperties(t *testing.T) {
+	f := func(seed int64, gIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var gen IDGen
+		a, b := randomCluster(rng, &gen), randomCluster(rng, &gen)
+		g := Balances[int(gIdx)%len(Balances)]
+		s := SimilarityAt(a, b, g, day)
+		if s < 0 || s > 1+1e-12 {
+			return false
+		}
+		if math.Abs(s-SimilarityAt(b, a, g, day)) > 1e-12 {
+			return false
+		}
+		if math.Abs(SimilarityAt(a, a, g, day)-1) > 1e-12 {
+			return false
+		}
+		// randomCluster windows live in [0, 40) ⊂ one day: folding is the
+		// identity, so periodic == absolute.
+		return math.Abs(s-Similarity(a, b, g)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Folding conserves total severity for arbitrary features and periods.
+func TestFoldConservationProperty(t *testing.T) {
+	f := func(seeds []uint16, periodRaw uint8) bool {
+		period := cps.Window(periodRaw%64) + 1
+		entries := make([]Entry[cps.Window], 0, len(seeds))
+		for _, x := range seeds {
+			entries = append(entries, Entry[cps.Window]{
+				Key: cps.Window(x % 2048),
+				Sev: cps.Severity(x%5) + 0.5,
+			})
+		}
+		tf := NewFeature(entries)
+		folded := FoldTemporal(tf, period)
+		if !folded.Valid() {
+			return false
+		}
+		for _, e := range folded {
+			if e.Key < 0 || e.Key >= period {
+				return false
+			}
+		}
+		return approxEq(float64(folded.Total()), float64(tf.Total()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package context implements the Section V-D extension: joining context
+// dimensions onto atypical clusters. "The weather dimension can be joined
+// with temporal dimension with the date and the accident dimension can be
+// joined with temporal and spatial dimensions by the accident time and
+// location. By joining those dimension information, the system can support
+// analytical queries on more dimensions."
+//
+// A Dimension classifies parts of a cluster's footprint into named context
+// values (rainy/dry, accident/no-accident, weekday/weekend, ...); joining a
+// cluster against a dimension splits its severity mass across those values,
+// so the analyst can ask which share of a congestion pattern is
+// weather-related, accident-related, and so on.
+package context
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+)
+
+// Value is one context value, e.g. "rain" or "dry".
+type Value string
+
+// Dimension classifies a cluster's temporal entries — the join key the
+// paper describes is the time window, optionally refined by location.
+type Dimension interface {
+	// Name identifies the dimension, e.g. "weather".
+	Name() string
+	// ValueAt returns the context value of one time window.
+	ValueAt(w cps.Window) Value
+}
+
+// Breakdown is the result of joining one cluster against one dimension:
+// severity mass per context value.
+type Breakdown struct {
+	Dimension string
+	// Mass maps each context value to the cluster severity incurred under
+	// it.
+	Mass map[Value]cps.Severity
+	// Total is the cluster's total severity.
+	Total cps.Severity
+}
+
+// Share returns the fraction of the cluster's severity under value v.
+func (b *Breakdown) Share(v Value) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Mass[v] / b.Total)
+}
+
+// Dominant returns the value carrying the most severity (ties broken
+// lexicographically) and its share.
+func (b *Breakdown) Dominant() (Value, float64) {
+	var best Value
+	var bestMass cps.Severity = -1
+	keys := make([]string, 0, len(b.Mass))
+	for v := range b.Mass {
+		keys = append(keys, string(v))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if m := b.Mass[Value(k)]; m > bestMass {
+			best, bestMass = Value(k), m
+		}
+	}
+	return best, b.Share(best)
+}
+
+// Join splits a cluster's severity across the dimension's values using the
+// temporal feature (the date/time join of Section V-D).
+func Join(c *cluster.Cluster, d Dimension) *Breakdown {
+	b := &Breakdown{Dimension: d.Name(), Mass: make(map[Value]cps.Severity)}
+	for _, e := range c.TF {
+		b.Mass[d.ValueAt(e.Key)] += e.Sev
+		b.Total += e.Sev
+	}
+	return b
+}
+
+// DayDimension classifies windows by day index — the simplest date join.
+// Days absent from Values map to Default.
+type DayDimension struct {
+	DimName string
+	Spec    cps.WindowSpec
+	Values  map[int]Value
+	Default Value
+}
+
+// Name implements Dimension.
+func (d *DayDimension) Name() string { return d.DimName }
+
+// ValueAt implements Dimension.
+func (d *DayDimension) ValueAt(w cps.Window) Value {
+	day := int(w / cps.Window(d.Spec.PerDay()))
+	if v, ok := d.Values[day]; ok {
+		return v
+	}
+	return d.Default
+}
+
+// WeatherDimension builds the paper's weather example: rain on the listed
+// days, dry otherwise.
+func WeatherDimension(spec cps.WindowSpec, rainyDays []int) *DayDimension {
+	vals := make(map[int]Value, len(rainyDays))
+	for _, d := range rainyDays {
+		vals[d] = "rain"
+	}
+	return &DayDimension{DimName: "weather", Spec: spec, Values: vals, Default: "dry"}
+}
+
+// WeekpartDimension classifies windows into weekday/weekend.
+func WeekpartDimension(spec cps.WindowSpec) *FuncDimension {
+	perDay := cps.Window(spec.PerDay())
+	return &FuncDimension{
+		DimName: "weekpart",
+		Fn: func(w cps.Window) Value {
+			if int(w/perDay)%7 < 5 {
+				return "weekday"
+			}
+			return "weekend"
+		},
+	}
+}
+
+// FuncDimension adapts a plain function to the Dimension interface.
+type FuncDimension struct {
+	DimName string
+	Fn      func(cps.Window) Value
+}
+
+// Name implements Dimension.
+func (d *FuncDimension) Name() string { return d.DimName }
+
+// ValueAt implements Dimension.
+func (d *FuncDimension) ValueAt(w cps.Window) Value { return d.Fn(w) }
+
+// Report is one event record in a spatio-temporal context dimension (an
+// accident report, a roadwork notice).
+type Report struct {
+	ID       int
+	Window   cps.Window
+	Loc      geo.Point
+	RadiusMi float64
+	// SlackWindows widens the temporal match: a report matches cluster
+	// activity within ±SlackWindows of its window.
+	SlackWindows int
+}
+
+// ReportDimension joins clusters against point reports by time AND location
+// — the accident join of Section V-D. It is not a Dimension (the join needs
+// the spatial feature too); use Match.
+type ReportDimension struct {
+	DimName string
+	Reports []Report
+	// Locate maps a sensor to its location.
+	Locate func(cps.SensorID) geo.Point
+}
+
+// Match returns the reports falling inside the cluster's spatio-temporal
+// footprint: report location within RadiusMi of some cluster sensor, during
+// (±slack) a window the cluster was active.
+func (d *ReportDimension) Match(c *cluster.Cluster) []Report {
+	if d.Locate == nil {
+		panic(fmt.Sprintf("context: ReportDimension %q needs a Locate function", d.DimName))
+	}
+	var out []Report
+	for _, rep := range d.Reports {
+		if !d.temporalHit(c, rep) {
+			continue
+		}
+		for _, e := range c.SF {
+			if geo.DistanceMiles(d.Locate(e.Key), rep.Loc) <= rep.RadiusMi {
+				out = append(out, rep)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (d *ReportDimension) temporalHit(c *cluster.Cluster, rep Report) bool {
+	for gap := -rep.SlackWindows; gap <= rep.SlackWindows; gap++ {
+		if c.TF.Get(rep.Window+cps.Window(gap)) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,118 @@
+package context
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+)
+
+func mkCluster(recs ...cps.Record) *cluster.Cluster {
+	var g cluster.IDGen
+	return cluster.FromRecords(g.Next(), recs)
+}
+
+func TestWeatherJoin(t *testing.T) {
+	spec := cps.DefaultSpec()
+	perDay := cps.Window(spec.PerDay())
+	dim := WeatherDimension(spec, []int{1})
+	c := mkCluster(
+		cps.Record{Sensor: 1, Window: 10, Severity: 3},            // day 0: dry
+		cps.Record{Sensor: 1, Window: perDay + 10, Severity: 7},   // day 1: rain
+		cps.Record{Sensor: 1, Window: 2*perDay + 10, Severity: 2}, // day 2: dry
+	)
+	b := Join(c, dim)
+	if b.Dimension != "weather" {
+		t.Errorf("dimension = %q", b.Dimension)
+	}
+	if b.Mass["rain"] != 7 || b.Mass["dry"] != 5 {
+		t.Errorf("mass = %v", b.Mass)
+	}
+	if got := b.Share("rain"); math.Abs(got-7.0/12) > 1e-12 {
+		t.Errorf("rain share = %v", got)
+	}
+	v, share := b.Dominant()
+	if v != "rain" || math.Abs(share-7.0/12) > 1e-12 {
+		t.Errorf("dominant = %v, %v", v, share)
+	}
+}
+
+func TestWeekpartJoin(t *testing.T) {
+	spec := cps.DefaultSpec()
+	perDay := cps.Window(spec.PerDay())
+	dim := WeekpartDimension(spec)
+	c := mkCluster(
+		cps.Record{Sensor: 1, Window: 0, Severity: 1},          // day 0: weekday
+		cps.Record{Sensor: 1, Window: 5 * perDay, Severity: 9}, // day 5: weekend
+	)
+	b := Join(c, dim)
+	if b.Mass["weekday"] != 1 || b.Mass["weekend"] != 9 {
+		t.Errorf("mass = %v", b.Mass)
+	}
+}
+
+func TestEmptyClusterBreakdown(t *testing.T) {
+	dim := WeekpartDimension(cps.DefaultSpec())
+	b := Join(&cluster.Cluster{}, dim)
+	if b.Total != 0 || b.Share("weekday") != 0 {
+		t.Errorf("empty breakdown = %+v", b)
+	}
+	if _, share := b.Dominant(); share != 0 {
+		t.Error("empty dominant share should be 0")
+	}
+}
+
+func TestReportDimensionMatch(t *testing.T) {
+	locs := map[cps.SensorID]geo.Point{
+		1: {Lat: 34, Lon: -118},
+		2: {Lat: 35, Lon: -117}, // ~90 miles away
+	}
+	dim := &ReportDimension{
+		DimName: "accidents",
+		Locate:  func(s cps.SensorID) geo.Point { return locs[s] },
+		Reports: []Report{
+			{ID: 1, Window: 10, Loc: geo.Point{Lat: 34.01, Lon: -118}, RadiusMi: 2},                  // near sensor 1, in time
+			{ID: 2, Window: 500, Loc: geo.Point{Lat: 34.01, Lon: -118}, RadiusMi: 2},                 // right place, wrong time
+			{ID: 3, Window: 10, Loc: geo.Point{Lat: 36, Lon: -116}, RadiusMi: 2},                     // wrong place
+			{ID: 4, Window: 12, Loc: geo.Point{Lat: 34.01, Lon: -118}, RadiusMi: 2, SlackWindows: 2}, // slack reaches window 10
+		},
+	}
+	c := mkCluster(
+		cps.Record{Sensor: 1, Window: 10, Severity: 3},
+		cps.Record{Sensor: 2, Window: 10, Severity: 3},
+	)
+	got := dim.Match(c)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 4 {
+		t.Errorf("matches = %v", got)
+	}
+}
+
+func TestReportDimensionNeedsLocate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic without Locate")
+		}
+	}()
+	dim := &ReportDimension{DimName: "x", Reports: []Report{{Window: 1, RadiusMi: 1}}}
+	dim.Match(mkCluster(cps.Record{Sensor: 1, Window: 1, Severity: 1}))
+}
+
+func TestBreakdownConservesMass(t *testing.T) {
+	spec := cps.DefaultSpec()
+	dim := WeatherDimension(spec, []int{0, 3, 4})
+	c := mkCluster(
+		cps.Record{Sensor: 1, Window: 5, Severity: 2.5},
+		cps.Record{Sensor: 2, Window: 900, Severity: 1.5},
+		cps.Record{Sensor: 3, Window: 1200, Severity: 4},
+	)
+	b := Join(c, dim)
+	var sum cps.Severity
+	for _, m := range b.Mass {
+		sum += m
+	}
+	if sum != b.Total || b.Total != c.Severity() {
+		t.Errorf("mass %v, total %v, cluster %v", sum, b.Total, c.Severity())
+	}
+}

@@ -1,0 +1,324 @@
+package cps
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWindowSpecRoundTrip(t *testing.T) {
+	ws := DefaultSpec()
+	for _, w := range []Window{0, 1, 287, 288, 10000, -1, -288} {
+		start := ws.Start(w)
+		if got := ws.At(start); got != w {
+			t.Errorf("At(Start(%d)) = %d", w, got)
+		}
+		// Any instant strictly inside the window maps back to it.
+		mid := start.Add(ws.Width / 2)
+		if got := ws.At(mid); got != w {
+			t.Errorf("At(mid of %d) = %d", w, got)
+		}
+	}
+}
+
+func TestWindowSpecAtBoundary(t *testing.T) {
+	ws := DefaultSpec()
+	// The end instant of window w is the start of w+1.
+	if got := ws.At(ws.End(5)); got != 6 {
+		t.Errorf("At(End(5)) = %d, want 6", got)
+	}
+}
+
+func TestWindowSpecPerDay(t *testing.T) {
+	if got := DefaultSpec().PerDay(); got != 288 {
+		t.Errorf("PerDay = %d, want 288 (5-minute windows)", got)
+	}
+	hourly := WindowSpec{Origin: time.Unix(0, 0), Width: time.Hour}
+	if got := hourly.PerDay(); got != 24 {
+		t.Errorf("hourly PerDay = %d, want 24", got)
+	}
+}
+
+func TestWindowSpecFormat(t *testing.T) {
+	ws := DefaultSpec()
+	// Window 97 of Oct 1 2008: 97*5min = 485 min = 08:05.
+	got := ws.Format(97)
+	want := "2008-10-01 08:05-08:10"
+	if got != want {
+		t.Errorf("Format(97) = %q, want %q", got, want)
+	}
+}
+
+func TestRecordLess(t *testing.T) {
+	a := Record{Sensor: 1, Window: 5}
+	b := Record{Sensor: 2, Window: 5}
+	c := Record{Sensor: 0, Window: 6}
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Error("Less should order by window then sensor")
+	}
+	if b.Less(a) || c.Less(b) {
+		t.Error("Less should be asymmetric")
+	}
+	if a.Less(a) {
+		t.Error("Less should be irreflexive")
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	tr := TimeRange{From: 10, To: 20}
+	if tr.Len() != 10 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if !tr.Contains(10) || tr.Contains(20) || tr.Contains(9) {
+		t.Error("Contains half-open semantics violated")
+	}
+	empty := TimeRange{From: 5, To: 5}
+	if empty.Len() != 0 {
+		t.Error("empty range should have length 0")
+	}
+	inverted := TimeRange{From: 9, To: 3}
+	if inverted.Len() != 0 {
+		t.Error("inverted range should have length 0")
+	}
+}
+
+func TestTimeRangeIntersect(t *testing.T) {
+	a := TimeRange{From: 0, To: 10}
+	b := TimeRange{From: 5, To: 15}
+	got := a.Intersect(b)
+	if got.From != 5 || got.To != 10 {
+		t.Errorf("Intersect = %+v", got)
+	}
+	disjoint := a.Intersect(TimeRange{From: 20, To: 30})
+	if disjoint.Len() != 0 {
+		t.Errorf("disjoint Intersect should be empty, got %+v", disjoint)
+	}
+}
+
+func TestDayRange(t *testing.T) {
+	ws := DefaultSpec()
+	tr := DayRange(ws, 2, 3)
+	if tr.From != 2*288 || tr.To != 5*288 {
+		t.Errorf("DayRange = %+v", tr)
+	}
+	if tr.Days(ws) != 3 {
+		t.Errorf("Days = %d", tr.Days(ws))
+	}
+}
+
+func TestNewRecordSetSortsAndCoalesces(t *testing.T) {
+	rs := NewRecordSet([]Record{
+		{Sensor: 2, Window: 1, Severity: 3},
+		{Sensor: 1, Window: 1, Severity: 4},
+		{Sensor: 2, Window: 1, Severity: 2}, // duplicate key, coalesced
+		{Sensor: 1, Window: 0, Severity: 5},
+	})
+	recs := rs.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d, want 3 (coalesced)", len(recs))
+	}
+	want := []Record{
+		{Sensor: 1, Window: 0, Severity: 5},
+		{Sensor: 1, Window: 1, Severity: 4},
+		{Sensor: 2, Window: 1, Severity: 5},
+	}
+	for i, r := range recs {
+		if r != want[i] {
+			t.Errorf("recs[%d] = %v, want %v", i, r, want[i])
+		}
+	}
+}
+
+func TestFromSortedRejectsUnsorted(t *testing.T) {
+	_, err := FromSorted([]Record{{Window: 2}, {Window: 1}})
+	if err != ErrUnsorted {
+		t.Errorf("err = %v, want ErrUnsorted", err)
+	}
+	// Duplicate keys also violate strict order.
+	_, err = FromSorted([]Record{{Sensor: 1, Window: 1}, {Sensor: 1, Window: 1}})
+	if err != ErrUnsorted {
+		t.Errorf("duplicate err = %v, want ErrUnsorted", err)
+	}
+	if _, err := FromSorted(nil); err != nil {
+		t.Errorf("empty slice should be valid: %v", err)
+	}
+}
+
+func TestRecordSetTotalSeverity(t *testing.T) {
+	rs := NewRecordSet([]Record{
+		{Sensor: 1, Window: 0, Severity: 2},
+		{Sensor: 2, Window: 0, Severity: 3.5},
+	})
+	if got := rs.TotalSeverity(); got != 5.5 {
+		t.Errorf("TotalSeverity = %v", got)
+	}
+}
+
+func TestRecordSetSlice(t *testing.T) {
+	var recs []Record
+	for w := Window(0); w < 10; w++ {
+		recs = append(recs, Record{Sensor: 1, Window: w, Severity: 1})
+	}
+	rs := NewRecordSet(recs)
+	got := rs.Slice(TimeRange{From: 3, To: 7})
+	if len(got) != 4 || got[0].Window != 3 || got[3].Window != 6 {
+		t.Errorf("Slice = %v", got)
+	}
+	if len(rs.Slice(TimeRange{From: 100, To: 200})) != 0 {
+		t.Error("out-of-range slice should be empty")
+	}
+}
+
+func TestRecordSetSensors(t *testing.T) {
+	rs := NewRecordSet([]Record{
+		{Sensor: 5, Window: 0, Severity: 1},
+		{Sensor: 1, Window: 1, Severity: 1},
+		{Sensor: 5, Window: 2, Severity: 1},
+	})
+	got := rs.Sensors()
+	if len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Errorf("Sensors = %v", got)
+	}
+}
+
+func TestRecordSetFilter(t *testing.T) {
+	rs := NewRecordSet([]Record{
+		{Sensor: 1, Window: 0, Severity: 1},
+		{Sensor: 2, Window: 0, Severity: 5},
+	})
+	got := rs.Filter(func(r Record) bool { return r.Severity > 2 })
+	if got.Len() != 1 || got.Records()[0].Sensor != 2 {
+		t.Errorf("Filter = %v", got.Records())
+	}
+}
+
+func TestMergeSetsCoalesces(t *testing.T) {
+	a := NewRecordSet([]Record{
+		{Sensor: 1, Window: 0, Severity: 2},
+		{Sensor: 1, Window: 1, Severity: 3},
+	})
+	b := NewRecordSet([]Record{
+		{Sensor: 1, Window: 1, Severity: 4},
+		{Sensor: 2, Window: 2, Severity: 1},
+	})
+	m := Merge(a, b)
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if m.TotalSeverity() != 10 {
+		t.Errorf("TotalSeverity = %v", m.TotalSeverity())
+	}
+	mid := m.Records()[1]
+	if mid.Severity != 7 {
+		t.Errorf("shared key severity = %v, want 7", mid.Severity)
+	}
+}
+
+func TestSplitByDay(t *testing.T) {
+	ws := DefaultSpec()
+	perDay := Window(ws.PerDay())
+	rs := NewRecordSet([]Record{
+		{Sensor: 1, Window: 0, Severity: 1},
+		{Sensor: 1, Window: perDay - 1, Severity: 1},
+		{Sensor: 1, Window: perDay, Severity: 1},
+		{Sensor: 1, Window: 3 * perDay, Severity: 1},
+	})
+	days := rs.SplitByDay(ws)
+	if len(days) != 3 {
+		t.Fatalf("days = %d, want 3", len(days))
+	}
+	if len(days[0]) != 2 || len(days[1]) != 1 || len(days[3]) != 1 {
+		t.Errorf("day partition sizes wrong: %v", map[int]int{0: len(days[0]), 1: len(days[1]), 3: len(days[3])})
+	}
+}
+
+// Property: Merge is commutative and the total severity is the sum of parts
+// — severities are algebraic (paper Property 2 at record level).
+func TestMergeCommutativeProperty(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a := setFromSeeds(xs)
+		b := setFromSeeds(ys)
+		m1 := Merge(a, b)
+		m2 := Merge(b, a)
+		if m1.Len() != m2.Len() {
+			return false
+		}
+		for i := range m1.Records() {
+			if m1.Records()[i] != m2.Records()[i] {
+				return false
+			}
+		}
+		return approxEq(float64(m1.TotalSeverity()), float64(a.TotalSeverity()+b.TotalSeverity()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: normalization is idempotent and Slice never exceeds bounds.
+func TestNormalizeIdempotentProperty(t *testing.T) {
+	f := func(xs []uint16, from, to uint8) bool {
+		rs := setFromSeeds(xs)
+		before := len(rs.Records())
+		rs.Normalize()
+		if len(rs.Records()) != before {
+			return false
+		}
+		sl := rs.Slice(TimeRange{From: Window(from), To: Window(to)})
+		for _, r := range sl {
+			if r.Window < Window(from) || r.Window >= Window(to) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func setFromSeeds(xs []uint16) *RecordSet {
+	recs := make([]Record, 0, len(xs))
+	for _, x := range xs {
+		recs = append(recs, Record{
+			Sensor:   SensorID(x % 16),
+			Window:   Window(x / 16 % 64),
+			Severity: Severity(x%5) + 1,
+		})
+	}
+	return NewRecordSet(recs)
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-6
+}
+
+func TestRecordSetAppend(t *testing.T) {
+	rs := NewRecordSet([]Record{{Sensor: 1, Window: 5, Severity: 2}})
+	rs.Append(Record{Sensor: 1, Window: 2, Severity: 1}, Record{Sensor: 1, Window: 5, Severity: 3})
+	if rs.Len() != 2 {
+		t.Fatalf("Len = %d", rs.Len())
+	}
+	recs := rs.Records()
+	if recs[0].Window != 2 {
+		t.Error("Append should restore canonical order")
+	}
+	if recs[1].Severity != 5 {
+		t.Errorf("Append should coalesce duplicates: %v", recs[1])
+	}
+}
+
+func TestClampSeverity(t *testing.T) {
+	rs := NewRecordSet([]Record{
+		{Sensor: 1, Window: 0, Severity: 9},
+		{Sensor: 2, Window: 0, Severity: 3},
+	})
+	rs.ClampSeverity(5)
+	if rs.Records()[0].Severity != 5 || rs.Records()[1].Severity != 3 {
+		t.Errorf("ClampSeverity = %v", rs.Records())
+	}
+}

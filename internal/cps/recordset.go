@@ -1,0 +1,182 @@
+package cps
+
+import (
+	"errors"
+	"sort"
+)
+
+// RecordSet is an in-memory, canonically sorted collection of atypical
+// records. The zero value is an empty, usable set.
+//
+// Invariants (after Normalize or any constructor in this package):
+//   - records are sorted by (Window, Sensor);
+//   - no two records share the same (Window, Sensor) key — duplicates are
+//     coalesced by summing severities, matching the additive semantics of the
+//     severity measure.
+type RecordSet struct {
+	recs []Record
+}
+
+// ErrUnsorted is returned by validation helpers when a record slice violates
+// the canonical order.
+var ErrUnsorted = errors.New("cps: records not in canonical (window, sensor) order")
+
+// NewRecordSet builds a set from arbitrary records, sorting and coalescing.
+// The input slice is not retained.
+func NewRecordSet(recs []Record) *RecordSet {
+	cp := make([]Record, len(recs))
+	copy(cp, recs)
+	rs := &RecordSet{recs: cp}
+	rs.Normalize()
+	return rs
+}
+
+// FromSorted wraps an already-canonical slice without copying. It returns
+// ErrUnsorted if the invariant does not hold. Intended for storage readers
+// that decode records in order.
+func FromSorted(recs []Record) (*RecordSet, error) {
+	for i := 1; i < len(recs); i++ {
+		if !recs[i-1].Less(recs[i]) {
+			return nil, ErrUnsorted
+		}
+	}
+	return &RecordSet{recs: recs}, nil
+}
+
+// Normalize restores the canonical order and coalesces duplicate keys.
+func (rs *RecordSet) Normalize() {
+	sort.Slice(rs.recs, func(i, j int) bool { return rs.recs[i].Less(rs.recs[j]) })
+	out := rs.recs[:0]
+	for _, r := range rs.recs {
+		if n := len(out); n > 0 && out[n-1].Window == r.Window && out[n-1].Sensor == r.Sensor {
+			out[n-1].Severity += r.Severity
+			continue
+		}
+		out = append(out, r)
+	}
+	rs.recs = out
+}
+
+// Len returns the number of records.
+func (rs *RecordSet) Len() int { return len(rs.recs) }
+
+// Records exposes the underlying canonical slice. Callers must not mutate it.
+func (rs *RecordSet) Records() []Record { return rs.recs }
+
+// Append adds records, restoring invariants afterwards. Amortize by batching.
+func (rs *RecordSet) Append(recs ...Record) {
+	rs.recs = append(rs.recs, recs...)
+	rs.Normalize()
+}
+
+// TotalSeverity returns the sum of all severities — the paper's F over the
+// whole set.
+func (rs *RecordSet) TotalSeverity() Severity {
+	var total Severity
+	for _, r := range rs.recs {
+		total += r.Severity
+	}
+	return total
+}
+
+// WindowSpan returns the half-open range [min, max+1] of windows present, or
+// an empty range for an empty set.
+func (rs *RecordSet) WindowSpan() TimeRange {
+	if len(rs.recs) == 0 {
+		return TimeRange{}
+	}
+	return TimeRange{From: rs.recs[0].Window, To: rs.recs[len(rs.recs)-1].Window + 1}
+}
+
+// Slice returns the records whose window lies in tr. Because the set is
+// window-major sorted, this is two binary searches plus a subslice — no copy.
+func (rs *RecordSet) Slice(tr TimeRange) []Record {
+	if tr.To <= tr.From {
+		return nil
+	}
+	lo := sort.Search(len(rs.recs), func(i int) bool { return rs.recs[i].Window >= tr.From })
+	hi := sort.Search(len(rs.recs), func(i int) bool { return rs.recs[i].Window >= tr.To })
+	return rs.recs[lo:hi]
+}
+
+// Filter returns a new set holding the records accepted by keep.
+func (rs *RecordSet) Filter(keep func(Record) bool) *RecordSet {
+	var out []Record
+	for _, r := range rs.recs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	s, _ := FromSorted(out) // filtering preserves order and uniqueness
+	return s
+}
+
+// ClampSeverity caps every record's severity at max. Physical severity
+// measures have natural ceilings (atypical duration cannot exceed the window
+// width), and coalescing overlapping sources can exceed them.
+func (rs *RecordSet) ClampSeverity(max Severity) {
+	for i := range rs.recs {
+		if rs.recs[i].Severity > max {
+			rs.recs[i].Severity = max
+		}
+	}
+}
+
+// Sensors returns the distinct sensors present, in ascending order.
+func (rs *RecordSet) Sensors() []SensorID {
+	seen := make(map[SensorID]struct{})
+	for _, r := range rs.recs {
+		seen[r.Sensor] = struct{}{}
+	}
+	out := make([]SensorID, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Merge returns the union of two sets, coalescing shared keys by summing.
+func Merge(a, b *RecordSet) *RecordSet {
+	out := make([]Record, 0, a.Len()+b.Len())
+	i, j := 0, 0
+	ar, br := a.recs, b.recs
+	for i < len(ar) && j < len(br) {
+		switch {
+		case ar[i].Less(br[j]):
+			out = append(out, ar[i])
+			i++
+		case br[j].Less(ar[i]):
+			out = append(out, br[j])
+			j++
+		default:
+			r := ar[i]
+			r.Severity += br[j].Severity
+			out = append(out, r)
+			i++
+			j++
+		}
+	}
+	out = append(out, ar[i:]...)
+	out = append(out, br[j:]...)
+	s, _ := FromSorted(out)
+	return s
+}
+
+// SplitByDay partitions the set into per-day subsets keyed by day index from
+// the spec origin. Each subset aliases the parent's storage.
+func (rs *RecordSet) SplitByDay(ws WindowSpec) map[int][]Record {
+	perDay := Window(ws.PerDay())
+	out := make(map[int][]Record)
+	start := 0
+	for start < len(rs.recs) {
+		day := int(rs.recs[start].Window / perDay)
+		end := start
+		for end < len(rs.recs) && int(rs.recs[end].Window/perDay) == day {
+			end++
+		}
+		out[day] = rs.recs[start:end]
+		start = end
+	}
+	return out
+}

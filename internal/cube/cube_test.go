@@ -1,0 +1,301 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/detect"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+func testNet(t testing.TB) *traffic.Network {
+	t.Helper()
+	return traffic.GenerateNetwork(traffic.ScaledConfig(300))
+}
+
+func randomRecords(net *traffic.Network, n int, seed int64, days int) []cps.Record {
+	rng := rand.New(rand.NewSource(seed))
+	spec := cps.DefaultSpec()
+	recs := make([]cps.Record, n)
+	for i := range recs {
+		recs[i] = cps.Record{
+			Sensor:   cps.SensorID(rng.Intn(net.NumSensors())),
+			Window:   cps.Window(rng.Intn(days * spec.PerDay())),
+			Severity: cps.Severity(rng.Intn(5)) + 1,
+		}
+	}
+	return cps.NewRecordSet(recs).Records()
+}
+
+func allRegions(net *traffic.Network) []geo.RegionID {
+	regions := make([]geo.RegionID, 0, net.Grid.NumRegions())
+	for _, r := range net.Grid.Regions() {
+		regions = append(regions, r.ID)
+	}
+	return regions
+}
+
+func TestSeverityIndexMatchesScan(t *testing.T) {
+	net := testNet(t)
+	spec := cps.DefaultSpec()
+	recs := randomRecords(net, 3000, 5, 10)
+	idx := NewSeverityIndex(net, spec)
+	idx.Add(recs)
+
+	regions := allRegions(net)
+	ranges := []cps.TimeRange{
+		cps.DayRange(spec, 0, 10),                        // everything
+		cps.DayRange(spec, 2, 3),                         // day-aligned middle
+		{From: 100, To: 500},                             // ragged, inside day 0-1
+		{From: 100, To: cps.Window(5*spec.PerDay() + 7)}, // ragged across days
+	}
+	sample := regions
+	if len(sample) > 40 {
+		sample = sample[:40]
+	}
+	for _, tr := range ranges {
+		for _, r := range sample {
+			got := idx.F(r, tr)
+			want := FScan(net, recs, []geo.RegionID{r}, tr)
+			if !sevEq(got, want) {
+				t.Fatalf("F(region %d, %+v) = %v, want %v", r, tr, got, want)
+			}
+		}
+		got := idx.FTotal(regions, tr)
+		want := FScan(net, recs, regions, tr)
+		if !sevEq(got, want) {
+			t.Fatalf("FTotal(%+v) = %v, want %v", tr, got, want)
+		}
+	}
+}
+
+func TestSeverityIndexEmptyRange(t *testing.T) {
+	net := testNet(t)
+	idx := NewSeverityIndex(net, cps.DefaultSpec())
+	idx.Add(randomRecords(net, 100, 1, 2))
+	if got := idx.F(0, cps.TimeRange{From: 5, To: 5}); got != 0 {
+		t.Errorf("empty range F = %v", got)
+	}
+}
+
+// Property 4: F is distributive — any partition of the time range sums to
+// the whole.
+func TestFDistributiveProperty(t *testing.T) {
+	net := testNet(t)
+	spec := cps.DefaultSpec()
+	recs := randomRecords(net, 1500, 9, 6)
+	idx := NewSeverityIndex(net, spec)
+	idx.Add(recs)
+	regions := allRegions(net)
+	whole := cps.DayRange(spec, 0, 6)
+
+	f := func(cutRaw uint16) bool {
+		cut := whole.From + cps.Window(int(cutRaw)%whole.Len())
+		left := cps.TimeRange{From: whole.From, To: cut}
+		right := cps.TimeRange{From: cut, To: whole.To}
+		sum := idx.FTotal(regions, left) + idx.FTotal(regions, right)
+		return sevEq(sum, idx.FTotal(regions, whole))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRedZonesBound(t *testing.T) {
+	net := testNet(t)
+	spec := cps.DefaultSpec()
+	idx := NewSeverityIndex(net, spec)
+
+	// Put heavy severity into one region, light into another.
+	var heavy, light geo.RegionID = -1, -1
+	for _, r := range net.Grid.Regions() {
+		if len(net.SensorsInRegion(r.ID)) > 0 {
+			if heavy == -1 {
+				heavy = r.ID
+			} else if light == -1 && r.ID != heavy {
+				light = r.ID
+				break
+			}
+		}
+	}
+	if heavy == -1 || light == -1 {
+		t.Skip("not enough populated regions")
+	}
+	hs := net.SensorsInRegion(heavy)[0]
+	ls := net.SensorsInRegion(light)[0]
+	var recs []cps.Record
+	for w := cps.Window(0); w < 200; w++ {
+		recs = append(recs, cps.Record{Sensor: hs, Window: w, Severity: 5})
+	}
+	recs = append(recs, cps.Record{Sensor: ls, Window: 0, Severity: 1})
+	idx.Add(recs)
+
+	tr := cps.DayRange(spec, 0, 1)
+	// Bound chosen so heavy (1000) passes and light (1) fails:
+	// δs·288·N ≤ 1000 with N=10 → δs = 0.3 gives bound 864.
+	zones := idx.RedZones([]geo.RegionID{heavy, light}, tr, 0.3, 10)
+	if len(zones) != 1 || zones[0] != heavy {
+		t.Errorf("RedZones = %v, want [%d]", zones, heavy)
+	}
+	// A tiny threshold admits both.
+	zones = idx.RedZones([]geo.RegionID{heavy, light}, tr, 0.000001, 10)
+	if len(zones) != 2 {
+		t.Errorf("loose RedZones = %v, want both", zones)
+	}
+}
+
+// Property 5 at index level: a region below the bound has F < bound, so no
+// subset of its records can reach the bound either.
+func TestRedZoneSafetyProperty(t *testing.T) {
+	net := testNet(t)
+	spec := cps.DefaultSpec()
+	recs := randomRecords(net, 2000, 3, 5)
+	idx := NewSeverityIndex(net, spec)
+	idx.Add(recs)
+	regions := allRegions(net)
+	tr := cps.DayRange(spec, 0, 5)
+	n := net.NumSensors()
+
+	f := func(dsRaw uint8) bool {
+		deltaS := float64(dsRaw%20+1) / 10000
+		bound := cps.Severity(deltaS * float64(tr.Len()) * float64(n))
+		zones := idx.RedZones(regions, tr, deltaS, n)
+		zoneSet := make(map[geo.RegionID]bool)
+		for _, z := range zones {
+			zoneSet[z] = true
+		}
+		for _, r := range regions {
+			if zoneSet[r] {
+				if idx.F(r, tr) < bound {
+					return false
+				}
+			} else if idx.F(r, tr) >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCubeViewMCAggregation(t *testing.T) {
+	net := testNet(t)
+	spec := cps.DefaultSpec()
+	cv := NewCubeView(net, spec, 30, nil)
+	s := cps.SensorID(0)
+	cv.AddRecord(cps.Record{Sensor: s, Window: 0, Severity: 3})
+	cv.AddRecord(cps.Record{Sensor: s, Window: 1, Severity: 2})  // same hour
+	cv.AddRecord(cps.Record{Sensor: s, Window: 13, Severity: 4}) // hour 1
+
+	hourly, ok := cv.Get(LevelPair{BySensor, ByHour}, CellKey{Spatial: int32(s), Temporal: 0})
+	if !ok || hourly != 5 {
+		t.Errorf("sensor-hour cell = %v, %v", hourly, ok)
+	}
+	daily, ok := cv.Get(LevelPair{ByCity, ByDay}, CellKey{Spatial: 0, Temporal: 0})
+	if !ok || daily != 9 {
+		t.Errorf("city-day cell = %v, %v", daily, ok)
+	}
+	if cv.ReadingsScanned != 3 {
+		t.Errorf("scanned = %d", cv.ReadingsScanned)
+	}
+	if cv.TotalCells() == 0 || cv.SizeBytes() != int64(cv.TotalCells())*20 {
+		t.Error("size accounting broken")
+	}
+}
+
+func TestCubeViewOCIsLargerThanMC(t *testing.T) {
+	net := traffic.GenerateNetwork(traffic.ScaledConfig(150))
+	spec := cps.DefaultSpec()
+	oc := NewCubeView(net, spec, 30, nil)
+	mc := NewCubeView(net, spec, 30, nil)
+
+	// One day of readings: a few atypical, the rest free-flow.
+	atyp := map[cps.Window]cps.SensorID{10: 3, 11: 3, 12: 4}
+	for w := cps.Window(0); w < cps.Window(spec.PerDay()); w++ {
+		for s := 0; s < net.NumSensors(); s++ {
+			v := detect.FreeflowMPH
+			if as, ok := atyp[w]; ok && as == cps.SensorID(s) {
+				v = 25 // severity 3
+			}
+			oc.AddReading(cps.Reading{Sensor: cps.SensorID(s), Window: w, Value: v})
+			if v < detect.ThresholdMPH {
+				mc.AddRecord(cps.Record{Sensor: cps.SensorID(s), Window: w, Severity: detect.SeverityFromSpeed(v)})
+			}
+		}
+	}
+	if oc.TotalCells() <= mc.TotalCells()*10 {
+		t.Errorf("OC cells (%d) should dwarf MC cells (%d)", oc.TotalCells(), mc.TotalCells())
+	}
+	if oc.ReadingsScanned <= mc.ReadingsScanned*10 {
+		t.Errorf("OC scanned %d, MC %d", oc.ReadingsScanned, mc.ReadingsScanned)
+	}
+	// Both agree on aggregated severity at the city-day level.
+	ocCity, _ := oc.Get(LevelPair{ByCity, ByDay}, CellKey{})
+	mcCity, _ := mc.Get(LevelPair{ByCity, ByDay}, CellKey{})
+	if !sevEq(ocCity, mcCity) {
+		t.Errorf("city-day severity OC=%v MC=%v", ocCity, mcCity)
+	}
+}
+
+func TestCubeViewRollupConsistencyProperty(t *testing.T) {
+	// Region-day cells sum to district-day cells sum to city-day.
+	net := testNet(t)
+	spec := cps.DefaultSpec()
+	f := func(seed int64) bool {
+		cv := NewCubeView(net, spec, 30, nil)
+		for _, r := range randomRecords(net, 400, seed, 3) {
+			cv.AddRecord(r)
+		}
+		for day := int64(0); day < 3; day++ {
+			var regionSum, districtSum cps.Severity
+			for _, reg := range net.Grid.Regions() {
+				if v, ok := cv.Get(LevelPair{ByRegion, ByDay}, CellKey{Spatial: int32(reg.ID), Temporal: day}); ok {
+					regionSum += v
+				}
+			}
+			for d := 0; d < net.Grid.NumDistricts(); d++ {
+				if v, ok := cv.Get(LevelPair{ByDistrict, ByDay}, CellKey{Spatial: int32(d), Temporal: day}); ok {
+					districtSum += v
+				}
+			}
+			city, _ := cv.Get(LevelPair{ByCity, ByDay}, CellKey{Spatial: 0, Temporal: day})
+			if !sevEq(regionSum, districtSum) || !sevEq(districtSum, city) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	if BySensor.String() != "sensor" || ByCity.String() != "city" {
+		t.Error("spatial level strings")
+	}
+	if ByWindow.String() != "window" || ByMonth.String() != "month" {
+		t.Error("temporal level strings")
+	}
+	cv := NewCubeView(testNet(t), cps.DefaultSpec(), 30, nil)
+	if cv.String() == "" || len(cv.Levels()) != len(DefaultLevels) {
+		t.Error("cube summary")
+	}
+}
+
+func sevEq(a, b cps.Severity) bool {
+	d := float64(a - b)
+	if d < 0 {
+		d = -d
+	}
+	scale := float64(a)
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= 1e-6*scale
+}

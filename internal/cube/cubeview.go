@@ -1,0 +1,208 @@
+package cube
+
+import (
+	"fmt"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/detect"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+// SpatialLevel enumerates the pre-defined spatial hierarchy of the CubeView
+// baseline: sensor → region ("zipcode") → district → city.
+type SpatialLevel uint8
+
+// Spatial hierarchy levels, finest first.
+const (
+	BySensor SpatialLevel = iota
+	ByRegion
+	ByDistrict
+	ByCity
+)
+
+// TemporalLevel enumerates the temporal hierarchy: window → hour → day →
+// month (the paper: "sum up the congestion duration by hour, day, month and
+// year").
+type TemporalLevel uint8
+
+// Temporal hierarchy levels, finest first.
+const (
+	ByWindow TemporalLevel = iota
+	ByHour
+	ByDay
+	ByMonth
+)
+
+func (l SpatialLevel) String() string {
+	return [...]string{"sensor", "region", "district", "city"}[l]
+}
+
+func (l TemporalLevel) String() string {
+	return [...]string{"window", "hour", "day", "month"}[l]
+}
+
+// CellKey addresses one cube cell at a given level pair.
+type CellKey struct {
+	Spatial  int32
+	Temporal int64
+}
+
+// LevelPair identifies one materialized group-by of the cube.
+type LevelPair struct {
+	S SpatialLevel
+	T TemporalLevel
+}
+
+// DefaultLevels are the group-bys CubeView materializes: the finest level
+// (sensor, hour) plus the coarser rollups analytical dashboards read. The
+// raw (sensor, window) base is the dataset itself and is not duplicated.
+var DefaultLevels = []LevelPair{
+	{BySensor, ByHour},
+	{ByRegion, ByHour},
+	{ByRegion, ByDay},
+	{ByDistrict, ByDay},
+	{ByCity, ByDay},
+	{ByCity, ByMonth},
+}
+
+// CubeView is the bottom-up baseline model: numeric severity aggregated over
+// every configured level pair. It answers where-style queries cheaply but —
+// as Example 2 argues — cannot describe individual atypical events.
+type CubeView struct {
+	net    *traffic.Network
+	spec   cps.WindowSpec
+	levels []LevelPair
+	// DaysPerMonth fixes the month rollup arithmetic (the generator uses
+	// fixed-length months).
+	daysPerMonth int
+
+	cells map[LevelPair]map[CellKey]cps.Severity
+	// ReadingsScanned counts input records — OC scans every reading, MC
+	// only atypical ones; the Fig. 15 cost difference.
+	ReadingsScanned int64
+}
+
+// NewCubeView returns an empty cube with the given materialized level pairs
+// (DefaultLevels when nil).
+func NewCubeView(net *traffic.Network, spec cps.WindowSpec, daysPerMonth int, levels []LevelPair) *CubeView {
+	if levels == nil {
+		levels = DefaultLevels
+	}
+	cv := &CubeView{
+		net:          net,
+		spec:         spec,
+		levels:       levels,
+		daysPerMonth: daysPerMonth,
+		cells:        make(map[LevelPair]map[CellKey]cps.Severity, len(levels)),
+	}
+	for _, lp := range levels {
+		cv.cells[lp] = make(map[CellKey]cps.Severity)
+	}
+	return cv
+}
+
+// spatialKey maps a sensor to its key at level l, or false when the sensor
+// falls outside the region grid.
+func (cv *CubeView) spatialKey(s cps.SensorID, l SpatialLevel) (int32, bool) {
+	switch l {
+	case BySensor:
+		return int32(s), true
+	case ByRegion:
+		r := cv.net.Sensor(s).Region
+		return int32(r), r != geo.NoRegion
+	case ByDistrict:
+		r := cv.net.Sensor(s).Region
+		if r == geo.NoRegion {
+			return 0, false
+		}
+		return int32(cv.net.Grid.Region(r).District), true
+	default:
+		// City means the gridded deployment area, so the hierarchy rolls
+		// up consistently: sensors outside every region are excluded at
+		// every region-derived level.
+		if cv.net.Sensor(s).Region == geo.NoRegion {
+			return 0, false
+		}
+		return 0, true
+	}
+}
+
+// temporalKey maps a window to its key at level l.
+func (cv *CubeView) temporalKey(w cps.Window, l TemporalLevel) int64 {
+	perDay := int64(cv.spec.PerDay())
+	perHour := perDay / 24
+	switch l {
+	case ByWindow:
+		return int64(w)
+	case ByHour:
+		return int64(w) / perHour
+	case ByDay:
+		return int64(w) / perDay
+	default:
+		return int64(w) / (perDay * int64(cv.daysPerMonth))
+	}
+}
+
+// AddRecord aggregates one atypical record into every materialized level —
+// the modified-CubeView (MC) ingest path.
+func (cv *CubeView) AddRecord(r cps.Record) {
+	cv.ReadingsScanned++
+	cv.addSeverity(r.Sensor, r.Window, r.Severity)
+}
+
+// AddReading aggregates one raw reading — the original-CubeView (OC) ingest
+// path. Every reading lands in the cube (normal traffic aggregates as zero
+// severity but still claims its cells, which is why the OC model in Fig. 16
+// dwarfs MC).
+func (cv *CubeView) AddReading(rd cps.Reading) {
+	cv.ReadingsScanned++
+	cv.addSeverity(rd.Sensor, rd.Window, detect.SeverityFromSpeed(rd.Value))
+}
+
+func (cv *CubeView) addSeverity(s cps.SensorID, w cps.Window, sev cps.Severity) {
+	for _, lp := range cv.levels {
+		sk, ok := cv.spatialKey(s, lp.S)
+		if !ok {
+			continue
+		}
+		key := CellKey{Spatial: sk, Temporal: cv.temporalKey(w, lp.T)}
+		// The OC path must materialize the cell even at zero severity.
+		cv.cells[lp][key] += sev
+	}
+}
+
+// Get returns the aggregated severity of one cell.
+func (cv *CubeView) Get(lp LevelPair, key CellKey) (cps.Severity, bool) {
+	m, ok := cv.cells[lp]
+	if !ok {
+		return 0, false
+	}
+	v, ok := m[key]
+	return v, ok
+}
+
+// Cells returns the number of materialized cells at the given level pair.
+func (cv *CubeView) Cells(lp LevelPair) int { return len(cv.cells[lp]) }
+
+// TotalCells returns the number of materialized cells across all levels —
+// the model-size proxy of Fig. 16.
+func (cv *CubeView) TotalCells() int {
+	n := 0
+	for _, m := range cv.cells {
+		n += len(m)
+	}
+	return n
+}
+
+// SizeBytes estimates the serialized model size: each cell is a (key,
+// value) triple of 4+8+8 bytes.
+func (cv *CubeView) SizeBytes() int64 { return int64(cv.TotalCells()) * 20 }
+
+// Levels returns the materialized level pairs.
+func (cv *CubeView) Levels() []LevelPair { return cv.levels }
+
+// String implements fmt.Stringer with a size summary.
+func (cv *CubeView) String() string {
+	return fmt.Sprintf("CubeView{levels:%d cells:%d scanned:%d}", len(cv.levels), cv.TotalCells(), cv.ReadingsScanned)
+}

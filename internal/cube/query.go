@@ -1,0 +1,138 @@
+package cube
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+)
+
+// This file provides the OLAP-style read API over a built CubeView: the
+// slice/dice/roll-up operations the bottom-up baseline answers directly
+// (Section II-A), used by dashboards and by Example 2-style comparisons.
+
+// Cell is one materialized cube cell with its aggregated severity.
+type Cell struct {
+	Key CellKey
+	Sev cps.Severity
+}
+
+// Slice returns every cell of the level pair whose temporal key lies in
+// [fromT, toT), ascending by (spatial, temporal) key. A full-range slice
+// enumerates the level.
+func (cv *CubeView) Slice(lp LevelPair, fromT, toT int64) []Cell {
+	m, ok := cv.cells[lp]
+	if !ok {
+		return nil
+	}
+	out := make([]Cell, 0, len(m))
+	for k, v := range m {
+		if k.Temporal >= fromT && k.Temporal < toT {
+			out = append(out, Cell{Key: k, Sev: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Spatial != out[j].Key.Spatial {
+			return out[i].Key.Spatial < out[j].Key.Spatial
+		}
+		return out[i].Key.Temporal < out[j].Key.Temporal
+	})
+	return out
+}
+
+// Dice returns the cells restricted on both dimensions.
+func (cv *CubeView) Dice(lp LevelPair, spatial []int32, fromT, toT int64) []Cell {
+	want := make(map[int32]bool, len(spatial))
+	for _, s := range spatial {
+		want[s] = true
+	}
+	var out []Cell
+	for _, c := range cv.Slice(lp, fromT, toT) {
+		if want[c.Key.Spatial] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RollupTemporal aggregates a level pair's cells over the whole time axis,
+// returning total severity per spatial key, ascending.
+func (cv *CubeView) RollupTemporal(lp LevelPair) []Cell {
+	m, ok := cv.cells[lp]
+	if !ok {
+		return nil
+	}
+	agg := make(map[int32]cps.Severity)
+	for k, v := range m {
+		agg[k.Spatial] += v
+	}
+	out := make([]Cell, 0, len(agg))
+	for s, v := range agg {
+		out = append(out, Cell{Key: CellKey{Spatial: s}, Sev: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Spatial < out[j].Key.Spatial })
+	return out
+}
+
+// RollupSpatial aggregates over the whole spatial axis, returning total
+// severity per temporal key, ascending.
+func (cv *CubeView) RollupSpatial(lp LevelPair) []Cell {
+	m, ok := cv.cells[lp]
+	if !ok {
+		return nil
+	}
+	agg := make(map[int64]cps.Severity)
+	for k, v := range m {
+		agg[k.Temporal] += v
+	}
+	out := make([]Cell, 0, len(agg))
+	for t, v := range agg {
+		out = append(out, Cell{Key: CellKey{Temporal: t}, Sev: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Temporal < out[j].Key.Temporal })
+	return out
+}
+
+// TopCells returns the k highest-severity cells of a level pair, descending
+// by severity (ties ascending by key) — the "red zone" style ranking the
+// bottom-up model supports (Example 2's tagged regions).
+func (cv *CubeView) TopCells(lp LevelPair, k int) []Cell {
+	m, ok := cv.cells[lp]
+	if !ok || k <= 0 {
+		return nil
+	}
+	out := make([]Cell, 0, len(m))
+	for key, v := range m {
+		out = append(out, Cell{Key: key, Sev: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sev != out[j].Sev {
+			return out[i].Sev > out[j].Sev
+		}
+		if out[i].Key.Spatial != out[j].Key.Spatial {
+			return out[i].Key.Spatial < out[j].Key.Spatial
+		}
+		return out[i].Key.Temporal < out[j].Key.Temporal
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}
+
+// RegionSeverity answers F(region, [fromDay, toDay)) from the (region, day)
+// level — the Equation 1 aggregate the red-zone computation builds on.
+// Returns an error when the level is not materialized.
+func (cv *CubeView) RegionSeverity(region geo.RegionID, fromDay, toDay int64) (cps.Severity, error) {
+	lp := LevelPair{ByRegion, ByDay}
+	m, ok := cv.cells[lp]
+	if !ok {
+		return 0, fmt.Errorf("cube: level %v/%v not materialized", lp.S, lp.T)
+	}
+	var total cps.Severity
+	for d := fromDay; d < toDay; d++ {
+		total += m[CellKey{Spatial: int32(region), Temporal: d}]
+	}
+	return total, nil
+}

@@ -1,0 +1,151 @@
+package cube
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+)
+
+// smallCube builds a cube over a tiny known record set.
+func smallCube(t *testing.T) (*CubeView, []cps.Record) {
+	t.Helper()
+	net := testNet(t)
+	cv := NewCubeView(net, cps.DefaultSpec(), 30, nil)
+	recs := []cps.Record{
+		{Sensor: 0, Window: 0, Severity: 2},   // day 0, hour 0
+		{Sensor: 0, Window: 13, Severity: 3},  // day 0, hour 1
+		{Sensor: 1, Window: 300, Severity: 5}, // day 1, hour 25
+	}
+	for _, r := range recs {
+		cv.AddRecord(r)
+	}
+	return cv, recs
+}
+
+func TestSlice(t *testing.T) {
+	cv, _ := smallCube(t)
+	lp := LevelPair{BySensor, ByHour}
+	all := cv.Slice(lp, 0, 1<<40)
+	if len(all) != 3 {
+		t.Fatalf("cells = %d", len(all))
+	}
+	// Sorted by (spatial, temporal).
+	if all[0].Key.Spatial != 0 || all[0].Key.Temporal != 0 || all[0].Sev != 2 {
+		t.Errorf("first cell = %+v", all[0])
+	}
+	day0 := cv.Slice(lp, 0, 24)
+	if len(day0) != 2 {
+		t.Errorf("day-0 hours = %d", len(day0))
+	}
+	if got := cv.Slice(LevelPair{BySensor, ByWindow}, 0, 10); got != nil {
+		t.Errorf("unmaterialized level should return nil, got %v", got)
+	}
+}
+
+func TestDice(t *testing.T) {
+	cv, _ := smallCube(t)
+	lp := LevelPair{BySensor, ByHour}
+	got := cv.Dice(lp, []int32{0}, 0, 1<<40)
+	if len(got) != 2 {
+		t.Fatalf("dice = %d cells", len(got))
+	}
+	for _, c := range got {
+		if c.Key.Spatial != 0 {
+			t.Errorf("dice leaked spatial key %d", c.Key.Spatial)
+		}
+	}
+}
+
+func TestRollups(t *testing.T) {
+	cv, _ := smallCube(t)
+	lp := LevelPair{BySensor, ByHour}
+	bySensor := cv.RollupTemporal(lp)
+	if len(bySensor) != 2 {
+		t.Fatalf("sensors = %d", len(bySensor))
+	}
+	if bySensor[0].Sev != 5 || bySensor[1].Sev != 5 {
+		t.Errorf("rollup severities = %v, %v", bySensor[0].Sev, bySensor[1].Sev)
+	}
+	byHour := cv.RollupSpatial(lp)
+	if len(byHour) != 3 {
+		t.Fatalf("hours = %d", len(byHour))
+	}
+	var total cps.Severity
+	for _, c := range byHour {
+		total += c.Sev
+	}
+	if total != 10 {
+		t.Errorf("total = %v", total)
+	}
+	if got := cv.RollupTemporal(LevelPair{BySensor, ByWindow}); got != nil {
+		t.Error("unmaterialized rollup should be nil")
+	}
+}
+
+func TestTopCells(t *testing.T) {
+	cv, _ := smallCube(t)
+	lp := LevelPair{BySensor, ByHour}
+	top := cv.TopCells(lp, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %d", len(top))
+	}
+	if top[0].Sev != 5 || top[1].Sev != 3 {
+		t.Errorf("top severities = %v, %v", top[0].Sev, top[1].Sev)
+	}
+	if got := cv.TopCells(lp, 0); got != nil {
+		t.Error("k=0 should be nil")
+	}
+	if got := cv.TopCells(lp, 99); len(got) != 3 {
+		t.Errorf("over-ask = %d", len(got))
+	}
+}
+
+func TestRegionSeverity(t *testing.T) {
+	net := testNet(t)
+	cv := NewCubeView(net, cps.DefaultSpec(), 30, nil)
+	// Aggregate everything through the region of sensor 0.
+	region := net.Sensor(0).Region
+	if region == geo.NoRegion {
+		t.Skip("sensor 0 outside the grid")
+	}
+	cv.AddRecord(cps.Record{Sensor: 0, Window: 0, Severity: 2})
+	cv.AddRecord(cps.Record{Sensor: 0, Window: 300, Severity: 3}) // day 1
+	got, err := cv.RegionSeverity(region, 0, 1)
+	if err != nil || got != 2 {
+		t.Errorf("day 0 = %v, %v", got, err)
+	}
+	got, err = cv.RegionSeverity(region, 0, 2)
+	if err != nil || got != 5 {
+		t.Errorf("days 0-1 = %v, %v", got, err)
+	}
+	// Unmaterialized level errors.
+	bare := NewCubeView(net, cps.DefaultSpec(), 30, []LevelPair{{BySensor, ByHour}})
+	if _, err := bare.RegionSeverity(region, 0, 1); err == nil {
+		t.Error("missing level should error")
+	}
+}
+
+func TestSliceConsistentWithSeverityIndex(t *testing.T) {
+	// The cube's (region, day) cells agree with the SeverityIndex used for
+	// red zones — two independent implementations of F.
+	net := testNet(t)
+	spec := cps.DefaultSpec()
+	recs := randomRecords(net, 2000, 21, 4)
+	cv := NewCubeView(net, spec, 30, nil)
+	for _, r := range recs {
+		cv.AddRecord(r)
+	}
+	idx := NewSeverityIndex(net, spec)
+	idx.Add(recs)
+	for _, reg := range net.Grid.Regions() {
+		want := idx.F(reg.ID, cps.DayRange(spec, 0, 4))
+		got, err := cv.RegionSeverity(reg.ID, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sevEq(got, want) {
+			t.Fatalf("region %d: cube %v, index %v", reg.ID, got, want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package cube
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+// redzoneFixture builds an index where one region passes the bound alone,
+// one district passes only in aggregate, and everything else is quiet.
+func redzoneFixture(t *testing.T) (*SeverityIndex, *traffic.Network, []geo.RegionID, cps.TimeRange) {
+	t.Helper()
+	net := traffic.GenerateNetwork(traffic.ScaledConfig(300))
+	spec := cps.DefaultSpec()
+	idx := NewSeverityIndex(net, spec)
+	regions := allRegions(net)
+	return idx, net, regions, cps.DayRange(spec, 0, 1)
+}
+
+// loadRegion adds total severity `sev` spread over the region's sensors.
+func loadRegion(t *testing.T, idx *SeverityIndex, net *traffic.Network, r geo.RegionID, sev cps.Severity) {
+	t.Helper()
+	sensors := net.SensorsInRegion(r)
+	if len(sensors) == 0 {
+		t.Skipf("region %d has no sensors", r)
+	}
+	var recs []cps.Record
+	remaining := sev
+	w := cps.Window(0)
+	for remaining > 0 {
+		chunk := cps.Severity(5)
+		if chunk > remaining {
+			chunk = remaining
+		}
+		recs = append(recs, cps.Record{Sensor: sensors[0], Window: w, Severity: chunk})
+		remaining -= chunk
+		w++
+		if int(w) >= 288 {
+			t.Fatalf("severity %v does not fit one day on one sensor", sev)
+		}
+	}
+	idx.Add(recs)
+}
+
+func TestGuidedRedZonesRegionLevel(t *testing.T) {
+	idx, net, regions, tr := redzoneFixture(t)
+	// Bound: δs·288·N. Pick δs so the bound is 288 severity-min.
+	n := net.NumSensors()
+	deltaS := 1.0 / float64(n)
+	var target geo.RegionID = -1
+	for _, r := range regions {
+		if len(net.SensorsInRegion(r)) > 0 {
+			target = r
+			break
+		}
+	}
+	loadRegion(t, idx, net, target, 400) // above the 288 bound
+	zones := idx.GuidedRedZones(regions, tr, deltaS, n)
+	if len(zones) != 1 || zones[0] != target {
+		t.Errorf("zones = %v, want [%d]", zones, target)
+	}
+}
+
+func TestGuidedRedZonesDistrictFallback(t *testing.T) {
+	idx, net, regions, tr := redzoneFixture(t)
+	n := net.NumSensors()
+	deltaS := 1.0 / float64(n) // bound = 288
+
+	// Find a district with at least two populated regions and load each
+	// below the bound but jointly above it.
+	byDistrict := make(map[int][]geo.RegionID)
+	for _, r := range regions {
+		if len(net.SensorsInRegion(r)) > 0 {
+			d := net.Grid.Region(r).District
+			byDistrict[d] = append(byDistrict[d], r)
+		}
+	}
+	var members []geo.RegionID
+	for _, m := range byDistrict {
+		if len(m) >= 2 {
+			members = m[:2]
+			break
+		}
+	}
+	if members == nil {
+		t.Skip("no district with two populated regions")
+	}
+	loadRegion(t, idx, net, members[0], 200)
+	loadRegion(t, idx, net, members[1], 150) // sum 350 >= 288, each < 288
+
+	zones := idx.GuidedRedZones(regions, tr, deltaS, n)
+	found := map[geo.RegionID]bool{}
+	for _, z := range zones {
+		found[z] = true
+	}
+	if !found[members[0]] || !found[members[1]] {
+		t.Errorf("district fallback should keep both loaded regions, got %v", zones)
+	}
+	// Fair share: unloaded regions of the same district stay out.
+	for _, z := range zones {
+		if z != members[0] && z != members[1] {
+			t.Errorf("unloaded region %d marked red", z)
+		}
+	}
+}
+
+func TestGuidedRedZonesEmptyWhenQuiet(t *testing.T) {
+	idx, net, regions, tr := redzoneFixture(t)
+	n := net.NumSensors()
+	loadRegion(t, idx, net, regions[0], 5)
+	zones := idx.GuidedRedZones(regions, tr, 0.5, n) // absurdly high bound
+	if len(zones) != 0 {
+		t.Errorf("zones = %v, want none", zones)
+	}
+}
+
+func TestGuidedRedZonesSupersetOfRegionLevel(t *testing.T) {
+	// Whatever the data, region-level red zones are always included.
+	net := testNet(t)
+	spec := cps.DefaultSpec()
+	idx := NewSeverityIndex(net, spec)
+	idx.Add(randomRecords(net, 3000, 11, 3))
+	regions := allRegions(net)
+	tr := cps.DayRange(spec, 0, 3)
+	n := net.NumSensors()
+	for _, deltaS := range []float64{0.0001, 0.001, 0.01} {
+		plain := idx.RedZones(regions, tr, deltaS, n)
+		guided := idx.GuidedRedZones(regions, tr, deltaS, n)
+		set := map[geo.RegionID]bool{}
+		for _, z := range guided {
+			set[z] = true
+		}
+		for _, z := range plain {
+			if !set[z] {
+				t.Errorf("δs=%v: region-level zone %d missing from guided zones", deltaS, z)
+			}
+		}
+	}
+}

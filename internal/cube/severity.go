@@ -1,0 +1,191 @@
+// Package cube implements the bottom-up styled baseline the paper compares
+// against and builds on: aggregation of the severity measure over
+// pre-defined spatial and temporal hierarchies (Equation 1), the CubeView
+// models (OC/MC) of Figs. 15–16, and the red-zone computation that guides
+// online clustering (Property 5, Algorithm 4 line 1).
+package cube
+
+import (
+	"sort"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+// SeverityIndex materializes the distributive total severity F(W', T) per
+// pre-defined region (Property 4): per-(region, day) rollups answer
+// day-aligned queries in O(regions × days), and a sparse per-(region,
+// window) map covers sub-day residuals exactly.
+type SeverityIndex struct {
+	net  *traffic.Network
+	spec cps.WindowSpec
+
+	// perDay[r][d] is F(region r, day d); days index from the spec origin.
+	perDay map[geo.RegionID]map[int]cps.Severity
+	// perWindow[r][w] is F(region r, window w), sparse.
+	perWindow map[geo.RegionID]map[cps.Window]cps.Severity
+}
+
+// NewSeverityIndex builds the index over the given atypical records.
+func NewSeverityIndex(net *traffic.Network, spec cps.WindowSpec) *SeverityIndex {
+	return &SeverityIndex{
+		net:       net,
+		spec:      spec,
+		perDay:    make(map[geo.RegionID]map[int]cps.Severity),
+		perWindow: make(map[geo.RegionID]map[cps.Window]cps.Severity),
+	}
+}
+
+// Add aggregates records into the index. Records for sensors outside the
+// region grid are ignored (they belong to no pre-defined region).
+func (x *SeverityIndex) Add(recs []cps.Record) {
+	perDay := cps.Window(x.spec.PerDay())
+	for _, r := range recs {
+		region := x.net.Sensor(r.Sensor).Region
+		if region == geo.NoRegion {
+			continue
+		}
+		day := int(r.Window / perDay)
+		dm := x.perDay[region]
+		if dm == nil {
+			dm = make(map[int]cps.Severity)
+			x.perDay[region] = dm
+		}
+		dm[day] += r.Severity
+		wm := x.perWindow[region]
+		if wm == nil {
+			wm = make(map[cps.Window]cps.Severity)
+			x.perWindow[region] = wm
+		}
+		wm[r.Window] += r.Severity
+	}
+}
+
+// F returns the total severity F(W', T) of one region over tr (Equation 1
+// restricted to W' = region). Day-aligned spans use the per-day rollup;
+// ragged edges fall back to the window map.
+func (x *SeverityIndex) F(region geo.RegionID, tr cps.TimeRange) cps.Severity {
+	if tr.Len() == 0 {
+		return 0
+	}
+	perDay := cps.Window(x.spec.PerDay())
+	var total cps.Severity
+
+	dayFrom := tr.From / perDay
+	if tr.From%perDay != 0 {
+		dayFrom++ // first whole day
+	}
+	dayTo := tr.To / perDay // first day NOT fully covered
+
+	if dayFrom >= dayTo {
+		// No whole day inside: window map only.
+		wm := x.perWindow[region]
+		for w := tr.From; w < tr.To; w++ {
+			total += wm[w]
+		}
+		return total
+	}
+	dm := x.perDay[region]
+	for d := dayFrom; d < dayTo; d++ {
+		total += dm[int(d)]
+	}
+	wm := x.perWindow[region]
+	for w := tr.From; w < dayFrom*perDay; w++ {
+		total += wm[w]
+	}
+	for w := dayTo * perDay; w < tr.To; w++ {
+		total += wm[w]
+	}
+	return total
+}
+
+// FTotal returns F(W, T) summed over a region set — the distributive rollup
+// of Property 4.
+func (x *SeverityIndex) FTotal(regions []geo.RegionID, tr cps.TimeRange) cps.Severity {
+	var total cps.Severity
+	for _, r := range regions {
+		total += x.F(r, tr)
+	}
+	return total
+}
+
+// FScan recomputes F(W, T) directly from records (Equation 1 verbatim):
+// the correctness oracle and the "no index" ablation baseline.
+func FScan(net *traffic.Network, recs []cps.Record, regions []geo.RegionID, tr cps.TimeRange) cps.Severity {
+	inW := make(map[geo.RegionID]bool, len(regions))
+	for _, r := range regions {
+		inW[r] = true
+	}
+	var total cps.Severity
+	for _, r := range recs {
+		if !tr.Contains(r.Window) {
+			continue
+		}
+		if inW[net.Sensor(r.Sensor).Region] {
+			total += r.Severity
+		}
+	}
+	return total
+}
+
+// RedZones returns the regions among `regions` whose total severity reaches
+// the significance bound δs·length(T)·N, where N is the sensor count of the
+// whole query region W (Property 5: a region below the bound can host no
+// significant cluster). The result is ascending by region id.
+func (x *SeverityIndex) RedZones(regions []geo.RegionID, tr cps.TimeRange, deltaS float64, numSensorsInW int) []geo.RegionID {
+	bound := cps.Severity(deltaS * float64(tr.Len()) * float64(numSensorsInW))
+	var out []geo.RegionID
+	for _, r := range regions {
+		if x.F(r, tr) >= bound {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GuidedRedZones applies Property 5 along the pre-defined spatial hierarchy
+// (the paper's "zipcode area hierarchy", Example 7): a region is a red zone
+// if its own total severity passes the significance bound, or if its
+// enclosing district's does. A significant cluster's severity can be spread
+// over several sub-bound regions; the district test — every bit as sound
+// under Property 5, since a district is just a coarser pre-defined region —
+// keeps such a cluster's micro-clusters from being pruned. The result is
+// ascending by region id.
+func (x *SeverityIndex) GuidedRedZones(regions []geo.RegionID, tr cps.TimeRange, deltaS float64, numSensorsInW int) []geo.RegionID {
+	bound := cps.Severity(deltaS * float64(tr.Len()) * float64(numSensorsInW))
+	byDistrict := make(map[int][]geo.RegionID)
+	for _, r := range regions {
+		d := x.net.Grid.Region(r).District
+		byDistrict[d] = append(byDistrict[d], r)
+	}
+	var out []geo.RegionID
+	for _, members := range byDistrict {
+		var districtF cps.Severity
+		var zones []geo.RegionID
+		for _, r := range members {
+			f := x.F(r, tr)
+			districtF += f
+			if f >= bound {
+				zones = append(zones, r)
+			}
+		}
+		if len(zones) == 0 && districtF >= bound {
+			// No single region reaches the bound but the district does: a
+			// significant cluster spread across its regions is possible.
+			// Keep the regions carrying at least a fair share of the bound
+			// — a cluster reaching the bound inside this district must
+			// place that much in one of them.
+			share := bound / cps.Severity(len(members))
+			for _, r := range members {
+				if x.F(r, tr) >= share {
+					zones = append(zones, r)
+				}
+			}
+		}
+		out = append(out, zones...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,102 @@
+// Package eval implements the evaluation protocol of Section V-B: the
+// integrate-All strategy prunes nothing, so its significant clusters form
+// the ground truth; precision is the share of significant clusters among a
+// strategy's returned results, and recall is the share of ground-truth
+// significant clusters a strategy retrieves.
+package eval
+
+import (
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/gen"
+)
+
+// Precision returns the proportion of significant clusters in the returned
+// query results (paper's Precision definition). Empty results score 1: a
+// strategy that returns nothing returns nothing insignificant.
+func Precision(returned []*cluster.Cluster, bound cps.Severity) float64 {
+	if len(returned) == 0 {
+		return 1
+	}
+	sig := 0
+	for _, c := range returned {
+		if c.Significant(bound) {
+			sig++
+		}
+	}
+	return float64(sig) / float64(len(returned))
+}
+
+// MatchThreshold is the similarity above which a returned cluster counts as
+// a retrieval of a ground-truth cluster. Integration over different micro
+// subsets cannot reproduce ground-truth clusters bit for bit; a cluster
+// sharing most severity mass is the same discovered event.
+const MatchThreshold = 0.5
+
+// Recall returns the proportion of ground-truth significant clusters for
+// which the strategy returned a significant cluster matching above
+// MatchThreshold (paper's Recall definition). Empty truth scores 1.
+func Recall(returned, truth []*cluster.Cluster, bound cps.Severity, g cluster.Balance) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	var sigReturned []*cluster.Cluster
+	for _, c := range returned {
+		if c.Significant(bound) {
+			sigReturned = append(sigReturned, c)
+		}
+	}
+	hit := 0
+	for _, want := range truth {
+		for _, got := range sigReturned {
+			if cluster.Similarity(want, got, g) >= MatchThreshold {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// PR bundles both measures.
+type PR struct {
+	Precision, Recall float64
+}
+
+// Score computes precision and recall of returned macros against the truth
+// set under the given significance bound.
+func Score(returnedMacros, truth []*cluster.Cluster, bound cps.Severity, g cluster.Balance) PR {
+	return PR{
+		Precision: Precision(returnedMacros, bound),
+		Recall:    Recall(returnedMacros, truth, bound, g),
+	}
+}
+
+// EventCoverage measures how well extracted micro-clusters recover the
+// generator's injected ground-truth events: the fraction of injected events
+// whose records land (by severity mass) mostly inside a single
+// micro-cluster. Used to validate Algorithm 1 end to end on synthetic
+// workloads.
+func EventCoverage(micros []*cluster.Cluster, events []gen.Event) float64 {
+	if len(events) == 0 {
+		return 1
+	}
+	// Index micro-clusters by (sensor, window) via their features is not
+	// possible (features lose the joint key), so score by feature overlap:
+	// an event is covered when some micro-cluster contains at least 90% of
+	// the event's severity on both projections.
+	covered := 0
+	for i := range events {
+		ev := &events[i]
+		evCluster := cluster.FromRecords(0, ev.Records)
+		for _, mc := range micros {
+			p1, _ := cluster.OverlapFractions(evCluster.SF, mc.SF)
+			q1, _ := cluster.OverlapFractions(evCluster.TF, mc.TF)
+			if p1 >= 0.9 && q1 >= 0.9 {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(len(events))
+}

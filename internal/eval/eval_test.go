@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/gen"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/index"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+func mkCluster(g *cluster.IDGen, sev cps.Severity, baseSensor, baseWindow int) *cluster.Cluster {
+	return cluster.FromRecords(g.Next(), []cps.Record{
+		{Sensor: cps.SensorID(baseSensor), Window: cps.Window(baseWindow), Severity: sev},
+	})
+}
+
+func TestPrecision(t *testing.T) {
+	var g cluster.IDGen
+	big := mkCluster(&g, 100, 1, 0)
+	small := mkCluster(&g, 1, 2, 0)
+	got := Precision([]*cluster.Cluster{big, small}, 50)
+	if got != 0.5 {
+		t.Errorf("Precision = %v, want 0.5", got)
+	}
+	if Precision(nil, 50) != 1 {
+		t.Error("empty results precision should be 1")
+	}
+	if Precision([]*cluster.Cluster{big}, 50) != 1 {
+		t.Error("all-significant precision should be 1")
+	}
+}
+
+func TestRecallExactMatch(t *testing.T) {
+	var g cluster.IDGen
+	a := mkCluster(&g, 100, 1, 0)
+	b := mkCluster(&g, 100, 2, 5)
+	truth := []*cluster.Cluster{a, b}
+	// Returning both (identical clusters) recalls 1.
+	if got := Recall(truth, truth, 50, cluster.Arithmetic); got != 1 {
+		t.Errorf("self recall = %v", got)
+	}
+	// Returning only one recalls 0.5.
+	if got := Recall([]*cluster.Cluster{a}, truth, 50, cluster.Arithmetic); got != 0.5 {
+		t.Errorf("half recall = %v", got)
+	}
+	// Returning similar-but-insignificant clusters recalls 0.
+	tiny := mkCluster(&g, 1, 1, 0)
+	if got := Recall([]*cluster.Cluster{tiny}, truth, 50, cluster.Arithmetic); got != 0 {
+		t.Errorf("insignificant recall = %v", got)
+	}
+	if Recall(nil, nil, 50, cluster.Arithmetic) != 1 {
+		t.Error("empty truth recall should be 1")
+	}
+}
+
+func TestRecallFuzzyMatch(t *testing.T) {
+	var g cluster.IDGen
+	// Truth cluster covers sensors 1-4; returned covers 1-3 of the same
+	// windows plus extra mass: similar above 0.5 but not identical.
+	var truthRecs, gotRecs []cps.Record
+	for s := 1; s <= 4; s++ {
+		truthRecs = append(truthRecs, cps.Record{Sensor: cps.SensorID(s), Window: cps.Window(s), Severity: 25})
+	}
+	for s := 1; s <= 3; s++ {
+		gotRecs = append(gotRecs, cps.Record{Sensor: cps.SensorID(s), Window: cps.Window(s), Severity: 25})
+	}
+	truth := cluster.FromRecords(g.Next(), truthRecs)
+	got := cluster.FromRecords(g.Next(), gotRecs)
+	if sim := cluster.Similarity(truth, got, cluster.Arithmetic); sim < MatchThreshold {
+		t.Fatalf("test setup: similarity %v below threshold", sim)
+	}
+	if r := Recall([]*cluster.Cluster{got}, []*cluster.Cluster{truth}, 50, cluster.Arithmetic); r != 1 {
+		t.Errorf("fuzzy recall = %v, want 1", r)
+	}
+}
+
+func TestScore(t *testing.T) {
+	var g cluster.IDGen
+	big := mkCluster(&g, 100, 1, 0)
+	pr := Score([]*cluster.Cluster{big}, []*cluster.Cluster{big}, 50, cluster.Arithmetic)
+	if pr.Precision != 1 || pr.Recall != 1 {
+		t.Errorf("Score = %+v", pr)
+	}
+}
+
+// End-to-end: extraction recovers nearly every injected event.
+func TestEventCoverageOnSyntheticWorkload(t *testing.T) {
+	net := traffic.GenerateNetwork(traffic.ScaledConfig(250))
+	cfg := gen.DefaultConfig(net)
+	cfg.DaysPerMonth = 3
+	g, err := gen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Month(0)
+
+	locs := make([]geo.Point, net.NumSensors())
+	for i, s := range net.Sensors {
+		locs[i] = s.Loc
+	}
+	neighbors := index.NewNeighborIndex(locs, 1.5).NeighborLists()
+	maxGap := cluster.MaxWindowGap(15*time.Minute, cps.DefaultSpec().Width)
+
+	var idgen cluster.IDGen
+	micros := cluster.ExtractMicroClusters(&idgen, ds.Atypical.Records(), neighbors, maxGap)
+	if len(micros) == 0 {
+		t.Fatal("no micro-clusters extracted")
+	}
+	cov := EventCoverage(micros, ds.Truth)
+	if cov < 0.9 {
+		t.Errorf("event coverage = %.2f, want ≥ 0.9", cov)
+	}
+}
+
+func TestEventCoverageEmpty(t *testing.T) {
+	if EventCoverage(nil, nil) != 1 {
+		t.Error("no events should score 1")
+	}
+	if EventCoverage(nil, []gen.Event{{Records: []cps.Record{{Sensor: 1, Window: 0, Severity: 1}}}}) != 0 {
+		t.Error("no clusters should score 0")
+	}
+}

@@ -1,0 +1,270 @@
+// Package forest implements the atypical forest (Section III-C): a
+// collection of hierarchical clustering trees whose leaves are per-day
+// micro-clusters and whose internal nodes are macro-clusters integrated
+// level by level (day → week → month, plus alternative aggregation paths
+// such as weekday/weekend). In practice only the lower levels are
+// materialized (Section IV); higher levels are integrated on demand and
+// memoized.
+package forest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/storage"
+)
+
+// DaysPerWeek is the week rollup width.
+const DaysPerWeek = 7
+
+// Forest holds the materialized micro-clusters by day and memoizes
+// integrated levels.
+type Forest struct {
+	spec cps.WindowSpec
+	gen  *cluster.IDGen
+	opts cluster.IntegrateOptions
+	// daysPerMonth fixes the month bucket arithmetic (generated datasets
+	// use fixed-length months).
+	daysPerMonth int
+
+	days   map[int][]*cluster.Cluster
+	weeks  map[int][]*cluster.Cluster
+	months map[int][]*cluster.Cluster
+}
+
+// New returns an empty forest integrating with opts.
+func New(spec cps.WindowSpec, gen *cluster.IDGen, opts cluster.IntegrateOptions, daysPerMonth int) *Forest {
+	if daysPerMonth <= 0 {
+		panic("forest: daysPerMonth must be positive")
+	}
+	return &Forest{
+		spec:         spec,
+		gen:          gen,
+		opts:         opts,
+		daysPerMonth: daysPerMonth,
+		days:         make(map[int][]*cluster.Cluster),
+		weeks:        make(map[int][]*cluster.Cluster),
+		months:       make(map[int][]*cluster.Cluster),
+	}
+}
+
+// Options returns the integration options the forest was built with.
+func (f *Forest) Options() cluster.IntegrateOptions { return f.opts }
+
+// Spec returns the forest's window spec.
+func (f *Forest) Spec() cps.WindowSpec { return f.spec }
+
+// AddDay stores the micro-clusters of one day (leaves of every tree) and
+// invalidates the memoized levels that cover it.
+func (f *Forest) AddDay(day int, micros []*cluster.Cluster) {
+	f.days[day] = micros
+	delete(f.weeks, day/DaysPerWeek)
+	delete(f.months, day/f.daysPerMonth)
+}
+
+// Day returns the micro-clusters of one day (nil when absent).
+func (f *Forest) Day(day int) []*cluster.Cluster { return f.days[day] }
+
+// Days returns the stored day indices, ascending.
+func (f *Forest) Days() []int {
+	out := make([]int, 0, len(f.days))
+	for d := range f.days {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MicrosInRange returns every micro-cluster whose day falls inside the
+// day-aligned range tr, in day order. The count of returned clusters is the
+// I/O measure of Fig. 17(b).
+func (f *Forest) MicrosInRange(tr cps.TimeRange) []*cluster.Cluster {
+	perDay := cps.Window(f.spec.PerDay())
+	var out []*cluster.Cluster
+	for _, d := range f.Days() {
+		dayStart := cps.Window(d) * perDay
+		if dayStart >= tr.From && dayStart < tr.To {
+			out = append(out, f.days[d]...)
+		}
+	}
+	return out
+}
+
+// Week integrates (and memoizes) the macro-clusters of week w — the
+// clustering-tree level above days in Fig. 10.
+func (f *Forest) Week(w int) []*cluster.Cluster {
+	if cached, ok := f.weeks[w]; ok {
+		return cached
+	}
+	var leaves []*cluster.Cluster
+	for d := w * DaysPerWeek; d < (w+1)*DaysPerWeek; d++ {
+		leaves = append(leaves, f.days[d]...)
+	}
+	out := cluster.Integrate(f.gen, leaves, f.opts)
+	f.weeks[w] = out
+	return out
+}
+
+// Month integrates (and memoizes) the macro-clusters of month m from its
+// week-level clusters — the multi-level aggregation path day → week →
+// month.
+func (f *Forest) Month(m int) []*cluster.Cluster {
+	if cached, ok := f.months[m]; ok {
+		return cached
+	}
+	firstDay := m * f.daysPerMonth
+	lastDay := (m+1)*f.daysPerMonth - 1
+	var leaves []*cluster.Cluster
+	for w := firstDay / DaysPerWeek; w <= lastDay/DaysPerWeek; w++ {
+		leaves = append(leaves, f.Week(w)...)
+	}
+	out := cluster.Integrate(f.gen, leaves, f.opts)
+	f.months[m] = out
+	return out
+}
+
+// PathFunc maps a day index to an aggregation bucket; ok=false excludes the
+// day. Alternative paths (weekday/weekend, by month parity, ...) make up
+// the different trees of the forest.
+type PathFunc func(day int) (bucket int, ok bool)
+
+// WeekdayWeekendPath buckets weekdays of each week as 2·week and weekend
+// days as 2·week+1 — the "integrate the micro-clusters by weekdays and
+// weekends" path of Section III-C.
+func WeekdayWeekendPath(day int) (int, bool) {
+	week := day / DaysPerWeek
+	if day%DaysPerWeek < 5 {
+		return 2 * week, true
+	}
+	return 2*week + 1, true
+}
+
+// IntegratePath integrates the stored days along an arbitrary aggregation
+// path, returning the macro-clusters per bucket. Results are not memoized.
+func (f *Forest) IntegratePath(path PathFunc) map[int][]*cluster.Cluster {
+	buckets := make(map[int][]*cluster.Cluster)
+	for d, micros := range f.days {
+		if b, ok := path(d); ok {
+			buckets[b] = append(buckets[b], micros...)
+		}
+	}
+	out := make(map[int][]*cluster.Cluster, len(buckets))
+	for b, leaves := range buckets {
+		out[b] = cluster.Integrate(f.gen, leaves, f.opts)
+	}
+	return out
+}
+
+// Save persists the forest to dir: one cluster file per materialized day,
+// plus one per *memoized* week and month — the partially materialized data
+// structure of Section IV (micro-clusters and the low-level macro-clusters
+// that have been computed; everything else is integrated on demand).
+func (f *Forest) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("forest: %w", err)
+	}
+	write := func(name string, cs []*cluster.Cluster) error {
+		path := filepath.Join(dir, name)
+		file, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("forest: %w", err)
+		}
+		if _, err := storage.WriteClusters(file, cs); err != nil {
+			file.Close()
+			return fmt.Errorf("forest: writing %s: %w", path, err)
+		}
+		if err := file.Close(); err != nil {
+			return fmt.Errorf("forest: %w", err)
+		}
+		return nil
+	}
+	for _, d := range f.Days() {
+		if err := write(fmt.Sprintf("day-%05d.clu", d), f.days[d]); err != nil {
+			return err
+		}
+	}
+	for w, cs := range f.weeks {
+		if err := write(fmt.Sprintf("week-%05d.clu", w), cs); err != nil {
+			return err
+		}
+	}
+	for m, cs := range f.months {
+		if err := write(fmt.Sprintf("month-%05d.clu", m), cs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a forest previously saved to dir, restoring the materialized
+// days and any persisted week/month levels into the memo caches.
+func Load(dir string, spec cps.WindowSpec, gen *cluster.IDGen, opts cluster.IntegrateOptions, daysPerMonth int) (*Forest, error) {
+	f := New(spec, gen, opts, daysPerMonth)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("forest: %w", err)
+	}
+	read := func(name string) ([]*cluster.Cluster, error) {
+		file, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("forest: %w", err)
+		}
+		defer file.Close()
+		cs, err := storage.ReadClusters(file)
+		if err != nil {
+			return nil, fmt.Errorf("forest: reading %s: %w", name, err)
+		}
+		return cs, nil
+	}
+	for _, e := range entries {
+		var idx int
+		switch {
+		case scans(e.Name(), "day-%d.clu", &idx):
+			cs, err := read(e.Name())
+			if err != nil {
+				return nil, err
+			}
+			f.days[idx] = cs
+		case scans(e.Name(), "week-%d.clu", &idx):
+			cs, err := read(e.Name())
+			if err != nil {
+				return nil, err
+			}
+			f.weeks[idx] = cs
+		case scans(e.Name(), "month-%d.clu", &idx):
+			cs, err := read(e.Name())
+			if err != nil {
+				return nil, err
+			}
+			f.months[idx] = cs
+		}
+	}
+	return f, nil
+}
+
+// scans reports whether name matches the format and stores the index.
+func scans(name, format string, idx *int) bool {
+	_, err := fmt.Sscanf(name, format, idx)
+	return err == nil
+}
+
+// Stats summarizes the forest for diagnostics.
+type Stats struct {
+	Days        int
+	MicroTotal  int
+	WeeksCached int
+	MonthCached int
+}
+
+// Stats returns current materialization counts.
+func (f *Forest) Stats() Stats {
+	s := Stats{Days: len(f.days), WeeksCached: len(f.weeks), MonthCached: len(f.months)}
+	for _, m := range f.days {
+		s.MicroTotal += len(m)
+	}
+	return s
+}

@@ -1,0 +1,282 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/detect"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+func testNet(t testing.TB) *traffic.Network {
+	t.Helper()
+	return traffic.GenerateNetwork(traffic.ScaledConfig(300))
+}
+
+func testGen(t testing.TB, net *traffic.Network, days int) *Generator {
+	t.Helper()
+	cfg := DefaultConfig(net)
+	cfg.DaysPerMonth = days
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing network should be rejected")
+	}
+	cfg := DefaultConfig(testNet(t))
+	cfg.DaysPerMonth = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero days should be rejected")
+	}
+}
+
+func TestMonthDeterministic(t *testing.T) {
+	net := testNet(t)
+	g := testGen(t, net, 3)
+	a := g.Month(0)
+	b := g.Month(0)
+	if a.Atypical.Len() != b.Atypical.Len() {
+		t.Fatal("same month should be deterministic")
+	}
+	for i, r := range a.Atypical.Records() {
+		if r != b.Atypical.Records()[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	if len(a.Truth) != len(b.Truth) {
+		t.Fatal("truth events differ")
+	}
+}
+
+func TestMonthsDiffer(t *testing.T) {
+	g := testGen(t, testNet(t), 3)
+	a, b := g.Month(0), g.Month(1)
+	if a.Atypical.Len() == b.Atypical.Len() && len(a.Truth) == len(b.Truth) {
+		// Extremely unlikely to match exactly on both counts.
+		t.Log("months coincidentally equal in size; checking ranges")
+	}
+	if a.Range.To != b.Range.From {
+		t.Errorf("months should be contiguous: %v then %v", a.Range, b.Range)
+	}
+}
+
+func TestRecordsInsideRange(t *testing.T) {
+	g := testGen(t, testNet(t), 4)
+	ds := g.Month(2)
+	for _, r := range ds.Atypical.Records() {
+		if !ds.Range.Contains(r.Window) {
+			t.Fatalf("record window %d outside range %+v", r.Window, ds.Range)
+		}
+		if r.Severity <= 0 || r.Severity > detect.MaxSeverityMinutes {
+			t.Fatalf("severity %v out of (0, 5]", r.Severity)
+		}
+	}
+}
+
+func TestAtypicalPercentageInPaperBand(t *testing.T) {
+	net := testNet(t)
+	g := testGen(t, net, 10)
+	ds := g.Month(0)
+	pct := ds.AtypicalPct()
+	// Fig. 14 reports ~2.3–4.0%; allow a generous band since scale differs.
+	if pct < 0.5 || pct > 12 {
+		t.Errorf("atypical%% = %.2f, want roughly the paper's 2-5%% band", pct)
+	}
+}
+
+func TestTruthEventShapes(t *testing.T) {
+	g := testGen(t, testNet(t), 5)
+	ds := g.Month(0)
+	if len(ds.Truth) == 0 {
+		t.Fatal("no events injected")
+	}
+	var kinds [4]int
+	for _, ev := range ds.Truth {
+		kinds[ev.Kind]++
+		if len(ev.Records) == 0 {
+			t.Fatalf("event %d has no records", ev.ID)
+		}
+		if ev.TotalSeverity() <= 0 {
+			t.Fatalf("event %d has non-positive severity", ev.ID)
+		}
+		for _, r := range ev.Records {
+			if r.Window < ev.Start {
+				t.Fatalf("event %d record before start", ev.ID)
+			}
+		}
+	}
+	if kinds[MorningRush] == 0 || kinds[EveningRush] == 0 {
+		t.Errorf("expected both rush kinds on weekdays, got %v", kinds)
+	}
+	if kinds[Incident] == 0 {
+		t.Errorf("expected incidents, got %v", kinds)
+	}
+}
+
+func TestRushEventsAreTemporallyDisjointOnPairedCorridors(t *testing.T) {
+	g := testGen(t, testNet(t), 5)
+	ds := g.Month(0)
+	spec := cps.DefaultSpec()
+	for _, ev := range ds.Truth {
+		hour := spec.Start(ev.Start).Hour()
+		switch ev.Kind {
+		case MorningRush:
+			if hour < 6 || hour > 10 {
+				t.Errorf("morning rush starts at hour %d", hour)
+			}
+		case EveningRush:
+			if hour < 15 || hour > 19 {
+				t.Errorf("evening rush starts at hour %d", hour)
+			}
+		}
+	}
+}
+
+func TestWeekendsHaveNoRush(t *testing.T) {
+	g := testGen(t, testNet(t), 7)
+	ds := g.Month(0)
+	spec := cps.DefaultSpec()
+	perDay := cps.Window(spec.PerDay())
+	for _, ev := range ds.Truth {
+		day := int(ev.Start / perDay)
+		weekday := (day % 7) < 5
+		if !weekday && ev.Kind != Incident {
+			t.Errorf("rush event on weekend day %d", day)
+		}
+	}
+}
+
+func TestEventRecordsSpatiallyConnected(t *testing.T) {
+	net := testNet(t)
+	g := testGen(t, net, 2)
+	ds := g.Month(0)
+	for _, ev := range ds.Truth {
+		// All records sit on the event's highway.
+		for _, r := range ev.Records {
+			if net.Sensor(r.Sensor).Highway != ev.Highway {
+				t.Fatalf("event %d has a record off its highway", ev.ID)
+			}
+		}
+	}
+}
+
+func TestForEachReadingConsistentWithDetect(t *testing.T) {
+	net := traffic.GenerateNetwork(traffic.ScaledConfig(150))
+	cfg := DefaultConfig(net)
+	cfg.DaysPerMonth = 1
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Month(0)
+	got, scanned := detect.Scan(ds.ForEachReading)
+	if scanned != ds.NumReadings {
+		t.Fatalf("scanned %d readings, want %d", scanned, ds.NumReadings)
+	}
+	want := ds.Atypical.Records()
+	if got.Len() != len(want) {
+		t.Fatalf("detected %d records, want %d", got.Len(), len(want))
+	}
+	for i, r := range got.Records() {
+		if r.Sensor != want[i].Sensor || r.Window != want[i].Window {
+			t.Fatalf("record %d key mismatch: %v vs %v", i, r, want[i])
+		}
+		d := float64(r.Severity - want[i].Severity)
+		if d < -1e-9 || d > 1e-9 {
+			t.Fatalf("record %d severity mismatch: %v vs %v", i, r, want[i])
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if MorningRush.String() != "morning-rush" || Incident.String() != "incident" ||
+		EveningRush.String() != "evening-rush" || EventKind(7).String() != "unknown" {
+		t.Error("EventKind.String mismatch")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	g := testGen(t, testNet(t), 2)
+	_ = g
+	// Sanity-check the sampler through the exported surface: incidents per
+	// day should average near the configured rate over many days.
+	net := traffic.GenerateNetwork(traffic.ScaledConfig(150))
+	cfg := DefaultConfig(net)
+	cfg.DaysPerMonth = 30
+	cfg.RushCorridors = 1
+	cfg.IncidentsPerDay = 3
+	gg, _ := New(cfg)
+	ds := gg.Month(0)
+	incidents := 0
+	for _, ev := range ds.Truth {
+		if ev.Kind == Incident {
+			incidents++
+		}
+	}
+	mean := float64(incidents) / 30
+	if mean < 1 || mean > 6 {
+		t.Errorf("incident rate %.2f/day, configured 3", mean)
+	}
+}
+
+func TestNightWorkEvents(t *testing.T) {
+	g := testGen(t, testNet(t), 7)
+	ds := g.Month(0)
+	spec := cps.DefaultSpec()
+	nights := 0
+	for _, ev := range ds.Truth {
+		if ev.Kind != NightWork {
+			continue
+		}
+		nights++
+		hour := spec.Start(ev.Start).Hour()
+		if hour < 22 {
+			t.Errorf("night work starts at hour %d", hour)
+		}
+		// Night events stay clear of the next morning's rush (before 5am).
+		for _, r := range ev.Records {
+			endHour := spec.Start(r.Window).Hour()
+			if endHour >= 5 && endHour < 22 {
+				t.Fatalf("night work record at daytime hour %d", endHour)
+			}
+		}
+	}
+	if nights == 0 {
+		t.Error("no night-work events injected")
+	}
+}
+
+func TestEventsClippedToMonth(t *testing.T) {
+	g := testGen(t, testNet(t), 3)
+	ds := g.Month(1)
+	for _, ev := range ds.Truth {
+		for _, r := range ev.Records {
+			if !ds.Range.Contains(r.Window) {
+				t.Fatalf("event %d record outside the month", ev.ID)
+			}
+		}
+	}
+}
+
+func TestCorridorStrengthSpread(t *testing.T) {
+	// Morning rush on corridor 0 (heaviest) should out-mass night work on
+	// the weakest stream over a month.
+	net := testNet(t)
+	g := testGen(t, net, 10)
+	ds := g.Month(0)
+	mass := map[EventKind]cps.Severity{}
+	for _, ev := range ds.Truth {
+		mass[ev.Kind] += ev.TotalSeverity()
+	}
+	if mass[MorningRush] <= mass[NightWork] {
+		t.Errorf("rush mass %v should exceed night mass %v", mass[MorningRush], mass[NightWork])
+	}
+	if mass[Incident] >= mass[MorningRush] {
+		t.Errorf("incidents (%v) should stay below rush (%v)", mass[Incident], mass[MorningRush])
+	}
+}

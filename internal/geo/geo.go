@@ -1,0 +1,236 @@
+// Package geo provides the geometric substrate: lat/lon points, great-circle
+// distance, bounding boxes, and pre-defined spatial regions arranged in an
+// aggregation hierarchy.
+//
+// The paper aggregates the bottom-up baseline over "pre-defined regions such
+// as zipcode areas" (Section II-A, IV). This package plays the zipcode role
+// with a regular grid partition carrying a cell → district → city hierarchy;
+// red-zone guided clustering (Property 5) only requires that regions are
+// fixed in advance and that sensors map to regions, which the grid satisfies.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a geographic coordinate in degrees.
+type Point struct {
+	Lat, Lon float64
+}
+
+// EarthRadiusMiles is the mean Earth radius, used by the haversine distance.
+const EarthRadiusMiles = 3958.7613
+
+// DistanceMiles returns the great-circle (haversine) distance between two
+// points in statute miles, the unit the paper uses for the distance
+// threshold δd.
+func DistanceMiles(a, b Point) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLon / 2)
+	h := s1*s1 + math.Cos(lat1)*math.Cos(lat2)*s2*s2
+	return 2 * EarthRadiusMiles * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// BBox is an axis-aligned bounding box in degrees. Min is the south-west
+// corner, Max the north-east corner. Boxes are closed on the min edge and
+// open on the max edge so that grid cells tile the plane without overlap.
+type BBox struct {
+	Min, Max Point
+}
+
+// Contains reports whether p lies inside the box ([min, max) on both axes).
+func (b BBox) Contains(p Point) bool {
+	return p.Lat >= b.Min.Lat && p.Lat < b.Max.Lat &&
+		p.Lon >= b.Min.Lon && p.Lon < b.Max.Lon
+}
+
+// Intersects reports whether two boxes overlap.
+func (b BBox) Intersects(o BBox) bool {
+	return b.Min.Lat < o.Max.Lat && o.Min.Lat < b.Max.Lat &&
+		b.Min.Lon < o.Max.Lon && o.Min.Lon < b.Max.Lon
+}
+
+// Union returns the smallest box covering both.
+func (b BBox) Union(o BBox) BBox {
+	return BBox{
+		Min: Point{Lat: math.Min(b.Min.Lat, o.Min.Lat), Lon: math.Min(b.Min.Lon, o.Min.Lon)},
+		Max: Point{Lat: math.Max(b.Max.Lat, o.Max.Lat), Lon: math.Max(b.Max.Lon, o.Max.Lon)},
+	}
+}
+
+// Center returns the box midpoint.
+func (b BBox) Center() Point {
+	return Point{Lat: (b.Min.Lat + b.Max.Lat) / 2, Lon: (b.Min.Lon + b.Max.Lon) / 2}
+}
+
+// Expand grows the box by the given margins in degrees on every side.
+func (b BBox) Expand(dLat, dLon float64) BBox {
+	return BBox{
+		Min: Point{Lat: b.Min.Lat - dLat, Lon: b.Min.Lon - dLon},
+		Max: Point{Lat: b.Max.Lat + dLat, Lon: b.Max.Lon + dLon},
+	}
+}
+
+// Area returns the box area in square degrees (a monotone proxy sufficient
+// for index heuristics; not a surface area).
+func (b BBox) Area() float64 {
+	if b.Max.Lat <= b.Min.Lat || b.Max.Lon <= b.Min.Lon {
+		return 0
+	}
+	return (b.Max.Lat - b.Min.Lat) * (b.Max.Lon - b.Min.Lon)
+}
+
+// MilesPerDegreeLat is the approximate north-south extent of one degree of
+// latitude.
+const MilesPerDegreeLat = 69.0
+
+// MilesPerDegreeLon returns the east-west extent of one degree of longitude
+// at the given latitude.
+func MilesPerDegreeLon(lat float64) float64 {
+	return MilesPerDegreeLat * math.Cos(lat*math.Pi/180)
+}
+
+// RegionID identifies a pre-defined region (grid cell). Region IDs are dense
+// integers assigned row-major by the grid.
+type RegionID int32
+
+// NoRegion marks points outside the grid.
+const NoRegion RegionID = -1
+
+// Region is one pre-defined spatial area.
+type Region struct {
+	ID       RegionID
+	Box      BBox
+	District int // index of the parent district in the hierarchy
+}
+
+// Grid is a regular partition of a bounding box into Rows × Cols cells, each
+// a Region, grouped into districts of DistrictRows × DistrictCols cells. It
+// stands in for the paper's zipcode-area hierarchy.
+type Grid struct {
+	Box        BBox
+	Rows, Cols int
+	// DistrictRows/Cols give the coarse grouping; the city level is the
+	// whole grid.
+	DistrictRows, DistrictCols int
+
+	regions   []Region
+	cellLat   float64
+	cellLon   float64
+	districts int
+}
+
+// NewGrid partitions box into rows × cols regions grouped into districts of
+// size dRows × dCols cells. It panics on non-positive dimensions, which are
+// programmer errors.
+func NewGrid(box BBox, rows, cols, dRows, dCols int) *Grid {
+	if rows <= 0 || cols <= 0 || dRows <= 0 || dCols <= 0 {
+		panic(fmt.Sprintf("geo: invalid grid dimensions %dx%d (district %dx%d)", rows, cols, dRows, dCols))
+	}
+	g := &Grid{
+		Box: box, Rows: rows, Cols: cols,
+		DistrictRows: dRows, DistrictCols: dCols,
+		cellLat: (box.Max.Lat - box.Min.Lat) / float64(rows),
+		cellLon: (box.Max.Lon - box.Min.Lon) / float64(cols),
+	}
+	dColsTotal := (cols + dCols - 1) / dCols
+	dRowsTotal := (rows + dRows - 1) / dRows
+	g.districts = dColsTotal * dRowsTotal
+	g.regions = make([]Region, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := RegionID(r*cols + c)
+			g.regions[id] = Region{
+				ID: id,
+				Box: BBox{
+					Min: Point{Lat: box.Min.Lat + float64(r)*g.cellLat, Lon: box.Min.Lon + float64(c)*g.cellLon},
+					Max: Point{Lat: box.Min.Lat + float64(r+1)*g.cellLat, Lon: box.Min.Lon + float64(c+1)*g.cellLon},
+				},
+				District: (r/dRows)*dColsTotal + c/dCols,
+			}
+		}
+	}
+	return g
+}
+
+// NumRegions returns the number of grid cells.
+func (g *Grid) NumRegions() int { return len(g.regions) }
+
+// NumDistricts returns the number of coarse districts.
+func (g *Grid) NumDistricts() int { return g.districts }
+
+// Region returns the region with the given id. It panics on out-of-range
+// ids, which indicate corrupted topology data.
+func (g *Grid) Region(id RegionID) Region {
+	return g.regions[id]
+}
+
+// Regions returns all regions in id order. Callers must not mutate the slice.
+func (g *Grid) Regions() []Region { return g.regions }
+
+// Locate returns the region containing p, or NoRegion when p falls outside
+// the grid.
+func (g *Grid) Locate(p Point) RegionID {
+	if !g.Box.Contains(p) {
+		return NoRegion
+	}
+	r := int((p.Lat - g.Box.Min.Lat) / g.cellLat)
+	c := int((p.Lon - g.Box.Min.Lon) / g.cellLon)
+	// Guard against floating-point landing exactly on the max edge.
+	if r >= g.Rows {
+		r = g.Rows - 1
+	}
+	if c >= g.Cols {
+		c = g.Cols - 1
+	}
+	return RegionID(r*g.Cols + c)
+}
+
+// RegionsIntersecting returns the ids of all cells overlapping box, in
+// ascending order.
+func (g *Grid) RegionsIntersecting(box BBox) []RegionID {
+	if !g.Box.Intersects(box) {
+		return nil
+	}
+	rLo := clampIdx(int(math.Floor((box.Min.Lat-g.Box.Min.Lat)/g.cellLat)), 0, g.Rows-1)
+	rHi := clampIdx(int(math.Floor((box.Max.Lat-g.Box.Min.Lat)/g.cellLat)), 0, g.Rows-1)
+	cLo := clampIdx(int(math.Floor((box.Min.Lon-g.Box.Min.Lon)/g.cellLon)), 0, g.Cols-1)
+	cHi := clampIdx(int(math.Floor((box.Max.Lon-g.Box.Min.Lon)/g.cellLon)), 0, g.Cols-1)
+	out := make([]RegionID, 0, (rHi-rLo+1)*(cHi-cLo+1))
+	for r := rLo; r <= rHi; r++ {
+		for c := cLo; c <= cHi; c++ {
+			id := RegionID(r*g.Cols + c)
+			if g.regions[id].Box.Intersects(box) {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// DistrictRegions returns the cells belonging to district d.
+func (g *Grid) DistrictRegions(d int) []RegionID {
+	var out []RegionID
+	for _, reg := range g.regions {
+		if reg.District == d {
+			out = append(out, reg.ID)
+		}
+	}
+	return out
+}
+
+func clampIdx(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

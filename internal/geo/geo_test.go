@@ -1,0 +1,218 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceMilesKnown(t *testing.T) {
+	// Downtown LA to Santa Monica pier is roughly 14 miles.
+	la := Point{Lat: 34.0522, Lon: -118.2437}
+	sm := Point{Lat: 34.0100, Lon: -118.4960}
+	d := DistanceMiles(la, sm)
+	if d < 13 || d > 16 {
+		t.Errorf("LA->SM distance = %.2f, want ~14", d)
+	}
+}
+
+func TestDistanceMilesProperties(t *testing.T) {
+	f := func(aLat, aLon, bLat, bLon int16) bool {
+		a := Point{Lat: float64(aLat%90) / 2, Lon: float64(aLon % 180)}
+		b := Point{Lat: float64(bLat%90) / 2, Lon: float64(bLon % 180)}
+		dab := DistanceMiles(a, b)
+		dba := DistanceMiles(b, a)
+		if math.Abs(dab-dba) > 1e-9 {
+			return false // symmetric
+		}
+		if dab < 0 {
+			return false // non-negative
+		}
+		return DistanceMiles(a, a) < 1e-9 // identity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceOneDegreeLat(t *testing.T) {
+	a := Point{Lat: 34, Lon: -118}
+	b := Point{Lat: 35, Lon: -118}
+	d := DistanceMiles(a, b)
+	if math.Abs(d-MilesPerDegreeLat) > 0.5 {
+		t.Errorf("1 degree latitude = %.2f miles, want ~%v", d, MilesPerDegreeLat)
+	}
+}
+
+func TestBBoxContains(t *testing.T) {
+	b := BBox{Min: Point{Lat: 0, Lon: 0}, Max: Point{Lat: 1, Lon: 1}}
+	if !b.Contains(Point{Lat: 0, Lon: 0}) {
+		t.Error("min corner should be inside (closed)")
+	}
+	if b.Contains(Point{Lat: 1, Lon: 1}) {
+		t.Error("max corner should be outside (open)")
+	}
+	if !b.Contains(Point{Lat: 0.5, Lon: 0.5}) {
+		t.Error("center should be inside")
+	}
+}
+
+func TestBBoxIntersects(t *testing.T) {
+	a := BBox{Min: Point{0, 0}, Max: Point{2, 2}}
+	b := BBox{Min: Point{1, 1}, Max: Point{3, 3}}
+	c := BBox{Min: Point{5, 5}, Max: Point{6, 6}}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("overlapping boxes should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint boxes should not intersect")
+	}
+	// Touching edges (shared boundary) do not intersect under open-max.
+	d := BBox{Min: Point{2, 0}, Max: Point{3, 2}}
+	if a.Intersects(d) {
+		t.Error("edge-touching boxes should not intersect")
+	}
+}
+
+func TestBBoxUnionArea(t *testing.T) {
+	a := BBox{Min: Point{0, 0}, Max: Point{1, 1}}
+	b := BBox{Min: Point{2, 2}, Max: Point{3, 4}}
+	u := a.Union(b)
+	if u.Min != (Point{0, 0}) || u.Max != (Point{3, 4}) {
+		t.Errorf("Union = %+v", u)
+	}
+	if got := b.Area(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Area = %v", got)
+	}
+	degenerate := BBox{Min: Point{1, 1}, Max: Point{1, 5}}
+	if degenerate.Area() != 0 {
+		t.Error("degenerate box should have zero area")
+	}
+}
+
+func TestBBoxExpandCenter(t *testing.T) {
+	b := BBox{Min: Point{1, 1}, Max: Point{3, 5}}
+	if c := b.Center(); c != (Point{2, 3}) {
+		t.Errorf("Center = %v", c)
+	}
+	e := b.Expand(1, 2)
+	if e.Min != (Point{0, -1}) || e.Max != (Point{4, 7}) {
+		t.Errorf("Expand = %+v", e)
+	}
+}
+
+func laBox() BBox {
+	return BBox{Min: Point{Lat: 33.7, Lon: -118.7}, Max: Point{Lat: 34.4, Lon: -117.7}}
+}
+
+func TestGridLocate(t *testing.T) {
+	g := NewGrid(laBox(), 10, 10, 5, 5)
+	if g.NumRegions() != 100 {
+		t.Fatalf("NumRegions = %d", g.NumRegions())
+	}
+	if g.NumDistricts() != 4 {
+		t.Fatalf("NumDistricts = %d", g.NumDistricts())
+	}
+	// Every region's center locates back to that region.
+	for _, r := range g.Regions() {
+		if got := g.Locate(r.Box.Center()); got != r.ID {
+			t.Fatalf("Locate(center of %d) = %d", r.ID, got)
+		}
+	}
+	if g.Locate(Point{Lat: 0, Lon: 0}) != NoRegion {
+		t.Error("outside point should map to NoRegion")
+	}
+}
+
+func TestGridLocateEdges(t *testing.T) {
+	g := NewGrid(laBox(), 4, 4, 2, 2)
+	// South-west corner belongs to region 0.
+	if got := g.Locate(g.Box.Min); got != 0 {
+		t.Errorf("Locate(min) = %d", got)
+	}
+	// North-east corner is outside (open max edge).
+	if got := g.Locate(g.Box.Max); got != NoRegion {
+		t.Errorf("Locate(max) = %d", got)
+	}
+}
+
+func TestGridDistricts(t *testing.T) {
+	g := NewGrid(laBox(), 4, 4, 2, 2)
+	counts := make(map[int]int)
+	for _, r := range g.Regions() {
+		counts[r.District]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("districts = %d, want 4", len(counts))
+	}
+	for d, n := range counts {
+		if n != 4 {
+			t.Errorf("district %d has %d cells, want 4", d, n)
+		}
+	}
+	if got := g.DistrictRegions(0); len(got) != 4 {
+		t.Errorf("DistrictRegions(0) = %v", got)
+	}
+}
+
+func TestGridRegionsIntersecting(t *testing.T) {
+	g := NewGrid(BBox{Min: Point{0, 0}, Max: Point{10, 10}}, 10, 10, 5, 5)
+	got := g.RegionsIntersecting(BBox{Min: Point{1.5, 1.5}, Max: Point{3.5, 2.5}})
+	// Rows 1..3, cols 1..2 -> 6 cells.
+	if len(got) != 6 {
+		t.Errorf("intersecting = %v (len %d), want 6 cells", got, len(got))
+	}
+	if got := g.RegionsIntersecting(BBox{Min: Point{50, 50}, Max: Point{60, 60}}); got != nil {
+		t.Errorf("disjoint query should return nil, got %v", got)
+	}
+	// Whole-grid query returns every cell.
+	if got := g.RegionsIntersecting(g.Box); len(got) != 100 {
+		t.Errorf("whole-grid query = %d cells", len(got))
+	}
+}
+
+// Property: Locate is consistent with the containing region's box, and
+// RegionsIntersecting includes the located cell of any interior point.
+func TestGridLocateProperty(t *testing.T) {
+	g := NewGrid(BBox{Min: Point{0, 0}, Max: Point{8, 8}}, 8, 8, 4, 4)
+	f := func(latQ, lonQ uint16) bool {
+		p := Point{Lat: float64(latQ) / 8192, Lon: float64(lonQ) / 8192}
+		p.Lat = math.Mod(p.Lat, 8)
+		p.Lon = math.Mod(p.Lon, 8)
+		id := g.Locate(p)
+		if id == NoRegion {
+			return !g.Box.Contains(p)
+		}
+		if !g.Region(id).Box.Contains(p) {
+			return false
+		}
+		cells := g.RegionsIntersecting(BBox{Min: p, Max: Point{p.Lat + 0.001, p.Lon + 0.001}})
+		for _, c := range cells {
+			if c == id {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewGridPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on zero rows")
+		}
+	}()
+	NewGrid(laBox(), 0, 4, 1, 1)
+}
+
+func TestMilesPerDegreeLon(t *testing.T) {
+	if got := MilesPerDegreeLon(0); math.Abs(got-MilesPerDegreeLat) > 1e-9 {
+		t.Errorf("at equator = %v", got)
+	}
+	if got := MilesPerDegreeLon(60); math.Abs(got-MilesPerDegreeLat/2) > 0.01 {
+		t.Errorf("at 60N = %v, want half", got)
+	}
+}

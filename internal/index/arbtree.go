@@ -1,0 +1,132 @@
+package index
+
+import (
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+)
+
+// AggRTree is an aggregate spatio-temporal R-tree in the style of the
+// historical RB-tree of Papadias et al. (ICDE 2002), which the paper's
+// related work discusses as the indexing alternative for spatio-temporal
+// aggregation: every node of a static R-tree over sensor locations carries
+// the per-day severity totals of its subtree, so F(box, dayRange) resolves
+// without touching the leaves of fully covered subtrees.
+//
+// It answers the same question as cube.SeverityIndex restricted to
+// rectangles — kept as a baseline/ablation for the paper's choice of
+// pre-defined regions over R-tree rectangles (Section VI: "those spatial
+// aggregations must be carried out in pre-defined regions ... but the
+// atypical events may not follow the fixed boundaries").
+type AggRTree struct {
+	tree *RTree
+	// days[d][s] is sensor s's severity on day d.
+	days [][]float64
+	// nodeAgg caches per-node per-day totals, keyed by node.
+	nodeAgg map[*rtNode][]float64
+	numDays int
+}
+
+// NewAggRTree builds the index over sensor locations and a canonical record
+// slice spanning days [0, numDays) of the spec.
+func NewAggRTree(locs []geo.Point, recs []cps.Record, spec cps.WindowSpec, numDays int) *AggRTree {
+	a := &AggRTree{
+		tree:    NewRTree(locs),
+		numDays: numDays,
+		nodeAgg: make(map[*rtNode][]float64),
+	}
+	a.days = make([][]float64, numDays)
+	for d := range a.days {
+		a.days[d] = make([]float64, len(locs))
+	}
+	perDay := cps.Window(spec.PerDay())
+	for _, r := range recs {
+		d := int(r.Window / perDay)
+		if d < 0 || d >= numDays {
+			continue
+		}
+		a.days[d][r.Sensor] += float64(r.Severity)
+	}
+	if a.tree.root != nil {
+		a.buildAgg(a.tree.root)
+	}
+	return a
+}
+
+// buildAgg computes each node's per-day subtree totals bottom-up.
+func (a *AggRTree) buildAgg(n *rtNode) []float64 {
+	agg := make([]float64, a.numDays)
+	if n.children == nil {
+		for _, id := range n.sensors {
+			for d := 0; d < a.numDays; d++ {
+				agg[d] += a.days[d][id]
+			}
+		}
+	} else {
+		for _, c := range n.children {
+			sub := a.buildAgg(c)
+			for d := range agg {
+				agg[d] += sub[d]
+			}
+		}
+	}
+	a.nodeAgg[n] = agg
+	return agg
+}
+
+// Aggregate returns the total severity of sensors inside box over days
+// [fromDay, toDay), pruning with node boxes and short-circuiting fully
+// contained subtrees through their aggregate vectors.
+func (a *AggRTree) Aggregate(box geo.BBox, fromDay, toDay int) float64 {
+	if a.tree.root == nil {
+		return 0
+	}
+	fromDay = clampDay(fromDay, a.numDays)
+	toDay = clampDay(toDay, a.numDays)
+	if toDay <= fromDay {
+		return 0
+	}
+	return a.aggregate(a.tree.root, box, fromDay, toDay)
+}
+
+func (a *AggRTree) aggregate(n *rtNode, box geo.BBox, fromDay, toDay int) float64 {
+	if !n.box.Intersects(box) {
+		return 0
+	}
+	if contains(box, n.box) {
+		agg := a.nodeAgg[n]
+		var sum float64
+		for d := fromDay; d < toDay; d++ {
+			sum += agg[d]
+		}
+		return sum
+	}
+	if n.children == nil {
+		var sum float64
+		for _, id := range n.sensors {
+			if box.Contains(a.tree.locs[id]) {
+				for d := fromDay; d < toDay; d++ {
+					sum += a.days[d][id]
+				}
+			}
+		}
+		return sum
+	}
+	var sum float64
+	for _, c := range n.children {
+		sum += a.aggregate(c, box, fromDay, toDay)
+	}
+	return sum
+}
+
+// Nodes returns the underlying R-tree node count.
+func (a *AggRTree) Nodes() int { return a.tree.Nodes() }
+
+func clampDay(d, n int) int {
+	if d < 0 {
+		return 0
+	}
+	if d > n {
+		return n
+	}
+	return d
+}

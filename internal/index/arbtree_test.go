@@ -1,0 +1,120 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+)
+
+func aggFixture(t testing.TB, sensors, records, days int, seed int64) (*AggRTree, []geo.Point, []cps.Record) {
+	t.Helper()
+	spec := cps.DefaultSpec()
+	locs := randomLocs(sensors, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	recs := make([]cps.Record, records)
+	for i := range recs {
+		recs[i] = cps.Record{
+			Sensor:   cps.SensorID(rng.Intn(sensors)),
+			Window:   cps.Window(rng.Intn(days * spec.PerDay())),
+			Severity: cps.Severity(rng.Intn(5)) + 1,
+		}
+	}
+	canonical := cps.NewRecordSet(recs).Records()
+	return NewAggRTree(locs, canonical, spec, days), locs, canonical
+}
+
+// bruteAgg is the oracle: scan every record.
+func bruteAgg(locs []geo.Point, recs []cps.Record, box geo.BBox, fromDay, toDay int) float64 {
+	spec := cps.DefaultSpec()
+	perDay := cps.Window(spec.PerDay())
+	var sum float64
+	for _, r := range recs {
+		d := int(r.Window / perDay)
+		if d < fromDay || d >= toDay {
+			continue
+		}
+		if box.Contains(locs[r.Sensor]) {
+			sum += float64(r.Severity)
+		}
+	}
+	return sum
+}
+
+func TestAggRTreeMatchesBruteForce(t *testing.T) {
+	tree, locs, recs := aggFixture(t, 300, 5000, 6, 31)
+	rng := rand.New(rand.NewSource(3))
+	for q := 0; q < 30; q++ {
+		minP := geo.Point{Lat: 33.7 + rng.Float64()*0.5, Lon: -118.7 + rng.Float64()*0.7}
+		box := geo.BBox{Min: minP, Max: geo.Point{Lat: minP.Lat + rng.Float64()*0.4, Lon: minP.Lon + rng.Float64()*0.5}}
+		from := rng.Intn(6)
+		to := from + 1 + rng.Intn(6-from)
+		got := tree.Aggregate(box, from, to)
+		want := bruteAgg(locs, recs, box, from, to)
+		if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("query %d: got %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestAggRTreeWholeBoxWholeRange(t *testing.T) {
+	tree, _, recs := aggFixture(t, 200, 3000, 4, 7)
+	var total float64
+	for _, r := range recs {
+		total += float64(r.Severity)
+	}
+	box := geo.BBox{Min: geo.Point{Lat: -90, Lon: -180}, Max: geo.Point{Lat: 90, Lon: 180}}
+	got := tree.Aggregate(box, 0, 4)
+	if diff := got - total; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("whole aggregate = %v, want %v", got, total)
+	}
+}
+
+func TestAggRTreeDayClamping(t *testing.T) {
+	tree, _, _ := aggFixture(t, 100, 500, 3, 9)
+	box := geo.BBox{Min: geo.Point{Lat: -90, Lon: -180}, Max: geo.Point{Lat: 90, Lon: 180}}
+	if got := tree.Aggregate(box, -5, 99); got != tree.Aggregate(box, 0, 3) {
+		t.Error("out-of-range days should clamp")
+	}
+	if got := tree.Aggregate(box, 2, 2); got != 0 {
+		t.Errorf("empty range = %v", got)
+	}
+	if got := tree.Aggregate(box, 3, 1); got != 0 {
+		t.Errorf("inverted range = %v", got)
+	}
+}
+
+func TestAggRTreeEmpty(t *testing.T) {
+	tree := NewAggRTree(nil, nil, cps.DefaultSpec(), 2)
+	if got := tree.Aggregate(geo.BBox{Max: geo.Point{Lat: 1, Lon: 1}}, 0, 2); got != 0 {
+		t.Errorf("empty tree aggregate = %v", got)
+	}
+}
+
+// Property: day ranges are additive — F([a,b)) + F([b,c)) = F([a,c)).
+func TestAggRTreeAdditiveProperty(t *testing.T) {
+	tree, _, _ := aggFixture(t, 150, 2000, 8, 17)
+	box := geo.BBox{Min: geo.Point{Lat: 33.8, Lon: -118.5}, Max: geo.Point{Lat: 34.3, Lon: -117.9}}
+	f := func(aRaw, bRaw, cRaw uint8) bool {
+		a, b, c := int(aRaw%9), int(bRaw%9), int(cRaw%9)
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		left := tree.Aggregate(box, a, b)
+		right := tree.Aggregate(box, b, c)
+		whole := tree.Aggregate(box, a, c)
+		d := left + right - whole
+		return d < 1e-6 && d > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+)
+
+// RTree is a static, STR-bulk-loaded R-tree over sensor locations with
+// per-node subtree sensor counts. It supports rectangular range reporting
+// and weighted range aggregation with full-containment shortcuts — the
+// aggregation-R-tree access path of Papadias et al. that the paper's related
+// work discusses, used here as an ablation baseline for computing the
+// bottom-up total severity F(W, T).
+type RTree struct {
+	root  *rtNode
+	locs  []geo.Point
+	nodes int
+}
+
+type rtNode struct {
+	box      geo.BBox
+	children []*rtNode
+	// sensors is set on leaves only.
+	sensors []cps.SensorID
+	// subtree lists every sensor below the node, enabling O(k) full-
+	// containment aggregation without descending.
+	subtree []cps.SensorID
+}
+
+// rtreeFanout is the maximum number of entries per node. Sixteen keeps trees
+// shallow at the deployment scales used here.
+const rtreeFanout = 16
+
+// NewRTree bulk-loads an R-tree over locs (indexed by SensorID) using the
+// Sort-Tile-Recursive algorithm.
+func NewRTree(locs []geo.Point) *RTree {
+	t := &RTree{locs: locs}
+	if len(locs) == 0 {
+		return t
+	}
+	ids := make([]cps.SensorID, len(locs))
+	for i := range ids {
+		ids[i] = cps.SensorID(i)
+	}
+	leaves := t.packLeaves(ids)
+	t.root = t.buildUp(leaves)
+	return t
+}
+
+// packLeaves tiles the sensors into leaf nodes of up to rtreeFanout entries.
+func (t *RTree) packLeaves(ids []cps.SensorID) []*rtNode {
+	n := len(ids)
+	leafCount := (n + rtreeFanout - 1) / rtreeFanout
+	slices := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	sorted := make([]cps.SensorID, n)
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return t.locs[sorted[i]].Lon < t.locs[sorted[j]].Lon })
+
+	perSlice := (n + slices - 1) / slices
+	var leaves []*rtNode
+	for s := 0; s < n; s += perSlice {
+		e := s + perSlice
+		if e > n {
+			e = n
+		}
+		slice := sorted[s:e]
+		sort.Slice(slice, func(i, j int) bool { return t.locs[slice[i]].Lat < t.locs[slice[j]].Lat })
+		for i := 0; i < len(slice); i += rtreeFanout {
+			j := i + rtreeFanout
+			if j > len(slice) {
+				j = len(slice)
+			}
+			leaf := &rtNode{sensors: append([]cps.SensorID(nil), slice[i:j]...)}
+			leaf.subtree = leaf.sensors
+			leaf.box = t.boxOf(leaf.sensors)
+			leaves = append(leaves, leaf)
+			t.nodes++
+		}
+	}
+	return leaves
+}
+
+// buildUp stacks internal levels until a single root remains.
+func (t *RTree) buildUp(level []*rtNode) *rtNode {
+	for len(level) > 1 {
+		var next []*rtNode
+		for i := 0; i < len(level); i += rtreeFanout {
+			j := i + rtreeFanout
+			if j > len(level) {
+				j = len(level)
+			}
+			n := &rtNode{children: append([]*rtNode(nil), level[i:j]...)}
+			n.box = n.children[0].box
+			for _, c := range n.children[1:] {
+				n.box = n.box.Union(c.box)
+			}
+			for _, c := range n.children {
+				n.subtree = append(n.subtree, c.subtree...)
+			}
+			next = append(next, n)
+			t.nodes++
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func (t *RTree) boxOf(ids []cps.SensorID) geo.BBox {
+	b := geo.BBox{Min: t.locs[ids[0]], Max: t.locs[ids[0]]}
+	for _, id := range ids[1:] {
+		p := t.locs[id]
+		if p.Lat < b.Min.Lat {
+			b.Min.Lat = p.Lat
+		}
+		if p.Lon < b.Min.Lon {
+			b.Min.Lon = p.Lon
+		}
+		if p.Lat > b.Max.Lat {
+			b.Max.Lat = p.Lat
+		}
+		if p.Lon > b.Max.Lon {
+			b.Max.Lon = p.Lon
+		}
+	}
+	// Nudge the max edge open so Contains covers the boundary sensors.
+	const eps = 1e-9
+	b.Max.Lat += eps
+	b.Max.Lon += eps
+	return b
+}
+
+// Len returns the number of indexed sensors.
+func (t *RTree) Len() int { return len(t.locs) }
+
+// Nodes returns the total node count (a size diagnostic).
+func (t *RTree) Nodes() int { return t.nodes }
+
+// Search appends to dst the ids of all sensors inside box and returns the
+// extended slice. Results are unordered.
+func (t *RTree) Search(box geo.BBox, dst []cps.SensorID) []cps.SensorID {
+	if t.root == nil {
+		return dst
+	}
+	return t.search(t.root, box, dst)
+}
+
+func (t *RTree) search(n *rtNode, box geo.BBox, dst []cps.SensorID) []cps.SensorID {
+	if !n.box.Intersects(box) {
+		return dst
+	}
+	if contains(box, n.box) {
+		return append(dst, n.subtree...)
+	}
+	if n.children == nil {
+		for _, id := range n.sensors {
+			if box.Contains(t.locs[id]) {
+				dst = append(dst, id)
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = t.search(c, box, dst)
+	}
+	return dst
+}
+
+// Aggregate sums weight(id) over every sensor inside box, short-circuiting
+// fully contained subtrees through their materialized id lists.
+func (t *RTree) Aggregate(box geo.BBox, weight func(cps.SensorID) float64) float64 {
+	if t.root == nil {
+		return 0
+	}
+	return t.aggregate(t.root, box, weight)
+}
+
+func (t *RTree) aggregate(n *rtNode, box geo.BBox, weight func(cps.SensorID) float64) float64 {
+	if !n.box.Intersects(box) {
+		return 0
+	}
+	if contains(box, n.box) {
+		var sum float64
+		for _, id := range n.subtree {
+			sum += weight(id)
+		}
+		return sum
+	}
+	if n.children == nil {
+		var sum float64
+		for _, id := range n.sensors {
+			if box.Contains(t.locs[id]) {
+				sum += weight(id)
+			}
+		}
+		return sum
+	}
+	var sum float64
+	for _, c := range n.children {
+		sum += t.aggregate(c, box, weight)
+	}
+	return sum
+}
+
+// contains reports whether outer fully covers inner.
+func contains(outer, inner geo.BBox) bool {
+	return inner.Min.Lat >= outer.Min.Lat && inner.Max.Lat <= outer.Max.Lat &&
+		inner.Min.Lon >= outer.Min.Lon && inner.Max.Lon <= outer.Max.Lon
+}

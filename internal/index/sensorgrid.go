@@ -1,0 +1,159 @@
+// Package index provides the spatial and temporal access paths that turn
+// Algorithm 1's O(N + n²) worst case into the indexed O(N + n·log n) path of
+// Proposition 1: a uniform grid over sensor locations for δd neighbor
+// queries, a window index over canonical record slices for δt adjacency, and
+// an aggregate R-tree for rectangular range aggregation.
+package index
+
+import (
+	"sort"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+)
+
+// NeighborIndex answers "which sensors lie within d miles of sensor s"
+// queries using a uniform spatial hash whose cell edge is the query radius.
+type NeighborIndex struct {
+	radiusMiles float64
+	cellLat     float64
+	cellLon     float64
+	origin      geo.Point
+	cells       map[cellKey][]cps.SensorID
+	locs        []geo.Point // indexed by SensorID
+}
+
+type cellKey struct{ r, c int32 }
+
+// NewNeighborIndex indexes the given sensor locations (indexed by SensorID)
+// for neighbor queries at exactly radiusMiles.
+func NewNeighborIndex(locs []geo.Point, radiusMiles float64) *NeighborIndex {
+	if radiusMiles <= 0 {
+		panic("index: radius must be positive")
+	}
+	idx := &NeighborIndex{
+		radiusMiles: radiusMiles,
+		cellLat:     radiusMiles / geo.MilesPerDegreeLat,
+		cells:       make(map[cellKey][]cps.SensorID),
+		locs:        locs,
+	}
+	if len(locs) == 0 {
+		idx.cellLon = idx.cellLat
+		return idx
+	}
+	idx.origin = locs[0]
+	// Longitude degrees shrink with latitude; size cells at the deployment
+	// latitude so a 3×3 block always covers the radius.
+	idx.cellLon = radiusMiles / geo.MilesPerDegreeLon(locs[0].Lat)
+	for id, p := range locs {
+		k := idx.key(p)
+		idx.cells[k] = append(idx.cells[k], cps.SensorID(id))
+	}
+	return idx
+}
+
+func (idx *NeighborIndex) key(p geo.Point) cellKey {
+	return cellKey{
+		r: int32(floorDiv(p.Lat-idx.origin.Lat, idx.cellLat)),
+		c: int32(floorDiv(p.Lon-idx.origin.Lon, idx.cellLon)),
+	}
+}
+
+func floorDiv(x, d float64) float64 {
+	q := x / d
+	f := float64(int64(q))
+	if q < 0 && q != f {
+		f--
+	}
+	return f
+}
+
+// Radius returns the query radius the index was built for.
+func (idx *NeighborIndex) Radius() float64 { return idx.radiusMiles }
+
+// Neighbors appends to dst every sensor strictly within the radius of s,
+// excluding s itself, and returns the extended slice. Results are unordered.
+func (idx *NeighborIndex) Neighbors(s cps.SensorID, dst []cps.SensorID) []cps.SensorID {
+	p := idx.locs[s]
+	k := idx.key(p)
+	for dr := int32(-1); dr <= 1; dr++ {
+		for dc := int32(-1); dc <= 1; dc++ {
+			for _, o := range idx.cells[cellKey{k.r + dr, k.c + dc}] {
+				if o == s {
+					continue
+				}
+				if geo.DistanceMiles(p, idx.locs[o]) < idx.radiusMiles {
+					dst = append(dst, o)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// NeighborLists materializes the neighbor list of every sensor, ascending
+// within each list. Event extraction over many days reuses the lists.
+func (idx *NeighborIndex) NeighborLists() [][]cps.SensorID {
+	out := make([][]cps.SensorID, len(idx.locs))
+	for id := range idx.locs {
+		nb := idx.Neighbors(cps.SensorID(id), nil)
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		out[id] = nb
+	}
+	return out
+}
+
+// WindowIndex locates the subslice of a canonical record slice belonging to
+// each window in O(1) after an O(n) build — the temporal access path of the
+// extraction sweep.
+type WindowIndex struct {
+	recs  []cps.Record
+	first map[cps.Window]int // window -> first index in recs
+	spans map[cps.Window]int // window -> record count
+}
+
+// NewWindowIndex indexes recs, which must be in canonical (window, sensor)
+// order (e.g. RecordSet.Records()).
+func NewWindowIndex(recs []cps.Record) *WindowIndex {
+	idx := &WindowIndex{
+		recs:  recs,
+		first: make(map[cps.Window]int),
+		spans: make(map[cps.Window]int),
+	}
+	for i := 0; i < len(recs); {
+		w := recs[i].Window
+		j := i
+		for j < len(recs) && recs[j].Window == w {
+			j++
+		}
+		idx.first[w] = i
+		idx.spans[w] = j - i
+		i = j
+	}
+	return idx
+}
+
+// At returns the records of window w (possibly empty), aliasing the indexed
+// slice.
+func (idx *WindowIndex) At(w cps.Window) []cps.Record {
+	i, ok := idx.first[w]
+	if !ok {
+		return nil
+	}
+	return idx.recs[i : i+idx.spans[w]]
+}
+
+// IndexOf returns the position in the canonical slice of the record with the
+// given key, or -1.
+func (idx *WindowIndex) IndexOf(w cps.Window, s cps.SensorID) int {
+	i, ok := idx.first[w]
+	if !ok {
+		return -1
+	}
+	span := idx.recs[i : i+idx.spans[w]]
+	k := sort.Search(len(span), func(j int) bool { return span[j].Sensor >= s })
+	if k < len(span) && span[k].Sensor == s {
+		return i + k
+	}
+	return -1
+}

@@ -1,0 +1,197 @@
+// Package predict implements the event-prediction extension the paper
+// names as future work (Section VII): "we will extend the atypical event
+// analysis to support more complex applications, such as the event
+// prediction".
+//
+// The predictor is built directly on the atypical-cluster model: historical
+// macro-clusters are, by construction, recurrences of an event pattern —
+// the same sensors congesting at the same times of day. A macro-cluster
+// integrating k daily micro-clusters out of d observed days is a pattern
+// with empirical daily recurrence k/d; its spatial feature says where it
+// strikes and its folded temporal feature says when. Forecasting a future
+// day means replaying each pattern weighted by its recurrence.
+package predict
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+)
+
+// Pattern is one learned recurring event pattern.
+type Pattern struct {
+	// Source is the macro-cluster the pattern was learned from.
+	Source *cluster.Cluster
+	// Recurrence is the fraction of training days on which the pattern
+	// produced a micro-cluster (weekday-aware callers can train separate
+	// models per day class).
+	Recurrence float64
+	// SF is the expected per-sensor severity on a day the pattern strikes:
+	// the source's spatial feature scaled down to one occurrence.
+	SF cluster.SpatialFeature
+	// TF is the expected time-of-day severity profile of one occurrence.
+	TF cluster.TemporalFeature
+}
+
+// Model forecasts per-sensor and per-window atypical severity for future
+// days from the macro-clusters of a training period.
+type Model struct {
+	patterns []Pattern
+	period   cps.Window // windows per day
+}
+
+// Config parameterizes training.
+type Config struct {
+	// TrainingDays is the number of days the macro-clusters were built
+	// from; recurrence = micro count / TrainingDays.
+	TrainingDays int
+	// Period is the number of windows per day.
+	Period int
+	// MinRecurrence drops one-off patterns (incidents); the paper's
+	// prediction target is the recurring congestion structure. Default 0
+	// keeps everything.
+	MinRecurrence float64
+}
+
+// Train learns a model from the macro-clusters of a training range.
+func Train(macros []*cluster.Cluster, cfg Config) (*Model, error) {
+	if cfg.TrainingDays <= 0 {
+		return nil, fmt.Errorf("predict: TrainingDays must be positive, got %d", cfg.TrainingDays)
+	}
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("predict: Period must be positive, got %d", cfg.Period)
+	}
+	m := &Model{period: cps.Window(cfg.Period)}
+	for _, c := range macros {
+		occ := float64(c.Micros)
+		rec := occ / float64(cfg.TrainingDays)
+		if rec > 1 {
+			// A pattern can strike more than once a day (split events);
+			// recurrence is a probability, so cap it.
+			rec = 1
+		}
+		if rec < cfg.MinRecurrence {
+			continue
+		}
+		sf := c.SF.Clone()
+		for i := range sf {
+			sf[i].Sev /= cps.Severity(occ)
+		}
+		tf := cluster.FoldTemporal(c.TF, m.period)
+		scaled := tf.Clone()
+		for i := range scaled {
+			scaled[i].Sev /= cps.Severity(occ)
+		}
+		m.patterns = append(m.patterns, Pattern{Source: c, Recurrence: rec, SF: sf, TF: scaled})
+	}
+	sort.Slice(m.patterns, func(i, j int) bool {
+		return m.patterns[i].Source.Severity() > m.patterns[j].Source.Severity()
+	})
+	return m, nil
+}
+
+// Patterns returns the learned patterns, strongest source first.
+func (m *Model) Patterns() []Pattern { return m.patterns }
+
+// SensorForecast returns the expected atypical severity per sensor for one
+// future day: Σ over patterns of recurrence × expected severity.
+func (m *Model) SensorForecast() cluster.SpatialFeature {
+	var entries []cluster.Entry[cps.SensorID]
+	for _, p := range m.patterns {
+		for _, e := range p.SF {
+			entries = append(entries, cluster.Entry[cps.SensorID]{
+				Key: e.Key,
+				Sev: e.Sev * cps.Severity(p.Recurrence),
+			})
+		}
+	}
+	return cluster.NewFeature(entries)
+}
+
+// WindowForecast returns the expected severity per time-of-day window for
+// one future day.
+func (m *Model) WindowForecast() cluster.TemporalFeature {
+	var entries []cluster.Entry[cps.Window]
+	for _, p := range m.patterns {
+		for _, e := range p.TF {
+			entries = append(entries, cluster.Entry[cps.Window]{
+				Key: e.Key,
+				Sev: e.Sev * cps.Severity(p.Recurrence),
+			})
+		}
+	}
+	return cluster.NewFeature(entries)
+}
+
+// TopSensors returns the k sensors with the highest forecast severity,
+// descending — "where will it congest tomorrow".
+func (m *Model) TopSensors(k int) []cps.SensorID {
+	f := m.SensorForecast()
+	type kv struct {
+		s   cps.SensorID
+		sev cps.Severity
+	}
+	all := make([]kv, len(f))
+	for i, e := range f {
+		all[i] = kv{e.Key, e.Sev}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sev != all[j].sev {
+			return all[i].sev > all[j].sev
+		}
+		return all[i].s < all[j].s
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]cps.SensorID, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].s
+	}
+	return out
+}
+
+// Evaluation of a forecast against a realized day.
+
+// Outcome scores a day's forecast.
+type Outcome struct {
+	// PrecisionAtK is the share of the forecast top-k sensors that were
+	// actually atypical on the realized day.
+	PrecisionAtK float64
+	// SeverityCoverage is the share of the day's realized severity that
+	// fell on forecast-positive sensors (forecast severity > 0).
+	SeverityCoverage float64
+}
+
+// Evaluate scores the model against the realized atypical records of one
+// day (canonical slice).
+func (m *Model) Evaluate(day []cps.Record, k int) Outcome {
+	var out Outcome
+	realized := make(map[cps.SensorID]cps.Severity)
+	var total cps.Severity
+	for _, r := range day {
+		realized[r.Sensor] += r.Severity
+		total += r.Severity
+	}
+	top := m.TopSensors(k)
+	if len(top) > 0 {
+		hit := 0
+		for _, s := range top {
+			if realized[s] > 0 {
+				hit++
+			}
+		}
+		out.PrecisionAtK = float64(hit) / float64(len(top))
+	}
+	if total > 0 {
+		var covered cps.Severity
+		forecast := m.SensorForecast()
+		for _, e := range forecast {
+			covered += realized[e.Key]
+		}
+		out.SeverityCoverage = float64(covered / total)
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/gen"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/index"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, Config{TrainingDays: 0, Period: 288}); err == nil {
+		t.Error("zero training days accepted")
+	}
+	if _, err := Train(nil, Config{TrainingDays: 5, Period: 0}); err == nil {
+		t.Error("zero period accepted")
+	}
+	m, err := Train(nil, Config{TrainingDays: 5, Period: 288})
+	if err != nil || len(m.Patterns()) != 0 {
+		t.Errorf("empty training should give an empty model: %v", err)
+	}
+}
+
+// recurringMacro builds a macro-cluster that struck on `days` distinct days
+// at the same sensors and time of day.
+func recurringMacro(g *cluster.IDGen, days int, baseSensor int, window cps.Window, sev cps.Severity) *cluster.Cluster {
+	perDay := cps.Window(288)
+	micros := make([]*cluster.Cluster, days)
+	for d := 0; d < days; d++ {
+		micros[d] = cluster.FromRecords(g.Next(), []cps.Record{
+			{Sensor: cps.SensorID(baseSensor), Window: cps.Window(d)*perDay + window, Severity: sev},
+			{Sensor: cps.SensorID(baseSensor + 1), Window: cps.Window(d)*perDay + window, Severity: sev / 2},
+		})
+	}
+	out := micros[0]
+	for _, m := range micros[1:] {
+		out = cluster.Merge(g, out, m)
+	}
+	return out
+}
+
+func TestTrainLearnsRecurrence(t *testing.T) {
+	var g cluster.IDGen
+	daily := recurringMacro(&g, 10, 0, 100, 4)   // every day of 10
+	sparse := recurringMacro(&g, 2, 500, 200, 4) // 2 of 10 days
+	m, err := Train([]*cluster.Cluster{daily, sparse}, Config{TrainingDays: 10, Period: 288})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Patterns()) != 2 {
+		t.Fatalf("patterns = %d", len(m.Patterns()))
+	}
+	p0 := m.Patterns()[0] // strongest source first: the daily one
+	if p0.Recurrence != 1.0 {
+		t.Errorf("daily recurrence = %v", p0.Recurrence)
+	}
+	if m.Patterns()[1].Recurrence != 0.2 {
+		t.Errorf("sparse recurrence = %v", m.Patterns()[1].Recurrence)
+	}
+	// Per-occurrence severity: the merged 10-day cluster carried 10×4 on
+	// the base sensor.
+	if got := p0.SF.Get(0); got != 4 {
+		t.Errorf("per-occurrence severity = %v, want 4", got)
+	}
+	// Folded TF: one time-of-day entry.
+	if len(p0.TF) != 1 || p0.TF[0].Key != 100 {
+		t.Errorf("folded TF = %v", p0.TF)
+	}
+}
+
+func TestMinRecurrenceFilters(t *testing.T) {
+	var g cluster.IDGen
+	daily := recurringMacro(&g, 10, 0, 100, 4)
+	oneOff := recurringMacro(&g, 1, 500, 200, 4)
+	m, err := Train([]*cluster.Cluster{daily, oneOff}, Config{TrainingDays: 10, Period: 288, MinRecurrence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Patterns()) != 1 {
+		t.Fatalf("patterns = %d, want 1 (one-off filtered)", len(m.Patterns()))
+	}
+}
+
+func TestRecurrenceCappedAtOne(t *testing.T) {
+	var g cluster.IDGen
+	// 20 micros over 10 days (splits): recurrence caps at 1.
+	c := recurringMacro(&g, 20, 0, 100, 4)
+	m, _ := Train([]*cluster.Cluster{c}, Config{TrainingDays: 10, Period: 288})
+	if got := m.Patterns()[0].Recurrence; got != 1 {
+		t.Errorf("recurrence = %v, want capped 1", got)
+	}
+}
+
+func TestForecasts(t *testing.T) {
+	var g cluster.IDGen
+	daily := recurringMacro(&g, 10, 0, 100, 4)
+	m, _ := Train([]*cluster.Cluster{daily}, Config{TrainingDays: 10, Period: 288})
+	sf := m.SensorForecast()
+	// Expected severity = recurrence 1.0 × per-occurrence 4.
+	if got := sf.Get(0); got != 4 {
+		t.Errorf("forecast severity = %v", got)
+	}
+	tf := m.WindowForecast()
+	if got := tf.Get(100); got != 6 { // 4 + 2 at the same folded window
+		t.Errorf("window forecast = %v", got)
+	}
+	top := m.TopSensors(1)
+	if len(top) != 1 || top[0] != 0 {
+		t.Errorf("top sensors = %v", top)
+	}
+	if got := m.TopSensors(99); len(got) != 2 {
+		t.Errorf("TopSensors over-ask = %v", got)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	var g cluster.IDGen
+	daily := recurringMacro(&g, 10, 0, 100, 4)
+	m, _ := Train([]*cluster.Cluster{daily}, Config{TrainingDays: 10, Period: 288})
+	// Realized day: sensor 0 atypical (hit), sensor 99 atypical (uncovered).
+	day := []cps.Record{
+		{Sensor: 0, Window: 100, Severity: 3},
+		{Sensor: 99, Window: 100, Severity: 1},
+	}
+	out := m.Evaluate(day, 1)
+	if out.PrecisionAtK != 1 {
+		t.Errorf("precision@1 = %v", out.PrecisionAtK)
+	}
+	if out.SeverityCoverage != 0.75 {
+		t.Errorf("coverage = %v, want 0.75", out.SeverityCoverage)
+	}
+	empty := m.Evaluate(nil, 1)
+	if empty.SeverityCoverage != 0 || empty.PrecisionAtK != 0 {
+		t.Errorf("empty day outcome = %+v", empty)
+	}
+}
+
+// End to end: train on 3 weeks of synthetic traffic, forecast the 4th
+// week's weekdays. Recurring rush patterns make this workload predictable.
+func TestPredictsSyntheticTraffic(t *testing.T) {
+	net := traffic.GenerateNetwork(traffic.ScaledConfig(250))
+	spec := cps.DefaultSpec()
+	cfg := gen.DefaultConfig(net)
+	cfg.DaysPerMonth = 28
+	g, err := gen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Month(0)
+
+	locs := make([]geo.Point, net.NumSensors())
+	for i, s := range net.Sensors {
+		locs[i] = s.Loc
+	}
+	neighbors := index.NewNeighborIndex(locs, 1.5).NeighborLists()
+	maxGap := cluster.MaxWindowGap(15*time.Minute, spec.Width)
+
+	var idgen cluster.IDGen
+	byDay := ds.Atypical.SplitByDay(spec)
+	var trainMicros []*cluster.Cluster
+	trainDays := 21
+	for day, recs := range byDay {
+		if day < trainDays {
+			trainMicros = append(trainMicros, cluster.ExtractMicroClusters(&idgen, recs, neighbors, maxGap)...)
+		}
+	}
+	macros := cluster.Integrate(&idgen, trainMicros, cluster.IntegrateOptions{
+		SimThreshold: 0.5,
+		Balance:      cluster.Arithmetic,
+		Period:       cps.Window(spec.PerDay()),
+	})
+	m, err := Train(macros, Config{TrainingDays: trainDays, Period: spec.PerDay(), MinRecurrence: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Patterns()) == 0 {
+		t.Fatal("no recurring patterns learned")
+	}
+
+	// Score each held-out weekday.
+	var precSum, covSum float64
+	days := 0
+	for day := trainDays; day < 28; day++ {
+		if day%7 >= 5 {
+			continue // weekends have no recurring events
+		}
+		out := m.Evaluate(byDay[day], 50)
+		precSum += out.PrecisionAtK
+		covSum += out.SeverityCoverage
+		days++
+	}
+	if days == 0 {
+		t.Fatal("no held-out weekdays")
+	}
+	prec := precSum / float64(days)
+	cov := covSum / float64(days)
+	if prec < 0.6 {
+		t.Errorf("precision@50 = %.2f, want ≥ 0.6 on recurring workload", prec)
+	}
+	if cov < 0.5 {
+		t.Errorf("severity coverage = %.2f, want ≥ 0.5", cov)
+	}
+}

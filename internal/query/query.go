@@ -1,0 +1,252 @@
+// Package query implements online analytical query processing (Section IV):
+// given Q(W, T), return the significant atypical clusters in spatial region
+// W and time period T. Three strategies are provided — the exhaustive
+// integrate-All baseline, beforehand Pruning, and red-zone Guided clustering
+// (Algorithm 4) — with the counted inputs and timings the paper's Figs. 17–19
+// report.
+package query
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/cube"
+	"github.com/cpskit/atypical/internal/forest"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+// Strategy selects the online clustering strategy of Section V-B.
+type Strategy uint8
+
+// The three strategies compared in the evaluation.
+const (
+	// All integrates every micro-cluster in range: exact, quadratic in the
+	// inputs. Its significant clusters are the experiments' ground truth.
+	All Strategy = iota
+	// Pru prunes micro-clusters that are not significant at day scale
+	// before integrating: fast, but loses recall — a micro-cluster that
+	// contributes to a significant macro-cluster may be trivial by itself.
+	Pru
+	// Gui is red-zone guided clustering (Algorithm 4): prune only
+	// micro-clusters entirely outside regions whose bottom-up severity
+	// passes the significance bound, which is safe by Property 5.
+	Gui
+)
+
+// String implements fmt.Stringer using the paper's labels.
+func (s Strategy) String() string {
+	switch s {
+	case All:
+		return "All"
+	case Pru:
+		return "Pru"
+	case Gui:
+		return "Gui"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Query is an analytical query Q(W, T) at relative severity threshold δs.
+type Query struct {
+	// Regions is the pre-defined region set covering W.
+	Regions []geo.RegionID
+	// Time is the day-aligned query period T.
+	Time cps.TimeRange
+	// DeltaS is the relative severity threshold δs of Definition 5.
+	DeltaS float64
+}
+
+// CityQuery builds a query over the whole deployment for the given
+// day-aligned period.
+func CityQuery(net *traffic.Network, spec cps.WindowSpec, firstDay, days int, deltaS float64) Query {
+	regions := make([]geo.RegionID, 0, net.Grid.NumRegions())
+	for _, r := range net.Grid.Regions() {
+		regions = append(regions, r.ID)
+	}
+	return Query{Regions: regions, Time: cps.DayRange(spec, firstDay, days), DeltaS: deltaS}
+}
+
+// BoxQuery builds a query over the regions intersecting box.
+func BoxQuery(net *traffic.Network, spec cps.WindowSpec, box geo.BBox, firstDay, days int, deltaS float64) Query {
+	return Query{
+		Regions: net.Grid.RegionsIntersecting(box),
+		Time:    cps.DayRange(spec, firstDay, days),
+		DeltaS:  deltaS,
+	}
+}
+
+// Result carries the outcome of one query run.
+type Result struct {
+	Strategy Strategy
+	// Macros are the macro-clusters produced by integration, before the
+	// significance filter — what the precision measurements score.
+	Macros []*cluster.Cluster
+	// Significant are the macros passing Definition 5 at query scale.
+	Significant []*cluster.Cluster
+	// InputMicros counts the micro-clusters fed to integration — the I/O
+	// measure of Fig. 17(b).
+	InputMicros int
+	// CandidateMicros counts the micro-clusters in range before strategy
+	// pruning.
+	CandidateMicros int
+	// RedZones counts the regions passing the bound (Gui only).
+	RedZones int
+	// Bound is the significance severity bound δs·length(T)·N used.
+	Bound cps.Severity
+	// Elapsed is the wall-clock query time.
+	Elapsed time.Duration
+}
+
+// Engine answers analytical queries against a built forest.
+type Engine struct {
+	Net *traffic.Network
+	// Forest holds the materialized per-day micro-clusters.
+	Forest *forest.Forest
+	// Severity is the bottom-up index used for red zones. Built offline
+	// alongside the forest.
+	Severity *cube.SeverityIndex
+	// Gen supplies IDs for online merges.
+	Gen *cluster.IDGen
+}
+
+// Run executes q under the given strategy.
+func (e *Engine) Run(q Query, s Strategy) *Result {
+	start := time.Now()
+	res := &Result{Strategy: s}
+
+	numSensors := e.sensorsInRegions(q.Regions)
+	res.Bound = cluster.SignificanceBound(q.DeltaS, q.Time.Len(), numSensors)
+
+	inRegion := make(map[geo.RegionID]bool, len(q.Regions))
+	for _, r := range q.Regions {
+		inRegion[r] = true
+	}
+
+	// Candidates: micro-clusters in the time range touching W.
+	var candidates []*cluster.Cluster
+	for _, c := range e.Forest.MicrosInRange(q.Time) {
+		if e.clusterTouches(c, inRegion) {
+			candidates = append(candidates, c)
+		}
+	}
+	res.CandidateMicros = len(candidates)
+
+	var inputs []*cluster.Cluster
+	switch s {
+	case All:
+		inputs = candidates
+	case Pru:
+		// Beforehand pruning: keep micro-clusters significant at the scale
+		// of one day (Example 6's "significant in the scale of one day").
+		dayBound := cluster.SignificanceBound(q.DeltaS, e.Forest.Spec().PerDay(), numSensors)
+		for _, c := range candidates {
+			if c.Significant(dayBound) {
+				inputs = append(inputs, c)
+			}
+		}
+	case Gui:
+		// Algorithm 4, lines 1–3: compute red zones from the distributive
+		// bottom-up severity, drop micro-clusters entirely outside them.
+		zones := e.Severity.GuidedRedZones(q.Regions, q.Time, q.DeltaS, numSensors)
+		res.RedZones = len(zones)
+		zoneSet := make(map[geo.RegionID]bool, len(zones))
+		for _, z := range zones {
+			zoneSet[z] = true
+		}
+		for _, c := range candidates {
+			if e.clusterTouches(c, zoneSet) {
+				inputs = append(inputs, c)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("query: unknown strategy %d", s))
+	}
+	res.InputMicros = len(inputs)
+
+	// Algorithm 4 line 4: integrate the qualified micro-clusters.
+	res.Macros = cluster.Integrate(e.Gen, inputs, e.Forest.Options())
+
+	// Lines 5–7: the significance check removing false positives.
+	for _, c := range res.Macros {
+		if c.Significant(res.Bound) {
+			res.Significant = append(res.Significant, c)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// RunMaterialized answers q with All semantics but starts from the forest's
+// materialized levels instead of raw micro-clusters: fully covered weeks
+// contribute their (memoized) week-level macro-clusters, ragged edge days
+// contribute micro-clusters, and one final integration pass combines them.
+// Property 3 (commutative/associative merging) makes the multi-level path
+// equivalent to integrating the micro-clusters directly — this is the
+// partially-materialized query processing of Section IV.
+func (e *Engine) RunMaterialized(q Query) *Result {
+	start := time.Now()
+	res := &Result{Strategy: All}
+	numSensors := e.sensorsInRegions(q.Regions)
+	res.Bound = cluster.SignificanceBound(q.DeltaS, q.Time.Len(), numSensors)
+
+	inRegion := make(map[geo.RegionID]bool, len(q.Regions))
+	for _, r := range q.Regions {
+		inRegion[r] = true
+	}
+
+	perDay := cps.Window(e.Forest.Spec().PerDay())
+	firstDay := int(q.Time.From / perDay)
+	lastDay := int(q.Time.To / perDay) // exclusive
+
+	var leaves []*cluster.Cluster
+	day := firstDay
+	for day < lastDay {
+		if day%forest.DaysPerWeek == 0 && day+forest.DaysPerWeek <= lastDay {
+			leaves = append(leaves, e.Forest.Week(day/forest.DaysPerWeek)...)
+			day += forest.DaysPerWeek
+			continue
+		}
+		leaves = append(leaves, e.Forest.Day(day)...)
+		day++
+	}
+	res.CandidateMicros = len(leaves)
+	var inputs []*cluster.Cluster
+	for _, c := range leaves {
+		if e.clusterTouches(c, inRegion) {
+			inputs = append(inputs, c)
+		}
+	}
+	res.InputMicros = len(inputs)
+	res.Macros = cluster.Integrate(e.Gen, inputs, e.Forest.Options())
+	for _, c := range res.Macros {
+		if c.Significant(res.Bound) {
+			res.Significant = append(res.Significant, c)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// sensorsInRegions returns N, the number of sensors inside the query region.
+func (e *Engine) sensorsInRegions(regions []geo.RegionID) int {
+	n := 0
+	for _, r := range regions {
+		n += len(e.Net.SensorsInRegion(r))
+	}
+	return n
+}
+
+// clusterTouches reports whether any of the cluster's sensors lies in the
+// region set — the "intersect with the red zones" test of Example 7.
+func (e *Engine) clusterTouches(c *cluster.Cluster, regions map[geo.RegionID]bool) bool {
+	for _, entry := range c.SF {
+		if regions[e.Net.Sensor(entry.Key).Region] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/cube"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+// RegionHeatmap renders the pre-defined region grid as an ASCII severity
+// map over the given period — the textual counterpart of the paper's
+// Figs. 11–12: each cell shows its bottom-up severity bucket, and red
+// zones are bracketed.
+//
+//	. none   ░ light   ▒ medium   ▓ heavy   █ extreme   [x] red zone
+func RegionHeatmap(net *traffic.Network, sev *cube.SeverityIndex, tr cps.TimeRange, redZones []geo.RegionID) string {
+	grid := net.Grid
+	red := make(map[geo.RegionID]bool, len(redZones))
+	for _, z := range redZones {
+		red[z] = true
+	}
+	var max cps.Severity
+	f := make([]cps.Severity, grid.NumRegions())
+	for _, r := range grid.Regions() {
+		f[r.ID] = sev.F(r.ID, tr)
+		if f[r.ID] > max {
+			max = f[r.ID]
+		}
+	}
+	glyphs := []rune{'.', '░', '▒', '▓', '█'}
+	var b strings.Builder
+	fmt.Fprintf(&b, "region severity map, %d windows (north at top; [x] = red zone, max cell %.0f min)\n",
+		tr.Len(), float64(max))
+	for row := grid.Rows - 1; row >= 0; row-- {
+		for col := 0; col < grid.Cols; col++ {
+			id := geo.RegionID(row*grid.Cols + col)
+			g := glyphs[0]
+			if max > 0 && f[id] > 0 {
+				bucket := int(f[id] / max * 4)
+				if bucket > 4 {
+					bucket = 4
+				}
+				if bucket == 0 {
+					bucket = 1 // nonzero severity never renders as empty
+				}
+				g = glyphs[bucket]
+			}
+			if red[id] {
+				fmt.Fprintf(&b, "[%c]", g)
+			} else {
+				fmt.Fprintf(&b, " %c ", g)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

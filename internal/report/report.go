@@ -1,0 +1,109 @@
+// Package report renders atypical clusters and query results for humans:
+// the answers to the paper's Example 1 questions ("where do the congestions
+// usually happen, when and how do they start, on which road segment or time
+// period is the congestion most serious") as terminal-friendly text.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+// Describe renders one cluster as a single line answering Example 1: the
+// event's extent and span, its most serious road segment, and its peak
+// window.
+func Describe(net *traffic.Network, spec cps.WindowSpec, c *cluster.Cluster) string {
+	if len(c.SF) == 0 {
+		return fmt.Sprintf("cluster %d: empty", c.ID)
+	}
+	span := c.WindowSpan()
+	peakS, peakSev := c.PeakSensor()
+	peakW, peakWSev := c.PeakWindow()
+	sensor := net.Sensor(peakS)
+	hw := net.Highways[sensor.Highway]
+	return fmt.Sprintf(
+		"cluster %d: %d sensors, %.0f severity-min over %s .. %s (from %d micro-events); most serious on %s mile %.1f (%.0f min atypical), peak window %s (%.0f min)",
+		c.ID, len(c.SF), float64(c.Severity()),
+		spec.Start(span.From).Format("2006-01-02 15:04"),
+		spec.End(span.To-1).Format("2006-01-02 15:04"),
+		c.Micros,
+		hw.Name, sensor.MilePost, float64(peakSev),
+		spec.Format(peakW), float64(peakWSev),
+	)
+}
+
+// Ranking renders clusters as a ranked table, most severe first.
+func Ranking(net *traffic.Network, spec cps.WindowSpec, clusters []*cluster.Cluster) string {
+	sorted := make([]*cluster.Cluster, len(clusters))
+	copy(sorted, clusters)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Severity() > sorted[j].Severity() })
+	var b strings.Builder
+	for i, c := range sorted {
+		fmt.Fprintf(&b, "%2d. %s\n", i+1, Describe(net, spec, c))
+	}
+	return b.String()
+}
+
+// HourHistogram renders the cluster's severity by hour of day as a text
+// histogram of the given width.
+func HourHistogram(spec cps.WindowSpec, c *cluster.Cluster, width int) string {
+	perHour := spec.PerDay() / 24
+	var byHour [24]float64
+	for _, e := range c.TF {
+		hour := int(e.Key) / perHour % 24
+		byHour[hour] += float64(e.Sev)
+	}
+	max := 0.0
+	for _, v := range byHour {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for h, v := range byHour {
+		bar := 0
+		if max > 0 {
+			bar = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%02d:00 %8.0f %s\n", h, v, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// HighwayBreakdown renders a cluster's severity share per highway,
+// descending — the "where" answer at corridor granularity.
+func HighwayBreakdown(net *traffic.Network, c *cluster.Cluster) string {
+	mass := make(map[traffic.HighwayID]cps.Severity)
+	for _, e := range c.SF {
+		mass[net.Sensor(e.Key).Highway] += e.Sev
+	}
+	type kv struct {
+		hw  traffic.HighwayID
+		sev cps.Severity
+	}
+	rows := make([]kv, 0, len(mass))
+	for hw, sev := range mass {
+		rows = append(rows, kv{hw, sev})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].sev != rows[j].sev {
+			return rows[i].sev > rows[j].sev
+		}
+		return rows[i].hw < rows[j].hw
+	})
+	total := c.Severity()
+	var b strings.Builder
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.sev/total)
+		}
+		fmt.Fprintf(&b, "%-10s %8.0f min  %5.1f%%\n", net.Highways[r.hw].Name, float64(r.sev), share)
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/cube"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+func fixture(t *testing.T) (*traffic.Network, cps.WindowSpec, *cluster.Cluster) {
+	t.Helper()
+	net := traffic.GenerateNetwork(traffic.ScaledConfig(200))
+	spec := cps.DefaultSpec()
+	hw0 := net.Highways[0].Sensors
+	hw2 := net.Highways[2].Sensors
+	var g cluster.IDGen
+	c := cluster.FromRecords(g.Next(), []cps.Record{
+		{Sensor: hw0[0], Window: 97, Severity: 5},
+		{Sensor: hw0[1], Window: 98, Severity: 3},
+		{Sensor: hw2[0], Window: 99, Severity: 2},
+	})
+	return net, spec, c
+}
+
+func TestDescribe(t *testing.T) {
+	net, spec, c := fixture(t)
+	got := Describe(net, spec, c)
+	for _, needle := range []string{"3 sensors", "10 severity-min", "most serious on", "peak window", net.Highways[0].Name} {
+		if !strings.Contains(got, needle) {
+			t.Errorf("Describe missing %q in %q", needle, got)
+		}
+	}
+	if got := Describe(net, spec, &cluster.Cluster{ID: 5}); !strings.Contains(got, "empty") {
+		t.Errorf("empty describe = %q", got)
+	}
+}
+
+func TestRanking(t *testing.T) {
+	net, spec, c := fixture(t)
+	var g cluster.IDGen
+	small := cluster.FromRecords(g.Next(), []cps.Record{
+		{Sensor: net.Highways[1].Sensors[0], Window: 5, Severity: 1},
+	})
+	out := Ranking(net, spec, []*cluster.Cluster{small, c})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(strings.TrimSpace(lines[0]), "1.") || !strings.Contains(lines[0], "10 severity-min") {
+		t.Errorf("rank 1 should be the big cluster: %q", lines[0])
+	}
+}
+
+func TestHourHistogram(t *testing.T) {
+	net, spec, c := fixture(t)
+	_ = net
+	out := HourHistogram(spec, c, 40)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 24 {
+		t.Fatalf("histogram lines = %d", len(lines))
+	}
+	// Windows 97-99 are hour 8; that row carries the full bar.
+	if !strings.Contains(lines[8], strings.Repeat("#", 40)) {
+		t.Errorf("hour 8 should carry the max bar: %q", lines[8])
+	}
+	if strings.Contains(lines[0], "#") {
+		t.Errorf("hour 0 should be empty: %q", lines[0])
+	}
+}
+
+func TestHighwayBreakdown(t *testing.T) {
+	net, spec, c := fixture(t)
+	_ = spec
+	out := HighwayBreakdown(net, c)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("breakdown lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[0], net.Highways[0].Name) {
+		t.Errorf("first row should be the dominant highway: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "80.0%") {
+		t.Errorf("dominant share should be 80%%: %q", lines[0])
+	}
+}
+
+func TestRegionHeatmap(t *testing.T) {
+	net := traffic.GenerateNetwork(traffic.ScaledConfig(200))
+	spec := cps.DefaultSpec()
+	sev := cube.NewSeverityIndex(net, spec)
+	// Load one region heavily.
+	var target geo.RegionID = -1
+	for _, r := range net.Grid.Regions() {
+		if len(net.SensorsInRegion(r.ID)) > 0 {
+			target = r.ID
+			break
+		}
+	}
+	if target == -1 {
+		t.Skip("no populated region")
+	}
+	s := net.SensorsInRegion(target)[0]
+	var recs []cps.Record
+	for w := cps.Window(0); w < 100; w++ {
+		recs = append(recs, cps.Record{Sensor: s, Window: w, Severity: 5})
+	}
+	sev.Add(recs)
+	tr := cps.DayRange(spec, 0, 1)
+	out := RegionHeatmap(net, sev, tr, []geo.RegionID{target})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != net.Grid.Rows+1 {
+		t.Fatalf("heatmap lines = %d, want %d", len(lines), net.Grid.Rows+1)
+	}
+	if !strings.Contains(out, "[█]") {
+		t.Errorf("loaded red zone should render as [█]:\n%s", out)
+	}
+	body := strings.Join(lines[1:], "\n")
+	if strings.Count(body, "[") != 1 {
+		t.Errorf("exactly one red zone expected in the map body:\n%s", out)
+	}
+}

@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/cpskit/atypical/internal/cps"
+)
+
+// DatasetInfo is the manifest entry of one stored dataset.
+type DatasetInfo struct {
+	// Name identifies the dataset (e.g. "d1"); the record file is
+	// <Name>.rec.
+	Name string `json:"name"`
+	// Records is the record count.
+	Records int64 `json:"records"`
+	// Bytes is the encoded file size.
+	Bytes int64 `json:"bytes"`
+	// WindowFrom/WindowTo is the half-open window span.
+	WindowFrom int64 `json:"window_from"`
+	WindowTo   int64 `json:"window_to"`
+	// Sensors is the number of distinct sensors present.
+	Sensors int `json:"sensors"`
+	// TotalSeverity is the summed severity.
+	TotalSeverity float64 `json:"total_severity"`
+}
+
+// manifest is the on-disk catalog state.
+type manifest struct {
+	Version  int           `json:"version"`
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
+const manifestName = "manifest.json"
+
+// Catalog manages a directory of record files with a JSON manifest, so
+// tools can list and open datasets without scanning them.
+type Catalog struct {
+	dir string
+	m   manifest
+}
+
+// OpenCatalog opens (or initializes) a catalog at dir.
+func OpenCatalog(dir string) (*Catalog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	c := &Catalog{dir: dir, m: manifest{Version: 1}}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	switch {
+	case os.IsNotExist(err):
+		return c, nil
+	case err != nil:
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	if err := json.Unmarshal(data, &c.m); err != nil {
+		return nil, fmt.Errorf("storage: corrupt manifest: %w", err)
+	}
+	if c.m.Version != 1 {
+		return nil, fmt.Errorf("storage: unsupported manifest version %d", c.m.Version)
+	}
+	return c, nil
+}
+
+// List returns the manifest entries, ascending by name.
+func (c *Catalog) List() []DatasetInfo {
+	out := make([]DatasetInfo, len(c.m.Datasets))
+	copy(out, c.m.Datasets)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Info returns the entry for name.
+func (c *Catalog) Info(name string) (DatasetInfo, bool) {
+	for _, d := range c.m.Datasets {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return DatasetInfo{}, false
+}
+
+// Write stores a record set under name (replacing any previous dataset of
+// that name) and updates the manifest atomically.
+func (c *Catalog) Write(name string, rs *cps.RecordSet) (DatasetInfo, error) {
+	if name == "" || name != filepath.Base(name) {
+		return DatasetInfo{}, fmt.Errorf("storage: invalid dataset name %q", name)
+	}
+	path := filepath.Join(c.dir, name+".rec")
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return DatasetInfo{}, fmt.Errorf("storage: %w", err)
+	}
+	n, err := WriteRecords(f, rs.Records())
+	if err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return DatasetInfo{}, fmt.Errorf("storage: writing %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return DatasetInfo{}, fmt.Errorf("storage: %w", err)
+	}
+	span := rs.WindowSpan()
+	info := DatasetInfo{
+		Name:          name,
+		Records:       int64(rs.Len()),
+		Bytes:         n,
+		WindowFrom:    int64(span.From),
+		WindowTo:      int64(span.To),
+		Sensors:       len(rs.Sensors()),
+		TotalSeverity: float64(rs.TotalSeverity()),
+	}
+	replaced := false
+	for i, d := range c.m.Datasets {
+		if d.Name == name {
+			c.m.Datasets[i] = info
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		c.m.Datasets = append(c.m.Datasets, info)
+	}
+	if err := c.saveManifest(); err != nil {
+		return DatasetInfo{}, err
+	}
+	return info, nil
+}
+
+// Read loads the dataset stored under name.
+func (c *Catalog) Read(name string) (*cps.RecordSet, error) {
+	if _, ok := c.Info(name); !ok {
+		return nil, fmt.Errorf("storage: unknown dataset %q", name)
+	}
+	f, err := os.Open(filepath.Join(c.dir, name+".rec"))
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	recs, err := ReadRecords(f)
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading %s: %w", name, err)
+	}
+	rs, err := cps.FromSorted(recs)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", name, err)
+	}
+	return rs, nil
+}
+
+// Open returns a streaming reader over the dataset. The caller must call
+// the returned closer when done.
+func (c *Catalog) Open(name string) (*RecordReader, func() error, error) {
+	if _, ok := c.Info(name); !ok {
+		return nil, nil, fmt.Errorf("storage: unknown dataset %q", name)
+	}
+	f, err := os.Open(filepath.Join(c.dir, name+".rec"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: %w", err)
+	}
+	rr, err := NewRecordReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return rr, f.Close, nil
+}
+
+// Delete removes a dataset and its manifest entry.
+func (c *Catalog) Delete(name string) error {
+	idx := -1
+	for i, d := range c.m.Datasets {
+		if d.Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("storage: unknown dataset %q", name)
+	}
+	if err := os.Remove(filepath.Join(c.dir, name+".rec")); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: %w", err)
+	}
+	c.m.Datasets = append(c.m.Datasets[:idx], c.m.Datasets[idx+1:]...)
+	return c.saveManifest()
+}
+
+// saveManifest writes the manifest atomically.
+func (c *Catalog) saveManifest() error {
+	data, err := json.MarshalIndent(&c.m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	tmp := filepath.Join(c.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(c.dir, manifestName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/cpskit/atypical/internal/cps"
+)
+
+func TestRecordReaderMatchesBatch(t *testing.T) {
+	recs := randomCanonical(25000, 77)
+	var buf bytes.Buffer
+	if _, err := WriteRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewRecordReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Total() != int64(len(recs)) {
+		t.Errorf("Total = %d", rr.Total())
+	}
+	i := 0
+	for {
+		rec, ok := rr.Next()
+		if !ok {
+			break
+		}
+		want := recs[i]
+		want.Severity = Quantize(want.Severity)
+		if rec != want {
+			t.Fatalf("record %d = %v, want %v", i, rec, want)
+		}
+		i++
+	}
+	if err := rr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(recs) {
+		t.Errorf("streamed %d records, want %d", i, len(recs))
+	}
+	// Next after EOF stays false.
+	if _, ok := rr.Next(); ok {
+		t.Error("Next after EOF should be false")
+	}
+}
+
+func TestRecordReaderDetectsCorruption(t *testing.T) {
+	recs := randomCanonical(5000, 5)
+	var buf bytes.Buffer
+	if _, err := WriteRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0xFF
+	rr, err := NewRecordReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := rr.Next(); !ok {
+			break
+		}
+	}
+	if rr.Err() == nil {
+		t.Error("corruption not reported")
+	}
+}
+
+func TestRecordReaderBadHeader(t *testing.T) {
+	if _, err := NewRecordReader(bytes.NewReader([]byte("bogusfile???"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func testSet(n int, seed int64) *cps.RecordSet {
+	rs, err := cps.FromSorted(randomCanonical(n, seed))
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+func TestCatalogWriteReadList(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := testSet(2000, 1)
+	info, err := c.Write("d1", d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != int64(d1.Len()) || info.Bytes <= 0 || info.Sensors == 0 {
+		t.Errorf("info = %+v", info)
+	}
+	if _, err := c.Write("d2", testSet(500, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	list := c.List()
+	if len(list) != 2 || list[0].Name != "d1" || list[1].Name != "d2" {
+		t.Fatalf("List = %v", list)
+	}
+	got, err := c.Read("d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d1.Len() {
+		t.Errorf("read %d records, want %d", got.Len(), d1.Len())
+	}
+	if _, err := c.Read("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestCatalogPersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := OpenCatalog(dir)
+	if _, err := c.Write("d1", testSet(100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, ok := c2.Info("d1"); !ok || info.Records != 100 && info.Records <= 0 {
+		t.Errorf("reopened info = %+v, %v", info, ok)
+	}
+}
+
+func TestCatalogReplace(t *testing.T) {
+	c, _ := OpenCatalog(t.TempDir())
+	if _, err := c.Write("d1", testSet(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	big := testSet(5000, 2)
+	info, err := c.Write("d1", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != int64(big.Len()) {
+		t.Errorf("replaced records = %d", info.Records)
+	}
+	if len(c.List()) != 1 {
+		t.Errorf("List = %v", c.List())
+	}
+}
+
+func TestCatalogDelete(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := OpenCatalog(dir)
+	if _, err := c.Write("d1", testSet(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("d1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.List()) != 0 {
+		t.Error("dataset still listed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "d1.rec")); !os.IsNotExist(err) {
+		t.Error("record file not removed")
+	}
+	if err := c.Delete("d1"); err == nil {
+		t.Error("double delete accepted")
+	}
+}
+
+func TestCatalogOpenStreaming(t *testing.T) {
+	c, _ := OpenCatalog(t.TempDir())
+	want := testSet(3000, 9)
+	if _, err := c.Write("d1", want); err != nil {
+		t.Fatal(err)
+	}
+	rr, closer, err := c.Open("d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer()
+	n := 0
+	for {
+		if _, ok := rr.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if rr.Err() != nil {
+		t.Fatal(rr.Err())
+	}
+	if n != want.Len() {
+		t.Errorf("streamed %d, want %d", n, want.Len())
+	}
+	if _, _, err := c.Open("nope"); err == nil {
+		t.Error("unknown dataset opened")
+	}
+}
+
+func TestCatalogRejectsBadNames(t *testing.T) {
+	c, _ := OpenCatalog(t.TempDir())
+	for _, name := range []string{"", "../evil", "a/b"} {
+		if _, err := c.Write(name, testSet(10, 1)); err == nil {
+			t.Errorf("name %q accepted", name)
+		}
+	}
+}
+
+func TestCatalogCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCatalog(dir); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+}

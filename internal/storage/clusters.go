@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+)
+
+var clusterMagic = [8]byte{'A', 'T', 'Y', 'P', 'C', 'L', 'U', '1'}
+
+// WriteClusters encodes clusters — features only, with child cluster IDs to
+// preserve tree structure — and returns the bytes written. The encoded size
+// of a micro-cluster set is the AC curve of Fig. 16.
+func WriteClusters(w io.Writer, cs []*cluster.Cluster) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if _, err := bw.Write(clusterMagic[:]); err != nil {
+		return cw.n, err
+	}
+	var buf []byte
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf = append(buf, scratch[:n]...)
+	}
+	put(uint64(len(cs)))
+	for _, c := range cs {
+		put(uint64(c.ID))
+		put(uint64(c.Micros))
+		put(uint64(len(c.Children)))
+		for _, ch := range c.Children {
+			put(uint64(ch.ID))
+		}
+		put(uint64(len(c.SF)))
+		prevS := cps.SensorID(0)
+		for _, e := range c.SF {
+			put(uint64(e.Key - prevS))
+			put(uint64(math.Round(float64(e.Sev) / SeverityQuantum)))
+			prevS = e.Key
+		}
+		put(uint64(len(c.TF)))
+		prevW := cps.Window(0)
+		for _, e := range c.TF {
+			put(uint64(e.Key - prevW))
+			put(uint64(math.Round(float64(e.Sev) / SeverityQuantum)))
+			prevW = e.Key
+		}
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadClusters decodes clusters written by WriteClusters. Children are
+// resolved among the decoded set when present; references to clusters
+// outside the set are dropped (partial materialization stores levels
+// separately).
+func ReadClusters(r io.Reader) ([]*cluster.Cluster, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if magic != clusterMagic {
+		return nil, ErrBadMagic
+	}
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	n, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("%w: cluster count: %v", ErrCorrupt, err)
+	}
+	out := make([]*cluster.Cluster, 0, capHint(n))
+	childIDs := make([][]cluster.ID, 0, capHint(n))
+	byID := make(map[cluster.ID]*cluster.Cluster, capHint(n))
+	for i := uint64(0); i < n; i++ {
+		id, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: cluster id: %v", ErrCorrupt, err)
+		}
+		micros, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: micros: %v", ErrCorrupt, err)
+		}
+		nc, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: child count: %v", ErrCorrupt, err)
+		}
+		if nc > 1<<20 {
+			return nil, fmt.Errorf("%w: absurd child count %d", ErrCorrupt, nc)
+		}
+		kids := make([]cluster.ID, nc)
+		for k := range kids {
+			v, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("%w: child id: %v", ErrCorrupt, err)
+			}
+			kids[k] = cluster.ID(v)
+		}
+		sf, err := readFeature[cps.SensorID](get)
+		if err != nil {
+			return nil, err
+		}
+		tf, err := readFeature[cps.Window](get)
+		if err != nil {
+			return nil, err
+		}
+		c := &cluster.Cluster{ID: cluster.ID(id), SF: sf, TF: tf, Micros: int(micros)}
+		out = append(out, c)
+		childIDs = append(childIDs, kids)
+		byID[c.ID] = c
+	}
+	for i, c := range out {
+		for _, kid := range childIDs[i] {
+			if ch, ok := byID[kid]; ok {
+				c.Children = append(c.Children, ch)
+			}
+		}
+	}
+	return out, nil
+}
+
+func readFeature[K cluster.Key](get func() (uint64, error)) (cluster.Feature[K], error) {
+	n, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("%w: feature length: %v", ErrCorrupt, err)
+	}
+	f := make(cluster.Feature[K], 0, capHint(n))
+	var prev K
+	for i := uint64(0); i < n; i++ {
+		kd, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: feature key: %v", ErrCorrupt, err)
+		}
+		sq, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: feature severity: %v", ErrCorrupt, err)
+		}
+		key := prev + K(kd)
+		f = append(f, cluster.Entry[K]{Key: key, Sev: cps.Severity(float64(sq) * SeverityQuantum)})
+		prev = key
+	}
+	return f, nil
+}
+
+// ClustersSize returns the encoded size of cs without keeping the bytes.
+func ClustersSize(cs []*cluster.Cluster) int64 {
+	n, err := WriteClusters(io.Discard, cs)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

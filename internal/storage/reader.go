@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"github.com/cpskit/atypical/internal/cps"
+)
+
+// RecordReader decodes a record file incrementally, one block at a time, so
+// streaming consumers never materialize the whole dataset. The zero value
+// is not usable; use NewRecordReader.
+type RecordReader struct {
+	br    *bufio.Reader
+	total uint64
+	read  uint64
+
+	block      []cps.Record
+	blockPos   int
+	prevWindow cps.Window
+	prevSensor cps.SensorID
+	err        error
+}
+
+// NewRecordReader validates the file header and prepares incremental
+// decoding.
+func NewRecordReader(r io.Reader) (*RecordReader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if magic != recordMagic {
+		return nil, ErrBadMagic
+	}
+	total, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: record count: %v", ErrCorrupt, err)
+	}
+	return &RecordReader{br: br, total: total}, nil
+}
+
+// Total returns the number of records the file declares.
+func (rr *RecordReader) Total() int64 { return int64(rr.total) }
+
+// Next returns the next record. ok is false at end of stream or on error;
+// check Err afterwards.
+func (rr *RecordReader) Next() (rec cps.Record, ok bool) {
+	if rr.err != nil {
+		return cps.Record{}, false
+	}
+	if rr.blockPos >= len(rr.block) {
+		if rr.read >= rr.total {
+			return cps.Record{}, false
+		}
+		if err := rr.loadBlock(); err != nil {
+			rr.err = err
+			return cps.Record{}, false
+		}
+	}
+	rec = rr.block[rr.blockPos]
+	rr.blockPos++
+	rr.read++
+	return rec, true
+}
+
+// Err returns the first decoding error encountered, or nil at clean EOF.
+func (rr *RecordReader) Err() error { return rr.err }
+
+// loadBlock decodes the next CRC-protected block into rr.block.
+func (rr *RecordReader) loadBlock() error {
+	n, err := binary.ReadUvarint(rr.br)
+	if err != nil {
+		return fmt.Errorf("%w: block header: %v", ErrCorrupt, err)
+	}
+	payloadLen, err := binary.ReadUvarint(rr.br)
+	if err != nil {
+		return fmt.Errorf("%w: block length: %v", ErrCorrupt, err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(rr.br, crcBuf[:]); err != nil {
+		return fmt.Errorf("%w: block crc: %v", ErrCorrupt, err)
+	}
+	if payloadLen > 64<<20 {
+		return fmt.Errorf("%w: absurd block length %d", ErrCorrupt, payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(rr.br, payload); err != nil {
+		return fmt.Errorf("%w: block payload: %v", ErrCorrupt, err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	rr.block = rr.block[:0]
+	rr.blockPos = 0
+	pos := 0
+	next := func() (uint64, error) {
+		v, k := binary.Uvarint(payload[pos:])
+		if k <= 0 {
+			return 0, ErrCorrupt
+		}
+		pos += k
+		return v, nil
+	}
+	for i := uint64(0); i < n; i++ {
+		wd, err := next()
+		if err != nil {
+			return err
+		}
+		sraw, err := next()
+		if err != nil {
+			return err
+		}
+		sq, err := next()
+		if err != nil {
+			return err
+		}
+		window := rr.prevWindow + cps.Window(wd)
+		var sensor cps.SensorID
+		if wd == 0 {
+			sensor = rr.prevSensor + cps.SensorID(sraw)
+		} else {
+			sensor = cps.SensorID(sraw)
+		}
+		rr.block = append(rr.block, cps.Record{
+			Sensor:   sensor,
+			Window:   window,
+			Severity: cps.Severity(float64(sq) * SeverityQuantum),
+		})
+		rr.prevWindow, rr.prevSensor = window, sensor
+	}
+	return nil
+}

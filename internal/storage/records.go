@@ -1,0 +1,232 @@
+// Package storage implements the on-disk formats: a compact block-encoded
+// record file for CPS datasets and a feature codec for atypical clusters.
+// Both formats feed the model-size comparison of Fig. 16 (AE = serialized
+// events, AC = serialized clusters, OC/MC = cube cells) and let cmd tools
+// persist datasets and forests between runs.
+//
+// Record file layout (little endian):
+//
+//	magic "ATYPREC1" | uvarint recordCount | blocks...
+//	block: uvarint n | uvarint payloadLen | uint32 crc | payload
+//	payload: n records, delta-encoded in canonical (window, sensor) order:
+//	  uvarint windowDelta (vs previous record)
+//	  uvarint sensorValue (delta vs previous sensor when windowDelta == 0,
+//	                       absolute otherwise)
+//	  uvarint round(severity / SeverityQuantum)
+//
+// Severities are quantized to SeverityQuantum on write; Quantize gives the
+// value a round trip returns. At 1/1024 minute (~60 ms of atypical duration)
+// the quantization is far below sensor resolution.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"github.com/cpskit/atypical/internal/cps"
+)
+
+// SeverityQuantum is the storage resolution of severities, in severity units
+// (minutes for the default measure).
+const SeverityQuantum = 1.0 / 1024
+
+// Quantize returns the severity value that survives a write/read round trip.
+func Quantize(s cps.Severity) cps.Severity {
+	return cps.Severity(math.Round(float64(s)/SeverityQuantum) * SeverityQuantum)
+}
+
+var recordMagic = [8]byte{'A', 'T', 'Y', 'P', 'R', 'E', 'C', '1'}
+
+// blockSize is the number of records per CRC-protected block.
+const blockSize = 8192
+
+// Errors returned by the record reader.
+var (
+	ErrBadMagic = errors.New("storage: not a record file (bad magic)")
+	ErrCorrupt  = errors.New("storage: corrupt record file")
+)
+
+// WriteRecords encodes records — which must be in canonical (window, sensor)
+// order — to w. It returns the number of bytes written.
+func WriteRecords(w io.Writer, recs []cps.Record) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if _, err := bw.Write(recordMagic[:]); err != nil {
+		return cw.n, err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(dst *[]byte, v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		*dst = append(*dst, scratch[:n]...)
+	}
+	var hdr []byte
+	writeUvarint(&hdr, uint64(len(recs)))
+	if _, err := bw.Write(hdr); err != nil {
+		return cw.n, err
+	}
+
+	var payload []byte
+	for start := 0; start < len(recs); start += blockSize {
+		end := start + blockSize
+		if end > len(recs) {
+			end = len(recs)
+		}
+		payload = payload[:0]
+		prevWindow := cps.Window(0)
+		prevSensor := cps.SensorID(0)
+		if start > 0 {
+			prevWindow = recs[start-1].Window
+			prevSensor = recs[start-1].Sensor
+		}
+		for _, r := range recs[start:end] {
+			wd := uint64(r.Window - prevWindow)
+			writeUvarint(&payload, wd)
+			if wd == 0 {
+				// Sensors strictly increase within a window; the initial
+				// prevSensor of 0 makes the first delta the absolute value.
+				writeUvarint(&payload, uint64(r.Sensor-prevSensor))
+			} else {
+				writeUvarint(&payload, uint64(r.Sensor))
+			}
+			writeUvarint(&payload, uint64(math.Round(float64(r.Severity)/SeverityQuantum)))
+			prevWindow, prevSensor = r.Window, r.Sensor
+		}
+		var blockHdr []byte
+		writeUvarint(&blockHdr, uint64(end-start))
+		writeUvarint(&blockHdr, uint64(len(payload)))
+		if _, err := bw.Write(blockHdr); err != nil {
+			return cw.n, err
+		}
+		var crcBuf [4]byte
+		binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(payload))
+		if _, err := bw.Write(crcBuf[:]); err != nil {
+			return cw.n, err
+		}
+		if _, err := bw.Write(payload); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadRecords decodes a record file written by WriteRecords, returning the
+// records in canonical order with severities quantized.
+func ReadRecords(r io.Reader) ([]cps.Record, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if magic != recordMagic {
+		return nil, ErrBadMagic
+	}
+	total, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: record count: %v", ErrCorrupt, err)
+	}
+	recs := make([]cps.Record, 0, capHint(total))
+	prevWindow := cps.Window(0)
+	prevSensor := cps.SensorID(0)
+	for uint64(len(recs)) < total {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: block header: %v", ErrCorrupt, err)
+		}
+		payloadLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: block length: %v", ErrCorrupt, err)
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return nil, fmt.Errorf("%w: block crc: %v", ErrCorrupt, err)
+		}
+		if payloadLen > 64<<20 {
+			return nil, fmt.Errorf("%w: absurd block length %d", ErrCorrupt, payloadLen)
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("%w: block payload: %v", ErrCorrupt, err)
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
+			return nil, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+		}
+		pos := 0
+		readUvarint := func() (uint64, error) {
+			v, k := binary.Uvarint(payload[pos:])
+			if k <= 0 {
+				return 0, ErrCorrupt
+			}
+			pos += k
+			return v, nil
+		}
+		for i := uint64(0); i < n; i++ {
+			wd, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			sraw, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			sq, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			window := prevWindow + cps.Window(wd)
+			var sensor cps.SensorID
+			if wd == 0 {
+				sensor = prevSensor + cps.SensorID(sraw)
+			} else {
+				sensor = cps.SensorID(sraw)
+			}
+			recs = append(recs, cps.Record{
+				Sensor:   sensor,
+				Window:   window,
+				Severity: cps.Severity(float64(sq) * SeverityQuantum),
+			})
+			prevWindow, prevSensor = window, sensor
+		}
+	}
+	return recs, nil
+}
+
+// RecordsSize returns the encoded size of recs without materializing the
+// bytes — Fig. 16's AE measurement uses it on per-event record lists.
+func RecordsSize(recs []cps.Record) int64 {
+	n, err := WriteRecords(io.Discard, recs)
+	if err != nil {
+		// io.Discard cannot fail; an error here is a programming bug.
+		panic(err)
+	}
+	return n
+}
+
+// capHint bounds slice preallocation by untrusted on-disk counts; the slice
+// still grows to the real size, but a corrupt header cannot force a huge
+// allocation up front.
+func capHint(n uint64) int {
+	const max = 1 << 20
+	if n > max {
+		return max
+	}
+	return int(n)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

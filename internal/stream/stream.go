@@ -1,0 +1,206 @@
+// Package stream maintains atypical events incrementally over an ordered
+// record stream — the online counterpart of Algorithm 1 for deployments
+// where micro-clusters must be available as events close, rather than after
+// a batch scan ("to facilitate scalable, flexible and online analysis",
+// Section I).
+//
+// The Processor consumes records in canonical (window, sensor) order. Each
+// record either joins an open event (it is direct atypical related to one of
+// the event's recent records), bridges several open events into one, or
+// opens a new event. An event closes — and its micro-cluster is emitted —
+// once no record can relate to it anymore (the stream has advanced more than
+// δt past its last record). For any finite canonical stream, the emitted
+// micro-clusters partition the records exactly as the batch extraction does;
+// see the equivalence property test.
+package stream
+
+import (
+	"fmt"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+)
+
+// event is one open atypical event under construction.
+type event struct {
+	// forward points to the event this one was merged into; nil while the
+	// event is live. Chains are collapsed on lookup (union-find style).
+	forward *event
+	records []cps.Record
+	// last is the most recent window of any record in the event.
+	last cps.Window
+}
+
+// find resolves merge forwarding with path compression.
+func (e *event) find() *event {
+	root := e
+	for root.forward != nil {
+		root = root.forward
+	}
+	for e.forward != nil {
+		next := e.forward
+		e.forward = root
+		e = next
+	}
+	return root
+}
+
+// Config parameterizes the processor.
+type Config struct {
+	// Neighbors lists, per sensor, the sensors strictly within δd (from
+	// index.NewNeighborIndex(...).NeighborLists()).
+	Neighbors [][]cps.SensorID
+	// MaxGap is the largest window gap that still links two records
+	// (cluster.MaxWindowGap(δt, width)).
+	MaxGap int
+	// Emit receives each closed event's micro-cluster. Must be non-nil.
+	Emit func(*cluster.Cluster)
+}
+
+// Processor ingests a canonical record stream and emits micro-clusters as
+// events close. Not safe for concurrent use.
+type Processor struct {
+	cfg Config
+	gen *cluster.IDGen
+
+	// recent maps each sensor to the event and window of its latest record.
+	recent map[cps.SensorID]sensorRef
+	// open lists live events (some entries may be forwarded; compacted on
+	// advance).
+	open []*event
+
+	window   cps.Window // current stream window
+	started  bool
+	observed int64
+	emitted  int64
+}
+
+type sensorRef struct {
+	ev     *event
+	window cps.Window
+}
+
+// New returns a processor; gen supplies the emitted clusters' IDs.
+func New(cfg Config, gen *cluster.IDGen) (*Processor, error) {
+	if cfg.Emit == nil {
+		return nil, fmt.Errorf("stream: Config.Emit is required")
+	}
+	if cfg.MaxGap < 0 {
+		return nil, fmt.Errorf("stream: MaxGap must be non-negative, got %d", cfg.MaxGap)
+	}
+	return &Processor{
+		cfg:    cfg,
+		gen:    gen,
+		recent: make(map[cps.SensorID]sensorRef),
+	}, nil
+}
+
+// Observed returns the number of records consumed.
+func (p *Processor) Observed() int64 { return p.observed }
+
+// Emitted returns the number of micro-clusters emitted.
+func (p *Processor) Emitted() int64 { return p.emitted }
+
+// OpenEvents returns the number of events still under construction.
+func (p *Processor) OpenEvents() int {
+	n := 0
+	for _, e := range p.open {
+		if e.forward == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Observe consumes one record. Records must arrive in canonical (window,
+// sensor) order; out-of-order records are rejected.
+func (p *Processor) Observe(r cps.Record) error {
+	if p.started && r.Window < p.window {
+		return fmt.Errorf("stream: record window %d before current window %d", r.Window, p.window)
+	}
+	if !p.started || r.Window > p.window {
+		p.advance(r.Window)
+	}
+	p.observed++
+
+	// Gather the open events this record is direct atypical related to:
+	// same sensor, or a δd-neighbor, with a record within MaxGap windows.
+	var home *event
+	join := func(s cps.SensorID) {
+		ref, ok := p.recent[s]
+		if !ok || r.Window-ref.window > cps.Window(p.cfg.MaxGap) {
+			return
+		}
+		ev := ref.ev.find()
+		switch {
+		case home == nil:
+			home = ev
+		case home != ev:
+			// The record bridges two open events: merge the smaller into
+			// the larger.
+			if len(ev.records) > len(home.records) {
+				home, ev = ev, home
+			}
+			home.records = append(home.records, ev.records...)
+			if ev.last > home.last {
+				home.last = ev.last
+			}
+			ev.forward = home
+			ev.records = nil
+		}
+	}
+	join(r.Sensor)
+	if int(r.Sensor) < len(p.cfg.Neighbors) {
+		for _, nb := range p.cfg.Neighbors[r.Sensor] {
+			join(nb)
+		}
+	}
+	if home == nil {
+		home = &event{}
+		p.open = append(p.open, home)
+	}
+	home.records = append(home.records, r)
+	if r.Window > home.last {
+		home.last = r.Window
+	}
+	p.recent[r.Sensor] = sensorRef{ev: home, window: r.Window}
+	return nil
+}
+
+// advance moves the stream clock to w, closing events that can no longer
+// gain records (last record more than MaxGap windows in the past).
+func (p *Processor) advance(w cps.Window) {
+	p.window = w
+	p.started = true
+	live := p.open[:0]
+	for _, e := range p.open {
+		if e.forward != nil {
+			continue // merged away
+		}
+		if w-e.last > cps.Window(p.cfg.MaxGap) {
+			p.emit(e)
+			continue
+		}
+		live = append(live, e)
+	}
+	p.open = live
+}
+
+// Flush closes every open event; call at end of stream.
+func (p *Processor) Flush() {
+	for _, e := range p.open {
+		if e.forward == nil {
+			p.emit(e)
+		}
+	}
+	p.open = p.open[:0]
+	p.recent = make(map[cps.SensorID]sensorRef)
+	p.started = false
+}
+
+func (p *Processor) emit(e *event) {
+	// Records joined out of canonical order during merges; FromRecords
+	// canonicalizes features regardless, so no sort is needed here.
+	p.emitted++
+	p.cfg.Emit(cluster.FromRecords(p.gen.Next(), e.records))
+}

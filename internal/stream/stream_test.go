@@ -1,0 +1,286 @@
+package stream
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/gen"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/index"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+func lineLocs(n int, spacingMiles float64) []geo.Point {
+	locs := make([]geo.Point, n)
+	for i := range locs {
+		locs[i] = geo.Point{Lat: 34, Lon: -118 + float64(i)*spacingMiles/geo.MilesPerDegreeLon(34)}
+	}
+	return locs
+}
+
+func newProc(t testing.TB, locs []geo.Point, deltaD float64, maxGap int) (*Processor, *[]*cluster.Cluster) {
+	t.Helper()
+	var out []*cluster.Cluster
+	var g cluster.IDGen
+	p, err := New(Config{
+		Neighbors: index.NewNeighborIndex(locs, deltaD).NeighborLists(),
+		MaxGap:    maxGap,
+		Emit:      func(c *cluster.Cluster) { out = append(out, c) },
+	}, &g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, &out
+}
+
+func feed(t testing.TB, p *Processor, recs []cps.Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := p.Observe(r); err != nil {
+			t.Fatalf("Observe(%v): %v", r, err)
+		}
+	}
+	p.Flush()
+}
+
+func TestNewValidation(t *testing.T) {
+	var g cluster.IDGen
+	if _, err := New(Config{MaxGap: 1}, &g); err == nil {
+		t.Error("nil Emit accepted")
+	}
+	if _, err := New(Config{MaxGap: -1, Emit: func(*cluster.Cluster) {}}, &g); err == nil {
+		t.Error("negative MaxGap accepted")
+	}
+}
+
+func TestRejectsOutOfOrder(t *testing.T) {
+	p, _ := newProc(t, lineLocs(3, 1), 1.5, 2)
+	if err := p.Observe(cps.Record{Sensor: 0, Window: 5, Severity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(cps.Record{Sensor: 0, Window: 4, Severity: 1}); err == nil {
+		t.Error("out-of-order record accepted")
+	}
+}
+
+func TestSingleEvent(t *testing.T) {
+	p, out := newProc(t, lineLocs(4, 1), 1.5, 2)
+	feed(t, p, []cps.Record{
+		{Sensor: 0, Window: 0, Severity: 2},
+		{Sensor: 1, Window: 0, Severity: 3},
+		{Sensor: 1, Window: 1, Severity: 4},
+	})
+	if len(*out) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(*out))
+	}
+	c := (*out)[0]
+	if c.Severity() != 9 {
+		t.Errorf("severity = %v", c.Severity())
+	}
+	if p.Observed() != 3 || p.Emitted() != 1 {
+		t.Errorf("counters = %d, %d", p.Observed(), p.Emitted())
+	}
+}
+
+func TestEventClosesAfterGap(t *testing.T) {
+	p, out := newProc(t, lineLocs(2, 1), 1.5, 2)
+	if err := p.Observe(cps.Record{Sensor: 0, Window: 0, Severity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Advancing the stream by more than MaxGap closes the first event
+	// before Flush.
+	if err := p.Observe(cps.Record{Sensor: 0, Window: 10, Severity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*out) != 1 {
+		t.Fatalf("event should have closed on advance, emitted %d", len(*out))
+	}
+	if p.OpenEvents() != 1 {
+		t.Errorf("open events = %d, want 1", p.OpenEvents())
+	}
+	p.Flush()
+	if len(*out) != 2 {
+		t.Errorf("after flush emitted = %d", len(*out))
+	}
+}
+
+func TestBridgeMergesEvents(t *testing.T) {
+	// Sensors 0 and 2 are 2 miles apart (unrelated at δd=1.5); sensor 1
+	// sits between them and bridges.
+	p, out := newProc(t, lineLocs(3, 1), 1.5, 2)
+	feed(t, p, []cps.Record{
+		{Sensor: 0, Window: 0, Severity: 1},
+		{Sensor: 2, Window: 0, Severity: 1},
+		{Sensor: 1, Window: 1, Severity: 1}, // bridges both open events
+	})
+	if len(*out) != 1 {
+		t.Fatalf("clusters = %d, want 1 (bridged)", len(*out))
+	}
+	if (*out)[0].Severity() != 3 {
+		t.Errorf("severity = %v", (*out)[0].Severity())
+	}
+}
+
+// The central property: streaming emission partitions records exactly like
+// batch extraction (Algorithm 1).
+func TestMatchesBatchExtraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	locs := lineLocs(25, 0.8)
+	neighbors := index.NewNeighborIndex(locs, 1.5).NeighborLists()
+	for trial := 0; trial < 15; trial++ {
+		maxGap := trial % 4
+		var recs []cps.Record
+		n := 100 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			recs = append(recs, cps.Record{
+				Sensor:   cps.SensorID(rng.Intn(25)),
+				Window:   cps.Window(rng.Intn(80)),
+				Severity: cps.Severity(rng.Intn(5)) + 1,
+			})
+		}
+		canonical := cps.NewRecordSet(recs).Records()
+
+		var got []*cluster.Cluster
+		var g cluster.IDGen
+		p, err := New(Config{
+			Neighbors: neighbors,
+			MaxGap:    maxGap,
+			Emit:      func(c *cluster.Cluster) { got = append(got, c) },
+		}, &g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(t, p, canonical)
+
+		var g2 cluster.IDGen
+		want := cluster.ExtractMicroClusters(&g2, canonical, neighbors, maxGap)
+		if !sameClusterSet(got, want) {
+			t.Fatalf("trial %d (maxGap %d): stream %d clusters != batch %d clusters",
+				trial, maxGap, len(got), len(want))
+		}
+	}
+}
+
+// sameClusterSet compares cluster sets by canonical feature fingerprints.
+func sameClusterSet(a, b []*cluster.Cluster) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fa, fb := fingerprints(a), fingerprints(b)
+	for i := range fa {
+		if fa[i] != fb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func fingerprints(cs []*cluster.Cluster) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		s := ""
+		for _, e := range c.SF {
+			s += string(rune(e.Key)) + ":" + string(rune(int(e.Sev*8))) + ";"
+		}
+		s += "|"
+		for _, e := range c.TF {
+			s += string(rune(e.Key)) + ":" + string(rune(int(e.Sev*8))) + ";"
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Property: total severity and record counts are conserved through the
+// processor regardless of input shape.
+func TestConservationProperty(t *testing.T) {
+	locs := lineLocs(10, 1)
+	neighbors := index.NewNeighborIndex(locs, 1.5).NeighborLists()
+	f := func(seeds []uint16, gapRaw uint8) bool {
+		recs := make([]cps.Record, 0, len(seeds))
+		for _, x := range seeds {
+			recs = append(recs, cps.Record{
+				Sensor:   cps.SensorID(x % 10),
+				Window:   cps.Window(x / 10 % 50),
+				Severity: cps.Severity(x%4) + 1,
+			})
+		}
+		canonical := cps.NewRecordSet(recs).Records()
+		var total cps.Severity
+		for _, r := range canonical {
+			total += r.Severity
+		}
+		var got cps.Severity
+		var g cluster.IDGen
+		p, err := New(Config{
+			Neighbors: neighbors,
+			MaxGap:    int(gapRaw % 4),
+			Emit:      func(c *cluster.Cluster) { got += c.Severity() },
+		}, &g)
+		if err != nil {
+			return false
+		}
+		for _, r := range canonical {
+			if p.Observe(r) != nil {
+				return false
+			}
+		}
+		p.Flush()
+		d := float64(total - got)
+		return d < 1e-6 && d > -1e-6 && p.Observed() == int64(len(canonical))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// End to end on the synthetic workload: streaming a full day of traffic
+// produces the batch micro-clusters.
+func TestStreamsSyntheticDay(t *testing.T) {
+	net := traffic.GenerateNetwork(traffic.ScaledConfig(200))
+	cfg := gen.DefaultConfig(net)
+	cfg.DaysPerMonth = 1
+	g, err := gen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Month(0)
+	locs := make([]geo.Point, net.NumSensors())
+	for i, s := range net.Sensors {
+		locs[i] = s.Loc
+	}
+	neighbors := index.NewNeighborIndex(locs, 1.5).NeighborLists()
+	maxGap := cluster.MaxWindowGap(15*time.Minute, cps.DefaultSpec().Width)
+
+	var got []*cluster.Cluster
+	var idgen cluster.IDGen
+	p, err := New(Config{
+		Neighbors: neighbors,
+		MaxGap:    maxGap,
+		Emit:      func(c *cluster.Cluster) { got = append(got, c) },
+	}, &idgen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, p, ds.Atypical.Records())
+
+	var idgen2 cluster.IDGen
+	want := cluster.ExtractMicroClusters(&idgen2, ds.Atypical.Records(), neighbors, maxGap)
+	if len(got) != len(want) {
+		t.Fatalf("stream %d clusters, batch %d", len(got), len(want))
+	}
+	var gotSev, wantSev cps.Severity
+	for i := range got {
+		gotSev += got[i].Severity()
+		wantSev += want[i].Severity()
+	}
+	if d := float64(gotSev - wantSev); d > 1e-6 || d < -1e-6 {
+		t.Errorf("severity: stream %v, batch %v", gotSev, wantSev)
+	}
+}

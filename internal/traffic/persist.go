@@ -1,0 +1,141 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+)
+
+// Topology persistence: real deployments have a fixed sensor topology that
+// tools must share exactly (atypgen/atypforest/atypquery all resolve the
+// same SensorIDs). The JSON format stores the highways, sensors and grid
+// parameters; Load rebuilds the derived structures (region assignment,
+// per-region sensor lists).
+
+// networkJSON is the serialized form.
+type networkJSON struct {
+	Version  int           `json:"version"`
+	Grid     gridJSON      `json:"grid"`
+	Highways []highwayJSON `json:"highways"`
+	Sensors  []sensorJSON  `json:"sensors"`
+}
+
+type gridJSON struct {
+	Box   geo.BBox `json:"box"`
+	Rows  int      `json:"rows"`
+	Cols  int      `json:"cols"`
+	DRows int      `json:"district_rows"`
+	DCols int      `json:"district_cols"`
+}
+
+type highwayJSON struct {
+	ID   HighwayID   `json:"id"`
+	Name string      `json:"name"`
+	Dir  Direction   `json:"dir"`
+	Path []geo.Point `json:"path"`
+}
+
+type sensorJSON struct {
+	ID       cps.SensorID `json:"id"`
+	Highway  HighwayID    `json:"highway"`
+	MilePost float64      `json:"milepost"`
+	Loc      geo.Point    `json:"loc"`
+}
+
+// Save writes the network topology as JSON.
+func (n *Network) Save(w io.Writer) error {
+	out := networkJSON{
+		Version: 1,
+		Grid: gridJSON{
+			Box:   n.Grid.Box,
+			Rows:  n.Grid.Rows,
+			Cols:  n.Grid.Cols,
+			DRows: n.Grid.DistrictRows,
+			DCols: n.Grid.DistrictCols,
+		},
+	}
+	for _, hw := range n.Highways {
+		out.Highways = append(out.Highways, highwayJSON{
+			ID: hw.ID, Name: hw.Name, Dir: hw.Dir, Path: hw.Path,
+		})
+	}
+	for _, s := range n.Sensors {
+		out.Sensors = append(out.Sensors, sensorJSON{
+			ID: s.ID, Highway: s.Highway, MilePost: s.MilePost, Loc: s.Loc,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&out); err != nil {
+		return fmt.Errorf("traffic: encoding network: %w", err)
+	}
+	return nil
+}
+
+// LoadNetwork reads a topology written by Save and rebuilds the derived
+// structures. Sensor IDs must be dense (0..n-1) and sensors are re-attached
+// to their highways in milepost order.
+func LoadNetwork(r io.Reader) (*Network, error) {
+	var in networkJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("traffic: decoding network: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("traffic: unsupported network version %d", in.Version)
+	}
+	if in.Grid.Rows <= 0 || in.Grid.Cols <= 0 || in.Grid.DRows <= 0 || in.Grid.DCols <= 0 {
+		return nil, fmt.Errorf("traffic: invalid grid dimensions in network file")
+	}
+	net := &Network{
+		Grid:            geo.NewGrid(in.Grid.Box, in.Grid.Rows, in.Grid.Cols, in.Grid.DRows, in.Grid.DCols),
+		sensorsByRegion: make(map[geo.RegionID][]cps.SensorID),
+	}
+	maxHW := HighwayID(0)
+	for _, hw := range in.Highways {
+		if hw.ID > maxHW {
+			maxHW = hw.ID
+		}
+	}
+	net.Highways = make([]Highway, maxHW+1)
+	for _, hw := range in.Highways {
+		net.Highways[hw.ID] = Highway{ID: hw.ID, Name: hw.Name, Dir: hw.Dir, Path: hw.Path}
+	}
+	net.Sensors = make([]Sensor, len(in.Sensors))
+	for _, s := range in.Sensors {
+		if int(s.ID) >= len(in.Sensors) {
+			return nil, fmt.Errorf("traffic: sensor ids must be dense, got id %d of %d sensors", s.ID, len(in.Sensors))
+		}
+		if int(s.Highway) >= len(net.Highways) {
+			return nil, fmt.Errorf("traffic: sensor %d references unknown highway %d", s.ID, s.Highway)
+		}
+		net.Sensors[s.ID] = Sensor{
+			ID:       s.ID,
+			Highway:  s.Highway,
+			MilePost: s.MilePost,
+			Loc:      s.Loc,
+			Region:   net.Grid.Locate(s.Loc),
+		}
+	}
+	// Re-derive highway sensor lists (milepost order) and region lists.
+	for _, s := range net.Sensors {
+		hw := &net.Highways[s.Highway]
+		hw.Sensors = append(hw.Sensors, s.ID)
+		if s.Region != geo.NoRegion {
+			net.sensorsByRegion[s.Region] = append(net.sensorsByRegion[s.Region], s.ID)
+		}
+	}
+	for i := range net.Highways {
+		hw := &net.Highways[i]
+		sort.Slice(hw.Sensors, func(a, b int) bool {
+			return net.Sensors[hw.Sensors[a]].MilePost < net.Sensors[hw.Sensors[b]].MilePost
+		})
+	}
+	for _, ids := range net.sensorsByRegion {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	return net, nil
+}

@@ -1,0 +1,78 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNetworkSaveLoadRoundTrip(t *testing.T) {
+	orig := GenerateNetwork(ScaledConfig(400))
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSensors() != orig.NumSensors() {
+		t.Fatalf("sensors: %d vs %d", got.NumSensors(), orig.NumSensors())
+	}
+	if len(got.Highways) != len(orig.Highways) {
+		t.Fatalf("highways: %d vs %d", len(got.Highways), len(orig.Highways))
+	}
+	for i := range orig.Sensors {
+		a, b := orig.Sensors[i], got.Sensors[i]
+		if a.ID != b.ID || a.Highway != b.Highway || a.Loc != b.Loc || a.Region != b.Region {
+			t.Fatalf("sensor %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	for i := range orig.Highways {
+		a, b := orig.Highways[i], got.Highways[i]
+		if a.Name != b.Name || a.Dir != b.Dir || len(a.Sensors) != len(b.Sensors) {
+			t.Fatalf("highway %d differs", i)
+		}
+		for k := range a.Sensors {
+			if a.Sensors[k] != b.Sensors[k] {
+				t.Fatalf("highway %d sensor order differs at %d", i, k)
+			}
+		}
+	}
+	// Derived structures behave identically.
+	for _, r := range orig.Grid.Regions() {
+		a, b := orig.SensorsInRegion(r.ID), got.SensorsInRegion(r.ID)
+		if len(a) != len(b) {
+			t.Fatalf("region %d sensors: %d vs %d", r.ID, len(a), len(b))
+		}
+	}
+	if orig.Grid.NumDistricts() != got.Grid.NumDistricts() {
+		t.Error("district structure differs")
+	}
+}
+
+func TestLoadNetworkRejectsGarbage(t *testing.T) {
+	if _, err := LoadNetwork(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadNetwork(strings.NewReader(`{"version": 9}`)); err == nil {
+		t.Error("unknown version accepted")
+	}
+	if _, err := LoadNetwork(strings.NewReader(`{"version": 1, "grid": {"rows": 0}}`)); err == nil {
+		t.Error("bad grid accepted")
+	}
+	// Sparse sensor ids rejected.
+	sparse := `{"version":1,"grid":{"box":{"Min":{"Lat":0,"Lon":0},"Max":{"Lat":1,"Lon":1}},"rows":2,"cols":2,"district_rows":1,"district_cols":1},
+		"highways":[{"id":0,"name":"H","dir":0,"path":[]}],
+		"sensors":[{"id":5,"highway":0,"milepost":1,"loc":{"Lat":0.5,"Lon":0.5}}]}`
+	if _, err := LoadNetwork(strings.NewReader(sparse)); err == nil {
+		t.Error("sparse sensor ids accepted")
+	}
+	// Unknown highway reference rejected.
+	badHW := `{"version":1,"grid":{"box":{"Min":{"Lat":0,"Lon":0},"Max":{"Lat":1,"Lon":1}},"rows":2,"cols":2,"district_rows":1,"district_cols":1},
+		"highways":[{"id":0,"name":"H","dir":0,"path":[]}],
+		"sensors":[{"id":0,"highway":7,"milepost":1,"loc":{"Lat":0.5,"Lon":0.5}}]}`
+	if _, err := LoadNetwork(strings.NewReader(badHW)); err == nil {
+		t.Error("unknown highway reference accepted")
+	}
+}

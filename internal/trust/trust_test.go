@@ -1,0 +1,231 @@
+package trust
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/gen"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/index"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+func lineLocs(n int, spacing float64) []geo.Point {
+	locs := make([]geo.Point, n)
+	for i := range locs {
+		locs[i] = geo.Point{Lat: 34, Lon: -118 + float64(i)*spacing/geo.MilesPerDegreeLon(34)}
+	}
+	return locs
+}
+
+func analyzer(t *testing.T, locs []geo.Point, deltaD float64, maxGap int) *Analyzer {
+	t.Helper()
+	a, err := New(Config{
+		Neighbors: index.NewNeighborIndex(locs, deltaD).NeighborLists(),
+		MaxGap:    maxGap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{MaxGap: -1}); err == nil {
+		t.Error("negative MaxGap accepted")
+	}
+	if _, err := New(Config{Prior: -1}); err == nil {
+		t.Error("negative Prior accepted")
+	}
+}
+
+func TestScoresCorroboration(t *testing.T) {
+	locs := lineLocs(5, 1)
+	a := analyzer(t, locs, 1.5, 1)
+	recs := cps.NewRecordSet([]cps.Record{
+		// Sensors 0 and 1 corroborate each other.
+		{Sensor: 0, Window: 10, Severity: 2},
+		{Sensor: 1, Window: 11, Severity: 2},
+		// Sensor 4 fires alone, repeatedly.
+		{Sensor: 4, Window: 5, Severity: 2},
+		{Sensor: 4, Window: 40, Severity: 2},
+		{Sensor: 4, Window: 80, Severity: 2},
+	}).Records()
+	scores := a.Scores(recs)
+	if len(scores) != 3 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	tm := TrustMap(scores)
+	if tm[0] <= tm[4] || tm[1] <= tm[4] {
+		t.Errorf("corroborated sensors should outrank the lone one: %v", tm)
+	}
+	// Corroboration counts: sensors 0,1 fully corroborated; 4 never.
+	for _, s := range scores {
+		switch s.Sensor {
+		case 0, 1:
+			if s.Corroborated != s.Records {
+				t.Errorf("sensor %d corroborated %d/%d", s.Sensor, s.Corroborated, s.Records)
+			}
+		case 4:
+			if s.Corroborated != 0 {
+				t.Errorf("sensor 4 corroborated %d", s.Corroborated)
+			}
+		}
+	}
+}
+
+func TestSameSensorDoesNotSelfCorroborate(t *testing.T) {
+	locs := lineLocs(3, 10) // far apart: no neighbors
+	a := analyzer(t, locs, 1.5, 2)
+	recs := cps.NewRecordSet([]cps.Record{
+		{Sensor: 0, Window: 10, Severity: 2},
+		{Sensor: 0, Window: 11, Severity: 2},
+	}).Records()
+	scores := a.Scores(recs)
+	if scores[0].Corroborated != 0 {
+		t.Error("a sensor must not corroborate itself")
+	}
+}
+
+func TestMaxGapZeroRequiresSameWindow(t *testing.T) {
+	locs := lineLocs(2, 1)
+	a := analyzer(t, locs, 1.5, 0)
+	recs := cps.NewRecordSet([]cps.Record{
+		{Sensor: 0, Window: 10, Severity: 2},
+		{Sensor: 1, Window: 11, Severity: 2}, // adjacent window: not corroborating at gap 0
+	}).Records()
+	for _, s := range a.Scores(recs) {
+		if s.Corroborated != 0 {
+			t.Errorf("sensor %d corroborated across windows at MaxGap 0", s.Sensor)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	scores := []Score{
+		{Sensor: 1, Trust: 0.9},
+		{Sensor: 2, Trust: 0.2},
+	}
+	recs := []cps.Record{
+		{Sensor: 1, Window: 0, Severity: 1},
+		{Sensor: 2, Window: 0, Severity: 1},
+		{Sensor: 3, Window: 0, Severity: 1}, // unscored: kept
+	}
+	got := Filter(recs, scores, 0.5)
+	if len(got) != 2 {
+		t.Fatalf("filtered = %d records", len(got))
+	}
+	if got[0].Sensor != 1 || got[1].Sensor != 3 {
+		t.Errorf("kept %v", got)
+	}
+}
+
+func TestLeastTrusted(t *testing.T) {
+	scores := []Score{
+		{Sensor: 1, Trust: 0.9},
+		{Sensor: 2, Trust: 0.1},
+		{Sensor: 3, Trust: 0.5},
+	}
+	got := LeastTrusted(scores, 2)
+	if len(got) != 2 || got[0].Sensor != 2 || got[1].Sensor != 3 {
+		t.Errorf("LeastTrusted = %v", got)
+	}
+	if got := LeastTrusted(scores, 99); len(got) != 3 {
+		t.Errorf("over-ask = %d", len(got))
+	}
+}
+
+// End to end: inject faulty chattering sensors into the synthetic workload;
+// they must sink to the bottom of the trust ranking, and filtering them
+// must not disturb the real events.
+func TestDetectsFaultySensorsInWorkload(t *testing.T) {
+	net := traffic.GenerateNetwork(traffic.ScaledConfig(250))
+	spec := cps.DefaultSpec()
+	cfg := gen.DefaultConfig(net)
+	cfg.DaysPerMonth = 5
+	cfg.NoisePerDay = 0 // keep the background clean for a crisp oracle
+	g, err := gen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Month(0)
+
+	// Faulty sensors chatter at random windows, uncorroborated. They sit
+	// on incident-only highways — a faulty sensor inside a recurring
+	// congestion corridor is (correctly) corroborated by the real events
+	// around it.
+	rng := rand.New(rand.NewSource(9))
+	faulty := []cps.SensorID{
+		net.Highways[4].Sensors[5],
+		net.Highways[5].Sensors[9],
+		net.Highways[9].Sensors[3],
+	}
+	var noisy []cps.Record
+	noisy = append(noisy, ds.Atypical.Records()...)
+	for _, s := range faulty {
+		for i := 0; i < 80; i++ {
+			noisy = append(noisy, cps.Record{
+				Sensor:   s,
+				Window:   cps.Window(rng.Intn(5 * spec.PerDay())),
+				Severity: 2,
+			})
+		}
+	}
+	all := cps.NewRecordSet(noisy)
+
+	locs := make([]geo.Point, net.NumSensors())
+	for i, s := range net.Sensors {
+		locs[i] = s.Loc
+	}
+	a, err := New(Config{
+		Neighbors: index.NewNeighborIndex(locs, 1.5).NeighborLists(),
+		MaxGap:    cluster.MaxWindowGap(15*time.Minute, spec.Width),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := a.Scores(all.Records())
+	worst := LeastTrusted(scores, len(faulty))
+	found := map[cps.SensorID]bool{}
+	for _, s := range worst {
+		found[s.Sensor] = true
+	}
+	for _, s := range faulty {
+		if !found[s] {
+			t.Errorf("faulty sensor %d not in the bottom %d: %v", s, len(faulty), worst)
+		}
+	}
+
+	// Filtering at a threshold between faulty and healthy trust removes
+	// most chatter while keeping the events.
+	tm := TrustMap(scores)
+	var maxFaulty float64
+	for _, s := range faulty {
+		if tm[s] > maxFaulty {
+			maxFaulty = tm[s]
+		}
+	}
+	filtered := Filter(all.Records(), scores, maxFaulty+0.01)
+	if len(filtered) >= all.Len() {
+		t.Error("filtering removed nothing")
+	}
+	removed := all.Len() - len(filtered)
+	if removed < 200 { // 240 injected chatter records, some coalesced
+		t.Errorf("removed %d records, expected most of the injected chatter", removed)
+	}
+	// Real event records survive: total filtered severity stays near the
+	// clean dataset's.
+	var cleanSev, filtSev cps.Severity
+	for _, r := range ds.Atypical.Records() {
+		cleanSev += r.Severity
+	}
+	for _, r := range filtered {
+		filtSev += r.Severity
+	}
+	if float64(filtSev) < 0.95*float64(cleanSev) {
+		t.Errorf("filtering lost real event mass: %v of %v", filtSev, cleanSev)
+	}
+}
