@@ -1,0 +1,39 @@
+GO      ?= go
+FUZZTIME ?= 10s
+
+CLUSTER_FUZZ = FuzzMergeCommutativity FuzzMergeAssociativity FuzzMicroVsRawAgreement
+CUBE_FUZZ    = FuzzCubeDeterminism
+
+.PHONY: all build test race lint fuzz-smoke ci
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## lint: curated go vet passes plus the project analyzers (floatcmp,
+## rangedeterminism, featuremutation, lockcheck). Must exit 0 on every PR.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/atyplint ./...
+
+## fuzz-smoke: bounded-budget run of every fuzz target; catches regressions
+## in the cluster algebra (Properties 2 and 3) and cube/report determinism
+## without open-ended CI time.
+fuzz-smoke:
+	@for t in $(CLUSTER_FUZZ); do \
+		echo "-- fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/cluster/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+	@for t in $(CUBE_FUZZ); do \
+		echo "-- fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/cube/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+ci: build lint race fuzz-smoke

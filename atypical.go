@@ -181,13 +181,13 @@ func (s *System) GenerateMonth(m int) *gen.Dataset { return s.gen.Month(m) }
 // Algorithm 1 per day (events → micro-clusters into the forest) plus the
 // bottom-up severity index used for red zones.
 func (s *System) Ingest(rs *cps.RecordSet) {
-	for day, recs := range rs.SplitByDay(s.spec) {
+	cps.ForEachDay(rs.SplitByDay(s.spec), func(day int, recs []cps.Record) {
 		micros := cluster.ExtractMicroClusters(&s.idgen, recs, s.neighbors, s.maxGap)
 		if existing := s.forest.Day(day); existing != nil {
 			micros = append(existing, micros...)
 		}
 		s.forest.AddDay(day, micros)
-	}
+	})
 	s.sev.Add(rs.Records())
 }
 

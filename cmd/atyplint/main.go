@@ -1,0 +1,175 @@
+// Command atyplint runs the repository's custom static analyzers plus a
+// curated set of go vet passes over the given packages.
+//
+// Usage:
+//
+//	go run ./cmd/atyplint [flags] [packages]
+//
+// With no package arguments it analyzes ./.... Exit status is 1 when any
+// diagnostic is reported, 2 on operational failure, 0 on a clean tree.
+//
+// The analyzers encode the invariants the paper's cluster algebra depends
+// on (see DESIGN.md, "Static analysis & invariants"):
+//
+//	floatcmp          no ==/!= on float severities or similarities
+//	rangedeterminism  no map-iteration order leaking into output
+//	featuremutation   SF/TF only written by the cluster package
+//	lockcheck         no lock copies, no Lock without Unlock
+//
+// A finding can be suppressed — with a written justification — by a
+// "//atyplint:ignore <analyzer> reason" comment on the same or preceding
+// line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"github.com/cpskit/atypical/internal/analysis/featuremutation"
+	"github.com/cpskit/atypical/internal/analysis/floatcmp"
+	"github.com/cpskit/atypical/internal/analysis/framework"
+	"github.com/cpskit/atypical/internal/analysis/load"
+	"github.com/cpskit/atypical/internal/analysis/lockcheck"
+	"github.com/cpskit/atypical/internal/analysis/rangedeterminism"
+)
+
+// analyzers is the multichecker suite, alphabetical.
+var analyzers = []*framework.Analyzer{
+	featuremutation.Analyzer,
+	floatcmp.Analyzer,
+	lockcheck.Analyzer,
+	rangedeterminism.Analyzer,
+}
+
+// vetPasses is the curated go vet subset run alongside the custom suite:
+// the passes most relevant to the algebra (printf verbs in reports, copied
+// locks vet can see that lockcheck's subset cannot, atomic misuse, tautological
+// bool conditions, unkeyed composite literals).
+var vetPasses = []string{"-printf", "-copylocks", "-atomic", "-bools", "-composites"}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list  = flag.Bool("list", false, "list analyzers and exit")
+		only  = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		noVet = flag.Bool("novet", false, "skip the curated go vet passes")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+
+	selected := analyzers
+	if *only != "" {
+		selected = nil
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		for _, a := range analyzers {
+			if want[a.Name] {
+				selected = append(selected, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 {
+			unknown := make([]string, 0, len(want))
+			for name := range want {
+				unknown = append(unknown, name)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "atyplint: unknown analyzer(s) %s\n", strings.Join(unknown, ", "))
+			return 2
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := load.Packages("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atyplint: %v\n", err)
+		return 2
+	}
+
+	type finding struct {
+		pos      string
+		analyzer string
+		msg      string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		sup := framework.CollectSuppressions(pkg.Fset, pkg.Syntax)
+		for _, a := range selected {
+			pass := &framework.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d framework.Diagnostic) {
+				if sup.Suppressed(pkg.Fset, name, d.Pos) {
+					return
+				}
+				findings = append(findings, finding{
+					pos:      pkg.Fset.Position(d.Pos).String(),
+					analyzer: name,
+					msg:      d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "atyplint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
+				return 2
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos != findings[j].pos {
+			return findings[i].pos < findings[j].pos
+		}
+		return findings[i].analyzer < findings[j].analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s: %s: %s\n", f.pos, f.analyzer, f.msg)
+	}
+
+	status := 0
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "atyplint: %d finding(s)\n", len(findings))
+		status = 1
+	}
+
+	if !*noVet {
+		args := append(append([]string{"vet"}, vetPasses...), patterns...)
+		cmd := exec.Command("go", args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "atyplint: go vet %s reported findings\n", strings.Join(vetPasses, " "))
+			status = 1
+		}
+	}
+	return status
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

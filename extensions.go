@@ -42,12 +42,12 @@ func (s *System) IngestClusters(micros []*Cluster) {
 		day := int(c.TF[0].Key / perDay)
 		byDay[day] = append(byDay[day], c)
 	}
-	for day, cs := range byDay {
+	cps.ForEachDay(byDay, func(day int, cs []*Cluster) {
 		if existing := s.forest.Day(day); existing != nil {
 			cs = append(existing, cs...)
 		}
 		s.forest.AddDay(day, cs)
-	}
+	})
 }
 
 // PredictionModel forecasts per-sensor and per-window severity from

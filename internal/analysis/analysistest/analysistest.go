@@ -1,0 +1,140 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations written in the fixture source, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture lives under testdata/src/<pkg>/ relative to the analyzer's test
+// file. Lines that should trigger a diagnostic carry a trailing comment
+//
+//	x := a == b // want `floating-point ==`
+//
+// where the backquoted (or double-quoted) text is a regular expression that
+// must match the diagnostic message reported on that line. Multiple
+// patterns on one line expect multiple diagnostics. Diagnostics without a
+// matching expectation, and expectations without a matching diagnostic,
+// fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/framework"
+	"github.com/cpskit/atypical/internal/analysis/load"
+)
+
+// wantRe extracts the expectation patterns from a "// want ..." comment:
+// a sequence of double-quoted Go strings or backquoted raw strings.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one want-pattern at a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> beneath dir, applies the analyzer, and
+// reports mismatches through t. It returns the diagnostics for callers that
+// want to assert more.
+func Run(t *testing.T, dir string, a *framework.Analyzer, pkg string) []framework.Diagnostic {
+	t.Helper()
+	root := dir + "/src"
+	loaded, err := load.FixturePackage(root, pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+
+	expectations := collectWants(t, loaded)
+
+	var diags []framework.Diagnostic
+	pass := &framework.Pass{
+		Analyzer:  a,
+		Fset:      loaded.Fset,
+		Files:     loaded.Syntax,
+		Pkg:       loaded.Types,
+		TypesInfo: loaded.TypesInfo,
+		Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s on fixture %s: %v", a.Name, pkg, err)
+	}
+
+	for _, d := range diags {
+		pos := loaded.Fset.Position(d.Pos)
+		if !claim(expectations, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range expectations {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.re)
+		}
+	}
+	return diags
+}
+
+// collectWants scans fixture comments for want-expectations.
+func collectWants(t *testing.T, pkg *load.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") && text != "want" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns := wantRe.FindAllString(strings.TrimPrefix(text, "want"), -1)
+				if len(patterns) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, p := range patterns {
+					s, err := unquote(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, p, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, s, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func unquote(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		return strings.Trim(s, "`"), nil
+	}
+	return strconv.Unquote(s)
+}
+
+// claim marks the first unmatched expectation at (file, line) whose pattern
+// matches msg.
+func claim(exps []*expectation, file string, line int, msg string) bool {
+	for _, e := range exps {
+		if !e.matched && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Positions formats diagnostics for debugging helpers.
+func Positions(fset *token.FileSet, diags []framework.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+// Package featuremutation defines an analyzer that flags direct writes to a
+// cluster's SF/TF features outside the cluster package.
+//
+// The whole query-processing pipeline rests on the algebraic feature
+// property (paper Property 2): a cluster's spatial feature SF and temporal
+// feature TF are canonical sorted severity vectors that other packages may
+// read but must never edit in place — merging goes through cluster.Merge /
+// MergeFeature and construction through cluster.New / FromRecords /
+// NewFeature, which enforce the sorted-unique-positive invariant. A stray
+// `c.SF[i].Sev += x` in a query or storage path silently breaks merge
+// equivalence with recomputation from raw records.
+//
+// Composite literals (cluster.Cluster{SF: ...}) are construction, not
+// mutation, and stay legal: storage decoding rebuilds clusters that way from
+// features produced by the validated decoder.
+package featuremutation
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/cpskit/atypical/internal/analysis/framework"
+)
+
+// Analyzer flags out-of-package writes to cluster features.
+var Analyzer = &framework.Analyzer{
+	Name: "featuremutation",
+	Doc: "flag direct writes to cluster SF/TF features outside the cluster " +
+		"package (Property 2: features change only through Merge/New)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if isClusterPath(pass.Pkg.Path()) {
+		return nil, nil // the owning package may do as it pleases
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range stmt.Lhs {
+					checkTarget(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkTarget(pass, stmt.X)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkTarget walks an assignment target and reports any SF/TF field of the
+// cluster package on its access path (c.SF = …, c.SF[i] = …, c.TF[i].Sev += …).
+func checkTarget(pass *framework.Pass, e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if field := featureField(pass, x); field != nil {
+				pass.Reportf(x.Sel.Pos(),
+					"direct write to cluster feature %s.%s outside package %s; "+
+						"build features with NewFeature/FromRecords and combine with Merge",
+					field.Pkg().Name(), field.Name(), field.Pkg().Path())
+				return
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// featureField returns the field object when sel selects a struct field
+// named SF or TF defined in a cluster package.
+func featureField(pass *framework.Pass, sel *ast.SelectorExpr) *types.Var {
+	if sel.Sel.Name != "SF" && sel.Sel.Name != "TF" {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil || !isClusterPath(field.Pkg().Path()) {
+		return nil
+	}
+	return field
+}
+
+// isClusterPath matches the real package and the short fixture path used by
+// the analyzer tests.
+func isClusterPath(path string) bool {
+	return path == "cluster" || strings.HasSuffix(path, "/cluster")
+}

@@ -1,0 +1,24 @@
+package featuremutation_test
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/analysistest"
+	"github.com/cpskit/atypical/internal/analysis/featuremutation"
+)
+
+func TestFeatureMutationOutsideCluster(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", featuremutation.Analyzer, "featuremutation")
+	if len(diags) == 0 {
+		t.Fatal("expected at least one true-positive diagnostic on the fixture")
+	}
+}
+
+// The cluster package itself owns the features and is exempt; its fixture
+// mutates SF/TF with no want-comments, so any diagnostic fails the run.
+func TestFeatureMutationInsideClusterIsExempt(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", featuremutation.Analyzer, "cluster")
+	if len(diags) != 0 {
+		t.Fatalf("cluster package should be exempt, got %d diagnostics", len(diags))
+	}
+}

@@ -1,0 +1,26 @@
+// Fixture stand-in for the real cluster package: the import path ends in
+// "cluster", which is what the analyzer keys on.
+package cluster
+
+type Entry struct {
+	Key int
+	Sev float64
+}
+
+type Cluster struct {
+	ID int
+	SF []Entry
+	TF []Entry
+}
+
+// The owning package may mutate its own features freely; running the
+// analyzer over this package must produce no diagnostics.
+func (c *Cluster) reset() {
+	c.SF = nil
+	c.TF = c.TF[:0]
+	if len(c.SF) > 0 {
+		c.SF[0].Sev = 1
+	}
+}
+
+var _ = (*Cluster).reset

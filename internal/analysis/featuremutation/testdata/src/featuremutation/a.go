@@ -1,0 +1,26 @@
+// Fixture for the featuremutation analyzer: packages outside cluster may
+// read SF/TF and construct clusters, but never write features in place.
+package featuremutation
+
+import "cluster"
+
+func bad(c *cluster.Cluster, e cluster.Entry) {
+	c.SF = nil             // want `direct write to cluster feature cluster.SF`
+	c.SF[0] = e            // want `direct write to cluster feature cluster.SF`
+	c.TF[0].Sev += 1       // want `direct write to cluster feature cluster.TF`
+	c.SF = append(c.SF, e) // want `direct write to cluster feature cluster.SF`
+	c.TF[0].Sev++          // want `direct write to cluster feature cluster.TF`
+}
+
+func good(c *cluster.Cluster) float64 {
+	total := 0.0
+	for _, e := range c.SF { // reading features is fine
+		total += e.Sev
+	}
+	fresh := cluster.Cluster{SF: nil, TF: nil} // construction, not mutation
+	fresh.ID = 7                               // non-feature fields are free
+	other := struct{ SF []int }{}              // an SF field of some other struct
+	other.SF = append(other.SF, 1)
+	_ = other
+	return total
+}

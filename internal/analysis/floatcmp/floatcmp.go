@@ -1,0 +1,121 @@
+// Package floatcmp defines an analyzer that flags == and != on
+// floating-point operands.
+//
+// Severities, similarities and the δsim/δs thresholds of the paper are all
+// float64-derived values; exact equality on them is almost always a bug
+// (accumulated rounding makes "equal" severities differ in the last ulp, so
+// significance and similarity decisions silently flip between otherwise
+// equivalent evaluation orders). Comparisons must instead use an epsilon
+// (cluster.approxEq style), an ordering test (<, <=, >, >=), or integer
+// quantities.
+//
+// Two comparisons stay legal because they are exact by construction:
+//
+//   - comparison against the constant 0 (zero is exactly representable and
+//     is this codebase's "unset" sentinel, e.g. Cluster.sev), and
+//   - self-comparison x != x, the idiomatic NaN test.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"github.com/cpskit/atypical/internal/analysis/framework"
+)
+
+// Analyzer flags floating-point equality comparisons.
+var Analyzer = &framework.Analyzer{
+	Name: "floatcmp",
+	Doc: "flag == and != on float operands (severities, similarities, thresholds); " +
+		"use an epsilon or an ordering comparison instead",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, okx := pass.TypesInfo.Types[be.X]
+			ty, oky := pass.TypesInfo.Types[be.Y]
+			if !okx || !oky {
+				return true
+			}
+			ft := floatType(tx.Type)
+			if ft == nil {
+				ft = floatType(ty.Type)
+			}
+			if ft == nil {
+				return true
+			}
+			// Both sides constant: decided at compile time.
+			if tx.Value != nil && ty.Value != nil {
+				return true
+			}
+			// Exact-zero sentinel comparisons are precise.
+			if isZero(tx) || isZero(ty) {
+				return true
+			}
+			// x != x / x == x is the NaN idiom.
+			if sameExpr(be.X, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s on %s; compare with an epsilon or an ordering test (δsim/δs hazard)",
+				be.Op, types.TypeString(ft, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// floatType returns t if its core type is a floating-point basic type
+// (covering named types like cps.Severity), else nil.
+func floatType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	if b.Info()&types.IsFloat == 0 {
+		return nil
+	}
+	return t
+}
+
+// isZero reports whether the operand is a constant with exact value 0.
+func isZero(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// sameExpr reports whether two expressions are syntactically identical
+// identifier/selector chains (enough for the x != x NaN idiom).
+func sameExpr(a, b ast.Expr) bool {
+	switch ax := a.(type) {
+	case *ast.Ident:
+		bx, ok := b.(*ast.Ident)
+		return ok && ax.Name == bx.Name
+	case *ast.SelectorExpr:
+		bx, ok := b.(*ast.SelectorExpr)
+		return ok && ax.Sel.Name == bx.Sel.Name && sameExpr(ax.X, bx.X)
+	case *ast.ParenExpr:
+		return sameExpr(ax.X, b)
+	}
+	if bp, ok := b.(*ast.ParenExpr); ok {
+		return sameExpr(a, bp.X)
+	}
+	return false
+}

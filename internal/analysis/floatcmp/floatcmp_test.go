@@ -1,0 +1,15 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/analysistest"
+	"github.com/cpskit/atypical/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", floatcmp.Analyzer, "floatcmp")
+	if len(diags) == 0 {
+		t.Fatal("expected at least one true-positive diagnostic on the fixture")
+	}
+}

@@ -1,0 +1,31 @@
+// Fixture for the floatcmp analyzer: float equality is flagged, exact-zero
+// sentinels, NaN self-tests, constants and integer comparisons are not.
+package floatcmp
+
+type Severity float64
+
+func bad(a, b float64, s1, s2 Severity) {
+	_ = a == b   // want `floating-point == on float64`
+	_ = s1 != s2 // want `floating-point != on Severity`
+	if a == 0.5 { // want `floating-point == on float64`
+		_ = a
+	}
+	_ = float32(a) == float32(b) // want `floating-point == on float32`
+}
+
+func threshold(sim, deltaSim float64) bool {
+	return sim == deltaSim // want `floating-point == on float64`
+}
+
+func good(a, b float64, s Severity, n int) {
+	const eps = 1e-9
+	d := a - b
+	_ = d < eps && d > -eps // epsilon comparison
+	_ = a == 0              // exact-zero sentinel is precise
+	_ = s != 0
+	_ = 0.0 != b
+	_ = a != a        // NaN idiom
+	_ = 1.0 == 2.0    // both constant: decided at compile time
+	_ = n == 3        // integers compare exactly
+	_ = a >= b        // ordering tests are the sanctioned form
+}

@@ -1,0 +1,82 @@
+// Package framework is a deliberately small, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API. The build environment vendors no
+// external modules, so atyplint's analyzers program against this interface
+// instead; the shapes match the upstream API closely enough that migrating
+// to the real go/analysis framework later is a mechanical rename.
+//
+// An Analyzer inspects one type-checked package at a time through a Pass and
+// reports Diagnostics. Drivers (cmd/atyplint, the analysistest harness)
+// construct Passes from packages loaded by internal/analysis/load.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis rule.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//atyplint:ignore <name>" suppression comments. It must be a valid
+	// Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to one package. Findings go through
+	// pass.Report/Reportf; the result value is unused today and exists for
+	// API compatibility with go/analysis.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass hands an Analyzer one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by ident, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// NewInfo returns a types.Info with every map analyzers rely on allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

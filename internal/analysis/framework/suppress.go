@@ -1,0 +1,95 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// IgnorePrefix introduces a suppression comment. A diagnostic from analyzer
+// NAME at line L is suppressed when a comment of the form
+//
+//	//atyplint:ignore NAME reason...
+//	//atyplint:ignore all reason...    (or *: suppresses every analyzer)
+//
+// appears on line L or on line L-1 of the same file. Suppressions are meant
+// for the rare site where nondeterminism or an exact float comparison is
+// intended and documented; the reason text is mandatory by convention. A
+// directive whose first word is neither a known form nor an analyzer name
+// suppresses nothing.
+const IgnorePrefix = "atyplint:ignore"
+
+// Suppressions indexes ignore comments of a set of parsed files.
+type Suppressions struct {
+	// byFileLine maps filename -> line -> analyzer names suppressed there
+	// ("" means all analyzers).
+	byFileLine map[string]map[int][]string
+}
+
+// CollectSuppressions scans the comments of files (which must have been
+// parsed with parser.ParseComments) for atyplint:ignore directives.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byFileLine: map[string]map[int][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, IgnorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, IgnorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				// "all"/"*" suppresses every analyzer ("" internally);
+				// otherwise the first word names the analyzer.
+				name := fields[0]
+				if name == "all" || name == "*" {
+					name = ""
+				} else if !isIdent(name) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byFileLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					s.byFileLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from analyzer name at pos is
+// covered by an ignore directive on the same or the preceding line.
+func (s *Suppressions) Suppressed(fset *token.FileSet, name string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	lines, ok := s.byFileLine[p.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, n := range lines[line] {
+			if n == "" || n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isIdent(s string) bool {
+	for i, r := range s {
+		switch {
+		case r == '_', 'a' <= r && r <= 'z', 'A' <= r && r <= 'Z':
+		case i > 0 && '0' <= r && r <= '9':
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}

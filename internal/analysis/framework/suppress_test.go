@@ -1,0 +1,43 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func f(a, b float64) {
+	_ = a == b //atyplint:ignore floatcmp documented exact comparison
+	//atyplint:ignore all analyzers suppressed with a reason
+	_ = a != b
+	_ = a == b
+}
+`
+
+func TestSuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := CollectSuppressions(fset, []*ast.File{f})
+
+	pos := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	if !sup.Suppressed(fset, "floatcmp", pos(4)) {
+		t.Error("same-line named suppression should apply")
+	}
+	if sup.Suppressed(fset, "lockcheck", pos(4)) {
+		t.Error("named suppression must not cover other analyzers")
+	}
+	if !sup.Suppressed(fset, "floatcmp", pos(6)) {
+		t.Error("preceding-line blanket suppression should apply")
+	}
+	if sup.Suppressed(fset, "floatcmp", pos(7)) {
+		t.Error("suppression must not leak past the next line")
+	}
+}

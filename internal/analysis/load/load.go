@@ -1,0 +1,252 @@
+// Package load type-checks Go packages for the atyplint analyzers without
+// any dependency outside the standard library and the go toolchain.
+//
+// Strategy: `go list -deps -export` compiles (or reuses from the build
+// cache) export data for every dependency, and the stdlib gc importer
+// (go/importer.ForCompiler with a lookup function) resolves imports from
+// those files. Only the packages under analysis are parsed and type-checked
+// from source, so a whole-module load costs one `go list` invocation plus a
+// type-check of the module's own files — no network, no vendored modules.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+
+	"github.com/cpskit/atypical/internal/analysis/framework"
+)
+
+// Package is one type-checked package with its syntax trees.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs the go command and decodes its -json package stream.
+func goList(dir string, extra ...string) ([]listedPkg, error) {
+	args := append([]string{"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Error"}, extra...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(extra, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Exports maps import paths to compiled export-data files, consulting
+// `go list -export` lazily for paths it has not seen. It is the lookup
+// backend of the gc importer and is safe for concurrent use.
+type Exports struct {
+	mu    sync.Mutex
+	dir   string
+	files map[string]string
+}
+
+// NewExports returns an empty export-data resolver running `go list` in dir
+// ("" means the current directory).
+func NewExports(dir string) *Exports {
+	return &Exports{dir: dir, files: map[string]string{}}
+}
+
+func (e *Exports) add(pkgs []listedPkg) {
+	for _, p := range pkgs {
+		if p.Export != "" {
+			e.files[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// Lookup implements the go/importer lookup contract: it returns a reader of
+// the export data for path.
+func (e *Exports) Lookup(path string) (io.ReadCloser, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if f, ok := e.files[path]; ok {
+		return os.Open(f)
+	}
+	pkgs, err := goList(e.dir, "--", path)
+	if err != nil {
+		return nil, fmt.Errorf("load: resolving export data for %q: %v", path, err)
+	}
+	e.add(pkgs)
+	if f, ok := e.files[path]; ok {
+		return os.Open(f)
+	}
+	return nil, fmt.Errorf("load: no export data for %q", path)
+}
+
+// Importer returns a types.Importer resolving imports through e.
+func (e *Exports) Importer(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", e.Lookup)
+}
+
+// Check parses the named files of one package directory and type-checks them.
+func Check(fset *token.FileSet, dir, pkgPath string, goFiles []string, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := framework.NewInfo()
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", pkgPath, firstErr)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// Packages loads every package matched by patterns (e.g. "./...") rooted at
+// dir, type-checked from source with dependencies resolved via export data.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := NewExports(dir)
+	exports.add(listed)
+	fset := token.NewFileSet()
+	imp := exports.Importer(fset)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := Check(fset, p.Dir, p.ImportPath, p.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// fixtureImporter resolves imports first against a testdata/src-style source
+// root (so analyzer fixtures can import each other, as upstream analysistest
+// allows) and falls back to export data for everything else.
+type fixtureImporter struct {
+	root string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*types.Package
+	// loading guards against import cycles among fixtures.
+	loading map[string]bool
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		if im.loading[path] {
+			return nil, fmt.Errorf("load: fixture import cycle through %q", path)
+		}
+		im.loading[path] = true
+		defer delete(im.loading, path)
+		pkg, err := checkFixtureDir(im.fset, dir, path, im)
+		if err != nil {
+			return nil, err
+		}
+		im.pkgs[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return im.std.Import(path)
+}
+
+func checkFixtureDir(fset *token.FileSet, dir, pkgPath string, imp types.Importer) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("load: no Go files in fixture %s", dir)
+	}
+	return Check(fset, dir, pkgPath, goFiles, imp)
+}
+
+// FixturePackage loads testdata package `path` under root (typically
+// "testdata/src"), for the analysistest harness.
+func FixturePackage(root, path string) (*Package, error) {
+	fset := token.NewFileSet()
+	im := &fixtureImporter{
+		root:    root,
+		fset:    fset,
+		std:     NewExports("").Importer(fset),
+		pkgs:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+	return checkFixtureDir(fset, filepath.Join(root, filepath.FromSlash(path)), path, im)
+}

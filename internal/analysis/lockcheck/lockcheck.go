@@ -1,0 +1,258 @@
+// Package lockcheck defines an analyzer preparing the codebase for the
+// parallel query executor: it flags lock values that are copied and Lock
+// acquisitions that a function never releases.
+//
+// Two rules:
+//
+//  1. copy: a struct containing a sync primitive (sync.Mutex, RWMutex,
+//     WaitGroup, Once, Cond, Pool, Map, or any sync/atomic type) must not be
+//     copied — value receivers, by-value parameters, plain value
+//     assignments and by-value range variables are reported. This is a
+//     stdlib-only subset of vet's copylocks, run here so `atyplint` alone
+//     gates a PR.
+//
+//  2. release: a function that calls mu.Lock() or mu.RLock() on a sync
+//     mutex must contain a matching mu.Unlock()/mu.RUnlock() (deferred or
+//     direct) on the same receiver expression. Helpers that intentionally
+//     return holding the lock can annotate the call site with
+//     //atyplint:ignore lockcheck.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/cpskit/atypical/internal/analysis/framework"
+)
+
+// Analyzer flags copied locks and unreleased lock acquisitions.
+var Analyzer = &framework.Analyzer{
+	Name: "lockcheck",
+	Doc: "flag copies of structs containing sync primitives and Lock calls " +
+		"with no matching Unlock in the same function",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, node.Recv, node.Type)
+				if node.Body != nil {
+					checkRelease(pass, node.Body)
+				}
+			case *ast.FuncLit:
+				checkSignature(pass, nil, node.Type)
+				checkRelease(pass, node.Body)
+			case *ast.AssignStmt:
+				checkCopyAssign(pass, node)
+			case *ast.RangeStmt:
+				checkCopyRange(pass, node)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// ---- rule 1: lock copies ----
+
+func checkSignature(pass *framework.Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	report := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if path := lockPath(t, nil); path != "" {
+				pass.Reportf(field.Type.Pos(),
+					"%s passes lock by value: %s contains %s; use a pointer",
+					what, types.TypeString(t, types.RelativeTo(pass.Pkg)), path)
+			}
+		}
+	}
+	report(recv, "method receiver")
+	report(ft.Params, "parameter")
+	report(ft.Results, "result")
+}
+
+func checkCopyAssign(pass *framework.Pass, stmt *ast.AssignStmt) {
+	for _, rhs := range stmt.Rhs {
+		switch rhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			// A copy of an existing value. Composite literals and calls
+			// construct fresh values and are fine.
+		default:
+			continue
+		}
+		t := pass.TypeOf(rhs)
+		if t == nil {
+			continue
+		}
+		if path := lockPath(t, nil); path != "" {
+			pass.Reportf(rhs.Pos(),
+				"assignment copies lock value: %s contains %s; use a pointer",
+				types.TypeString(t, types.RelativeTo(pass.Pkg)), path)
+		}
+	}
+}
+
+func checkCopyRange(pass *framework.Pass, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	t := pass.TypeOf(rng.Value)
+	if t == nil {
+		return
+	}
+	if path := lockPath(t, nil); path != "" {
+		pass.Reportf(rng.Value.Pos(),
+			"range value copies lock value: %s contains %s; range over indices or pointers",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)), path)
+	}
+}
+
+// lockPath returns a human-readable path to a sync primitive contained in t
+// by value ("" when t is copy-safe). seen guards recursive types.
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync":
+				switch named.Obj().Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+					return "sync." + named.Obj().Name()
+				}
+			case "sync/atomic":
+				if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+					return "sync/atomic." + named.Obj().Name()
+				}
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if path := lockPath(u.Field(i).Type(), seen); path != "" {
+				return u.Field(i).Name() + "." + path
+			}
+		}
+	case *types.Array:
+		if path := lockPath(u.Elem(), seen); path != "" {
+			return "[...]" + path
+		}
+	}
+	return ""
+}
+
+// ---- rule 2: unreleased locks ----
+
+// lockMethods maps an acquire method to its release counterpart.
+var lockMethods = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+func checkRelease(pass *framework.Pass, body *ast.BlockStmt) {
+	type acquire struct {
+		call *ast.CallExpr
+		recv string
+		want string
+	}
+	var acquires []acquire
+	released := map[string]bool{} // recv + "." + method
+	syncCall := func(n ast.Node) (*ast.CallExpr, *ast.SelectorExpr, bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return nil, nil, false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isSyncMethod(pass, sel) {
+			return nil, nil, false
+		}
+		return call, sel, true
+	}
+	// Acquires count only at this function's own level — a Lock inside a
+	// nested func literal is that literal's responsibility (run visits it
+	// separately). Releases count anywhere in the body, so the common
+	// `defer func() { mu.Unlock() }()` shape satisfies the rule.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		if call, sel, ok := syncCall(n); ok {
+			if want, ok := lockMethods[sel.Sel.Name]; ok {
+				acquires = append(acquires, acquire{call: call, recv: exprString(sel.X), want: want})
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, sel, ok := syncCall(n); ok {
+			if _, isAcquire := lockMethods[sel.Sel.Name]; !isAcquire {
+				released[exprString(sel.X)+"."+sel.Sel.Name] = true
+			}
+		}
+		return true
+	})
+	for _, a := range acquires {
+		if !released[a.recv+"."+a.want] {
+			pass.Reportf(a.call.Pos(),
+				"%s.%s() is never released in this function; add defer %s.%s()",
+				a.recv, lockAcquireName(a.want), a.recv, a.want)
+		}
+	}
+}
+
+func lockAcquireName(release string) string {
+	for acq, rel := range lockMethods {
+		if rel == release {
+			return acq
+		}
+	}
+	return "Lock"
+}
+
+// isSyncMethod reports whether sel selects a method defined by package sync
+// (Mutex/RWMutex Lock family).
+func isSyncMethod(pass *framework.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync"
+}
+
+// exprString renders a receiver expression as a comparison key.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	}
+	return "?"
+}

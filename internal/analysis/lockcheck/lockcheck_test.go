@@ -1,0 +1,15 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/analysistest"
+	"github.com/cpskit/atypical/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", lockcheck.Analyzer, "lockcheck")
+	if len(diags) == 0 {
+		t.Fatal("expected at least one true-positive diagnostic on the fixture")
+	}
+}

@@ -1,0 +1,70 @@
+// Fixture for the lockcheck analyzer: lock-containing values must move by
+// pointer, and every Lock acquired in a function must be released in it.
+package lockcheck
+
+import "sync"
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(g Guarded) int { // want `parameter passes lock by value`
+	return g.n
+}
+
+func (g Guarded) valueReceiver() int { // want `method receiver passes lock by value`
+	return g.n
+}
+
+func copyAssign(g *Guarded) int {
+	cp := *g // want `assignment copies lock value`
+	return cp.n
+}
+
+func rangeCopy(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want `range value copies lock value`
+		total += g.n
+	}
+	return total
+}
+
+func missingUnlock(g *Guarded) int {
+	g.mu.Lock() // want `g.mu.Lock\(\) is never released`
+	return g.n
+}
+
+func missingRUnlock(mu *sync.RWMutex) {
+	mu.RLock() // want `mu.RLock\(\) is never released`
+}
+
+func deferredUnlock(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func unlockInDeferredClosure(mu *sync.RWMutex, f func()) {
+	mu.RLock()
+	defer func() { mu.RUnlock() }()
+	f()
+}
+
+func directUnlock(g *Guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func pointersAreFine(g *Guarded, mu *sync.Mutex) *Guarded {
+	return g
+}
+
+func rangeByIndex(gs []Guarded) int {
+	total := 0
+	for i := range gs { // indexing does not copy the lock
+		total += gs[i].n
+	}
+	return total
+}

@@ -1,0 +1,239 @@
+// Package rangedeterminism defines an analyzer that flags map iteration
+// whose results feed ordered or serialized output without an intervening
+// sort.
+//
+// Go randomizes map iteration order on purpose. Query answers, reports,
+// heatmaps and the storage encoding must all be byte-reproducible across
+// runs (the determinism tests in internal/cube assert exactly that), so any
+// `for ... range m` over a map must either
+//
+//   - aggregate commutatively (sums, counts, set construction), or
+//   - collect entries into a slice that is sorted before the function
+//     returns.
+//
+// The analyzer reports two shapes:
+//
+//  1. serialization inside the loop body — fmt.Fprint*/Print* or
+//     Write*/Encode method calls while ranging over a map, and
+//  2. appends to a slice inside a map-range loop where no sort.* / slices.*
+//     call mentioning that slice follows in the same function.
+package rangedeterminism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/cpskit/atypical/internal/analysis/framework"
+)
+
+// Analyzer flags nondeterministic map iteration feeding ordered output.
+var Analyzer = &framework.Analyzer{
+	Name: "rangedeterminism",
+	Doc: "flag map iteration feeding serialized or collected output without a " +
+		"subsequent sort (query answers and reports must be reproducible)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				// Function literals are visited when their enclosing
+				// function is checked; sorting a slice in the enclosing
+				// scope still counts.
+				return true
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// appendSite records one `s = append(s, ...)` under a map-range loop.
+type appendSite struct {
+	obj      types.Object
+	rng      *ast.RangeStmt
+	reported bool
+}
+
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	var sites []*appendSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch stmt := m.(type) {
+			case *ast.CallExpr:
+				if name, ok := serializes(pass, stmt); ok {
+					pass.Reportf(stmt.Pos(),
+						"map iteration feeds %s; iteration order is random — collect and sort first",
+						name)
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range stmt.Rhs {
+					if !isAppend(pass, rhs) || i >= len(stmt.Lhs) {
+						continue
+					}
+					if obj := targetObject(pass, stmt.Lhs[i]); obj != nil {
+						sites = append(sites, &appendSite{obj: obj, rng: rng})
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+	// A site is satisfied by any sort.* / slices.* call after its loop that
+	// mentions the appended slice.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			obj := targetObject(pass, arg)
+			if obj == nil {
+				continue
+			}
+			for _, s := range sites {
+				if s.obj == obj && call.Pos() > s.rng.End() {
+					s.reported = true // satisfied
+				}
+			}
+		}
+		return true
+	})
+	for _, s := range sites {
+		if !s.reported {
+			pass.Reportf(s.rng.Pos(),
+				"map iteration collects into %q which is never sorted in this function; "+
+					"result order is nondeterministic", s.obj.Name())
+		}
+	}
+}
+
+// serializes reports whether call writes ordered output (and what kind).
+func serializes(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	// fmt.Fprint*/Print* package-level calls.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := pass.ObjectOf(id).(*types.PkgName); ok {
+			if pkg.Imported().Path() == "fmt" {
+				switch name {
+				case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+					return "fmt." + name, true
+				}
+			}
+			return "", false
+		}
+	}
+	// Writer-shaped method calls: only on the well-known accumulating sinks,
+	// so map-keyed stores with a Write-ish method don't trip the rule.
+	switch name {
+	case "WriteString", "WriteByte", "WriteRune", "Write", "Encode":
+		if recv := pass.TypeOf(sel.X); recv != nil && isSink(recv) {
+			return name + " on " + recv.String(), true
+		}
+	}
+	return "", false
+}
+
+// isSink recognizes strings.Builder, bytes.Buffer, bufio.Writer and
+// json/gob/binary encoders, by pointer or value.
+func isSink(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		// Interfaces: io.Writer and friends.
+		if iface, ok := t.Underlying().(*types.Interface); ok {
+			return iface.NumMethods() > 0
+		}
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer", "bufio.Writer",
+		"encoding/json.Encoder", "encoding/gob.Encoder":
+		return true
+	}
+	return false
+}
+
+func isAppend(pass *framework.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// targetObject resolves an lvalue/argument expression to its root object:
+// plain identifiers and field selectors (x, s.f).
+func targetObject(pass *framework.Pass, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(x.Sel)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return targetObject(pass, x.X)
+		}
+	case *ast.ParenExpr:
+		return targetObject(pass, x.X)
+	}
+	return nil
+}
+
+// isSortCall recognizes sort.* and slices.Sort* package-level calls.
+func isSortCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pkg.Imported().Path() {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}

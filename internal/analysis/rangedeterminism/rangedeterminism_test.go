@@ -1,0 +1,15 @@
+package rangedeterminism_test
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/analysistest"
+	"github.com/cpskit/atypical/internal/analysis/rangedeterminism"
+)
+
+func TestRangeDeterminism(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", rangedeterminism.Analyzer, "rangedeterminism")
+	if len(diags) == 0 {
+		t.Fatal("expected at least one true-positive diagnostic on the fixture")
+	}
+}

@@ -1,0 +1,76 @@
+// Fixture for the rangedeterminism analyzer: map iteration feeding
+// serialized or collected output must sort; commutative aggregation and
+// sorted collection are fine.
+package rangedeterminism
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badSerialize(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want `map iteration feeds fmt.Fprintf`
+	}
+	return b.String()
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `map iteration feeds WriteString`
+	}
+	return b.String()
+}
+
+func badCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `collects into "keys" which is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func goodCollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodCollectSortSlice(m map[string]float64) []float64 {
+	out := make([]float64, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func goodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodMapToMap(m map[string]int) map[int]int {
+	agg := make(map[int]int)
+	for _, v := range m {
+		agg[v%7] += v
+	}
+	return agg
+}
+
+func goodSliceRange(xs []string) string {
+	var b strings.Builder
+	for _, x := range xs { // slices iterate deterministically
+		b.WriteString(x)
+	}
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package cluster
+
+// Property-based fuzz targets for the algebraic feature invariants the
+// query pipeline depends on:
+//
+//   - Property 3: Merge is commutative and associative (commutativity is
+//     exact — float addition commutes; associativity holds to rounding).
+//   - Property 2: a macro-cluster merged from micro-clusters agrees with
+//     the cluster recomputed from the union of the raw records.
+//
+// CI runs each target for a bounded smoke budget (make fuzz-smoke); the
+// corpus below seeds the interesting shapes (empty sides, duplicate keys,
+// disjoint and fully-overlapping features).
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/cps"
+)
+
+// fuzzRecords decodes fuzz input into a record multiset: each 3-byte group
+// is (sensor, window, severity). Small key ranges and quarter-unit
+// severities make duplicate keys and overlapping features common.
+func fuzzRecords(data []byte) []cps.Record {
+	var recs []cps.Record
+	for ; len(data) >= 3; data = data[3:] {
+		recs = append(recs, cps.Record{
+			Sensor:   cps.SensorID(data[0] % 16),
+			Window:   cps.Window(data[1] % 32),
+			Severity: cps.Severity(float64(data[2]%16+1) / 4),
+		})
+	}
+	return recs
+}
+
+// splitRecords partitions recs at index (split mod (len+1)).
+func splitRecords(recs []cps.Record, split byte) (a, b []cps.Record) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	i := int(split) % (len(recs) + 1)
+	return recs[:i], recs[i:]
+}
+
+func featuresExactEq[K Key](a, b Feature[K]) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || float64(a[i].Sev) != float64(b[i].Sev) { //atyplint:ignore floatcmp commutativity of float addition is exact; the test asserts it
+			return false
+		}
+	}
+	return true
+}
+
+func featuresApproxEq[K Key](a, b Feature[K]) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || !approxEq(float64(a[i].Sev), float64(b[i].Sev)) {
+			return false
+		}
+	}
+	return true
+}
+
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	f.Add([]byte{}, byte(0))
+	f.Add([]byte{1, 2, 3}, byte(0))                               // everything on one side
+	f.Add([]byte{1, 2, 3, 1, 2, 3, 1, 2, 3}, byte(1))             // duplicate records across sides
+	f.Add([]byte{0, 0, 4, 1, 1, 8, 2, 2, 12, 3, 3, 1}, byte(2))   // disjoint keys
+	f.Add([]byte{5, 5, 4, 5, 5, 8, 5, 9, 1, 9, 5, 2}, byte(3))    // overlapping keys
+	f.Add([]byte{255, 255, 255, 0, 0, 0, 128, 64, 32}, byte(128)) // modulo wraparound
+}
+
+func FuzzMergeCommutativity(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte, split byte) {
+		recs := fuzzRecords(data)
+		ra, rb := splitRecords(recs, split)
+		var gen IDGen
+		a1, b1 := FromRecords(gen.Next(), ra), FromRecords(gen.Next(), rb)
+		ab := Merge(&gen, a1, b1)
+		ba := Merge(&gen, b1, a1)
+		if !featuresExactEq(ab.SF, ba.SF) {
+			t.Fatalf("SF merge is not commutative:\n a⊕b = %v\n b⊕a = %v", ab.SF, ba.SF)
+		}
+		if !featuresExactEq(ab.TF, ba.TF) {
+			t.Fatalf("TF merge is not commutative:\n a⊕b = %v\n b⊕a = %v", ab.TF, ba.TF)
+		}
+		if !ab.SF.Valid() || !ab.TF.Valid() {
+			t.Fatalf("merged features violate canonical form: %v %v", ab.SF, ab.TF)
+		}
+		if ab.Micros != ba.Micros {
+			t.Fatalf("micro counts disagree: %d vs %d", ab.Micros, ba.Micros)
+		}
+	})
+}
+
+func FuzzMergeAssociativity(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte, split byte) {
+		recs := fuzzRecords(data)
+		ra, rest := splitRecords(recs, split)
+		rb, rc := splitRecords(rest, split/2)
+		var gen IDGen
+		a := FromRecords(gen.Next(), ra)
+		b := FromRecords(gen.Next(), rb)
+		c := FromRecords(gen.Next(), rc)
+		left := Merge(&gen, Merge(&gen, a, b), c)
+		right := Merge(&gen, a, Merge(&gen, b, c))
+		if !featuresApproxEq(left.SF, right.SF) {
+			t.Fatalf("SF merge is not associative:\n (a⊕b)⊕c = %v\n a⊕(b⊕c) = %v", left.SF, right.SF)
+		}
+		if !featuresApproxEq(left.TF, right.TF) {
+			t.Fatalf("TF merge is not associative:\n (a⊕b)⊕c = %v\n a⊕(b⊕c) = %v", left.TF, right.TF)
+		}
+		if !approxEq(float64(left.Severity()), float64(right.Severity())) {
+			t.Fatalf("severities disagree: %v vs %v", left.Severity(), right.Severity())
+		}
+	})
+}
+
+func FuzzMicroVsRawAgreement(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte, split byte) {
+		recs := fuzzRecords(data)
+		ra, rb := splitRecords(recs, split)
+		var gen IDGen
+		merged := Merge(&gen, FromRecords(gen.Next(), ra), FromRecords(gen.Next(), rb))
+		raw := FromRecords(gen.Next(), recs)
+		if !featuresApproxEq(merged.SF, raw.SF) {
+			t.Fatalf("Property 2 violated on SF:\n merged = %v\n raw    = %v", merged.SF, raw.SF)
+		}
+		if !featuresApproxEq(merged.TF, raw.TF) {
+			t.Fatalf("Property 2 violated on TF:\n merged = %v\n raw    = %v", merged.TF, raw.TF)
+		}
+		if !approxEq(float64(merged.Severity()), float64(raw.Severity())) {
+			t.Fatalf("micro-vs-raw severity disagrees: merged=%v raw=%v",
+				merged.Severity(), raw.Severity())
+		}
+		// Significance (Definition 5) must agree wherever the two
+		// severities are not within rounding of the bound itself.
+		bound := SignificanceBound(0.25, 8, 4)
+		ms, rs := merged.Significant(bound), raw.Significant(bound)
+		if ms != rs && !approxEq(float64(merged.Severity()), float64(bound)) {
+			t.Fatalf("significance decisions disagree: merged=%v raw=%v bound=%v", ms, rs, bound)
+		}
+	})
+}

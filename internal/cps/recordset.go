@@ -180,3 +180,19 @@ func (rs *RecordSet) SplitByDay(ws WindowSpec) map[int][]Record {
 	}
 	return out
 }
+
+// ForEachDay visits a per-day partition (SplitByDay-shaped map) in
+// ascending day order. Map iteration order is randomized, and day order
+// leaks into downstream state — cluster IDs are assigned in extraction
+// order and appear in reports and storage — so every consumer of a day
+// partition must iterate through this helper to keep output reproducible.
+func ForEachDay[V any](byDay map[int]V, fn func(day int, v V)) {
+	days := make([]int, 0, len(byDay))
+	for d := range byDay {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	for _, d := range days {
+		fn(d, byDay[d])
+	}
+}

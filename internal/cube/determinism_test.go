@@ -1,0 +1,158 @@
+package cube_test
+
+// Determinism harness: query answers and rendered reports must be
+// byte-identical across independent builds from the same records. Go
+// randomizes map iteration order per map instance, so building the model
+// twice in one process exercises exactly the hazard the rangedeterminism
+// analyzer guards: any map-order leak into a query result list, heatmap or
+// report shows up here as a byte difference.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/cube"
+	"github.com/cpskit/atypical/internal/report"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+func detNet() *traffic.Network {
+	return traffic.GenerateNetwork(traffic.ScaledConfig(300))
+}
+
+func detRecords(net *traffic.Network, n int, seed int64, days int) []cps.Record {
+	rng := rand.New(rand.NewSource(seed))
+	spec := cps.DefaultSpec()
+	recs := make([]cps.Record, n)
+	for i := range recs {
+		recs[i] = cps.Record{
+			Sensor:   cps.SensorID(rng.Intn(net.NumSensors())),
+			Window:   cps.Window(rng.Intn(days * spec.PerDay())),
+			Severity: cps.Severity(rng.Intn(5)) + 1,
+		}
+	}
+	return cps.NewRecordSet(recs).Records()
+}
+
+func buildCube(net *traffic.Network, recs []cps.Record) *cube.CubeView {
+	cv := cube.NewCubeView(net, cps.DefaultSpec(), 28, nil)
+	for _, r := range recs {
+		cv.AddRecord(r)
+	}
+	return cv
+}
+
+// renderCube serializes every read path of the cube: full slices, both
+// rollups and the top-k ranking of each materialized level.
+func renderCube(cv *cube.CubeView) string {
+	var b strings.Builder
+	for _, lp := range cv.Levels() {
+		fmt.Fprintf(&b, "# level %v/%v\n", lp.S, lp.T)
+		fmt.Fprintf(&b, "slice: %v\n", cv.Slice(lp, 0, 1<<62))
+		fmt.Fprintf(&b, "rollupT: %v\n", cv.RollupTemporal(lp))
+		fmt.Fprintf(&b, "rollupS: %v\n", cv.RollupSpatial(lp))
+		fmt.Fprintf(&b, "top: %v\n", cv.TopCells(lp, 25))
+	}
+	return b.String()
+}
+
+func TestCubeQueriesByteIdenticalAcrossBuilds(t *testing.T) {
+	net := detNet()
+	recs := detRecords(net, 4000, 11, 7)
+	a := renderCube(buildCube(net, recs))
+	b := renderCube(buildCube(net, recs))
+	if a != b {
+		t.Fatalf("cube query output differs between identical builds:\n%s", firstDiff(a, b))
+	}
+	if a == "" {
+		t.Fatal("rendered cube output is empty; the determinism check is vacuous")
+	}
+}
+
+// TestReportByteIdenticalAcrossBuilds renders the human-facing report
+// surfaces from two independently constructed (but identical) cluster sets.
+func TestReportByteIdenticalAcrossBuilds(t *testing.T) {
+	net := detNet()
+	spec := cps.DefaultSpec()
+	recs := detRecords(net, 2000, 23, 7)
+
+	render := func() string {
+		var gen cluster.IDGen
+		perDay := cps.Window(spec.PerDay())
+		// One micro-cluster per day, then one rolling macro merge — enough
+		// structure to cover Describe, Ranking, HourHistogram and
+		// HighwayBreakdown with multi-highway clusters.
+		var micros []*cluster.Cluster
+		byDay := map[int][]cps.Record{}
+		for _, r := range recs {
+			d := int(r.Window / perDay)
+			byDay[d] = append(byDay[d], r)
+		}
+		cps.ForEachDay(byDay, func(_ int, day []cps.Record) {
+			micros = append(micros, cluster.FromRecords(gen.Next(), day))
+		})
+		macro := micros[0]
+		for _, m := range micros[1:] {
+			macro = cluster.Merge(&gen, macro, m)
+		}
+		var b strings.Builder
+		b.WriteString(report.Ranking(net, spec, micros))
+		b.WriteString(report.Describe(net, spec, macro))
+		b.WriteString("\n")
+		b.WriteString(report.HourHistogram(spec, macro, 40))
+		b.WriteString(report.HighwayBreakdown(net, macro))
+		return b.String()
+	}
+
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("report output differs between identical builds:\n%s", firstDiff(a, b))
+	}
+}
+
+// FuzzCubeDeterminism drives the byte-identity property from fuzzed record
+// multisets; `make fuzz-smoke` gives it a bounded budget in CI.
+func FuzzCubeDeterminism(f *testing.F) {
+	net := detNet()
+	spec := cps.DefaultSpec()
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0, 0, 1, 0, 0, 1, 255, 255, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var recs []cps.Record
+		for d := data; len(d) >= 3; d = d[3:] {
+			recs = append(recs, cps.Record{
+				Sensor:   cps.SensorID(int(d[0]) % net.NumSensors()),
+				Window:   cps.Window(int(d[1])+int(d[2])*256) % cps.Window(7*spec.PerDay()),
+				Severity: cps.Severity(d[2]%8) + 1,
+			})
+		}
+		a := renderCube(buildCube(net, recs))
+		b := renderCube(buildCube(net, recs))
+		if a != b {
+			t.Fatalf("cube query output differs between identical builds:\n%s", firstDiff(a, b))
+		}
+	})
+}
+
+// firstDiff locates the first byte where two renderings diverge.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 60
+			if lo < 0 {
+				lo = 0
+			}
+			return fmt.Sprintf("first difference at byte %d:\n a: …%q\n b: …%q", i, a[lo:i+20], b[lo:i+20])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d", len(a), len(b))
+}

@@ -107,8 +107,11 @@ func (cv *CubeView) TopCells(lp LevelPair, k int) []Cell {
 		out = append(out, Cell{Key: key, Sev: v})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Sev != out[j].Sev {
-			return out[i].Sev > out[j].Sev
+		if out[i].Sev > out[j].Sev {
+			return true
+		}
+		if out[i].Sev < out[j].Sev {
+			return false
 		}
 		if out[i].Key.Spatial != out[j].Key.Spatial {
 			return out[i].Key.Spatial < out[j].Key.Spatial

@@ -163,15 +163,15 @@ func (x *SeverityIndex) GuidedRedZones(regions []geo.RegionID, tr cps.TimeRange,
 	var out []geo.RegionID
 	for _, members := range byDistrict {
 		var districtF cps.Severity
-		var zones []geo.RegionID
+		before := len(out)
 		for _, r := range members {
 			f := x.F(r, tr)
 			districtF += f
 			if f >= bound {
-				zones = append(zones, r)
+				out = append(out, r)
 			}
 		}
-		if len(zones) == 0 && districtF >= bound {
+		if len(out) == before && districtF >= bound {
 			// No single region reaches the bound but the district does: a
 			// significant cluster spread across its regions is possible.
 			// Keep the regions carrying at least a fair share of the bound
@@ -180,11 +180,10 @@ func (x *SeverityIndex) GuidedRedZones(regions []geo.RegionID, tr cps.TimeRange,
 			share := bound / cps.Severity(len(members))
 			for _, r := range members {
 				if x.F(r, tr) >= share {
-					zones = append(zones, r)
+					out = append(out, r)
 				}
 			}
 		}
-		out = append(out, zones...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

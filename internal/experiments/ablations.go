@@ -66,10 +66,7 @@ func AblIntegrate(e *Env) []*Table {
 		Title:  "Cluster integration: posting-list candidates vs literal Algorithm 3 (ms)",
 		Header: []string{"micros", "indexed(ms)", "naive(ms)", "macros"},
 	}
-	var micros []*cluster.Cluster
-	for _, dayMicros := range e.MonthMicros(0) {
-		micros = append(micros, dayMicros...)
-	}
+	micros := flattenDays(e.MonthMicros(0))
 	opts := e.IntegrateOptions()
 	for _, n := range []int{100, 200, 400, 800} {
 		if n > len(micros) {

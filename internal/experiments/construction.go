@@ -74,9 +74,9 @@ func (e *Env) measureMonth(m int) constructionCosts {
 	var idgen cluster.IDGen
 	var micros []*cluster.Cluster
 	start = time.Now()
-	for _, recs := range atypical.SplitByDay(e.Spec) {
+	cps.ForEachDay(atypical.SplitByDay(e.Spec), func(_ int, recs []cps.Record) {
 		micros = append(micros, cluster.ExtractMicroClusters(&idgen, recs, e.neighbors, e.maxGap)...)
-	}
+	})
 	c.acTime = time.Since(start)
 	c.acSize = storage.ClustersSize(micros)
 

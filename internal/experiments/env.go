@@ -140,11 +140,21 @@ func (e *Env) MonthMicros(m int) map[int][]*cluster.Cluster {
 	}
 	ds := e.Dataset(m)
 	mm := make(map[int][]*cluster.Cluster)
-	for day, recs := range ds.Atypical.SplitByDay(e.Spec) {
+	cps.ForEachDay(ds.Atypical.SplitByDay(e.Spec), func(day int, recs []cps.Record) {
 		mm[day] = cluster.ExtractMicroClusters(&e.idgen, recs, e.neighbors, e.maxGap)
-	}
+	})
 	e.micros[m] = mm
 	return mm
+}
+
+// flattenDays concatenates a per-day micro-cluster partition in ascending
+// day order, so experiment tables are reproducible run to run.
+func flattenDays(byDay map[int][]*cluster.Cluster) []*cluster.Cluster {
+	var out []*cluster.Cluster
+	cps.ForEachDay(byDay, func(_ int, micros []*cluster.Cluster) {
+		out = append(out, micros...)
+	})
+	return out
 }
 
 // QueryStack assembles the online query engine over the first QueryMonths

@@ -83,11 +83,11 @@ func ExtPredict(e *Env) []*Table {
 	byDay := e.Dataset(0).Atypical.SplitByDay(e.Spec)
 	monthMicros := e.MonthMicros(0)
 	var trainMicros []*cluster.Cluster
-	for day, micros := range monthMicros {
+	cps.ForEachDay(monthMicros, func(day int, micros []*cluster.Cluster) {
 		if day < trainDays {
 			trainMicros = append(trainMicros, micros...)
 		}
-	}
+	})
 	var idgen cluster.IDGen
 	macros := cluster.Integrate(&idgen, trainMicros, e.IntegrateOptions())
 	model, err := predict.Train(macros, predict.Config{

@@ -49,6 +49,7 @@ type countRow struct {
 func (e *Env) clusterCounts(deltaD float64, deltaT time.Duration) countRow {
 	ds := e.Dataset(0)
 	neighbors := e.neighbors
+	//atyplint:ignore floatcmp comparing a configured parameter against its default, both assigned never computed
 	if deltaD != e.Cfg.DeltaD {
 		neighbors = index.NewNeighborIndex(e.Locs(), deltaD).NeighborLists()
 	}
@@ -58,12 +59,12 @@ func (e *Env) clusterCounts(deltaD float64, deltaT time.Duration) countRow {
 	f := forest.New(e.Spec, &idgen, e.IntegrateOptions(), e.Cfg.DaysPerMonth)
 	totalMicros := 0
 	days := 0
-	for day, recs := range ds.Atypical.SplitByDay(e.Spec) {
+	cps.ForEachDay(ds.Atypical.SplitByDay(e.Spec), func(day int, recs []cps.Record) {
 		micros := cluster.ExtractMicroClusters(&idgen, recs, neighbors, maxGap)
 		f.AddDay(day, micros)
 		totalMicros += len(micros)
 		days++
-	}
+	})
 
 	n := e.Net.NumSensors()
 	weekBound := cluster.SignificanceBound(e.Cfg.DeltaS, 7*e.Spec.PerDay(), n)
@@ -108,11 +109,7 @@ func Fig21(e *Env) []*Table {
 		Header: []string{"δsim", "min", "har", "geo", "avg", "max"},
 	}
 	// Extract once at default thresholds; reuse across (g, δsim).
-	monthMicros := e.MonthMicros(0)
-	var leaves []*cluster.Cluster
-	for _, micros := range monthMicros {
-		leaves = append(leaves, micros...)
-	}
+	leaves := flattenDays(e.MonthMicros(0))
 	n := e.Net.NumSensors()
 	bound := cluster.SignificanceBound(e.Cfg.DeltaS, e.Cfg.DaysPerMonth*e.Spec.PerDay(), n)
 

@@ -6,6 +6,7 @@
 package index
 
 import (
+	"math"
 	"sort"
 
 	"github.com/cpskit/atypical/internal/cps"
@@ -60,12 +61,7 @@ func (idx *NeighborIndex) key(p geo.Point) cellKey {
 }
 
 func floorDiv(x, d float64) float64 {
-	q := x / d
-	f := float64(int64(q))
-	if q < 0 && q != f {
-		f--
-	}
-	return f
+	return math.Floor(x / d)
 }
 
 // Radius returns the query radius the index was built for.

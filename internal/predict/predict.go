@@ -138,8 +138,11 @@ func (m *Model) TopSensors(k int) []cps.SensorID {
 		all[i] = kv{e.Key, e.Sev}
 	}
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].sev != all[j].sev {
-			return all[i].sev > all[j].sev
+		if all[i].sev > all[j].sev {
+			return true
+		}
+		if all[i].sev < all[j].sev {
+			return false
 		}
 		return all[i].s < all[j].s
 	})

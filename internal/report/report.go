@@ -91,8 +91,11 @@ func HighwayBreakdown(net *traffic.Network, c *cluster.Cluster) string {
 		rows = append(rows, kv{hw, sev})
 	}
 	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].sev != rows[j].sev {
-			return rows[i].sev > rows[j].sev
+		if rows[i].sev > rows[j].sev {
+			return true
+		}
+		if rows[i].sev < rows[j].sev {
+			return false
 		}
 		return rows[i].hw < rows[j].hw
 	})

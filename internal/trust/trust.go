@@ -130,8 +130,11 @@ func LeastTrusted(scores []Score, k int) []Score {
 	sorted := make([]Score, len(scores))
 	copy(sorted, scores)
 	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Trust != sorted[j].Trust {
-			return sorted[i].Trust < sorted[j].Trust
+		if sorted[i].Trust < sorted[j].Trust {
+			return true
+		}
+		if sorted[i].Trust > sorted[j].Trust {
+			return false
 		}
 		return sorted[i].Sensor < sorted[j].Sensor
 	})
