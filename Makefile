@@ -1,10 +1,10 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-CLUSTER_FUZZ = FuzzMergeCommutativity FuzzMergeAssociativity FuzzMicroVsRawAgreement
+CLUSTER_FUZZ = FuzzMergeCommutativity FuzzMergeAssociativity FuzzMicroVsRawAgreement FuzzParallelIntegrateEquivalence
 CUBE_FUZZ    = FuzzCubeDeterminism
 
-.PHONY: all build test race lint fuzz-smoke ci
+.PHONY: all build test race lint fuzz-smoke bench-quick ci
 
 all: build test lint
 
@@ -36,4 +36,10 @@ fuzz-smoke:
 		$(GO) test ./internal/cube/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 
-ci: build lint race fuzz-smoke
+## bench-quick: one serial-vs-parallel construction measurement, written to
+## BENCH_parallel.json. Speedup is only meaningful on multi-core hosts; on a
+## single core the two pipelines tie (the parallel path never degrades).
+bench-quick:
+	$(GO) run ./cmd/atypbench -sensors 250 -months 1 -days 14 -parjson BENCH_parallel.json
+
+ci: build lint race fuzz-smoke bench-quick

@@ -32,7 +32,9 @@
 package atypical
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/cpskit/atypical/internal/cluster"
@@ -67,7 +69,65 @@ type Config struct {
 	// SimThreshold is the integration similarity threshold δsim.
 	SimThreshold float64
 	// Balance names the g function: avg, max, min, geo or har.
+	//
+	// Deprecated: the stringly knob survives for flag parsing and old
+	// callers; new code should pass the typed constants via WithBalance
+	// (e.g. WithBalance(BalanceArithmetic)). An empty string means
+	// BalanceArithmetic. Use ParseBalance to turn command-line values into
+	// typed constants.
 	Balance string
+	// Workers bounds the goroutines used for parallel offline construction:
+	// 0 keeps every path serial (byte-compatible with historical output),
+	// n > 0 uses up to n goroutines, n < 0 one per CPU. Results do not
+	// depend on the worker count; see WithWorkers. Query serving stays on
+	// the serial path unless WithQueryWorkers opts in.
+	Workers int
+}
+
+// Option customizes a System beyond the plain Config — the context-aware
+// construction API of the concurrent pipeline.
+type Option func(*systemOptions)
+
+// systemOptions collects functional-option state before wiring.
+type systemOptions struct {
+	workers         int
+	workersSet      bool
+	queryWorkers    int
+	queryWorkersSet bool
+	balance         cluster.Balance
+	balanceSet      bool
+}
+
+// WithWorkers bounds the goroutines used for offline construction (per-day
+// extraction, severity sharding, level integration). n > 0 means up to n
+// goroutines, n < 0 one per CPU, 0 the serial legacy path. Every parallel
+// path is deterministic: the produced forests, indexes and reports are
+// identical for every n (the extraction and severity paths bit-identically
+// match the serial path; integration uses the fixed merge tree of
+// cluster.IntegrateParallel). Query serving is NOT affected — see
+// WithQueryWorkers.
+func WithWorkers(n int) Option {
+	return func(o *systemOptions) { o.workers = n; o.workersSet = true }
+}
+
+// WithQueryWorkers opts online query serving into the parallel engine with
+// n workers (semantics of n match WithWorkers). It is a separate, explicit
+// opt-in rather than inherited from WithWorkers because it changes answers:
+// parallel query integration uses the fixed merge tree of
+// cluster.IntegrateParallel, whose macro-clusters are independent of the
+// worker count and GOMAXPROCS but may differ from the serial engine's on
+// order-sensitive similarity chains (both are valid integration fixpoints).
+// Without this option queries always take the serial byte-compatible path,
+// no matter what WithWorkers or Config.Workers say.
+func WithQueryWorkers(n int) Option {
+	return func(o *systemOptions) { o.queryWorkers = n; o.queryWorkersSet = true }
+}
+
+// WithBalance selects the similarity balance function g by typed constant
+// (BalanceArithmetic, BalanceMin, ...), taking precedence over the
+// deprecated Config.Balance string.
+func WithBalance(b Balance) Option {
+	return func(o *systemOptions) { o.balance = b; o.balanceSet = true }
 }
 
 // DefaultConfig returns the paper's default parameters (Fig. 14) at a
@@ -92,24 +152,37 @@ func DefaultConfig() Config {
 // System is the assembled pipeline: deployment topology, offline model
 // construction (atypical forest + bottom-up severity index) and the online
 // query engine.
+//
+// A System is safe for concurrent use: queries (QueryCity, QueryBox,
+// QueryAt and their Ctx variants) may run alongside each other and alongside
+// ingestion. Construction parallelism is off by default; opt in with
+// WithWorkers or Config.Workers.
 type System struct {
-	cfg       Config
-	net       *traffic.Network
-	spec      cps.WindowSpec
-	balance   cluster.Balance
-	neighbors [][]cps.SensorID
-	maxGap    int
+	cfg          Config
+	net          *traffic.Network
+	spec         cps.WindowSpec
+	balance      cluster.Balance
+	neighbors    [][]cps.SensorID
+	maxGap       int
+	workers      int
+	queryWorkers int
 
-	idgen  cluster.IDGen
-	forest *forest.Forest
-	sev    *cube.SeverityIndex
-	engine *query.Engine
-	gen    *gen.Generator
+	idgen cluster.IDGen
+	gen   *gen.Generator
+
+	// mu guards the swappable model pointers (LoadForest replaces them) and
+	// the severity staleness flag. The structures behind the pointers are
+	// internally synchronized.
+	mu       sync.RWMutex
+	forest   *forest.Forest
+	sev      *cube.SeverityIndex
+	engine   *query.Engine
+	sevStale bool
 }
 
-// NewSystem validates cfg, generates the deployment topology and prepares an
-// empty forest.
-func NewSystem(cfg Config) (*System, error) {
+// NewSystem validates cfg, applies the options, generates the deployment
+// topology and prepares an empty forest.
+func NewSystem(cfg Config, options ...Option) (*System, error) {
 	if cfg.Sensors <= 0 {
 		return nil, fmt.Errorf("atypical: Sensors must be positive, got %d", cfg.Sensors)
 	}
@@ -122,9 +195,27 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.DaysPerMonth <= 0 {
 		return nil, fmt.Errorf("atypical: DaysPerMonth must be positive, got %d", cfg.DaysPerMonth)
 	}
-	bal, err := cluster.ParseBalance(cfg.Balance)
-	if err != nil {
-		return nil, err
+	var o systemOptions
+	for _, opt := range options {
+		opt(&o)
+	}
+	bal := cluster.Arithmetic
+	switch {
+	case o.balanceSet:
+		bal = o.balance
+	case cfg.Balance != "":
+		var err error
+		if bal, err = cluster.ParseBalance(cfg.Balance); err != nil {
+			return nil, err
+		}
+	}
+	workers := cfg.Workers
+	if o.workersSet {
+		workers = o.workers
+	}
+	queryWorkers := 0
+	if o.queryWorkersSet {
+		queryWorkers = o.queryWorkers
 	}
 	netCfg := traffic.ScaledConfig(cfg.Sensors)
 	netCfg.Seed = cfg.Seed
@@ -136,12 +227,14 @@ func NewSystem(cfg Config) (*System, error) {
 		locs[i] = s.Loc
 	}
 	s := &System{
-		cfg:       cfg,
-		net:       net,
-		spec:      spec,
-		balance:   bal,
-		neighbors: index.NewNeighborIndex(locs, cfg.DeltaD).NeighborLists(),
-		maxGap:    cluster.MaxWindowGap(cfg.DeltaT, spec.Width),
+		cfg:          cfg,
+		net:          net,
+		spec:         spec,
+		balance:      bal,
+		neighbors:    index.NewNeighborIndex(locs, cfg.DeltaD).NeighborLists(),
+		maxGap:       cluster.MaxWindowGap(cfg.DeltaT, spec.Width),
+		workers:      workers,
+		queryWorkers: queryWorkers,
 	}
 	opts := cluster.IntegrateOptions{
 		SimThreshold: cfg.SimThreshold,
@@ -151,12 +244,14 @@ func NewSystem(cfg Config) (*System, error) {
 		Period: cps.Window(spec.PerDay()),
 	}
 	s.forest = forest.New(spec, &s.idgen, opts, cfg.DaysPerMonth)
+	s.forest.SetWorkers(workers)
 	s.sev = cube.NewSeverityIndex(net, spec)
-	s.engine = &query.Engine{Net: net, Forest: s.forest, Severity: s.sev, Gen: &s.idgen}
+	s.engine = &query.Engine{Net: net, Forest: s.forest, Severity: s.sev, Gen: &s.idgen, Workers: queryWorkers}
 
 	gcfg := gen.DefaultConfig(net)
 	gcfg.Seed = cfg.Seed
 	gcfg.DaysPerMonth = cfg.DaysPerMonth
+	var err error
 	s.gen, err = gen.New(gcfg)
 	if err != nil {
 		return nil, err
@@ -171,7 +266,11 @@ func (s *System) Network() *traffic.Network { return s.net }
 func (s *System) Spec() cps.WindowSpec { return s.spec }
 
 // Forest returns the atypical forest built so far.
-func (s *System) Forest() *forest.Forest { return s.forest }
+func (s *System) Forest() *forest.Forest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.forest
+}
 
 // GenerateMonth synthesizes dataset m (0-based) for this deployment — the
 // stand-in for the paper's monthly PeMS datasets.
@@ -179,16 +278,39 @@ func (s *System) GenerateMonth(m int) *gen.Dataset { return s.gen.Month(m) }
 
 // Ingest runs offline model construction over an atypical record set:
 // Algorithm 1 per day (events → micro-clusters into the forest) plus the
-// bottom-up severity index used for red zones.
+// bottom-up severity index used for red zones. With Workers configured, the
+// per-day work fans out across the pool; the resulting forest and index are
+// byte-identical to a serial ingest regardless of worker count or
+// GOMAXPROCS.
 func (s *System) Ingest(rs *cps.RecordSet) {
-	cps.ForEachDay(rs.SplitByDay(s.spec), func(day int, recs []cps.Record) {
-		micros := cluster.ExtractMicroClusters(&s.idgen, recs, s.neighbors, s.maxGap)
-		if existing := s.forest.Day(day); existing != nil {
-			micros = append(existing, micros...)
-		}
-		s.forest.AddDay(day, micros)
+	if err := s.IngestCtx(context.Background(), rs); err != nil {
+		panic(err) // background context cannot cancel; no other error path
+	}
+}
+
+// IngestCtx is Ingest with cooperative cancellation. On cancellation no day
+// is partially ingested, but days already handed to the forest stay: callers
+// abandoning an ingest mid-way should rebuild from scratch.
+func (s *System) IngestCtx(ctx context.Context, rs *cps.RecordSet) error {
+	s.mu.RLock()
+	fst, sev, workers := s.forest, s.sev, s.workers
+	s.mu.RUnlock()
+
+	byDay := rs.SplitByDay(s.spec)
+	days := make([]cluster.DayRecords, 0, len(byDay))
+	cps.ForEachDay(byDay, func(day int, recs []cps.Record) {
+		days = append(days, cluster.DayRecords{Day: day, Records: recs})
 	})
-	s.sev.Add(rs.Records())
+	perDay, err := cluster.ExtractMicroClustersDays(ctx, &s.idgen, days, s.neighbors, s.maxGap, workers)
+	if err != nil {
+		return err
+	}
+	slices := make([][]cps.Record, len(days))
+	for i, d := range days {
+		fst.AppendDay(d.Day, perDay[i])
+		slices[i] = d.Records
+	}
+	return sev.AddDays(ctx, slices, workers)
 }
 
 // IngestMonths generates and ingests months [0, n), returning the generated
@@ -200,6 +322,20 @@ func (s *System) IngestMonths(n int) []*gen.Dataset {
 		s.Ingest(out[m].Atypical)
 	}
 	return out
+}
+
+// IngestMonthsCtx is IngestMonths with cooperative cancellation, returning
+// the datasets ingested before the context fired.
+func (s *System) IngestMonthsCtx(ctx context.Context, n int) ([]*gen.Dataset, error) {
+	out := make([]*gen.Dataset, 0, n)
+	for m := 0; m < n; m++ {
+		ds := s.GenerateMonth(m)
+		if err := s.IngestCtx(ctx, ds.Atypical); err != nil {
+			return out, err
+		}
+		out = append(out, ds)
+	}
+	return out, nil
 }
 
 // Strategy selects the online clustering strategy.
@@ -219,19 +355,55 @@ type Report = query.Result
 // QueryCity runs Q(whole city, [firstDay, firstDay+days)) at the configured
 // δs under the given strategy.
 func (s *System) QueryCity(firstDay, days int, strat Strategy) *Report {
+	return mustReport(s.QueryCityCtx(context.Background(), firstDay, days, strat))
+}
+
+// QueryCityCtx is QueryCity with cooperative cancellation.
+func (s *System) QueryCityCtx(ctx context.Context, firstDay, days int, strat Strategy) (*Report, error) {
 	q := query.CityQuery(s.net, s.spec, firstDay, days, s.cfg.DeltaS)
-	return s.engine.Run(q, strat)
+	return s.QueryAtCtx(ctx, q, strat)
 }
 
 // QueryBox restricts the spatial range to the regions intersecting box.
 func (s *System) QueryBox(box geo.BBox, firstDay, days int, strat Strategy) *Report {
+	return mustReport(s.QueryBoxCtx(context.Background(), box, firstDay, days, strat))
+}
+
+// QueryBoxCtx is QueryBox with cooperative cancellation.
+func (s *System) QueryBoxCtx(ctx context.Context, box geo.BBox, firstDay, days int, strat Strategy) (*Report, error) {
 	q := query.BoxQuery(s.net, s.spec, box, firstDay, days, s.cfg.DeltaS)
-	return s.engine.Run(q, strat)
+	return s.QueryAtCtx(ctx, q, strat)
 }
 
 // QueryAt runs an explicit query (custom δs or region set).
 func (s *System) QueryAt(q query.Query, strat Strategy) *Report {
-	return s.engine.Run(q, strat)
+	return mustReport(s.QueryAtCtx(context.Background(), q, strat))
+}
+
+// QueryAtCtx runs an explicit query with cooperative cancellation. It is the
+// primitive every query entry point funnels through: it snapshots the
+// current engine under the system lock (so a concurrent LoadForest cannot
+// tear the query), refuses Guided runs while the severity index is stale
+// (ErrSeverityStale), and honors ctx inside the parallel engine.
+func (s *System) QueryAtCtx(ctx context.Context, q query.Query, strat Strategy) (*Report, error) {
+	s.mu.RLock()
+	engine, stale := s.engine, s.sevStale
+	s.mu.RUnlock()
+	if strat == Guided && stale {
+		return nil, fmt.Errorf("atypical: guided query on stale severity index: %w", ErrSeverityStale)
+	}
+	return engine.RunCtx(ctx, q, strat)
+}
+
+// mustReport unwraps the Ctx-variant result for the legacy entry points,
+// which predate error returns. The only reachable error is ErrSeverityStale
+// — a background context cannot cancel — and surfacing it loudly beats the
+// historical behavior of silently querying an empty severity index.
+func mustReport(r *Report, err error) *Report {
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 // Describe renders a cluster as the answer to Example 1's questions: where

@@ -6,7 +6,10 @@ package atypical_test
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -133,6 +136,34 @@ func BenchmarkFig15ConstructionAC(b *testing.B) {
 		for _, recs := range days {
 			cluster.ExtractMicroClusters(&idgen, recs, f.neighbors, f.maxGap)
 		}
+	}
+}
+
+// BenchmarkFig15ConstructionACParallel is the AC curve on the parallel
+// pipeline: per-day extraction fanned out over a worker pool. At 4+ cores
+// this should run ≥2× faster than BenchmarkFig15ConstructionAC while
+// producing byte-identical clusters (IDs included).
+func benchConstructionACParallel(b *testing.B, workers int) {
+	f := benchFixture(b)
+	byDay := f.ds.Atypical.SplitByDay(f.spec)
+	var days []cluster.DayRecords
+	cps.ForEachDay(byDay, func(day int, recs []cps.Record) {
+		days = append(days, cluster.DayRecords{Day: day, Records: recs})
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var idgen cluster.IDGen
+		if _, err := cluster.ExtractMicroClustersDays(context.Background(), &idgen, days, f.neighbors, f.maxGap, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15ConstructionACParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchConstructionACParallel(b, workers)
+		})
 	}
 }
 
@@ -271,6 +302,45 @@ func BenchmarkIntegrateNaive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var idgen cluster.IDGen
 		cluster.IntegrateNaive(&idgen, micros, f.opts)
+	}
+}
+
+// IntegrateParallel against the serial posting-list Integrate on the same
+// inputs: the tree reduction costs one extra leaf pass, so it only wins once
+// chunks run on real cores.
+func BenchmarkIntegrateParallel(b *testing.B) {
+	f := benchFixture(b)
+	micros := f.micros
+	if len(micros) > 400 {
+		micros = micros[:400]
+	}
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var idgen cluster.IDGen
+				cluster.IntegrateParallel(&idgen, micros, f.opts, workers)
+			}
+		})
+	}
+}
+
+// The day-sharded severity build against the serial accumulate loop.
+func BenchmarkSeverityAddDays(b *testing.B) {
+	f := benchFixture(b)
+	byDay := f.ds.Atypical.SplitByDay(f.spec)
+	var days [][]cps.Record
+	cps.ForEachDay(byDay, func(_ int, recs []cps.Record) {
+		days = append(days, recs)
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				idx := cube.NewSeverityIndex(f.net, f.spec)
+				if err := idx.AddDays(context.Background(), days, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,8 @@ func main() {
 		deltaT   = flag.Duration("deltat", 15*time.Minute, "time interval threshold δt")
 		deltaSim = flag.Float64("deltasim", 0.5, "similarity threshold δsim")
 		balance  = flag.String("balance", "avg", "balance function g (avg, max, min, geo, har)")
+		parJSON  = flag.String("parjson", "", "quick mode: run the serial-vs-parallel construction benchmark, write JSON to this path, and exit")
+		workers  = flag.Int("workers", 0, "worker count for -parjson (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,21 @@ func main() {
 	}
 	fmt.Printf("# deployment: %d sensors, %d highways, %d regions; seed %d\n\n",
 		env.Net.NumSensors(), len(env.Net.Highways), env.Net.Grid.NumRegions(), cfg.Seed)
+
+	if *parJSON != "" {
+		res := experiments.MeasureParallelConstruction(env, *workers)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*parJSON, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# parallel construction: %d workers, %.2fx speedup (serial %.3fs, parallel %.3fs) -> %s\n",
+			res.Workers, res.Speedup, res.Serial.Total, res.Parallel.Total, *parJSON)
+		return
+	}
 
 	ids := experiments.Order
 	if *exp != "" {

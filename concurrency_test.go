@@ -1,0 +1,183 @@
+package atypical
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// renderReports serializes every user-facing query surface of a system: the
+// three strategies' result shapes plus the rendered rankings and
+// descriptions. Elapsed is deliberately excluded — it is the only
+// non-deterministic Report field.
+func renderReports(sys *System) string {
+	var b strings.Builder
+	for _, strat := range []Strategy{IntegrateAll, Pruned, Guided} {
+		res := sys.QueryCity(0, 7, strat)
+		fmt.Fprintf(&b, "# %v candidates=%d inputs=%d zones=%d bound=%v macros=%d\n",
+			res.Strategy, res.CandidateMicros, res.InputMicros, res.RedZones, res.Bound, len(res.Macros))
+		b.WriteString(sys.Ranking(res.Significant))
+		for _, c := range res.Significant {
+			b.WriteString(sys.Describe(c))
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// buildSystem constructs a system with the given options and ingests the
+// deterministic first generated month.
+func buildSystem(t *testing.T, options ...Option) *System {
+	t.Helper()
+	sys, err := NewSystem(testConfig(), options...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Ingest(sys.GenerateMonth(0).Atypical)
+	return sys
+}
+
+// Parallel ingestion must be byte-identical to the legacy serial pipeline:
+// block-reserved cluster IDs and day-sharded severity accumulation make the
+// worker fan-out invisible, down to rendered report text.
+func TestParallelIngestByteIdenticalToSerial(t *testing.T) {
+	want := renderReports(buildSystem(t, WithWorkers(0)))
+	if want == "" {
+		t.Fatal("serial system rendered nothing; byte-identity check is vacuous")
+	}
+	for _, workers := range []int{1, 2, 4, -1} {
+		// WithWorkers alone must suffice: queries stay on the serial path
+		// unless WithQueryWorkers opts in, so only ingestion parallelism
+		// varies here.
+		got := renderReports(buildSystem(t, WithWorkers(workers)))
+		if got != want {
+			t.Fatalf("workers=%d ingest diverged from serial:\n%s", workers, diffAt(got, want))
+		}
+	}
+}
+
+// The parallel query path's output must not depend on the worker count: the
+// merge tree's shape is fixed, so every worker count (including the
+// GOMAXPROCS-derived one) renders the same bytes.
+func TestParallelQueryWorkerCountIndependent(t *testing.T) {
+	want := renderReports(buildSystem(t, WithWorkers(4), WithQueryWorkers(1)))
+	for _, qw := range []int{2, 8, -1} {
+		got := renderReports(buildSystem(t, WithWorkers(4), WithQueryWorkers(qw)))
+		if got != want {
+			t.Fatalf("query workers=%d diverged from 1 worker:\n%s", qw, diffAt(got, want))
+		}
+	}
+}
+
+// GOMAXPROCS must not select an algorithm or reorder output: the full
+// build-and-query pipeline renders identical bytes at 1 and 8 procs.
+func TestPipelineByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	render := func(procs int) string {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		return renderReports(buildSystem(t, WithWorkers(4), WithQueryWorkers(4)))
+	}
+	at1, at8 := render(1), render(8)
+	if at1 != at8 {
+		t.Fatalf("pipeline output depends on GOMAXPROCS:\n%s", diffAt(at1, at8))
+	}
+}
+
+// Queries run while ingestion extends the forest; the race detector is the
+// oracle, and queries must see a consistent snapshot throughout.
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	sys, err := NewSystem(testConfig(), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	months := []*RecordSet{
+		sys.GenerateMonth(0).Atypical,
+		sys.GenerateMonth(1).Atypical,
+		sys.GenerateMonth(2).Atypical,
+	}
+	sys.Ingest(months[0])
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, strat := range []Strategy{IntegrateAll, Pruned, Guided} {
+					if _, err := sys.QueryCityCtx(context.Background(), 0, 7, strat); err != nil {
+						t.Errorf("query during ingest: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for _, m := range months[1:] {
+		if err := sys.IngestCtx(context.Background(), m); err != nil {
+			t.Errorf("ingest: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the storm the forest holds all three months.
+	if got, want := sys.Forest().Stats().Days, 3*testConfig().DaysPerMonth; got != want {
+		t.Fatalf("days after concurrent ingest = %d, want %d", got, want)
+	}
+}
+
+func TestIngestCtxCancellation(t *testing.T) {
+	sys, err := NewSystem(testConfig(), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := sys.GenerateMonth(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sys.IngestCtx(ctx, ds.Atypical); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled IngestCtx error = %v, want context.Canceled", err)
+	}
+	if got := sys.Forest().Stats().Days; got != 0 {
+		t.Fatalf("cancelled ingest materialized %d days", got)
+	}
+}
+
+func TestQueryCtxCancellation(t *testing.T) {
+	sys := buildSystem(t, WithWorkers(2), WithQueryWorkers(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.QueryCityCtx(ctx, 0, 7, IntegrateAll); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled QueryCityCtx error = %v, want context.Canceled", err)
+	}
+	if _, err := sys.IngestMonthsCtx(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled IngestMonthsCtx error = %v, want context.Canceled", err)
+	}
+}
+
+// diffAt locates the first byte where two renderings diverge.
+func diffAt(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 60
+			if lo < 0 {
+				lo = 0
+			}
+			return fmt.Sprintf("first difference at byte %d:\n a: …%q\n b: …%q", i, a[lo:i+20], b[lo:i+20])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d", len(a), len(b))
+}

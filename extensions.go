@@ -1,12 +1,15 @@
 package atypical
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"github.com/cpskit/atypical/internal/cluster"
 	"github.com/cpskit/atypical/internal/cps"
 	"github.com/cpskit/atypical/internal/forest"
 	"github.com/cpskit/atypical/internal/predict"
+	"github.com/cpskit/atypical/internal/query"
 	"github.com/cpskit/atypical/internal/stream"
 	"github.com/cpskit/atypical/internal/trust"
 )
@@ -42,11 +45,9 @@ func (s *System) IngestClusters(micros []*Cluster) {
 		day := int(c.TF[0].Key / perDay)
 		byDay[day] = append(byDay[day], c)
 	}
+	fst := s.Forest()
 	cps.ForEachDay(byDay, func(day int, cs []*Cluster) {
-		if existing := s.forest.Day(day); existing != nil {
-			cs = append(existing, cs...)
-		}
-		s.forest.AddDay(day, cs)
+		fst.AppendDay(day, cs)
 	})
 }
 
@@ -62,11 +63,12 @@ func (s *System) TrainPredictor(firstDay, days int, minRecurrence float64) (*Pre
 	if days <= 0 {
 		return nil, fmt.Errorf("atypical: training range must be positive, got %d days", days)
 	}
-	micros := s.forest.MicrosInRange(cps.DayRange(s.spec, firstDay, days))
+	fst := s.Forest()
+	micros := fst.MicrosInRange(cps.DayRange(s.spec, firstDay, days))
 	if len(micros) == 0 {
 		return nil, fmt.Errorf("atypical: no micro-clusters in days [%d, %d)", firstDay, firstDay+days)
 	}
-	macros := cluster.Integrate(&s.idgen, micros, s.forest.Options())
+	macros := cluster.Integrate(&s.idgen, micros, fst.Options())
 	return predict.Train(macros, predict.Config{
 		TrainingDays:  days,
 		Period:        s.spec.PerDay(),
@@ -102,18 +104,71 @@ func (s *System) FilterUntrusted(rs *RecordSet, scores []TrustScore, minTrust fl
 // SaveForest persists the forest's materialized days (and any memoized
 // week/month levels) to dir.
 func (s *System) SaveForest(dir string) error {
-	return s.forest.Save(dir)
+	return s.Forest().Save(dir)
 }
 
+// ErrSeverityStale reports that the bottom-up severity index no longer
+// matches the forest: the forest was loaded from disk but the index — which
+// is not persisted — was not rebuilt. Guided queries would silently return
+// nothing against an empty index, so they are refused until RebuildSeverity
+// (or a full re-Ingest after LoadForestAndRebuild) runs. All- and
+// Pruned-strategy queries never consult the index and keep working.
+var ErrSeverityStale = errors.New("atypical: severity index is stale; call RebuildSeverity")
+
 // LoadForest replaces the system's forest with one previously saved by
-// SaveForest. The severity index is not persisted; re-Ingest the record
-// sets (or rebuild it) before running Guided queries.
+// SaveForest. The severity index is not persisted, so it is reset and marked
+// stale: LoadForest returns ErrSeverityStale (wrapped) to make the
+// degradation explicit even though the forest itself loaded fine. Callers
+// that only run All/Pruned queries may treat that error as informational;
+// callers needing Guided queries must RebuildSeverity with the original
+// records, or use LoadForestAndRebuild.
 func (s *System) LoadForest(dir string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	f, err := forest.Load(dir, s.spec, &s.idgen, s.forest.Options(), s.cfg.DaysPerMonth)
 	if err != nil {
 		return err
 	}
+	f.SetWorkers(s.workers)
 	s.forest = f
-	s.engine.Forest = f
+	s.sev.Reset()
+	s.sevStale = true
+	// The engine is rebuilt rather than mutated so queries that already
+	// snapshotted the old engine finish against the old forest.
+	s.engine = &query.Engine{Net: s.net, Forest: f, Severity: s.sev, Gen: &s.idgen, Workers: s.queryWorkers}
+	return fmt.Errorf("atypical: forest loaded from %s: %w", dir, ErrSeverityStale)
+}
+
+// RebuildSeverity reconstructs the bottom-up severity index from the record
+// set the current forest was built over, clearing the staleness mark set by
+// LoadForest. The rebuild day-shards across the configured workers.
+func (s *System) RebuildSeverity(ctx context.Context, rs *RecordSet) error {
+	s.mu.RLock()
+	sev, workers := s.sev, s.workers
+	s.mu.RUnlock()
+
+	sev.Reset()
+	byDay := rs.SplitByDay(s.spec)
+	slices := make([][]cps.Record, 0, len(byDay))
+	cps.ForEachDay(byDay, func(_ int, recs []cps.Record) {
+		slices = append(slices, recs)
+	})
+	if err := sev.AddDays(ctx, slices, workers); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.sevStale = false
+	s.mu.Unlock()
 	return nil
+}
+
+// LoadForestAndRebuild is LoadForest followed by RebuildSeverity: the
+// round-trip path that restores a fully query-able system (including Guided
+// strategies) in one call. rs must be the record set the saved forest was
+// built over.
+func (s *System) LoadForestAndRebuild(ctx context.Context, dir string, rs *RecordSet) error {
+	if err := s.LoadForest(dir); err != nil && !errors.Is(err, ErrSeverityStale) {
+		return err
+	}
+	return s.RebuildSeverity(ctx, rs)
 }

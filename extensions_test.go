@@ -1,6 +1,8 @@
 package atypical
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -127,20 +129,44 @@ func TestForestPersistenceThroughFacade(t *testing.T) {
 	}
 
 	sys2, _ := NewSystem(testConfig())
-	if err := sys2.LoadForest(dir); err != nil {
-		t.Fatal(err)
+	// The severity index is not persisted, so a successful load still reports
+	// staleness through the sentinel.
+	if err := sys2.LoadForest(dir); !errors.Is(err, ErrSeverityStale) {
+		t.Fatalf("LoadForest error = %v, want ErrSeverityStale", err)
 	}
 	got := sys2.Forest().Stats()
 	if got.Days != want.Days || got.MicroTotal != want.MicroTotal {
 		t.Errorf("loaded stats %+v, want %+v", got, want)
 	}
-	// Queries work against the loaded forest once the severity index is
-	// rebuilt via Ingest-equivalent data (Guided needs it; use All here).
+	// All-strategy queries never consult the severity index and work while
+	// it is stale; Guided ones are refused until a rebuild.
 	res := sys2.QueryCity(0, 7, IntegrateAll)
 	if res.CandidateMicros == 0 {
 		t.Error("loaded forest served no candidates")
 	}
-	if err := sys2.LoadForest("/nonexistent"); err == nil {
-		t.Error("missing dir accepted")
+	if _, err := sys2.QueryCityCtx(context.Background(), 0, 7, Guided); !errors.Is(err, ErrSeverityStale) {
+		t.Errorf("Guided query on stale index error = %v, want ErrSeverityStale", err)
+	}
+	if err := sys2.RebuildSeverity(context.Background(), ds.Atypical); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys2.QueryCityCtx(context.Background(), 0, 7, Guided); err != nil {
+		t.Errorf("Guided query after RebuildSeverity: %v", err)
+	}
+
+	// LoadForestAndRebuild restores full function in one call.
+	sys3, _ := NewSystem(testConfig())
+	if err := sys3.LoadForestAndRebuild(context.Background(), dir, ds.Atypical); err != nil {
+		t.Fatal(err)
+	}
+	g1 := sys2.QueryCity(0, 7, Guided)
+	g3 := sys3.QueryCity(0, 7, Guided)
+	if g1.RedZones != g3.RedZones || len(g1.Significant) != len(g3.Significant) {
+		t.Errorf("rebuild paths disagree: %d/%d zones, %d/%d significant",
+			g1.RedZones, g3.RedZones, len(g1.Significant), len(g3.Significant))
+	}
+
+	if err := sys2.LoadForest("/nonexistent"); err == nil || errors.Is(err, ErrSeverityStale) {
+		t.Errorf("missing dir error = %v, want a plain load failure", err)
 	}
 }

@@ -20,6 +20,17 @@ type IDGen struct {
 // sentinel.
 func (g *IDGen) Next() ID { return ID(g.next.Add(1)) }
 
+// Reserve atomically claims a block of n consecutive IDs and returns the
+// first. Parallel construction reserves one block per batch and deals IDs
+// out positionally, so the numbering matches what n sequential Next calls
+// would have produced regardless of goroutine scheduling.
+func (g *IDGen) Reserve(n int) ID {
+	if n <= 0 {
+		return 0
+	}
+	return ID(g.next.Add(uint64(n)) - uint64(n) + 1)
+}
+
 // Cluster is an atypical cluster C = ⟨ID, SF, TF⟩ (Definition 4). A cluster
 // summarizing a single atypical event is a micro-cluster; clusters produced
 // by merging are macro-clusters.
@@ -38,13 +49,19 @@ type Cluster struct {
 	// for micro-clusters. They form the clustering tree of Section III-C.
 	Children []*Cluster
 
-	sev cps.Severity // cached Severity(); 0 means not yet computed
+	sev cps.Severity // cached Severity(); set at construction, 0 means unknown
 
-	// foldedTF caches the time-of-day projection of TF for periodic
-	// similarity (foldedPeriod 0 = not cached). Clusters are immutable
-	// after construction; the cache is not safe for concurrent first use.
-	foldedTF     TemporalFeature
-	foldedPeriod cps.Window
+	// folded caches the time-of-day projection of TF for periodic
+	// similarity. Clusters are immutable after construction; the cache is an
+	// atomic pointer so concurrent query goroutines may race on first use —
+	// the projection is deterministic, so whichever store wins is correct.
+	folded atomic.Pointer[foldedCache]
+}
+
+// foldedCache is one memoized FoldTemporal projection.
+type foldedCache struct {
+	period cps.Window
+	tf     TemporalFeature
 }
 
 // New builds a cluster from canonical features, validating the algebraic
@@ -75,12 +92,21 @@ func FromRecords(id ID, recs []cps.Record) *Cluster {
 }
 
 // Severity returns the cluster's total severity Σμ = Σν (Definition 5).
+// Every constructor in this package precomputes the cache; clusters built
+// field-by-field elsewhere (storage decoding) should call Hydrate once. The
+// fallback recomputes without storing so the method stays safe for
+// concurrent readers.
 func (c *Cluster) Severity() cps.Severity {
 	if c.sev == 0 && len(c.SF) > 0 {
-		c.sev = c.SF.Total()
+		return c.SF.Total()
 	}
 	return c.sev
 }
+
+// Hydrate recomputes the derived severity cache after external field-wise
+// construction (e.g. storage decoding). It must be called before the cluster
+// is shared across goroutines.
+func (c *Cluster) Hydrate() { c.sev = c.SF.Total() }
 
 // Sensors returns the cluster's sensor set in ascending order.
 func (c *Cluster) Sensors() []cps.SensorID { return c.SF.Keys() }
@@ -126,8 +152,15 @@ func (c *Cluster) PeakWindow() (cps.Window, cps.Severity) {
 // a new ID is assigned. The inputs are not modified. The operation is
 // commutative and associative (paper Property 3); see the property tests.
 func Merge(gen *IDGen, a, b *Cluster) *Cluster {
+	return mergeAs(gen.Next(), a, b)
+}
+
+// mergeAs is Merge with an explicit ID. Parallel integration merges under
+// the sentinel ID 0 and renumbers the surviving macro-clusters afterwards,
+// so concurrent merge scheduling cannot leak into the ID sequence.
+func mergeAs(id ID, a, b *Cluster) *Cluster {
 	out := &Cluster{
-		ID:       gen.Next(),
+		ID:       id,
 		SF:       MergeFeature(a.SF, b.SF),
 		TF:       MergeFeature(a.TF, b.TF),
 		Micros:   a.Micros + b.Micros,
@@ -203,16 +236,19 @@ func FoldTemporal(tf TemporalFeature, period cps.Window) TemporalFeature {
 	return NewFeature(entries)
 }
 
-// foldTF returns the cached folded temporal feature for the period.
+// foldTF returns the cached folded temporal feature for the period. Safe for
+// concurrent use: racing first calls each compute the same deterministic
+// projection and the losing store is equivalent to the winning one.
 func (c *Cluster) foldTF(period cps.Window) TemporalFeature {
 	if period <= 0 {
 		return c.TF
 	}
-	if c.foldedPeriod != period {
-		c.foldedTF = FoldTemporal(c.TF, period)
-		c.foldedPeriod = period
+	if fc := c.folded.Load(); fc != nil && fc.period == period {
+		return fc.tf
 	}
-	return c.foldedTF
+	tf := FoldTemporal(c.TF, period)
+	c.folded.Store(&foldedCache{period: period, tf: tf})
+	return tf
 }
 
 // FoldedKeys returns the distinct time-of-day window offsets of the cluster

@@ -36,6 +36,14 @@ func (o IntegrateOptions) similarity(a, b *Cluster) float64 {
 // similarity above δsim. Merge order — which the paper notes can influence
 // hard-clustering results — is deterministic (ascending input position).
 func Integrate(gen *IDGen, micros []*Cluster, opts IntegrateOptions) []*Cluster {
+	return integrateCore(micros, opts, gen.Next)
+}
+
+// integrateCore is Integrate with the merge-ID source abstracted out: the
+// serial path draws from the shared IDGen at every merge, while the parallel
+// tree reduction merges under the sentinel ID 0 and renumbers survivors in a
+// deterministic post-pass (IDs play no role in the algorithm itself).
+func integrateCore(micros []*Cluster, opts IntegrateOptions, mkID func() ID) []*Cluster {
 	if opts.SimThreshold <= 0 {
 		panic("cluster: IntegrateOptions.SimThreshold must be positive")
 	}
@@ -114,7 +122,7 @@ func Integrate(gen *IDGen, micros []*Cluster, opts IntegrateOptions) []*Cluster 
 	repeat:
 		for _, cand := range candidates(pos) {
 			if opts.similarity(active[pos], active[cand]) > opts.SimThreshold {
-				merged := Merge(gen, active[pos], active[cand])
+				merged := mergeAs(mkID(), active[pos], active[cand])
 				alive[pos] = false
 				alive[cand] = false
 				active = append(active, merged)

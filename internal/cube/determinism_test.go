@@ -8,6 +8,7 @@ package cube_test
 // report shows up here as a byte difference.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"github.com/cpskit/atypical/internal/cluster"
 	"github.com/cpskit/atypical/internal/cps"
 	"github.com/cpskit/atypical/internal/cube"
+	"github.com/cpskit/atypical/internal/geo"
 	"github.com/cpskit/atypical/internal/report"
 	"github.com/cpskit/atypical/internal/traffic"
 )
@@ -111,6 +113,61 @@ func TestReportByteIdenticalAcrossBuilds(t *testing.T) {
 	a, b := render(), render()
 	if a != b {
 		t.Fatalf("report output differs between identical builds:\n%s", firstDiff(a, b))
+	}
+}
+
+// renderSeverity serializes every read path of the severity index across a
+// spread of regions and time ranges.
+func renderSeverity(x *cube.SeverityIndex, net *traffic.Network, spec cps.WindowSpec) string {
+	regions := make([]geo.RegionID, 0, net.Grid.NumRegions())
+	for _, r := range net.Grid.Regions() {
+		regions = append(regions, r.ID)
+	}
+	var b strings.Builder
+	for _, tr := range []cps.TimeRange{
+		cps.DayRange(spec, 0, 7),
+		cps.DayRange(spec, 3, 2),
+		{From: 9, To: cps.Window(5*spec.PerDay() + 31)},
+	} {
+		fmt.Fprintf(&b, "# %v\n", tr)
+		fmt.Fprintf(&b, "total: %v\n", x.FTotal(regions, tr))
+		for _, r := range regions {
+			fmt.Fprintf(&b, "F[%d]=%v\n", r, x.F(r, tr))
+		}
+		fmt.Fprintf(&b, "red: %v\n", x.RedZones(regions, tr, 0.005, net.NumSensors()))
+		fmt.Fprintf(&b, "gui: %v\n", x.GuidedRedZones(regions, tr, 0.005, net.NumSensors()))
+	}
+	return b.String()
+}
+
+// TestSeverityParallelBuildByteIdentical extends the byte-identity harness
+// to the parallel offline build: the day-sharded AddDays path must render
+// exactly the serial index, for every worker count.
+func TestSeverityParallelBuildByteIdentical(t *testing.T) {
+	net := detNet()
+	spec := cps.DefaultSpec()
+	recs := detRecords(net, 6000, 37, 7)
+	byDay := cps.NewRecordSet(recs).SplitByDay(spec)
+	var days [][]cps.Record
+	cps.ForEachDay(byDay, func(_ int, day []cps.Record) {
+		days = append(days, day)
+	})
+
+	serial := cube.NewSeverityIndex(net, spec)
+	serial.Add(recs)
+	want := renderSeverity(serial, net, spec)
+	if want == "" {
+		t.Fatal("rendered severity output is empty; the determinism check is vacuous")
+	}
+	for _, workers := range []int{1, 3, 8, -1} {
+		x := cube.NewSeverityIndex(net, spec)
+		if err := x.AddDays(context.Background(), days, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := renderSeverity(x, net, spec); got != want {
+			t.Fatalf("workers=%d severity output differs from serial build:\n%s",
+				workers, firstDiff(got, want))
+		}
 	}
 }
 

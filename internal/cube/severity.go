@@ -6,10 +6,13 @@
 package cube
 
 import (
+	"context"
 	"sort"
+	"sync"
 
 	"github.com/cpskit/atypical/internal/cps"
 	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/par"
 	"github.com/cpskit/atypical/internal/traffic"
 )
 
@@ -17,10 +20,14 @@ import (
 // pre-defined region (Property 4): per-(region, day) rollups answer
 // day-aligned queries in O(regions × days), and a sparse per-(region,
 // window) map covers sub-day residuals exactly.
+//
+// The index is safe for concurrent use: lookups (F, FTotal, red zones) may
+// run alongside Add/AddDays.
 type SeverityIndex struct {
 	net  *traffic.Network
 	spec cps.WindowSpec
 
+	mu sync.RWMutex
 	// perDay[r][d] is F(region r, day d); days index from the spec origin.
 	perDay map[geo.RegionID]map[int]cps.Severity
 	// perWindow[r][w] is F(region r, window w), sparse.
@@ -37,9 +44,62 @@ func NewSeverityIndex(net *traffic.Network, spec cps.WindowSpec) *SeverityIndex 
 	}
 }
 
+// Reset drops every accumulated severity, returning the index to its
+// just-constructed state. Used when the forest is swapped out from under the
+// index (see the facade's LoadForest) before a rebuild.
+func (x *SeverityIndex) Reset() {
+	x.mu.Lock()
+	x.perDay = make(map[geo.RegionID]map[int]cps.Severity)
+	x.perWindow = make(map[geo.RegionID]map[cps.Window]cps.Severity)
+	x.mu.Unlock()
+}
+
 // Add aggregates records into the index. Records for sensors outside the
 // region grid are ignored (they belong to no pre-defined region).
 func (x *SeverityIndex) Add(recs []cps.Record) {
+	shard := x.accumulate(recs)
+	x.mu.Lock()
+	x.mergeLocked(shard)
+	x.mu.Unlock()
+}
+
+// AddDays aggregates several days' record slices, sharding the accumulation
+// across up to `workers` goroutines — one shard per slice. Shard-local sums
+// merge into the index under one lock.
+//
+// Because a window belongs to exactly one day, distinct shards never touch
+// the same (region, day) or (region, window) cell: every cell's severity is
+// accumulated in a single shard, in record order. Building a fresh index
+// from per-day slices therefore produces bit-identical floats to feeding the
+// same slices through Add one day at a time, for every worker count.
+func (x *SeverityIndex) AddDays(ctx context.Context, days [][]cps.Record, workers int) error {
+	shards := make([]*severityShard, len(days))
+	if err := par.Do(ctx, len(days), workers, func(i int) error {
+		shards[i] = x.accumulate(days[i])
+		return nil
+	}); err != nil {
+		return err
+	}
+	x.mu.Lock()
+	for _, s := range shards {
+		x.mergeLocked(s)
+	}
+	x.mu.Unlock()
+	return nil
+}
+
+// severityShard is one lock-free partial accumulation.
+type severityShard struct {
+	perDay    map[geo.RegionID]map[int]cps.Severity
+	perWindow map[geo.RegionID]map[cps.Window]cps.Severity
+}
+
+// accumulate sums records into a private shard; no lock required.
+func (x *SeverityIndex) accumulate(recs []cps.Record) *severityShard {
+	s := &severityShard{
+		perDay:    make(map[geo.RegionID]map[int]cps.Severity),
+		perWindow: make(map[geo.RegionID]map[cps.Window]cps.Severity),
+	}
 	perDay := cps.Window(x.spec.PerDay())
 	for _, r := range recs {
 		region := x.net.Sensor(r.Sensor).Region
@@ -47,18 +107,45 @@ func (x *SeverityIndex) Add(recs []cps.Record) {
 			continue
 		}
 		day := int(r.Window / perDay)
-		dm := x.perDay[region]
+		dm := s.perDay[region]
 		if dm == nil {
 			dm = make(map[int]cps.Severity)
-			x.perDay[region] = dm
+			s.perDay[region] = dm
 		}
 		dm[day] += r.Severity
-		wm := x.perWindow[region]
+		wm := s.perWindow[region]
 		if wm == nil {
 			wm = make(map[cps.Window]cps.Severity)
-			x.perWindow[region] = wm
+			s.perWindow[region] = wm
 		}
 		wm[r.Window] += r.Severity
+	}
+	return s
+}
+
+// mergeLocked folds a shard into the index. Cells are independent, so the
+// map iteration order cannot influence any resulting value. Callers hold
+// x.mu.
+func (x *SeverityIndex) mergeLocked(s *severityShard) {
+	for region, dm := range s.perDay { //atyplint:ignore rangedeterminism cells are disjoint; += on distinct keys commutes exactly
+		gdm := x.perDay[region]
+		if gdm == nil {
+			gdm = make(map[int]cps.Severity, len(dm))
+			x.perDay[region] = gdm
+		}
+		for day, sev := range dm { //atyplint:ignore rangedeterminism cells are disjoint; += on distinct keys commutes exactly
+			gdm[day] += sev
+		}
+	}
+	for region, wm := range s.perWindow { //atyplint:ignore rangedeterminism cells are disjoint; += on distinct keys commutes exactly
+		gwm := x.perWindow[region]
+		if gwm == nil {
+			gwm = make(map[cps.Window]cps.Severity, len(wm))
+			x.perWindow[region] = gwm
+		}
+		for w, sev := range wm { //atyplint:ignore rangedeterminism cells are disjoint; += on distinct keys commutes exactly
+			gwm[w] += sev
+		}
 	}
 }
 
@@ -66,6 +153,14 @@ func (x *SeverityIndex) Add(recs []cps.Record) {
 // restricted to W' = region). Day-aligned spans use the per-day rollup;
 // ragged edges fall back to the window map.
 func (x *SeverityIndex) F(region geo.RegionID, tr cps.TimeRange) cps.Severity {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.fLocked(region, tr)
+}
+
+// fLocked is F for callers already holding x.mu (either mode); multi-region
+// rollups take the lock once instead of per region.
+func (x *SeverityIndex) fLocked(region geo.RegionID, tr cps.TimeRange) cps.Severity {
 	if tr.Len() == 0 {
 		return 0
 	}
@@ -103,9 +198,11 @@ func (x *SeverityIndex) F(region geo.RegionID, tr cps.TimeRange) cps.Severity {
 // FTotal returns F(W, T) summed over a region set — the distributive rollup
 // of Property 4.
 func (x *SeverityIndex) FTotal(regions []geo.RegionID, tr cps.TimeRange) cps.Severity {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
 	var total cps.Severity
 	for _, r := range regions {
-		total += x.F(r, tr)
+		total += x.fLocked(r, tr)
 	}
 	return total
 }
@@ -135,9 +232,11 @@ func FScan(net *traffic.Network, recs []cps.Record, regions []geo.RegionID, tr c
 // significant cluster). The result is ascending by region id.
 func (x *SeverityIndex) RedZones(regions []geo.RegionID, tr cps.TimeRange, deltaS float64, numSensorsInW int) []geo.RegionID {
 	bound := cps.Severity(deltaS * float64(tr.Len()) * float64(numSensorsInW))
+	x.mu.RLock()
+	defer x.mu.RUnlock()
 	var out []geo.RegionID
 	for _, r := range regions {
-		if x.F(r, tr) >= bound {
+		if x.fLocked(r, tr) >= bound {
 			out = append(out, r)
 		}
 	}
@@ -155,6 +254,8 @@ func (x *SeverityIndex) RedZones(regions []geo.RegionID, tr cps.TimeRange, delta
 // ascending by region id.
 func (x *SeverityIndex) GuidedRedZones(regions []geo.RegionID, tr cps.TimeRange, deltaS float64, numSensorsInW int) []geo.RegionID {
 	bound := cps.Severity(deltaS * float64(tr.Len()) * float64(numSensorsInW))
+	x.mu.RLock()
+	defer x.mu.RUnlock()
 	byDistrict := make(map[int][]geo.RegionID)
 	for _, r := range regions {
 		d := x.net.Grid.Region(r).District
@@ -165,7 +266,7 @@ func (x *SeverityIndex) GuidedRedZones(regions []geo.RegionID, tr cps.TimeRange,
 		var districtF cps.Severity
 		before := len(out)
 		for _, r := range members {
-			f := x.F(r, tr)
+			f := x.fLocked(r, tr)
 			districtF += f
 			if f >= bound {
 				out = append(out, r)
@@ -179,7 +280,7 @@ func (x *SeverityIndex) GuidedRedZones(regions []geo.RegionID, tr cps.TimeRange,
 			// place that much in one of them.
 			share := bound / cps.Severity(len(members))
 			for _, r := range members {
-				if x.F(r, tr) >= share {
+				if x.fLocked(r, tr) >= share {
 					out = append(out, r)
 				}
 			}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/cube"
+)
+
+// ParStage holds one construction run's per-stage wall-clock seconds: the
+// three offline phases the parallel pipeline shards (micro-cluster
+// extraction, month-level integration, severity-index build).
+type ParStage struct {
+	Extract   float64 `json:"extract_s"`
+	Integrate float64 `json:"integrate_s"`
+	Severity  float64 `json:"severity_s"`
+	Total     float64 `json:"total_s"`
+}
+
+// ParResult is the quick parallel-construction benchmark emitted by
+// `atypbench -parjson` (and `make bench-quick`): the serial pipeline versus
+// the worker-pool pipeline over the same month of records.
+type ParResult struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Workers    int      `json:"workers"`
+	Sensors    int      `json:"sensors"`
+	Records    int      `json:"records"`
+	Serial     ParStage `json:"serial"`
+	Parallel   ParStage `json:"parallel"`
+	Speedup    float64  `json:"speedup"`
+}
+
+// parStage runs one full offline construction of month 0. workers == 0 takes
+// the legacy serial path; workers > 0 the sharded one.
+func (e *Env) parStage(workers int) ParStage {
+	ds := e.Dataset(0)
+	byDay := ds.Atypical.SplitByDay(e.Spec)
+	var days []cluster.DayRecords
+	var slices [][]cps.Record
+	cps.ForEachDay(byDay, func(day int, recs []cps.Record) {
+		days = append(days, cluster.DayRecords{Day: day, Records: recs})
+		slices = append(slices, recs)
+	})
+
+	var s ParStage
+	var idgen cluster.IDGen
+
+	start := time.Now()
+	var perDay [][]*cluster.Cluster
+	if workers == 0 {
+		for _, d := range days {
+			perDay = append(perDay, cluster.ExtractMicroClusters(&idgen, d.Records, e.neighbors, e.maxGap))
+		}
+	} else {
+		var err error
+		perDay, err = cluster.ExtractMicroClustersDays(context.Background(), &idgen, days, e.neighbors, e.maxGap, workers)
+		if err != nil {
+			panic(err) // background context cannot cancel
+		}
+	}
+	s.Extract = time.Since(start).Seconds()
+
+	var micros []*cluster.Cluster
+	for _, cs := range perDay {
+		micros = append(micros, cs...)
+	}
+	start = time.Now()
+	if workers == 0 {
+		cluster.Integrate(&idgen, micros, e.IntegrateOptions())
+	} else {
+		cluster.IntegrateParallel(&idgen, micros, e.IntegrateOptions(), workers)
+	}
+	s.Integrate = time.Since(start).Seconds()
+
+	sev := cube.NewSeverityIndex(e.Net, e.Spec)
+	start = time.Now()
+	if workers == 0 {
+		sev.Add(ds.Atypical.Records())
+	} else {
+		if err := sev.AddDays(context.Background(), slices, workers); err != nil {
+			panic(err)
+		}
+	}
+	s.Severity = time.Since(start).Seconds()
+	s.Total = s.Extract + s.Integrate + s.Severity
+	return s
+}
+
+// MeasureParallelConstruction runs the serial and the workers-wide parallel
+// construction once each and reports the speedup. workers <= 0 selects
+// GOMAXPROCS.
+func MeasureParallelConstruction(e *Env, workers int) ParResult {
+	procs := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = procs
+	}
+	res := ParResult{
+		GOMAXPROCS: procs,
+		Workers:    workers,
+		Sensors:    e.Net.NumSensors(),
+		Records:    e.Dataset(0).Atypical.Len(),
+		Serial:     e.parStage(0),
+		Parallel:   e.parStage(workers),
+	}
+	if res.Parallel.Total > 0 {
+		res.Speedup = res.Serial.Total / res.Parallel.Total
+	}
+	return res
+}
+
+// ParConstruct is the Fig. 15 companion the paper does not plot: offline
+// construction cost as the worker pool widens. On a single-core host the
+// rows degenerate to ≈1× — the speedup column is only meaningful at
+// GOMAXPROCS ≥ 2.
+func ParConstruct(e *Env) []*Table {
+	t := &Table{
+		ID:     "par-construct",
+		Title:  "Parallel construction (seconds; AC extraction + integration + severity index vs workers)",
+		Header: []string{"workers", "extract", "integrate", "severity", "total", "speedup"},
+	}
+	serial := e.parStage(0)
+	t.AddRow("serial", serial.Extract, serial.Integrate, serial.Severity, serial.Total, 1.0)
+	seen := map[int]bool{}
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		if w < 1 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		p := e.parStage(w)
+		speedup := 0.0
+		if p.Total > 0 {
+			speedup = serial.Total / p.Total
+		}
+		t.AddRow(w, p.Extract, p.Integrate, p.Severity, p.Total, speedup)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("GOMAXPROCS=%d; speedup = serial total / parallel total on this host", runtime.GOMAXPROCS(0)),
+		"extraction and severity are byte-identical to serial; integration is worker-count independent")
+	return []*Table{t}
+}

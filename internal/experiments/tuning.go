@@ -164,6 +164,7 @@ var Registry = map[string]func(*Env) []*Table{
 	"abl-integrate":   AblIntegrate,
 	"abl-agg":         AblAggregate,
 	"abl-materialize": AblMaterialize,
+	"par-construct":   ParConstruct,
 	"ext-stream":      ExtStream,
 	"ext-predict":     ExtPredict,
 	"ext-trust":       ExtTrust,
@@ -173,6 +174,7 @@ var Registry = map[string]func(*Env) []*Table{
 // first, then the ablations of DESIGN.md §5.
 var Order = []string{
 	"fig14", "fig15", "fig17", "fig18", "fig19", "fig20", "fig21",
+	"par-construct",
 	"abl-extract", "abl-integrate", "abl-agg", "abl-materialize",
 	"ext-stream", "ext-predict", "ext-trust",
 }

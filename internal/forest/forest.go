@@ -5,6 +5,13 @@
 // such as weekday/weekend). In practice only the lower levels are
 // materialized (Section IV); higher levels are integrated on demand and
 // memoized.
+//
+// A Forest is safe for concurrent use: any number of readers (queries,
+// on-demand level integration) may run alongside writers (AddDay/AppendDay).
+// Memoized levels are computed outside the lock under a singleflight guard —
+// concurrent first touches of the same week integrate it once — and a
+// version counter discards memos computed against a forest that changed
+// underneath them.
 package forest
 
 import (
@@ -12,6 +19,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/cpskit/atypical/internal/cluster"
 	"github.com/cpskit/atypical/internal/cps"
@@ -30,10 +39,32 @@ type Forest struct {
 	// daysPerMonth fixes the month bucket arithmetic (generated datasets
 	// use fixed-length months).
 	daysPerMonth int
+	// workers selects the integration path for memoized levels: 0 means the
+	// serial cluster.Integrate (byte-compatible with historical output),
+	// anything positive the merge-tree cluster.IntegrateParallel on that
+	// many goroutines.
+	workers atomic.Int32
 
-	days   map[int][]*cluster.Cluster
-	weeks  map[int][]*cluster.Cluster
-	months map[int][]*cluster.Cluster
+	mu      sync.RWMutex
+	version uint64 // bumped by every write; stale memo computations are discarded
+	days    map[int][]*cluster.Cluster
+	weeks   map[int][]*cluster.Cluster
+	months  map[int][]*cluster.Cluster
+
+	inflightMu sync.Mutex
+	inflight   map[memoKey]*inflightCall
+}
+
+// memoKey names one memoized level slot ('w' = week, 'm' = month).
+type memoKey struct {
+	level byte
+	idx   int
+}
+
+// inflightCall is one in-progress level integration other callers wait on.
+type inflightCall struct {
+	done chan struct{}
+	val  []*cluster.Cluster
 }
 
 // New returns an empty forest integrating with opts.
@@ -49,6 +80,7 @@ func New(spec cps.WindowSpec, gen *cluster.IDGen, opts cluster.IntegrateOptions,
 		days:         make(map[int][]*cluster.Cluster),
 		weeks:        make(map[int][]*cluster.Cluster),
 		months:       make(map[int][]*cluster.Cluster),
+		inflight:     make(map[memoKey]*inflightCall),
 	}
 }
 
@@ -58,19 +90,73 @@ func (f *Forest) Options() cluster.IntegrateOptions { return f.opts }
 // Spec returns the forest's window spec.
 func (f *Forest) Spec() cps.WindowSpec { return f.spec }
 
-// AddDay stores the micro-clusters of one day (leaves of every tree) and
-// invalidates the memoized levels that cover it.
+// SetWorkers selects how memoized levels integrate: n == 0 keeps the serial
+// path, n > 0 uses the parallel merge tree on n goroutines, n < 0 on one per
+// CPU. The parallel result is independent of n (see cluster.IntegrateParallel),
+// so this knob trades only wall-clock time.
+func (f *Forest) SetWorkers(n int) { f.workers.Store(int32(n)) }
+
+// integrate runs the configured integration path.
+func (f *Forest) integrate(leaves []*cluster.Cluster) []*cluster.Cluster {
+	if w := int(f.workers.Load()); w != 0 {
+		return cluster.IntegrateParallel(f.gen, leaves, f.opts, w)
+	}
+	return cluster.Integrate(f.gen, leaves, f.opts)
+}
+
+// AddDay stores the micro-clusters of one day (leaves of every tree),
+// replacing any previous slice, and invalidates the memoized levels that
+// cover it.
 func (f *Forest) AddDay(day int, micros []*cluster.Cluster) {
+	f.mu.Lock()
 	f.days[day] = micros
+	f.invalidateLocked(day)
+	f.mu.Unlock()
+}
+
+// AppendDay extends one day's micro-clusters copy-on-write: readers holding
+// the previous slice keep a consistent snapshot, because the backing array
+// they alias is never written through again.
+func (f *Forest) AppendDay(day int, micros []*cluster.Cluster) {
+	if len(micros) == 0 {
+		return
+	}
+	f.mu.Lock()
+	existing := f.days[day]
+	merged := make([]*cluster.Cluster, 0, len(existing)+len(micros))
+	merged = append(merged, existing...)
+	merged = append(merged, micros...)
+	f.days[day] = merged
+	f.invalidateLocked(day)
+	f.mu.Unlock()
+}
+
+// invalidateLocked drops memos covering day and bumps the version so
+// concurrent memo computations from the old state are not stored. Callers
+// hold f.mu.
+func (f *Forest) invalidateLocked(day int) {
+	f.version++
 	delete(f.weeks, day/DaysPerWeek)
 	delete(f.months, day/f.daysPerMonth)
 }
 
-// Day returns the micro-clusters of one day (nil when absent).
-func (f *Forest) Day(day int) []*cluster.Cluster { return f.days[day] }
+// Day returns the micro-clusters of one day (nil when absent). The returned
+// slice is a snapshot: writers never mutate it in place.
+func (f *Forest) Day(day int) []*cluster.Cluster {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.days[day]
+}
 
 // Days returns the stored day indices, ascending.
 func (f *Forest) Days() []int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.daysLocked()
+}
+
+// daysLocked is Days for callers already holding f.mu (either mode).
+func (f *Forest) daysLocked() []int {
 	out := make([]int, 0, len(f.days))
 	for d := range f.days {
 		out = append(out, d)
@@ -84,8 +170,10 @@ func (f *Forest) Days() []int {
 // I/O measure of Fig. 17(b).
 func (f *Forest) MicrosInRange(tr cps.TimeRange) []*cluster.Cluster {
 	perDay := cps.Window(f.spec.PerDay())
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	var out []*cluster.Cluster
-	for _, d := range f.Days() {
+	for _, d := range f.daysLocked() {
 		dayStart := cps.Window(d) * perDay
 		if dayStart >= tr.From && dayStart < tr.To {
 			out = append(out, f.days[d]...)
@@ -97,34 +185,84 @@ func (f *Forest) MicrosInRange(tr cps.TimeRange) []*cluster.Cluster {
 // Week integrates (and memoizes) the macro-clusters of week w — the
 // clustering-tree level above days in Fig. 10.
 func (f *Forest) Week(w int) []*cluster.Cluster {
-	if cached, ok := f.weeks[w]; ok {
-		return cached
-	}
-	var leaves []*cluster.Cluster
-	for d := w * DaysPerWeek; d < (w+1)*DaysPerWeek; d++ {
-		leaves = append(leaves, f.days[d]...)
-	}
-	out := cluster.Integrate(f.gen, leaves, f.opts)
-	f.weeks[w] = out
-	return out
+	return f.memoized(memoKey{'w', w}, func() []*cluster.Cluster {
+		f.mu.RLock()
+		var leaves []*cluster.Cluster
+		for d := w * DaysPerWeek; d < (w+1)*DaysPerWeek; d++ {
+			leaves = append(leaves, f.days[d]...)
+		}
+		f.mu.RUnlock()
+		return f.integrate(leaves)
+	})
 }
 
 // Month integrates (and memoizes) the macro-clusters of month m from its
 // week-level clusters — the multi-level aggregation path day → week →
 // month.
 func (f *Forest) Month(m int) []*cluster.Cluster {
-	if cached, ok := f.months[m]; ok {
+	return f.memoized(memoKey{'m', m}, func() []*cluster.Cluster {
+		firstDay := m * f.daysPerMonth
+		lastDay := (m+1)*f.daysPerMonth - 1
+		var leaves []*cluster.Cluster
+		for w := firstDay / DaysPerWeek; w <= lastDay/DaysPerWeek; w++ {
+			leaves = append(leaves, f.Week(w)...)
+		}
+		return f.integrate(leaves)
+	})
+}
+
+// memoMapLocked returns the memo map for a level. Callers hold f.mu.
+func (f *Forest) memoMapLocked(level byte) map[int][]*cluster.Cluster {
+	if level == 'w' {
+		return f.weeks
+	}
+	return f.months
+}
+
+// memoized returns the cached value for key or computes it once: concurrent
+// first callers coalesce onto a single compute (singleflight), and a result
+// computed against a forest that changed meanwhile is returned to its
+// callers but not cached.
+func (f *Forest) memoized(key memoKey, compute func() []*cluster.Cluster) []*cluster.Cluster {
+	f.mu.RLock()
+	cached, ok := f.memoMapLocked(key.level)[key.idx]
+	ver := f.version
+	f.mu.RUnlock()
+	if ok {
 		return cached
 	}
-	firstDay := m * f.daysPerMonth
-	lastDay := (m+1)*f.daysPerMonth - 1
-	var leaves []*cluster.Cluster
-	for w := firstDay / DaysPerWeek; w <= lastDay/DaysPerWeek; w++ {
-		leaves = append(leaves, f.Week(w)...)
+
+	f.inflightMu.Lock()
+	if c, ok := f.inflight[key]; ok {
+		f.inflightMu.Unlock()
+		<-c.done
+		return c.val
 	}
-	out := cluster.Integrate(f.gen, leaves, f.opts)
-	f.months[m] = out
-	return out
+	c := &inflightCall{done: make(chan struct{})}
+	f.inflight[key] = c
+	f.inflightMu.Unlock()
+
+	// Re-check the cache: a previous flight may have landed between our miss
+	// and our registration.
+	f.mu.RLock()
+	cached, ok = f.memoMapLocked(key.level)[key.idx]
+	f.mu.RUnlock()
+	if ok {
+		c.val = cached
+	} else {
+		c.val = compute()
+		f.mu.Lock()
+		if f.version == ver {
+			f.memoMapLocked(key.level)[key.idx] = c.val
+		}
+		f.mu.Unlock()
+	}
+
+	f.inflightMu.Lock()
+	delete(f.inflight, key)
+	f.inflightMu.Unlock()
+	close(c.done)
+	return c.val
 }
 
 // PathFunc maps a day index to an aggregation bucket; ok=false excludes the
@@ -145,16 +283,19 @@ func WeekdayWeekendPath(day int) (int, bool) {
 
 // IntegratePath integrates the stored days along an arbitrary aggregation
 // path, returning the macro-clusters per bucket. Results are not memoized.
+// The day snapshot is taken once; integration runs unlocked.
 func (f *Forest) IntegratePath(path PathFunc) map[int][]*cluster.Cluster {
 	buckets := make(map[int][]*cluster.Cluster)
-	for d, micros := range f.days {
+	f.mu.RLock()
+	for _, d := range f.daysLocked() {
 		if b, ok := path(d); ok {
-			buckets[b] = append(buckets[b], micros...)
+			buckets[b] = append(buckets[b], f.days[d]...)
 		}
 	}
+	f.mu.RUnlock()
 	out := make(map[int][]*cluster.Cluster, len(buckets))
 	for b, leaves := range buckets {
-		out[b] = cluster.Integrate(f.gen, leaves, f.opts)
+		out[b] = f.integrate(leaves)
 	}
 	return out
 }
@@ -162,39 +303,41 @@ func (f *Forest) IntegratePath(path PathFunc) map[int][]*cluster.Cluster {
 // Save persists the forest to dir: one cluster file per materialized day,
 // plus one per *memoized* week and month — the partially materialized data
 // structure of Section IV (micro-clusters and the low-level macro-clusters
-// that have been computed; everything else is integrated on demand).
+// that have been computed; everything else is integrated on demand). The
+// snapshot is taken under the lock; file I/O runs outside it.
 func (f *Forest) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("forest: %w", err)
 	}
-	write := func(name string, cs []*cluster.Cluster) error {
-		path := filepath.Join(dir, name)
+	type fileSnapshot struct {
+		name string
+		cs   []*cluster.Cluster
+	}
+	var files []fileSnapshot
+	f.mu.RLock()
+	for _, d := range f.daysLocked() {
+		files = append(files, fileSnapshot{fmt.Sprintf("day-%05d.clu", d), f.days[d]})
+	}
+	for _, w := range sortedKeys(f.weeks) {
+		files = append(files, fileSnapshot{fmt.Sprintf("week-%05d.clu", w), f.weeks[w]})
+	}
+	for _, m := range sortedKeys(f.months) {
+		files = append(files, fileSnapshot{fmt.Sprintf("month-%05d.clu", m), f.months[m]})
+	}
+	f.mu.RUnlock()
+
+	for _, snap := range files {
+		path := filepath.Join(dir, snap.name)
 		file, err := os.Create(path)
 		if err != nil {
 			return fmt.Errorf("forest: %w", err)
 		}
-		if _, err := storage.WriteClusters(file, cs); err != nil {
+		if _, err := storage.WriteClusters(file, snap.cs); err != nil {
 			file.Close()
 			return fmt.Errorf("forest: writing %s: %w", path, err)
 		}
 		if err := file.Close(); err != nil {
 			return fmt.Errorf("forest: %w", err)
-		}
-		return nil
-	}
-	for _, d := range f.Days() {
-		if err := write(fmt.Sprintf("day-%05d.clu", d), f.days[d]); err != nil {
-			return err
-		}
-	}
-	for w, cs := range f.weeks {
-		if err := write(fmt.Sprintf("week-%05d.clu", w), cs); err != nil {
-			return err
-		}
-	}
-	for m, cs := range f.months {
-		if err := write(fmt.Sprintf("month-%05d.clu", m), cs); err != nil {
-			return err
 		}
 	}
 	return nil
@@ -217,6 +360,9 @@ func Load(dir string, spec cps.WindowSpec, gen *cluster.IDGen, opts cluster.Inte
 		cs, err := storage.ReadClusters(file)
 		if err != nil {
 			return nil, fmt.Errorf("forest: reading %s: %w", name, err)
+		}
+		for _, c := range cs {
+			c.Hydrate() // storage builds clusters field-wise; prime derived caches before sharing
 		}
 		return cs, nil
 	}
@@ -262,9 +408,22 @@ type Stats struct {
 
 // Stats returns current materialization counts.
 func (f *Forest) Stats() Stats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	s := Stats{Days: len(f.days), WeeksCached: len(f.weeks), MonthCached: len(f.months)}
 	for _, m := range f.days {
 		s.MicroTotal += len(m)
 	}
 	return s
+}
+
+// sortedKeys returns a map's integer keys in ascending order, pinning
+// persistence order against Go's randomized map iteration.
+func sortedKeys(m map[int][]*cluster.Cluster) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }

@@ -1,0 +1,91 @@
+// Package par provides the small, dependency-free worker-pool primitive the
+// parallel construction pipeline is built on. The design constraint — shared
+// with every caller in cluster, cube and the facade — is that parallelism
+// must never change *what* is computed, only *when*: callers index work and
+// results by position so scheduling order cannot leak into output, and the
+// paper's algebraic properties (commutative, associative cluster merging;
+// distributive severity aggregation) license reordering the work itself.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values <= 0 mean "one worker per
+// available CPU" (runtime.GOMAXPROCS), anything else is taken literally.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Do runs fn(0), ..., fn(n-1) on up to workers goroutines and waits for all
+// of them. Each index runs exactly once unless the context is cancelled or a
+// call fails, after which no *new* indices are started (in-flight calls
+// finish). The first error — fn's or the context's — is returned.
+//
+// With workers <= 1 the calls run inline on the calling goroutine, in index
+// order, making the serial path trivially deterministic and allocation-free;
+// parallel callers must therefore not rely on any cross-index ordering.
+func Do(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64 // next index to hand out
+		firstErr atomic.Pointer[error]
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		e := err
+		firstErr.CompareAndSwap(nil, &e)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if firstErr.Load() != nil {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestDoRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		if err := Do(context.Background(), n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	err := Do(context.Background(), 1000, 4, func(i int) error {
+		calls.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// No new indices start after the failure; a bounded number were in flight.
+	if c := calls.Load(); c == 1000 {
+		t.Errorf("error did not stop dispatch: %d calls", c)
+	}
+}
+
+func TestDoHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	err := Do(ctx, 1000, 2, func(i int) error {
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c := calls.Load(); c == 1000 {
+		t.Errorf("cancellation did not stop dispatch: %d calls", c)
+	}
+	// Pre-cancelled context: nothing runs even in the inline path.
+	if err := Do(ctx, 10, 1, func(int) error { t.Fatal("ran"); return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("inline err = %v", err)
+	}
+}
+
+func TestDoZeroWork(t *testing.T) {
+	if err := Do(context.Background(), 0, 4, func(int) error { return errors.New("no") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+}

@@ -7,6 +7,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"github.com/cpskit/atypical/internal/cube"
 	"github.com/cpskit/atypical/internal/forest"
 	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/par"
 	"github.com/cpskit/atypical/internal/traffic"
 )
 
@@ -101,7 +103,9 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Engine answers analytical queries against a built forest.
+// Engine answers analytical queries against a built forest. An Engine is
+// safe for concurrent use: every Run may execute alongside other runs and
+// alongside forest/severity ingestion (both structures take read snapshots).
 type Engine struct {
 	Net *traffic.Network
 	// Forest holds the materialized per-day micro-clusters.
@@ -111,10 +115,29 @@ type Engine struct {
 	Severity *cube.SeverityIndex
 	// Gen supplies IDs for online merges.
 	Gen *cluster.IDGen
+	// Workers selects the execution path of a single run: 0 keeps the
+	// serial pipeline (byte-compatible with historical output), anything
+	// else fans candidate filtering and integration out over that many
+	// goroutines (< 0 means one per CPU). The parallel path's output does
+	// not depend on the worker count.
+	Workers int
 }
 
 // Run executes q under the given strategy.
 func (e *Engine) Run(q Query, s Strategy) *Result {
+	res, err := e.RunCtx(context.Background(), q, s)
+	if err != nil {
+		// A background context cannot cancel, and no other error path
+		// exists; reaching here is a programming bug.
+		panic(err)
+	}
+	return res
+}
+
+// RunCtx executes q under the given strategy with cooperative cancellation:
+// the context is honored between pipeline stages and inside the parallel
+// filter and integration loops.
+func (e *Engine) RunCtx(ctx context.Context, q Query, s Strategy) (*Result, error) {
 	start := time.Now()
 	res := &Result{Strategy: s}
 
@@ -127,11 +150,9 @@ func (e *Engine) Run(q Query, s Strategy) *Result {
 	}
 
 	// Candidates: micro-clusters in the time range touching W.
-	var candidates []*cluster.Cluster
-	for _, c := range e.Forest.MicrosInRange(q.Time) {
-		if e.clusterTouches(c, inRegion) {
-			candidates = append(candidates, c)
-		}
+	candidates, err := e.filterTouching(ctx, e.Forest.MicrosInRange(q.Time), inRegion)
+	if err != nil {
+		return nil, err
 	}
 	res.CandidateMicros = len(candidates)
 
@@ -157,10 +178,9 @@ func (e *Engine) Run(q Query, s Strategy) *Result {
 		for _, z := range zones {
 			zoneSet[z] = true
 		}
-		for _, c := range candidates {
-			if e.clusterTouches(c, zoneSet) {
-				inputs = append(inputs, c)
-			}
+		inputs, err = e.filterTouching(ctx, candidates, zoneSet)
+		if err != nil {
+			return nil, err
 		}
 	default:
 		panic(fmt.Sprintf("query: unknown strategy %d", s))
@@ -168,7 +188,10 @@ func (e *Engine) Run(q Query, s Strategy) *Result {
 	res.InputMicros = len(inputs)
 
 	// Algorithm 4 line 4: integrate the qualified micro-clusters.
-	res.Macros = cluster.Integrate(e.Gen, inputs, e.Forest.Options())
+	res.Macros, err = e.integrate(ctx, inputs)
+	if err != nil {
+		return nil, err
+	}
 
 	// Lines 5–7: the significance check removing false positives.
 	for _, c := range res.Macros {
@@ -177,7 +200,50 @@ func (e *Engine) Run(q Query, s Strategy) *Result {
 		}
 	}
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
+}
+
+// filterTouching keeps the clusters touching the region set, preserving
+// input order. With Workers set, the touch tests fan out positionally so the
+// output is identical to the serial filter.
+func (e *Engine) filterTouching(ctx context.Context, cs []*cluster.Cluster, regions map[geo.RegionID]bool) ([]*cluster.Cluster, error) {
+	if e.Workers == 0 || len(cs) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var out []*cluster.Cluster
+		for _, c := range cs {
+			if e.clusterTouches(c, regions) {
+				out = append(out, c)
+			}
+		}
+		return out, nil
+	}
+	keep := make([]bool, len(cs))
+	if err := par.Do(ctx, len(cs), e.Workers, func(i int) error {
+		keep[i] = e.clusterTouches(cs[i], regions)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var out []*cluster.Cluster
+	for i, c := range cs {
+		if keep[i] {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// integrate runs the configured integration path over the query inputs.
+func (e *Engine) integrate(ctx context.Context, inputs []*cluster.Cluster) ([]*cluster.Cluster, error) {
+	if e.Workers != 0 {
+		return cluster.IntegrateParallelCtx(ctx, e.Gen, inputs, e.Forest.Options(), e.Workers)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return cluster.Integrate(e.Gen, inputs, e.Forest.Options()), nil
 }
 
 // RunMaterialized answers q with All semantics but starts from the forest's
@@ -188,6 +254,15 @@ func (e *Engine) Run(q Query, s Strategy) *Result {
 // equivalent to integrating the micro-clusters directly — this is the
 // partially-materialized query processing of Section IV.
 func (e *Engine) RunMaterialized(q Query) *Result {
+	res, err := e.RunMaterializedCtx(context.Background(), q)
+	if err != nil {
+		panic(err) // background context cannot cancel; see Run
+	}
+	return res
+}
+
+// RunMaterializedCtx is RunMaterialized with cooperative cancellation.
+func (e *Engine) RunMaterializedCtx(ctx context.Context, q Query) (*Result, error) {
 	start := time.Now()
 	res := &Result{Strategy: All}
 	numSensors := e.sensorsInRegions(q.Regions)
@@ -214,21 +289,22 @@ func (e *Engine) RunMaterialized(q Query) *Result {
 		day++
 	}
 	res.CandidateMicros = len(leaves)
-	var inputs []*cluster.Cluster
-	for _, c := range leaves {
-		if e.clusterTouches(c, inRegion) {
-			inputs = append(inputs, c)
-		}
+	inputs, err := e.filterTouching(ctx, leaves, inRegion)
+	if err != nil {
+		return nil, err
 	}
 	res.InputMicros = len(inputs)
-	res.Macros = cluster.Integrate(e.Gen, inputs, e.Forest.Options())
+	res.Macros, err = e.integrate(ctx, inputs)
+	if err != nil {
+		return nil, err
+	}
 	for _, c := range res.Macros {
 		if c.Significant(res.Bound) {
 			res.Significant = append(res.Significant, c)
 		}
 	}
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }
 
 // sensorsInRegions returns N, the number of sensors inside the query region.

@@ -15,7 +15,9 @@
 package stream
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/cpskit/atypical/internal/cluster"
 	"github.com/cpskit/atypical/internal/cps"
@@ -58,7 +60,10 @@ type Config struct {
 }
 
 // Processor ingests a canonical record stream and emits micro-clusters as
-// events close. Not safe for concurrent use.
+// events close. The ingest side (Observe/ObserveAll/Flush) is single-writer:
+// only one goroutine may feed the stream. The progress counters (Observed,
+// Emitted) are atomic and may be read concurrently from other goroutines —
+// e.g. a monitoring loop watching an ObserveAll in flight.
 type Processor struct {
 	cfg Config
 	gen *cluster.IDGen
@@ -71,8 +76,8 @@ type Processor struct {
 
 	window   cps.Window // current stream window
 	started  bool
-	observed int64
-	emitted  int64
+	observed atomic.Int64
+	emitted  atomic.Int64
 }
 
 type sensorRef struct {
@@ -95,11 +100,13 @@ func New(cfg Config, gen *cluster.IDGen) (*Processor, error) {
 	}, nil
 }
 
-// Observed returns the number of records consumed.
-func (p *Processor) Observed() int64 { return p.observed }
+// Observed returns the number of records consumed. Safe to call while
+// another goroutine feeds the stream.
+func (p *Processor) Observed() int64 { return p.observed.Load() }
 
-// Emitted returns the number of micro-clusters emitted.
-func (p *Processor) Emitted() int64 { return p.emitted }
+// Emitted returns the number of micro-clusters emitted. Safe to call while
+// another goroutine feeds the stream.
+func (p *Processor) Emitted() int64 { return p.emitted.Load() }
 
 // OpenEvents returns the number of events still under construction.
 func (p *Processor) OpenEvents() int {
@@ -121,7 +128,7 @@ func (p *Processor) Observe(r cps.Record) error {
 	if !p.started || r.Window > p.window {
 		p.advance(r.Window)
 	}
-	p.observed++
+	p.observed.Add(1)
 
 	// Gather the open events this record is direct atypical related to:
 	// same sensor, or a δd-neighbor, with a record within MaxGap windows.
@@ -167,6 +174,23 @@ func (p *Processor) Observe(r cps.Record) error {
 	return nil
 }
 
+// ObserveAll consumes a batch of canonical records, polling ctx between
+// window boundaries: cancellation stops mid-batch with the context error,
+// leaving already-consumed records' events open (Flush still closes them).
+func (p *Processor) ObserveAll(ctx context.Context, recs []cps.Record) error {
+	for i, r := range recs {
+		if i == 0 || r.Window != recs[i-1].Window {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if err := p.Observe(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // advance moves the stream clock to w, closing events that can no longer
 // gain records (last record more than MaxGap windows in the past).
 func (p *Processor) advance(w cps.Window) {
@@ -201,6 +225,6 @@ func (p *Processor) Flush() {
 func (p *Processor) emit(e *event) {
 	// Records joined out of canonical order during merges; FromRecords
 	// canonicalizes features regardless, so no sort is needed here.
-	p.emitted++
+	p.emitted.Add(1)
 	p.cfg.Emit(cluster.FromRecords(p.gen.Next(), e.records))
 }

@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -282,5 +284,58 @@ func TestStreamsSyntheticDay(t *testing.T) {
 	}
 	if d := float64(gotSev - wantSev); d > 1e-6 || d < -1e-6 {
 		t.Errorf("severity: stream %v, batch %v", gotSev, wantSev)
+	}
+}
+
+// ObserveAll matches a manual Observe loop, and its counters may be read
+// concurrently while the batch drains (the race detector is the oracle).
+func TestObserveAllMatchesObserveLoop(t *testing.T) {
+	recs := []cps.Record{
+		{Sensor: 0, Window: 0, Severity: 2},
+		{Sensor: 1, Window: 0, Severity: 3},
+		{Sensor: 1, Window: 1, Severity: 4},
+		{Sensor: 3, Window: 9, Severity: 1},
+	}
+	loop, loopOut := newProc(t, lineLocs(4, 1), 1.5, 2)
+	feed(t, loop, recs)
+
+	batch, batchOut := newProc(t, lineLocs(4, 1), 1.5, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for batch.Observed() < int64(len(recs)) {
+			_ = batch.Emitted()
+		}
+	}()
+	if err := batch.ObserveAll(context.Background(), recs); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	batch.Flush()
+
+	if len(*batchOut) != len(*loopOut) {
+		t.Fatalf("ObserveAll emitted %d clusters, loop %d", len(*batchOut), len(*loopOut))
+	}
+	for i := range *batchOut {
+		if (*batchOut)[i].Severity() != (*loopOut)[i].Severity() {
+			t.Errorf("cluster %d severity %v, loop %v", i, (*batchOut)[i].Severity(), (*loopOut)[i].Severity())
+		}
+	}
+	if batch.Observed() != loop.Observed() || batch.Emitted() != loop.Emitted() {
+		t.Errorf("counters = %d/%d, loop %d/%d",
+			batch.Observed(), batch.Emitted(), loop.Observed(), loop.Emitted())
+	}
+}
+
+func TestObserveAllCancelled(t *testing.T) {
+	p, _ := newProc(t, lineLocs(3, 1), 1.5, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.ObserveAll(ctx, []cps.Record{{Sensor: 0, Window: 0, Severity: 1}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ObserveAll error = %v, want context.Canceled", err)
+	}
+	if p.Observed() != 0 {
+		t.Fatalf("cancelled ObserveAll consumed %d records", p.Observed())
 	}
 }

@@ -91,3 +91,8 @@ const (
 	BalanceArithmetic = cluster.Arithmetic
 	BalanceMax        = cluster.Max
 )
+
+// ParseBalance maps a balance function's name ("min", "harmonic",
+// "geometric", "arithmetic", "max") to its constant — the bridge from
+// command-line flags and config files to the typed WithBalance option.
+func ParseBalance(s string) (Balance, error) { return cluster.ParseBalance(s) }
