@@ -3,6 +3,7 @@ FUZZTIME ?= 10s
 
 CLUSTER_FUZZ = FuzzMergeCommutativity FuzzMergeAssociativity FuzzMicroVsRawAgreement FuzzParallelIntegrateEquivalence
 CUBE_FUZZ    = FuzzCubeDeterminism
+OBS_FUZZ     = FuzzParseSeries FuzzHistogramMerge
 
 .PHONY: all build test race lint fuzz-smoke bench-quick ci
 
@@ -35,10 +36,16 @@ fuzz-smoke:
 		echo "-- fuzz $$t ($(FUZZTIME))"; \
 		$(GO) test ./internal/cube/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
+	@for t in $(OBS_FUZZ); do \
+		echo "-- fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/obs/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
 
 ## bench-quick: one serial-vs-parallel construction measurement, written to
-## BENCH_parallel.json. Speedup is only meaningful on multi-core hosts; on a
-## single core the two pipelines tie (the parallel path never degrades).
+## BENCH_parallel.json alongside a flattened metrics snapshot from an
+## instrumented query pass (the observability smoke test). Speedup is only
+## meaningful on multi-core hosts; on a single core the two pipelines tie
+## (the parallel path never degrades).
 bench-quick:
 	$(GO) run ./cmd/atypbench -sensors 250 -months 1 -days 14 -parjson BENCH_parallel.json
 

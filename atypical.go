@@ -44,6 +44,7 @@ import (
 	"github.com/cpskit/atypical/internal/gen"
 	"github.com/cpskit/atypical/internal/geo"
 	"github.com/cpskit/atypical/internal/index"
+	"github.com/cpskit/atypical/internal/obs"
 	"github.com/cpskit/atypical/internal/query"
 	"github.com/cpskit/atypical/internal/report"
 	"github.com/cpskit/atypical/internal/traffic"
@@ -96,6 +97,8 @@ type systemOptions struct {
 	queryWorkersSet bool
 	balance         cluster.Balance
 	balanceSet      bool
+	registry        *obs.Registry
+	exporter        obs.SpanExporter
 }
 
 // WithWorkers bounds the goroutines used for offline construction (per-day
@@ -170,6 +173,13 @@ type System struct {
 	idgen cluster.IDGen
 	gen   *gen.Generator
 
+	// Observability wiring (nil when WithObserver/WithSpanExporter are not
+	// used): the attached registry, the facade-level metric handles, and the
+	// default span exporter armed onto entry-point contexts.
+	registry *obs.Registry
+	obs      *systemObs
+	exporter obs.SpanExporter
+
 	// mu guards the swappable model pointers (LoadForest replaces them) and
 	// the severity staleness flag. The structures behind the pointers are
 	// internally synchronized.
@@ -184,16 +194,16 @@ type System struct {
 // topology and prepares an empty forest.
 func NewSystem(cfg Config, options ...Option) (*System, error) {
 	if cfg.Sensors <= 0 {
-		return nil, fmt.Errorf("atypical: Sensors must be positive, got %d", cfg.Sensors)
+		return nil, fmt.Errorf("%w: Sensors must be positive, got %d", ErrInvalidConfig, cfg.Sensors)
 	}
 	if cfg.DeltaD <= 0 || cfg.DeltaT <= 0 {
-		return nil, fmt.Errorf("atypical: DeltaD and DeltaT must be positive")
+		return nil, fmt.Errorf("%w: DeltaD and DeltaT must be positive", ErrInvalidConfig)
 	}
 	if cfg.SimThreshold <= 0 || cfg.SimThreshold > 1 {
-		return nil, fmt.Errorf("atypical: SimThreshold must be in (0, 1], got %v", cfg.SimThreshold)
+		return nil, fmt.Errorf("%w: SimThreshold must be in (0, 1], got %v", ErrInvalidConfig, cfg.SimThreshold)
 	}
 	if cfg.DaysPerMonth <= 0 {
-		return nil, fmt.Errorf("atypical: DaysPerMonth must be positive, got %d", cfg.DaysPerMonth)
+		return nil, fmt.Errorf("%w: DaysPerMonth must be positive, got %d", ErrInvalidConfig, cfg.DaysPerMonth)
 	}
 	var o systemOptions
 	for _, opt := range options {
@@ -206,7 +216,7 @@ func NewSystem(cfg Config, options ...Option) (*System, error) {
 	case cfg.Balance != "":
 		var err error
 		if bal, err = cluster.ParseBalance(cfg.Balance); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 		}
 	}
 	workers := cfg.Workers
@@ -246,7 +256,16 @@ func NewSystem(cfg Config, options ...Option) (*System, error) {
 	s.forest = forest.New(spec, &s.idgen, opts, cfg.DaysPerMonth)
 	s.forest.SetWorkers(workers)
 	s.sev = cube.NewSeverityIndex(net, spec)
-	s.engine = &query.Engine{Net: net, Forest: s.forest, Severity: s.sev, Gen: &s.idgen, Workers: queryWorkers}
+
+	// Observability: nil registry/exporter keep every hook a no-op.
+	s.registry = o.registry
+	s.exporter = o.exporter
+	s.obs = newSystemObs(o.registry)
+	s.forest.SetObserver(o.registry)
+	s.engine = &query.Engine{
+		Net: net, Forest: s.forest, Severity: s.sev, Gen: &s.idgen,
+		Workers: queryWorkers, Obs: query.NewMetrics(o.registry),
+	}
 
 	gcfg := gen.DefaultConfig(net)
 	gcfg.Seed = cfg.Seed
@@ -254,9 +273,18 @@ func NewSystem(cfg Config, options ...Option) (*System, error) {
 	var err error
 	s.gen, err = gen.New(gcfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 	return s, nil
+}
+
+// armSpans attaches the system's configured span exporter to ctx unless the
+// caller already armed one of their own.
+func (s *System) armSpans(ctx context.Context) context.Context {
+	if s.exporter == nil || obs.HasExporter(ctx) {
+		return ctx
+	}
+	return obs.WithExporter(ctx, s.exporter)
 }
 
 // Network returns the deployment topology.
@@ -283,15 +311,27 @@ func (s *System) GenerateMonth(m int) *gen.Dataset { return s.gen.Month(m) }
 // byte-identical to a serial ingest regardless of worker count or
 // GOMAXPROCS.
 func (s *System) Ingest(rs *cps.RecordSet) {
-	if err := s.IngestCtx(context.Background(), rs); err != nil {
-		panic(err) // background context cannot cancel; no other error path
-	}
+	// A background context cannot cancel, so the error path is unreachable
+	// in practice; anything that does surface is recorded in the API error
+	// metrics by IngestCtx rather than panicking.
+	_ = s.IngestCtx(context.Background(), rs)
 }
 
 // IngestCtx is Ingest with cooperative cancellation. On cancellation no day
 // is partially ingested, but days already handed to the forest stay: callers
 // abandoning an ingest mid-way should rebuild from scratch.
 func (s *System) IngestCtx(ctx context.Context, rs *cps.RecordSet) error {
+	ctx, sp := obs.Start(s.armSpans(ctx), "ingest")
+	err := s.ingestCtx(ctx, rs)
+	sp.End()
+	if err != nil {
+		s.obs.ingestError()
+	}
+	return err
+}
+
+// ingestCtx is the shared ingest body behind Ingest/IngestCtx.
+func (s *System) ingestCtx(ctx context.Context, rs *cps.RecordSet) error {
 	s.mu.RLock()
 	fst, sev, workers := s.forest, s.sev, s.workers
 	s.mu.RUnlock()
@@ -301,26 +341,46 @@ func (s *System) IngestCtx(ctx context.Context, rs *cps.RecordSet) error {
 	cps.ForEachDay(byDay, func(day int, recs []cps.Record) {
 		days = append(days, cluster.DayRecords{Day: day, Records: recs})
 	})
-	perDay, err := cluster.ExtractMicroClustersDays(ctx, &s.idgen, days, s.neighbors, s.maxGap, workers)
+
+	ctxEx, spEx := obs.Start(ctx, "ingest.extract")
+	t := s.obs.now()
+	perDay, err := cluster.ExtractMicroClustersDays(ctxEx, &s.idgen, days, s.neighbors, s.maxGap, workers)
+	spEx.End()
 	if err != nil {
 		return err
 	}
+	s.obs.extractDone(t)
+
+	_, spApp := obs.Start(ctx, "ingest.append")
+	t = s.obs.now()
+	micros := 0
 	slices := make([][]cps.Record, len(days))
 	for i, d := range days {
 		fst.AppendDay(d.Day, perDay[i])
+		micros += len(perDay[i])
 		slices[i] = d.Records
 	}
-	return sev.AddDays(ctx, slices, workers)
+	spApp.End()
+	s.obs.appendDone(t)
+
+	ctxSev, spSev := obs.Start(ctx, "ingest.severity")
+	t = s.obs.now()
+	err = sev.AddDays(ctxSev, slices, workers)
+	spSev.End()
+	if err != nil {
+		return err
+	}
+	s.obs.severityDone(t)
+	s.obs.ingested(int64(rs.Len()), int64(len(days)), int64(micros))
+	return nil
 }
 
 // IngestMonths generates and ingests months [0, n), returning the generated
-// datasets (with ground truth) for inspection.
+// datasets (with ground truth) for inspection. It is the legacy wrapper over
+// IngestMonthsCtx; a background context cannot cancel, so the slice always
+// covers all n months.
 func (s *System) IngestMonths(n int) []*gen.Dataset {
-	out := make([]*gen.Dataset, n)
-	for m := 0; m < n; m++ {
-		out[m] = s.GenerateMonth(m)
-		s.Ingest(out[m].Atypical)
-	}
+	out, _ := s.IngestMonthsCtx(context.Background(), n)
 	return out
 }
 
@@ -355,7 +415,7 @@ type Report = query.Result
 // QueryCity runs Q(whole city, [firstDay, firstDay+days)) at the configured
 // δs under the given strategy.
 func (s *System) QueryCity(firstDay, days int, strat Strategy) *Report {
-	return mustReport(s.QueryCityCtx(context.Background(), firstDay, days, strat))
+	return legacyReport(s.QueryCityCtx(context.Background(), firstDay, days, strat))
 }
 
 // QueryCityCtx is QueryCity with cooperative cancellation.
@@ -366,7 +426,7 @@ func (s *System) QueryCityCtx(ctx context.Context, firstDay, days int, strat Str
 
 // QueryBox restricts the spatial range to the regions intersecting box.
 func (s *System) QueryBox(box geo.BBox, firstDay, days int, strat Strategy) *Report {
-	return mustReport(s.QueryBoxCtx(context.Background(), box, firstDay, days, strat))
+	return legacyReport(s.QueryBoxCtx(context.Background(), box, firstDay, days, strat))
 }
 
 // QueryBoxCtx is QueryBox with cooperative cancellation.
@@ -377,7 +437,7 @@ func (s *System) QueryBoxCtx(ctx context.Context, box geo.BBox, firstDay, days i
 
 // QueryAt runs an explicit query (custom δs or region set).
 func (s *System) QueryAt(q query.Query, strat Strategy) *Report {
-	return mustReport(s.QueryAtCtx(context.Background(), q, strat))
+	return legacyReport(s.QueryAtCtx(context.Background(), q, strat))
 }
 
 // QueryAtCtx runs an explicit query with cooperative cancellation. It is the
@@ -390,18 +450,25 @@ func (s *System) QueryAtCtx(ctx context.Context, q query.Query, strat Strategy) 
 	engine, stale := s.engine, s.sevStale
 	s.mu.RUnlock()
 	if strat == Guided && stale {
+		s.obs.queryError()
 		return nil, fmt.Errorf("atypical: guided query on stale severity index: %w", ErrSeverityStale)
 	}
-	return engine.RunCtx(ctx, q, strat)
+	res, err := engine.RunCtx(s.armSpans(ctx), q, strat)
+	if err != nil {
+		s.obs.queryError()
+	}
+	return res, err
 }
 
-// mustReport unwraps the Ctx-variant result for the legacy entry points,
-// which predate error returns. The only reachable error is ErrSeverityStale
-// — a background context cannot cancel — and surfacing it loudly beats the
-// historical behavior of silently querying an empty severity index.
-func mustReport(r *Report, err error) *Report {
+// legacyReport adapts a Ctx-variant result for the entry points that predate
+// error returns: on error — already recorded in the API error metrics by
+// QueryAtCtx — it returns an empty report, keeping the legacy contract of
+// "always a usable *Report". Callers who need to distinguish an empty answer
+// from a refused query (e.g. ErrSeverityStale after LoadForest) should use
+// the Ctx variants.
+func legacyReport(r *Report, err error) *Report {
 	if err != nil {
-		panic(err)
+		return &Report{}
 	}
 	return r
 }

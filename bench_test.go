@@ -24,6 +24,7 @@ import (
 	"github.com/cpskit/atypical/internal/gen"
 	"github.com/cpskit/atypical/internal/geo"
 	"github.com/cpskit/atypical/internal/index"
+	"github.com/cpskit/atypical/internal/obs"
 	"github.com/cpskit/atypical/internal/predict"
 	"github.com/cpskit/atypical/internal/query"
 	"github.com/cpskit/atypical/internal/storage"
@@ -204,6 +205,29 @@ func benchQuery(b *testing.B, s query.Strategy) {
 func BenchmarkFig17QueryAll(b *testing.B) { benchQuery(b, query.All) }
 func BenchmarkFig17QueryPru(b *testing.B) { benchQuery(b, query.Pru) }
 func BenchmarkFig17QueryGui(b *testing.B) { benchQuery(b, query.Gui) }
+
+// BenchmarkObsOverheadQuery measures the cost of the observability hooks on
+// the Pruned query path — the fastest strategy, so instrumentation overhead
+// is largest relative to the work. "off" is the shipped default (obs
+// compiled in, every handle nil); "on" records into a live registry. The
+// DESIGN.md zero-overhead claim is that off stays within noise of the
+// pre-instrumentation engine and on stays within a few percent.
+func BenchmarkObsOverheadQuery(b *testing.B) {
+	f := benchFixture(b)
+	q := query.CityQuery(f.net, f.spec, 0, 14, 0.02)
+	run := func(b *testing.B, m *query.Metrics) {
+		engine := &query.Engine{
+			Net: f.engine.Net, Forest: f.engine.Forest, Severity: f.engine.Severity,
+			Gen: f.engine.Gen, Obs: m,
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			engine.Run(q, query.Pru)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, query.NewMetrics(obs.NewRegistry())) })
+}
 
 // --- Fig. 18/19: precision-recall scoring path ---
 

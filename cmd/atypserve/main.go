@@ -1,0 +1,185 @@
+// Command atypserve runs the pipeline as a long-lived query server: it
+// builds (or generates) a deployment, ingests the requested months, and then
+// serves analytical queries over HTTP alongside the operational surface —
+// Prometheus-text metrics at /metrics and the pprof suite at /debug/pprof/.
+//
+// Usage:
+//
+//	atypserve [-addr :8081] [-metrics :8080]
+//	          [-sensors 400] [-seed 42] [-months 1] [-days 30]
+//	          [-workers 0] [-queryworkers 0] [-deltas 0.02]
+//
+// Endpoints on -addr:
+//
+//	GET /query?strategy=gui&from=0&days=7   JSON query report
+//	GET /healthz                            liveness probe
+//
+// Endpoints on -metrics (omit the flag to disable):
+//
+//	GET /metrics                            Prometheus text format 0.0.4
+//	GET /debug/pprof/                       net/http/pprof suite
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/cpskit/atypical"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8081", "query API listen address")
+		metricsAddr  = flag.String("metrics", ":8080", "metrics/pprof listen address (empty disables)")
+		sensors      = flag.Int("sensors", 400, "approximate deployment size")
+		seed         = flag.Int64("seed", 42, "deployment and workload seed")
+		months       = flag.Int("months", 1, "months of synthetic data to ingest at startup")
+		days         = flag.Int("days", 30, "days per generated month")
+		workers      = flag.Int("workers", 0, "construction workers (0 serial, <0 one per CPU)")
+		queryWorkers = flag.Int("queryworkers", 0, "query engine workers (0 serial)")
+		deltaS       = flag.Float64("deltas", 0.02, "severity threshold δs")
+	)
+	flag.Parse()
+
+	obs := atypical.NewObserver()
+	cfg := atypical.DefaultConfig()
+	cfg.Sensors = *sensors
+	cfg.Seed = *seed
+	cfg.DaysPerMonth = *days
+	cfg.DeltaS = *deltaS
+	sys, err := atypical.NewSystem(cfg,
+		atypical.WithWorkers(*workers),
+		atypical.WithQueryWorkers(*queryWorkers),
+		atypical.WithObserver(obs),
+	)
+	if err != nil {
+		log.Fatalf("atypserve: %v", err)
+	}
+
+	start := time.Now()
+	log.Printf("ingesting %d month(s) of %d days over %d sensors", *months, *days, *sensors)
+	sys.IngestMonths(*months)
+	log.Printf("ingest done in %s", time.Since(start).Round(time.Millisecond))
+
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("metrics and pprof on %s", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, atypical.NewDebugMux(obs)); err != nil {
+				log.Fatalf("atypserve: metrics listener: %v", err)
+			}
+		}()
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		serveQuery(sys, w, r)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	log.Printf("query API on %s", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatalf("atypserve: %v", err)
+	}
+}
+
+// queryResponse is the JSON shape of one /query answer.
+type queryResponse struct {
+	Strategy        string        `json:"strategy"`
+	FirstDay        int           `json:"first_day"`
+	Days            int           `json:"days"`
+	CandidateMicros int           `json:"candidate_micros"`
+	InputMicros     int           `json:"input_micros"`
+	RedZones        int           `json:"red_zones,omitempty"`
+	Macros          int           `json:"macros"`
+	Significant     int           `json:"significant"`
+	ElapsedMS       float64       `json:"elapsed_ms"`
+	Clusters        []clusterJSON `json:"clusters"`
+}
+
+// clusterJSON summarizes one significant cluster.
+type clusterJSON struct {
+	ID          uint64  `json:"id"`
+	Severity    float64 `json:"severity"`
+	Description string  `json:"description"`
+}
+
+// serveQuery answers GET /query?strategy=all|pru|gui&from=N&days=N.
+func serveQuery(sys *atypical.System, w http.ResponseWriter, r *http.Request) {
+	strat, err := parseStrategy(r.URL.Query().Get("strategy"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	from, err := intParam(r, "from", 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	days, err := intParam(r, "days", 7)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rep, err := sys.QueryCityCtx(r.Context(), from, days, strat)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := queryResponse{
+		Strategy:        rep.Strategy.String(),
+		FirstDay:        from,
+		Days:            days,
+		CandidateMicros: rep.CandidateMicros,
+		InputMicros:     rep.InputMicros,
+		RedZones:        rep.RedZones,
+		Macros:          len(rep.Macros),
+		Significant:     len(rep.Significant),
+		ElapsedMS:       float64(rep.Elapsed) / float64(time.Millisecond),
+	}
+	for _, c := range rep.Significant {
+		resp.Clusters = append(resp.Clusters, clusterJSON{
+			ID:          uint64(c.ID),
+			Severity:    float64(c.Severity()),
+			Description: sys.Describe(c),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		log.Printf("atypserve: encoding response: %v", err)
+	}
+}
+
+// intParam parses an optional integer query parameter.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", name, err)
+	}
+	return v, nil
+}
+
+// parseStrategy maps the query parameter to a Strategy; empty means guided.
+func parseStrategy(s string) (atypical.Strategy, error) {
+	switch s {
+	case "", "gui", "guided":
+		return atypical.Guided, nil
+	case "all":
+		return atypical.IntegrateAll, nil
+	case "pru", "pruned":
+		return atypical.Pruned, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want all, pru or gui)", s)
+	}
+}

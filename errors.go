@@ -1,0 +1,41 @@
+package atypical
+
+import (
+	"errors"
+
+	"github.com/cpskit/atypical/internal/query"
+)
+
+// The error contract of the facade. Every error returned by a System method
+// either is one of these sentinels or wraps one, so callers branch with
+// errors.Is rather than string matching:
+//
+//   - ErrInvalidConfig: a Config field or method argument fails validation
+//     (NewSystem, NewStreamProcessor, TrainPredictor).
+//   - ErrSeverityStale: the severity index lags the forest; Guided queries
+//     are refused until RebuildSeverity runs (LoadForest, QueryAtCtx).
+//   - ErrUnknownStrategy: a Strategy value outside IntegrateAll/Pruned/
+//     Guided reached the engine.
+//   - ErrNoData: the requested range holds nothing to operate on
+//     (TrainPredictor).
+//
+// Context cancellation surfaces as the context's own error
+// (context.Canceled, context.DeadlineExceeded), never wrapped in a sentinel.
+
+// ErrInvalidConfig reports a configuration or argument validation failure.
+var ErrInvalidConfig = errors.New("atypical: invalid configuration")
+
+// ErrSeverityStale reports that the bottom-up severity index no longer
+// matches the forest: the forest was loaded from disk but the index — which
+// is not persisted — was not rebuilt. Guided queries would silently return
+// nothing against an empty index, so they are refused until RebuildSeverity
+// (or a full re-Ingest after LoadForestAndRebuild) runs. All- and
+// Pruned-strategy queries never consult the index and keep working.
+var ErrSeverityStale = errors.New("atypical: severity index is stale; call RebuildSeverity")
+
+// ErrUnknownStrategy reports a Strategy value outside the defined constants.
+var ErrUnknownStrategy = query.ErrUnknownStrategy
+
+// ErrNoData reports that the requested operation found nothing to work on,
+// e.g. a training range with no micro-clusters.
+var ErrNoData = errors.New("atypical: no data in requested range")

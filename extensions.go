@@ -26,11 +26,16 @@ type StreamProcessor = stream.Processor
 // (δd, δt). Emitted clusters carry system-unique IDs; feed them to the
 // forest with IngestClusters or consume them directly.
 func (s *System) NewStreamProcessor(emit func(*Cluster)) (*StreamProcessor, error) {
-	return stream.New(stream.Config{
+	p, err := stream.New(stream.Config{
 		Neighbors: s.neighbors,
 		MaxGap:    s.maxGap,
 		Emit:      emit,
 	}, &s.idgen)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	p.SetObserver(s.registry)
+	return p, nil
 }
 
 // IngestClusters adds externally produced micro-clusters (e.g. from a
@@ -61,12 +66,12 @@ type PredictionModel = predict.Model
 // drops patterns striking on a smaller fraction of days.
 func (s *System) TrainPredictor(firstDay, days int, minRecurrence float64) (*PredictionModel, error) {
 	if days <= 0 {
-		return nil, fmt.Errorf("atypical: training range must be positive, got %d days", days)
+		return nil, fmt.Errorf("%w: training range must be positive, got %d days", ErrInvalidConfig, days)
 	}
 	fst := s.Forest()
 	micros := fst.MicrosInRange(cps.DayRange(s.spec, firstDay, days))
 	if len(micros) == 0 {
-		return nil, fmt.Errorf("atypical: no micro-clusters in days [%d, %d)", firstDay, firstDay+days)
+		return nil, fmt.Errorf("%w: no micro-clusters in days [%d, %d)", ErrNoData, firstDay, firstDay+days)
 	}
 	macros := cluster.Integrate(&s.idgen, micros, fst.Options())
 	return predict.Train(macros, predict.Config{
@@ -107,14 +112,6 @@ func (s *System) SaveForest(dir string) error {
 	return s.Forest().Save(dir)
 }
 
-// ErrSeverityStale reports that the bottom-up severity index no longer
-// matches the forest: the forest was loaded from disk but the index — which
-// is not persisted — was not rebuilt. Guided queries would silently return
-// nothing against an empty index, so they are refused until RebuildSeverity
-// (or a full re-Ingest after LoadForestAndRebuild) runs. All- and
-// Pruned-strategy queries never consult the index and keep working.
-var ErrSeverityStale = errors.New("atypical: severity index is stale; call RebuildSeverity")
-
 // LoadForest replaces the system's forest with one previously saved by
 // SaveForest. The severity index is not persisted, so it is reset and marked
 // stale: LoadForest returns ErrSeverityStale (wrapped) to make the
@@ -125,7 +122,7 @@ var ErrSeverityStale = errors.New("atypical: severity index is stale; call Rebui
 func (s *System) LoadForest(dir string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	f, err := forest.Load(dir, s.spec, &s.idgen, s.forest.Options(), s.cfg.DaysPerMonth)
+	f, err := forest.LoadObserved(dir, s.spec, &s.idgen, s.forest.Options(), s.cfg.DaysPerMonth, s.registry)
 	if err != nil {
 		return err
 	}
@@ -134,8 +131,12 @@ func (s *System) LoadForest(dir string) error {
 	s.sev.Reset()
 	s.sevStale = true
 	// The engine is rebuilt rather than mutated so queries that already
-	// snapshotted the old engine finish against the old forest.
-	s.engine = &query.Engine{Net: s.net, Forest: f, Severity: s.sev, Gen: &s.idgen, Workers: s.queryWorkers}
+	// snapshotted the old engine finish against the old forest; the metric
+	// handles carry over so counts aggregate across the swap.
+	s.engine = &query.Engine{
+		Net: s.net, Forest: f, Severity: s.sev, Gen: &s.idgen,
+		Workers: s.queryWorkers, Obs: s.engine.Obs,
+	}
 	return fmt.Errorf("atypical: forest loaded from %s: %w", dir, ErrSeverityStale)
 }
 

@@ -9,6 +9,8 @@ import (
 	"github.com/cpskit/atypical/internal/cluster"
 	"github.com/cpskit/atypical/internal/cps"
 	"github.com/cpskit/atypical/internal/cube"
+	"github.com/cpskit/atypical/internal/obs"
+	"github.com/cpskit/atypical/internal/query"
 )
 
 // ParStage holds one construction run's per-stage wall-clock seconds: the
@@ -32,6 +34,26 @@ type ParResult struct {
 	Serial     ParStage `json:"serial"`
 	Parallel   ParStage `json:"parallel"`
 	Speedup    float64  `json:"speedup"`
+	// Metrics is a flattened obs snapshot from an instrumented query pass
+	// over the constructed stack (one All/Pru/Gui week each) — the
+	// bench-quick artifact doubling as an observability smoke test. JSON
+	// marshals maps in sorted key order, so the artifact is deterministic
+	// modulo timing-valued series.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// queryMetrics runs one week-long query per strategy against an instrumented
+// engine and returns the flattened metrics snapshot.
+func (e *Env) queryMetrics() map[string]float64 {
+	reg := obs.NewRegistry()
+	engine := e.QueryStack()
+	engine.Forest.SetObserver(reg)
+	engine.Obs = query.NewMetrics(reg)
+	q := query.CityQuery(e.Net, e.Spec, 0, min(7, e.Cfg.QueryMonths*e.Cfg.DaysPerMonth), e.Cfg.DeltaS)
+	for s := query.All; s <= query.Gui; s++ {
+		engine.Run(q, s)
+	}
+	return reg.Snapshot().Flatten()
 }
 
 // parStage runs one full offline construction of month 0. workers == 0 takes
@@ -109,6 +131,7 @@ func MeasureParallelConstruction(e *Env, workers int) ParResult {
 	if res.Parallel.Total > 0 {
 		res.Speedup = res.Serial.Total / res.Parallel.Total
 	}
+	res.Metrics = e.queryMetrics()
 	return res
 }
 

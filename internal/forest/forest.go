@@ -16,6 +16,7 @@ package forest
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -24,6 +25,7 @@ import (
 
 	"github.com/cpskit/atypical/internal/cluster"
 	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/obs"
 	"github.com/cpskit/atypical/internal/storage"
 )
 
@@ -53,6 +55,69 @@ type Forest struct {
 
 	inflightMu sync.Mutex
 	inflight   map[memoKey]*inflightCall
+
+	// obsm holds the pre-resolved metric handles (nil = unobserved). An
+	// atomic pointer so SetObserver may arm an already-shared forest
+	// without racing readers.
+	obsm atomic.Pointer[forestObs]
+}
+
+// forestObs carries the forest's metric handles, resolved once by
+// SetObserver. All handles are nil-safe, so a partially wired struct is
+// harmless; a nil *forestObs (the unobserved default) costs one atomic
+// load per hook.
+type forestObs struct {
+	weekHits, weekMisses   *obs.Counter
+	monthHits, monthMisses *obs.Counter
+	appends                *obs.Counter
+	versionBumps           *obs.Counter
+	bytesRead              *obs.Counter
+	bytesWritten           *obs.Counter
+}
+
+// memoHit records a level served from the memo cache (or joined onto an
+// in-flight computation of it).
+func (m *forestObs) memoHit(level byte) {
+	if m == nil {
+		return
+	}
+	if level == 'w' {
+		m.weekHits.Inc()
+	} else {
+		m.monthHits.Inc()
+	}
+}
+
+// memoMiss records a level that had to be integrated.
+func (m *forestObs) memoMiss(level byte) {
+	if m == nil {
+		return
+	}
+	if level == 'w' {
+		m.weekMisses.Inc()
+	} else {
+		m.monthMisses.Inc()
+	}
+}
+
+// SetObserver registers the forest's metric families on r and arms the
+// hooks: memo hit/miss per level, copy-on-write appends, version bumps,
+// and the bytes Save/Load move through storage. A nil registry disarms.
+func (f *Forest) SetObserver(r *obs.Registry) {
+	if r == nil {
+		f.obsm.Store(nil)
+		return
+	}
+	f.obsm.Store(&forestObs{
+		weekHits:     r.Counter("atyp_forest_memo_hits_total", "memoized level lookups served from cache", "level", "week"),
+		weekMisses:   r.Counter("atyp_forest_memo_misses_total", "memoized level lookups that integrated", "level", "week"),
+		monthHits:    r.Counter("atyp_forest_memo_hits_total", "memoized level lookups served from cache", "level", "month"),
+		monthMisses:  r.Counter("atyp_forest_memo_misses_total", "memoized level lookups that integrated", "level", "month"),
+		appends:      r.Counter("atyp_forest_appends_total", "copy-on-write day appends"),
+		versionBumps: r.Counter("atyp_forest_version_bumps_total", "forest writes invalidating memoized levels"),
+		bytesRead:    r.Counter("atyp_storage_bytes_read_total", "bytes read loading persisted clusters"),
+		bytesWritten: r.Counter("atyp_storage_bytes_written_total", "bytes written persisting clusters"),
+	})
 }
 
 // memoKey names one memoized level slot ('w' = week, 'm' = month).
@@ -129,6 +194,9 @@ func (f *Forest) AppendDay(day int, micros []*cluster.Cluster) {
 	f.days[day] = merged
 	f.invalidateLocked(day)
 	f.mu.Unlock()
+	if m := f.obsm.Load(); m != nil {
+		m.appends.Inc()
+	}
 }
 
 // invalidateLocked drops memos covering day and bumps the version so
@@ -138,6 +206,9 @@ func (f *Forest) invalidateLocked(day int) {
 	f.version++
 	delete(f.weeks, day/DaysPerWeek)
 	delete(f.months, day/f.daysPerMonth)
+	if m := f.obsm.Load(); m != nil {
+		m.versionBumps.Inc()
+	}
 }
 
 // Day returns the micro-clusters of one day (nil when absent). The returned
@@ -229,12 +300,16 @@ func (f *Forest) memoized(key memoKey, compute func() []*cluster.Cluster) []*clu
 	ver := f.version
 	f.mu.RUnlock()
 	if ok {
+		f.obsm.Load().memoHit(key.level)
 		return cached
 	}
 
 	f.inflightMu.Lock()
 	if c, ok := f.inflight[key]; ok {
 		f.inflightMu.Unlock()
+		// Coalescing onto another caller's computation counts as a hit:
+		// no integration work is spent on this lookup.
+		f.obsm.Load().memoHit(key.level)
 		<-c.done
 		return c.val
 	}
@@ -248,8 +323,10 @@ func (f *Forest) memoized(key memoKey, compute func() []*cluster.Cluster) []*clu
 	cached, ok = f.memoMapLocked(key.level)[key.idx]
 	f.mu.RUnlock()
 	if ok {
+		f.obsm.Load().memoHit(key.level)
 		c.val = cached
 	} else {
+		f.obsm.Load().memoMiss(key.level)
 		c.val = compute()
 		f.mu.Lock()
 		if f.version == ver {
@@ -326,15 +403,20 @@ func (f *Forest) Save(dir string) error {
 	}
 	f.mu.RUnlock()
 
+	m := f.obsm.Load()
 	for _, snap := range files {
 		path := filepath.Join(dir, snap.name)
 		file, err := os.Create(path)
 		if err != nil {
 			return fmt.Errorf("forest: %w", err)
 		}
-		if _, err := storage.WriteClusters(file, snap.cs); err != nil {
+		n, err := storage.WriteClusters(file, snap.cs)
+		if err != nil {
 			file.Close()
 			return fmt.Errorf("forest: writing %s: %w", path, err)
+		}
+		if m != nil {
+			m.bytesWritten.Add(n)
 		}
 		if err := file.Close(); err != nil {
 			return fmt.Errorf("forest: %w", err)
@@ -346,7 +428,16 @@ func (f *Forest) Save(dir string) error {
 // Load reads a forest previously saved to dir, restoring the materialized
 // days and any persisted week/month levels into the memo caches.
 func Load(dir string, spec cps.WindowSpec, gen *cluster.IDGen, opts cluster.IntegrateOptions, daysPerMonth int) (*Forest, error) {
+	return LoadObserved(dir, spec, gen, opts, daysPerMonth, nil)
+}
+
+// LoadObserved is Load with an observer attached before any file is read, so
+// the bytes-read counter covers the restore itself as well as later Saves.
+// A nil registry behaves exactly like Load.
+func LoadObserved(dir string, spec cps.WindowSpec, gen *cluster.IDGen, opts cluster.IntegrateOptions, daysPerMonth int, r *obs.Registry) (*Forest, error) {
 	f := New(spec, gen, opts, daysPerMonth)
+	f.SetObserver(r)
+	m := f.obsm.Load()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("forest: %w", err)
@@ -357,7 +448,15 @@ func Load(dir string, spec cps.WindowSpec, gen *cluster.IDGen, opts cluster.Inte
 			return nil, fmt.Errorf("forest: %w", err)
 		}
 		defer file.Close()
-		cs, err := storage.ReadClusters(file)
+		var src io.Reader = file
+		cr := &countingReader{r: file}
+		if m != nil {
+			src = cr
+		}
+		cs, err := storage.ReadClusters(src)
+		if m != nil {
+			m.bytesRead.Add(cr.n)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("forest: reading %s: %w", name, err)
 		}
@@ -390,6 +489,18 @@ func Load(dir string, spec cps.WindowSpec, gen *cluster.IDGen, opts cluster.Inte
 		}
 	}
 	return f, nil
+}
+
+// countingReader tracks bytes read through it for the storage counter.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
 }
 
 // scans reports whether name matches the format and stores the index.

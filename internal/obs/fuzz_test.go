@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseSeries asserts the canonicalization fixpoint: any string
+// ParseSeries accepts must re-format to a string that parses to the same
+// name and labels, and formatting is idempotent from there.
+func FuzzParseSeries(f *testing.F) {
+	f.Add("plain_total")
+	f.Add(`req_total{op="get"}`)
+	f.Add(`req_total{b="2",a="1",}`)
+	f.Add(`esc_total{k="quote \" slash \\ nl \n"}`)
+	f.Add(`x{k="v"}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		name, labels, err := ParseSeries(s)
+		if err != nil {
+			return // rejected input is out of scope
+		}
+		canon, err := FormatSeries(name, labels...)
+		if err != nil {
+			// Parse accepts duplicate label keys that Format rejects;
+			// that asymmetry is fine, nothing to round-trip.
+			return
+		}
+		name2, labels2, err := ParseSeries(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not parse: %v", canon, s, err)
+		}
+		canon2, err := FormatSeries(name2, labels2...)
+		if err != nil {
+			t.Fatalf("re-formatting canonical %q: %v", canon, err)
+		}
+		if canon2 != canon {
+			t.Fatalf("canonicalization not a fixpoint: %q -> %q -> %q", s, canon, canon2)
+		}
+		if name2 != name {
+			t.Fatalf("name changed across round trip: %q -> %q", name, name2)
+		}
+	})
+}
+
+// FuzzHistogramMerge asserts Merge's algebra on arbitrary observation
+// streams: counts merge exactly and commute, and the three-way merge
+// associates (counts exactly; sums up to float rounding).
+func FuzzHistogramMerge(f *testing.F) {
+	f.Add([]byte{1, 200, 40}, []byte{0}, []byte{255, 3})
+	f.Add([]byte{}, []byte{7, 7, 7}, []byte{})
+	f.Fuzz(func(t *testing.T, a, b, c []byte) {
+		bounds := []float64{10, 50, 100, 200}
+		fill := func(bs []byte) HistogramSnapshot {
+			h := newHistogram(bounds)
+			for _, v := range bs {
+				h.Observe(float64(v))
+			}
+			return h.Snapshot()
+		}
+		sa, sb, sc := fill(a), fill(b), fill(c)
+
+		ab, err := sa.Merge(sb)
+		if err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		ba, err := sb.Merge(sa)
+		if err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		if ab.Count != ba.Count || math.Float64bits(ab.Sum) != math.Float64bits(ba.Sum) {
+			t.Fatalf("merge not commutative: %+v vs %+v", ab, ba)
+		}
+		for i := range ab.Counts {
+			if ab.Counts[i] != ba.Counts[i] {
+				t.Fatalf("bucket %d not commutative: %v vs %v", i, ab.Counts, ba.Counts)
+			}
+		}
+		if ab.Count != sa.Count+sb.Count || ab.Count != int64(len(a)+len(b)) {
+			t.Fatalf("merged count %d, want %d", ab.Count, len(a)+len(b))
+		}
+
+		left, err := ab.Merge(sc)
+		if err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		bc, err := sb.Merge(sc)
+		if err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		right, err := sa.Merge(bc)
+		if err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		if left.Count != right.Count {
+			t.Fatalf("merge not associative in Count: %d vs %d", left.Count, right.Count)
+		}
+		for i := range left.Counts {
+			if left.Counts[i] != right.Counts[i] {
+				t.Fatalf("bucket %d not associative: %v vs %v", i, left.Counts, right.Counts)
+			}
+		}
+		if math.Abs(left.Sum-right.Sum) > 1e-9*math.Max(1, math.Abs(left.Sum)) {
+			t.Fatalf("merge sums diverged: %v vs %v", left.Sum, right.Sum)
+		}
+	})
+}

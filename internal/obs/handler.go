@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4). Output is
+// deterministic: families sort by name, series sort by canonical label
+// block, histogram buckets ascend — two registries in the same state
+// render identical bytes, which the determinism test asserts.
+
+// WriteTo renders the registry in the Prometheus text format. A nil
+// registry writes nothing.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var err error
+	for _, name := range names {
+		if err = writeFamily(bw, r.families[name]); err != nil {
+			break
+		}
+	}
+	r.mu.RUnlock()
+	if err == nil {
+		err = bw.Flush()
+	}
+	return cw.n, err
+}
+
+// writeFamily renders one family: HELP and TYPE headers, then each series
+// in sorted label order. Caller holds the registry read lock.
+func writeFamily(w *bufio.Writer, fam *family) error {
+	if fam.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.name, escapeHelp(fam.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.kind); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(fam.series))
+	for k := range fam.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch s := fam.series[k].(type) {
+		case *Counter:
+			if err := writeSample(w, fam.name, k, float64(s.Value())); err != nil {
+				return err
+			}
+		case *Gauge:
+			if err := writeSample(w, fam.name, k, s.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if err := writeHistogram(w, fam.name, k, s.Snapshot()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample renders one scalar series line.
+func writeSample(w *bufio.Writer, name, labels string, v float64) error {
+	if labels == "" {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(v))
+	return err
+}
+
+// writeHistogram renders the cumulative _bucket series plus _sum and
+// _count, appending le to any existing label block.
+func writeHistogram(w *bufio.Writer, name, labels string, s HistogramSnapshot) error {
+	withLE := func(le string) string {
+		if labels == "" {
+			return `le="` + le + `"`
+		}
+		return labels + `,le="` + le + `"`
+	}
+	cum := int64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		if err := writeSample(w, name+"_bucket", withLE(formatValue(bound)), float64(cum)); err != nil {
+			return err
+		}
+	}
+	cum += s.Counts[len(s.Bounds)]
+	if err := writeSample(w, name+"_bucket", withLE("+Inf"), float64(cum)); err != nil {
+		return err
+	}
+	if err := writeSample(w, name+"_sum", labels, s.Sum); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", labels, float64(s.Count))
+}
+
+// formatValue renders a float the shortest way that round-trips.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline, the two characters HELP text
+// must escape.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// countingWriter tracks bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// Handler serves the registry at GET /metrics in the text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := r.WriteTo(w); err != nil {
+			// Headers are gone; nothing to do but drop the connection.
+			return
+		}
+	})
+}
+
+// NewDebugMux wires the standard operational surface: /metrics for the
+// registry and the full net/http/pprof suite under /debug/pprof/ — on an
+// explicit mux rather than http.DefaultServeMux, so callers choose what
+// they expose and where.
+func NewDebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

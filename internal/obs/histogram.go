@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Buckets. Histogram bounds are upper bucket bounds (the Prometheus `le`
+// semantics); an implicit +Inf bucket always exists past the last bound.
+
+// DefBuckets are the default latency bounds in seconds: 100µs to ~52s in
+// powers of two — wide enough for both a pruned sub-millisecond query and
+// a cold All-strategy integration over months.
+var DefBuckets = ExpBuckets(100e-6, 2, 20)
+
+// ExpBuckets returns n exponentially spaced bounds: start, start·factor,
+// start·factor², …. It panics unless start > 0, factor > 1 and n ≥ 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: invalid ExpBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// validateBounds panics unless bounds are finite and strictly ascending.
+func validateBounds(bounds []float64) {
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: non-finite histogram bound %v", b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+}
+
+// Histogram counts observations into fixed buckets. Observations are
+// lock-free atomic adds; Sum accumulates by compare-and-swap. The nil
+// *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64 // immutable after construction
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// newHistogram builds a histogram over validated bounds.
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value. NaN observations are dropped (they would
+// poison Sum and land in no meaningful bucket).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, len(bounds) = +Inf
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start — the idiom for
+// latency series: defer-free, one time.Now at each end.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: per-bucket
+// (non-cumulative) counts aligned with Bounds plus the +Inf overflow at
+// Counts[len(Bounds)], and the total Count and Sum.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state. Buckets are read one
+// atomic load at a time, so a snapshot taken during concurrent observation
+// is a near-instantaneous, not exact, cut; Count is read last so it never
+// undercounts the buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	return s
+}
+
+// Merge combines two snapshots of histograms with identical bucket
+// layouts: counts and sums add. Bounds are compared bit-exactly — two
+// histograms either share a layout or cannot be merged at all. Merging is
+// commutative and associative up to float rounding in Sum (counts merge
+// exactly); the fuzz target asserts both.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(s.Bounds) != len(o.Bounds) || len(s.Counts) != len(o.Counts) {
+		return HistogramSnapshot{}, fmt.Errorf("obs: merging histograms with %d/%d vs %d/%d bounds/buckets",
+			len(s.Bounds), len(s.Counts), len(o.Bounds), len(o.Counts))
+	}
+	for i := range s.Bounds {
+		if math.Float64bits(s.Bounds[i]) != math.Float64bits(o.Bounds[i]) {
+			return HistogramSnapshot{}, fmt.Errorf("obs: merging histograms with different bound %d: %v vs %v",
+				i, s.Bounds[i], o.Bounds[i])
+		}
+	}
+	out := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+	}
+	for i := range out.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,310 @@
+// Package obs is the stdlib-only observability layer: an atomic metrics
+// registry (counters, gauges, fixed-bucket histograms), lightweight
+// context-propagated spans with an exporter hook, and a Prometheus-text
+// /metrics handler with pprof wiring.
+//
+// The design constraint, shared with internal/par, is that observing the
+// pipeline must never change what it computes: every hook is an atomic
+// add on a pre-resolved handle, and when no observer is configured every
+// handle is nil and every method a nil-check no-op — instrumented code
+// carries no branches on results, only on handles. The byte-identity and
+// GOMAXPROCS-independence tests run with an observer attached to enforce
+// this.
+//
+// Handles are resolved once at wiring time (Registry.Counter/Gauge/
+// Histogram) and then used lock-free on the hot path. Series are named
+// Prometheus-style: a metric family name plus sorted key="value" labels;
+// ParseSeries/FormatSeries round-trip the canonical form, and the
+// /metrics output is deterministic (families and series sorted).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates the metric families of a Registry.
+type Kind uint8
+
+// The three metric kinds, mirroring the Prometheus TYPE keywords.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// String implements fmt.Stringer using the Prometheus TYPE names.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Registry holds metric families and hands out the atomic handles
+// instrumented code updates. A Registry is safe for concurrent use:
+// registration takes a lock, but the returned handles are updated and read
+// lock-free. The nil *Registry is valid and inert — every method returns a
+// nil handle or an empty snapshot, so "observability off" costs one nil
+// check per hook.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// family is one metric family: a name, a kind, and its label-keyed series.
+type family struct {
+	name   string
+	kind   Kind
+	help   string
+	bounds []float64 // histogram families only
+	series map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter registers (or finds) the counter series name{labels...} and
+// returns its handle. labels alternate key, value; the same name+labels
+// always returns the same handle. Registration panics on an invalid metric
+// or label name, an odd label count, or a kind conflict with an existing
+// family — all observability wiring bugs. A nil registry returns a nil
+// (no-op) handle.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, KindCounter, nil, labels).(*Counter)
+}
+
+// Gauge registers (or finds) the gauge series name{labels...}.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, KindGauge, nil, labels).(*Gauge)
+}
+
+// Histogram registers (or finds) the histogram series name{labels...} with
+// the given ascending upper bucket bounds (an implicit +Inf bucket is
+// appended). A nil bounds slice selects DefBuckets. The first registration
+// of a family fixes its bounds; later registrations reuse them.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	validateBounds(bounds)
+	return r.register(name, help, KindHistogram, bounds, labels).(*Histogram)
+}
+
+// register resolves one series handle under the lock.
+func (r *Registry) register(name, help string, kind Kind, bounds []float64, labels []string) any {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.families[name]
+	if fam == nil {
+		fam = &family{name: name, kind: kind, help: help, bounds: bounds, series: make(map[string]any)}
+		r.families[name] = fam
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, fam.kind, kind))
+	}
+	if s, ok := fam.series[key]; ok {
+		return s
+	}
+	var s any
+	switch kind {
+	case KindCounter:
+		s = &Counter{}
+	case KindGauge:
+		s = &Gauge{}
+	case KindHistogram:
+		s = newHistogram(fam.bounds)
+	}
+	fam.series[key] = s
+	return s
+}
+
+// Counter is a monotonically increasing integer metric. The nil *Counter
+// is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n; negative deltas are ignored (counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can move both ways. The nil *Gauge is a
+// no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add moves the gauge by delta (atomic compare-and-swap loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Sample is one series in a Snapshot: a family name, the canonical label
+// block (empty when unlabeled), and the value — scalar for counters and
+// gauges, a bucket snapshot for histograms.
+type Sample struct {
+	Name   string
+	Labels string
+	Kind   Kind
+	Value  float64
+	Hist   *HistogramSnapshot
+}
+
+// Series renders the sample's canonical series identity, name{labels}.
+func (s Sample) Series() string {
+	if s.Labels == "" {
+		return s.Name
+	}
+	return s.Name + "{" + s.Labels + "}"
+}
+
+// Snapshot is a point-in-time copy of every series in a registry, sorted
+// by (name, labels) so two snapshots of identical state render identical
+// bytes. Concurrent updates between two series' reads may make a snapshot
+// a non-instantaneous cut; each individual scalar is atomically read.
+type Snapshot struct {
+	Samples []Sample
+}
+
+// Snapshot captures the registry. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Sample
+	for _, name := range names {
+		fam := r.families[name]
+		keys := make([]string, 0, len(fam.series))
+		for k := range fam.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sample := Sample{Name: name, Labels: k, Kind: fam.kind}
+			switch s := fam.series[k].(type) {
+			case *Counter:
+				sample.Value = float64(s.Value())
+			case *Gauge:
+				sample.Value = s.Value()
+			case *Histogram:
+				snap := s.Snapshot()
+				sample.Hist = &snap
+			}
+			out = append(out, sample)
+		}
+	}
+	r.mu.RUnlock()
+	return Snapshot{Samples: out}
+}
+
+// Value looks up a counter or gauge sample by name and label pairs.
+func (s Snapshot) Value(name string, labels ...string) (float64, bool) {
+	key := labelKey(labels)
+	for _, sm := range s.Samples {
+		if sm.Name == name && sm.Labels == key && sm.Hist == nil {
+			return sm.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram looks up a histogram sample by name and label pairs.
+func (s Snapshot) Histogram(name string, labels ...string) (*HistogramSnapshot, bool) {
+	key := labelKey(labels)
+	for _, sm := range s.Samples {
+		if sm.Name == name && sm.Labels == key && sm.Hist != nil {
+			return sm.Hist, true
+		}
+	}
+	return nil, false
+}
+
+// Flatten renders the snapshot as a flat series → value map: counters and
+// gauges map directly, histograms expand to _count and _sum entries. JSON
+// marshaling sorts map keys, so flattened snapshots serialize
+// deterministically.
+func (s Snapshot) Flatten() map[string]float64 {
+	out := make(map[string]float64, len(s.Samples))
+	for _, sm := range s.Samples {
+		if sm.Hist != nil {
+			out[Sample{Name: sm.Name + "_count", Labels: sm.Labels}.Series()] = float64(sm.Hist.Count)
+			out[Sample{Name: sm.Name + "_sum", Labels: sm.Labels}.Series()] = sm.Hist.Sum
+			continue
+		}
+		out[sm.Series()] = sm.Value
+	}
+	return out
+}

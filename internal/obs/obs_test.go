@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x_gauge", "")
+	h := r.Histogram("x_seconds", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry handed out non-nil handles: %v %v %v", c, g, h)
+	}
+	// All handle methods must be no-ops, not panics.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatalf("nil handles reported nonzero values")
+	}
+	if n := len(r.Snapshot().Samples); n != 0 {
+		t.Fatalf("nil registry snapshot has %d samples", n)
+	}
+	if n, err := r.WriteTo(io.Discard); n != 0 || err != nil {
+		t.Fatalf("nil registry WriteTo = (%d, %v)", n, err)
+	}
+}
+
+func TestRegistryHandlesAreStable(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("req_total", "requests", "op", "get")
+	b := r.Counter("req_total", "requests", "op", "get")
+	if a != b {
+		t.Fatalf("same name+labels resolved to different handles")
+	}
+	other := r.Counter("req_total", "requests", "op", "put")
+	if a == other {
+		t.Fatalf("different labels resolved to the same handle")
+	}
+	a.Inc()
+	a.Add(2)
+	a.Add(-5) // ignored: counters are monotone
+	if got := b.Value(); got != 3 {
+		t.Fatalf("counter value = %d, want 3", got)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter family as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("open_events", "")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge value = %v, want 2.5", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{1, 2, 4})
+	// Prometheus le semantics: a value equal to a bound lands in that
+	// bound's bucket; above every bound lands in +Inf.
+	for _, v := range []float64{-3, 0, 1} {
+		h.Observe(v) // ≤ 1
+	}
+	h.Observe(1.0000001) // (1, 2]
+	h.Observe(2)         // (1, 2]
+	h.Observe(4)         // (2, 4]
+	h.Observe(4.5)       // +Inf
+	h.Observe(math.Inf(1))
+	h.Observe(math.NaN()) // dropped
+	s := h.Snapshot()
+	want := []int64{3, 2, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d count = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Fatalf("total count = %d, want 8", s.Count)
+	}
+	if !math.IsInf(s.Sum, 1) {
+		t.Fatalf("sum = %v, want +Inf (an Inf observation was recorded)", s.Sum)
+	}
+}
+
+func TestHistogramMergeRejectsMismatchedBounds(t *testing.T) {
+	a := newHistogram([]float64{1, 2}).Snapshot()
+	b := newHistogram([]float64{1, 3}).Snapshot()
+	if _, err := a.Merge(b); err == nil {
+		t.Fatalf("merging different bounds did not error")
+	}
+	c := newHistogram([]float64{1}).Snapshot()
+	if _, err := a.Merge(c); err == nil {
+		t.Fatalf("merging different bucket counts did not error")
+	}
+}
+
+func TestSeriesRoundTrip(t *testing.T) {
+	cases := [][]string{
+		{"plain_total"},
+		{"req_total", "op", "get"},
+		{"req_total", "b", "2", "a", "1"},
+		{"esc_total", "k", `quote " slash \ and` + "\nnewline"},
+	}
+	for _, c := range cases {
+		s, err := FormatSeries(c[0], c[1:]...)
+		if err != nil {
+			t.Fatalf("FormatSeries(%q): %v", c, err)
+		}
+		name, labels, err := ParseSeries(s)
+		if err != nil {
+			t.Fatalf("ParseSeries(%q): %v", s, err)
+		}
+		back, err := FormatSeries(name, labels...)
+		if err != nil {
+			t.Fatalf("re-FormatSeries(%q): %v", s, err)
+		}
+		if back != s {
+			t.Fatalf("round trip %q -> %q", s, back)
+		}
+	}
+}
+
+func TestParseSeriesRejects(t *testing.T) {
+	for _, s := range []string{
+		"", "1bad", "x{", "x{}", "x{k}", "x{k=v}", `x{k="v}`, `x{k="v"`,
+		`x{k="v"extra}`, `x{9k="v"}`, `x{k="\q"}`,
+	} {
+		if _, _, err := ParseSeries(s); err == nil && s != "x{}" {
+			t.Errorf("ParseSeries(%q) accepted", s)
+		}
+	}
+}
+
+func TestSnapshotLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "", "op", "x").Add(7)
+	r.Histogram("b_seconds", "", []float64{1}).Observe(0.5)
+	s := r.Snapshot()
+	if v, ok := s.Value("a_total", "op", "x"); !ok || v != 7 {
+		t.Fatalf("Value(a_total{op=x}) = (%v, %v)", v, ok)
+	}
+	if _, ok := s.Value("a_total"); ok {
+		t.Fatalf("unlabeled lookup matched a labeled series")
+	}
+	h, ok := s.Histogram("b_seconds")
+	if !ok || h.Count != 1 {
+		t.Fatalf("Histogram(b_seconds) = (%+v, %v)", h, ok)
+	}
+	flat := s.Flatten()
+	if flat[`a_total{op="x"}`] != 7 || flat["b_seconds_count"] != 1 || flat["b_seconds_sum"] != 0.5 {
+		t.Fatalf("Flatten = %v", flat)
+	}
+}
+
+func TestWriteToDeterministicAndParseable(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Register in scrambled order; output must not depend on it.
+		r.Counter("z_total", "last family", "op", "b").Inc()
+		r.Gauge("m_gauge", "middle").Set(1.25)
+		r.Counter("z_total", "last family", "op", "a").Add(2)
+		h := r.Histogram("a_seconds", "first family", []float64{0.1, 1})
+		h.Observe(0.05)
+		h.Observe(0.5)
+		h.Observe(5)
+		return r
+	}
+	var one, two strings.Builder
+	if _, err := build().WriteTo(&one); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := build().WriteTo(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Fatalf("two identical registries rendered differently:\n%s\nvs\n%s", one.String(), two.String())
+	}
+	out := one.String()
+	for _, want := range []string{
+		"# TYPE a_seconds histogram",
+		`a_seconds_bucket{le="0.1"} 1`,
+		`a_seconds_bucket{le="1"} 2`,
+		`a_seconds_bucket{le="+Inf"} 3`,
+		"a_seconds_sum 5.55",
+		"a_seconds_count 3",
+		"# TYPE m_gauge gauge",
+		"m_gauge 1.25",
+		`z_total{op="a"} 2`,
+		`z_total{op="b"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "a_seconds") > strings.Index(out, "m_gauge") ||
+		strings.Index(out, "m_gauge") > strings.Index(out, "z_total") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits").Add(3)
+	srv := httptest.NewServer(NewDebugMux(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "hits_total 3") {
+		t.Fatalf("metrics body missing counter:\n%s", body)
+	}
+	// pprof index must be mounted too.
+	pp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != 200 {
+		t.Fatalf("pprof index status %d", pp.StatusCode)
+	}
+}
+
+func TestSpans(t *testing.T) {
+	var mu sync.Mutex
+	var got []Span
+	ctx := WithExporter(context.Background(), func(s Span) {
+		mu.Lock()
+		got = append(got, s)
+		mu.Unlock()
+	})
+	if !HasExporter(ctx) {
+		t.Fatalf("armed context reports no exporter")
+	}
+	ctx, root := Start(ctx, "ingest")
+	_, child := Start(ctx, "ingest.extract")
+	child.SetAttr("days", "7")
+	child.End()
+	root.End()
+	if len(got) != 2 {
+		t.Fatalf("exported %d spans, want 2", len(got))
+	}
+	if got[0].Name != "ingest.extract" || got[0].Parent != "ingest" {
+		t.Fatalf("child span = %+v", got[0])
+	}
+	if got[1].Name != "ingest" || got[1].Parent != "" {
+		t.Fatalf("root span = %+v", got[1])
+	}
+	if len(got[0].Attrs) != 1 || got[0].Attrs[0] != (Attr{"days", "7"}) {
+		t.Fatalf("child attrs = %v", got[0].Attrs)
+	}
+	if got[0].Duration < 0 || got[1].Duration < got[0].Duration {
+		t.Fatalf("durations inconsistent: child %v, root %v", got[0].Duration, got[1].Duration)
+	}
+}
+
+func TestSpansDisabledAllocateNothing(t *testing.T) {
+	ctx := context.Background()
+	if HasExporter(ctx) {
+		t.Fatalf("bare context reports an exporter")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c, s := Start(ctx, "noop")
+		s.SetAttr("k", "v")
+		s.End()
+		if c != ctx {
+			t.Fatalf("unarmed Start returned a new context")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("unarmed span path allocates %v per op", allocs)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("conc_total", "", "w", string(rune('a'+w%4)))
+			h := r.Histogram("conc_seconds", "", nil)
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-4)
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, sm := range r.Snapshot().Samples {
+		if sm.Name == "conc_total" {
+			total += sm.Value
+		}
+	}
+	if total != 8*500 {
+		t.Fatalf("concurrent counter total = %v, want %d", total, 8*500)
+	}
+	if h, ok := r.Snapshot().Histogram("conc_seconds"); !ok || h.Count != 8*500 {
+		t.Fatalf("concurrent histogram count = %+v", h)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series naming. A series is a metric family name plus an optional label
+// block: name{key="value",key2="value2"}. The canonical form — what the
+// registry keys series by and what /metrics emits — sorts labels by key
+// and escapes values Prometheus-style (backslash, quote, newline).
+// ParseSeries accepts any well-formed series string and FormatSeries
+// re-canonicalizes it, so parse∘format is the identity on canonical
+// strings (the fuzz target's invariant).
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" || strings.ContainsRune(s, ':') {
+		return false
+	}
+	return validMetricName(s)
+}
+
+// labelKey canonicalizes alternating key, value label pairs into the
+// rendered label block (no braces): sorted by key, values escaped. It
+// panics on an odd pair count, an invalid or duplicate key — registration
+// is wiring code, and a bad label set is a programming bug.
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		if !validLabelName(labels[i]) {
+			panic(fmt.Sprintf("obs: invalid label name %q", labels[i]))
+		}
+		pairs = append(pairs, pair{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].k == pairs[i-1].k {
+			panic(fmt.Sprintf("obs: duplicate label %q", pairs[i].k))
+		}
+	}
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double quote and newline, the three
+// characters the Prometheus text format requires escaping in label values.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// FormatSeries renders the canonical series string for name plus
+// alternating key, value labels. Unlike labelKey it reports malformed
+// input as an error instead of panicking, so it is safe on parsed input.
+func FormatSeries(name string, labels ...string) (string, error) {
+	if !validMetricName(name) {
+		return "", fmt.Errorf("obs: invalid metric name %q", name)
+	}
+	if len(labels)%2 != 0 {
+		return "", fmt.Errorf("obs: odd label list (%d items)", len(labels))
+	}
+	for i := 0; i < len(labels); i += 2 {
+		if !validLabelName(labels[i]) {
+			return "", fmt.Errorf("obs: invalid label name %q", labels[i])
+		}
+		for j := 0; j < i; j += 2 {
+			if labels[j] == labels[i] {
+				return "", fmt.Errorf("obs: duplicate label %q", labels[i])
+			}
+		}
+	}
+	key := labelKey(labels)
+	if key == "" {
+		return name, nil
+	}
+	return name + "{" + key + "}", nil
+}
+
+// ParseSeries splits a series string into its family name and alternating
+// key, value label pairs (in written order, unescaped). It accepts exactly
+// the grammar FormatSeries emits: name, optionally followed by a brace
+// block of key="value" pairs separated by commas, with an optional
+// trailing comma Prometheus-style.
+func ParseSeries(s string) (name string, labels []string, err error) {
+	brace := strings.IndexByte(s, '{')
+	if brace < 0 {
+		if !validMetricName(s) {
+			return "", nil, fmt.Errorf("obs: invalid metric name %q", s)
+		}
+		return s, nil, nil
+	}
+	name = s[:brace]
+	if !validMetricName(name) {
+		return "", nil, fmt.Errorf("obs: invalid metric name %q", name)
+	}
+	rest := s[brace+1:]
+	if len(rest) == 0 || rest[len(rest)-1] != '}' {
+		return "", nil, fmt.Errorf("obs: unterminated label block in %q", s)
+	}
+	rest = rest[:len(rest)-1]
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", nil, fmt.Errorf("obs: missing '=' in label block %q", rest)
+		}
+		key := rest[:eq]
+		if !validLabelName(key) {
+			return "", nil, fmt.Errorf("obs: invalid label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", nil, fmt.Errorf("obs: label %q value is not quoted", key)
+		}
+		value, remainder, err := unquoteLabelValue(rest[1:])
+		if err != nil {
+			return "", nil, fmt.Errorf("obs: label %q: %w", key, err)
+		}
+		labels = append(labels, key, value)
+		rest = remainder
+		switch {
+		case rest == "":
+		case rest[0] == ',':
+			rest = rest[1:] // trailing comma before '}' is legal
+		default:
+			return "", nil, fmt.Errorf("obs: expected ',' or end after label %q", key)
+		}
+	}
+	return name, labels, nil
+}
+
+// unquoteLabelValue consumes an escaped label value up to its closing
+// quote, returning the decoded value and the unconsumed remainder.
+func unquoteLabelValue(s string) (value, rest string, err error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '\n':
+			return "", "", fmt.Errorf("raw newline in value")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated value")
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Spans. A span is one timed region of a pipeline run — an ingest, one of
+// its stages, a query. Spans propagate through context.Context: WithExporter
+// arms a context, Start opens a span as the child of whatever span the
+// context already carries, and End stamps the duration and hands the
+// completed span to the exporter. With no exporter in the context, Start
+// returns a nil *Span whose methods are no-ops and allocates nothing —
+// instrumented code calls Start/End unconditionally.
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one completed (or in-flight) timed region. Fields are written by
+// exactly one goroutine between Start and End; the exporter receives the
+// span by value after End and may retain it.
+type Span struct {
+	// Name identifies the region, dot-scoped ("ingest.extract").
+	Name string
+	// Parent is the enclosing span's name, "" at the root.
+	Parent string
+	// Start is the opening wall-clock instant.
+	Start time.Time
+	// Duration is stamped by End.
+	Duration time.Duration
+	// Attrs carries span annotations, in SetAttr order.
+	Attrs []Attr
+
+	exporter SpanExporter
+}
+
+// SpanExporter receives each completed span. Exporters must be safe for
+// concurrent calls: spans end on whatever goroutine ran the region.
+type SpanExporter func(Span)
+
+type exporterKey struct{}
+type spanKey struct{}
+
+// WithExporter arms a context: spans started below it are exported to exp.
+// A nil exp returns ctx unchanged.
+func WithExporter(ctx context.Context, exp SpanExporter) context.Context {
+	if exp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, exporterKey{}, exp)
+}
+
+// HasExporter reports whether ctx already carries a span exporter.
+func HasExporter(ctx context.Context) bool {
+	exp, _ := ctx.Value(exporterKey{}).(SpanExporter)
+	return exp != nil
+}
+
+// Start opens a span named name if ctx carries an exporter, recording the
+// context's current span as its parent, and returns a context carrying the
+// new span. Without an exporter it returns ctx and a nil span — the
+// zero-overhead disabled path.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	exp, _ := ctx.Value(exporterKey{}).(SpanExporter)
+	if exp == nil {
+		return ctx, nil
+	}
+	s := &Span{Name: name, Start: time.Now(), exporter: exp}
+	if parent, _ := ctx.Value(spanKey{}).(*Span); parent != nil {
+		s.Parent = parent.Name
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SetAttr annotates the span; no-op on nil.
+func (s *Span) SetAttr(key, value string) {
+	if s != nil {
+		s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	}
+}
+
+// End stamps the duration and exports the span; no-op on nil. End must be
+// called at most once, on the goroutine that ran the region.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Duration = time.Since(s.Start)
+	s.exporter(*s)
+}

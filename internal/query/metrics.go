@@ -1,0 +1,75 @@
+package query
+
+import (
+	"github.com/cpskit/atypical/internal/obs"
+)
+
+// Metrics holds the engine's pre-resolved observability handles — one
+// resolution at wiring time, lock-free atomic updates on the hot path.
+// The nil *Metrics (no observer configured) makes every hook a nil-check
+// no-op, and recording touches only the Result the engine produced anyway,
+// so observation can never change an answer.
+type Metrics struct {
+	// Per-strategy series, indexed by Strategy (All, Pru, Gui).
+	queries  [3]*obs.Counter
+	latency  [3]*obs.Histogram
+	scanned  [3]*obs.Counter
+	pruned   [3]*obs.Counter
+	rejected [3]*obs.Counter
+	redzones *obs.Counter
+	errors   *obs.Counter
+}
+
+// NewMetrics registers the engine's metric families on r and returns the
+// resolved handles; a nil registry yields a nil (disabled) Metrics.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	m := &Metrics{
+		redzones: r.Counter("atyp_query_redzones_total",
+			"regions passing the significance bound across Gui queries"),
+		errors: r.Counter("atyp_query_errors_total",
+			"queries returning an error (cancellation, unknown strategy)"),
+	}
+	// Label values are the lowercase strategy names the CLI flags use.
+	names := [3]string{"all", "pru", "gui"}
+	for s := All; s <= Gui; s++ {
+		label := []string{"strategy", names[s]}
+		m.queries[s] = r.Counter("atyp_query_total",
+			"analytical queries served", label...)
+		m.latency[s] = r.Histogram("atyp_query_seconds",
+			"query wall-clock latency in seconds", nil, label...)
+		m.scanned[s] = r.Counter("atyp_query_micros_scanned_total",
+			"candidate micro-clusters examined before strategy pruning", label...)
+		m.pruned[s] = r.Counter("atyp_query_micros_pruned_total",
+			"candidate micro-clusters the strategy pruned before integration", label...)
+		m.rejected[s] = r.Counter("atyp_query_macros_rejected_total",
+			"macro-clusters rejected by the significance bound", label...)
+	}
+	return m
+}
+
+// observe records one finished run. A nil res (error path) counts only the
+// error; a strategy outside the known range records nothing per-strategy.
+func (m *Metrics) observe(res *Result, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.errors.Inc()
+		return
+	}
+	s := res.Strategy
+	if s > Gui {
+		return
+	}
+	m.queries[s].Inc()
+	m.latency[s].Observe(res.Elapsed.Seconds())
+	m.scanned[s].Add(int64(res.CandidateMicros))
+	m.pruned[s].Add(int64(res.CandidateMicros - res.InputMicros))
+	m.rejected[s].Add(int64(len(res.Macros) - len(res.Significant)))
+	if s == Gui {
+		m.redzones.Add(int64(res.RedZones))
+	}
+}

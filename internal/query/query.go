@@ -8,6 +8,7 @@ package query
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -16,9 +17,15 @@ import (
 	"github.com/cpskit/atypical/internal/cube"
 	"github.com/cpskit/atypical/internal/forest"
 	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/obs"
 	"github.com/cpskit/atypical/internal/par"
 	"github.com/cpskit/atypical/internal/traffic"
 )
+
+// ErrUnknownStrategy reports a Strategy value outside All/Pru/Gui. It is
+// part of the facade's exported error set (atypical.ErrUnknownStrategy
+// aliases it), so callers test it with errors.Is at either layer.
+var ErrUnknownStrategy = errors.New("atypical: unknown query strategy")
 
 // Strategy selects the online clustering strategy of Section V-B.
 type Strategy uint8
@@ -121,14 +128,18 @@ type Engine struct {
 	// goroutines (< 0 means one per CPU). The parallel path's output does
 	// not depend on the worker count.
 	Workers int
+	// Obs carries the engine's pre-resolved metric handles (NewMetrics).
+	// nil — the default — disables instrumentation at the cost of one nil
+	// check per run.
+	Obs *Metrics
 }
 
 // Run executes q under the given strategy.
 func (e *Engine) Run(q Query, s Strategy) *Result {
 	res, err := e.RunCtx(context.Background(), q, s)
 	if err != nil {
-		// A background context cannot cancel, and no other error path
-		// exists; reaching here is a programming bug.
+		// A background context cannot cancel, so the only reachable error
+		// is ErrUnknownStrategy — a programming bug worth a loud stop.
 		panic(err)
 	}
 	return res
@@ -136,8 +147,20 @@ func (e *Engine) Run(q Query, s Strategy) *Result {
 
 // RunCtx executes q under the given strategy with cooperative cancellation:
 // the context is honored between pipeline stages and inside the parallel
-// filter and integration loops.
+// filter and integration loops. Every run — success or error — is recorded
+// on Obs when configured, and wrapped in a "query.run" span when ctx
+// carries a span exporter.
 func (e *Engine) RunCtx(ctx context.Context, q Query, s Strategy) (*Result, error) {
+	ctx, sp := obs.Start(ctx, "query.run")
+	sp.SetAttr("strategy", s.String())
+	res, err := e.runCtx(ctx, q, s)
+	sp.End()
+	e.Obs.observe(res, err)
+	return res, err
+}
+
+// runCtx is the uninstrumented body of RunCtx.
+func (e *Engine) runCtx(ctx context.Context, q Query, s Strategy) (*Result, error) {
 	start := time.Now()
 	res := &Result{Strategy: s}
 
@@ -172,7 +195,9 @@ func (e *Engine) RunCtx(ctx context.Context, q Query, s Strategy) (*Result, erro
 	case Gui:
 		// Algorithm 4, lines 1–3: compute red zones from the distributive
 		// bottom-up severity, drop micro-clusters entirely outside them.
+		_, zsp := obs.Start(ctx, "query.redzones")
 		zones := e.Severity.GuidedRedZones(q.Regions, q.Time, q.DeltaS, numSensors)
+		zsp.End()
 		res.RedZones = len(zones)
 		zoneSet := make(map[geo.RegionID]bool, len(zones))
 		for _, z := range zones {
@@ -183,12 +208,14 @@ func (e *Engine) RunCtx(ctx context.Context, q Query, s Strategy) (*Result, erro
 			return nil, err
 		}
 	default:
-		panic(fmt.Sprintf("query: unknown strategy %d", s))
+		return nil, fmt.Errorf("%w %v", ErrUnknownStrategy, s)
 	}
 	res.InputMicros = len(inputs)
 
 	// Algorithm 4 line 4: integrate the qualified micro-clusters.
-	res.Macros, err = e.integrate(ctx, inputs)
+	ictx, isp := obs.Start(ctx, "query.integrate")
+	res.Macros, err = e.integrate(ictx, inputs)
+	isp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -261,8 +288,18 @@ func (e *Engine) RunMaterialized(q Query) *Result {
 	return res
 }
 
-// RunMaterializedCtx is RunMaterialized with cooperative cancellation.
+// RunMaterializedCtx is RunMaterialized with cooperative cancellation. Runs
+// record into Obs under the All strategy (the semantics they implement).
 func (e *Engine) RunMaterializedCtx(ctx context.Context, q Query) (*Result, error) {
+	ctx, sp := obs.Start(ctx, "query.run_materialized")
+	res, err := e.runMaterializedCtx(ctx, q)
+	sp.End()
+	e.Obs.observe(res, err)
+	return res, err
+}
+
+// runMaterializedCtx is the uninstrumented body of RunMaterializedCtx.
+func (e *Engine) runMaterializedCtx(ctx context.Context, q Query) (*Result, error) {
 	start := time.Now()
 	res := &Result{Strategy: All}
 	numSensors := e.sensorsInRegions(q.Regions)
@@ -294,7 +331,9 @@ func (e *Engine) RunMaterializedCtx(ctx context.Context, q Query) (*Result, erro
 		return nil, err
 	}
 	res.InputMicros = len(inputs)
-	res.Macros, err = e.integrate(ctx, inputs)
+	ictx, isp := obs.Start(ctx, "query.integrate")
+	res.Macros, err = e.integrate(ictx, inputs)
+	isp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,7 @@ import (
 
 	"github.com/cpskit/atypical/internal/cluster"
 	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/obs"
 )
 
 // event is one open atypical event under construction.
@@ -78,6 +79,36 @@ type Processor struct {
 	started  bool
 	observed atomic.Int64
 	emitted  atomic.Int64
+
+	// obsm holds the metric handles; nil (the default) disables them. Stored
+	// atomically so SetObserver may arm a processor another goroutine reads.
+	obsm atomic.Pointer[streamObs]
+}
+
+// streamObs bundles the processor's pre-resolved metric handles.
+type streamObs struct {
+	records *obs.Counter
+	emitted *obs.Counter
+	open    *obs.Gauge
+}
+
+// SetObserver registers the stream metric families on r and arms the
+// processor; a nil registry disarms it. Safe to call concurrently with reads
+// of the progress counters, but like the ingest methods it must not race
+// with Observe/Flush.
+func (p *Processor) SetObserver(r *obs.Registry) {
+	if r == nil {
+		p.obsm.Store(nil)
+		return
+	}
+	p.obsm.Store(&streamObs{
+		records: r.Counter("atyp_stream_records_total",
+			"records consumed from the canonical stream"),
+		emitted: r.Counter("atyp_stream_clusters_emitted_total",
+			"micro-clusters emitted as events closed"),
+		open: r.Gauge("atyp_stream_open_events",
+			"events currently under construction"),
+	})
 }
 
 type sensorRef struct {
@@ -129,6 +160,9 @@ func (p *Processor) Observe(r cps.Record) error {
 		p.advance(r.Window)
 	}
 	p.observed.Add(1)
+	if m := p.obsm.Load(); m != nil {
+		m.records.Inc()
+	}
 
 	// Gather the open events this record is direct atypical related to:
 	// same sensor, or a δd-neighbor, with a record within MaxGap windows.
@@ -208,6 +242,9 @@ func (p *Processor) advance(w cps.Window) {
 		live = append(live, e)
 	}
 	p.open = live
+	if m := p.obsm.Load(); m != nil {
+		m.open.Set(float64(p.OpenEvents()))
+	}
 }
 
 // Flush closes every open event; call at end of stream.
@@ -220,11 +257,17 @@ func (p *Processor) Flush() {
 	p.open = p.open[:0]
 	p.recent = make(map[cps.SensorID]sensorRef)
 	p.started = false
+	if m := p.obsm.Load(); m != nil {
+		m.open.Set(0)
+	}
 }
 
 func (p *Processor) emit(e *event) {
 	// Records joined out of canonical order during merges; FromRecords
 	// canonicalizes features regardless, so no sort is needed here.
 	p.emitted.Add(1)
+	if m := p.obsm.Load(); m != nil {
+		m.emitted.Inc()
+	}
 	p.cfg.Emit(cluster.FromRecords(p.gen.Next(), e.records))
 }

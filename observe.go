@@ -1,0 +1,164 @@
+package atypical
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"github.com/cpskit/atypical/internal/obs"
+)
+
+// This file surfaces the internal/obs observability layer through the
+// facade. Attach a registry with WithObserver to have every pipeline stage
+// record metrics into it; attach a SpanExporter with WithSpanExporter to
+// receive timed spans for ingests and queries. Both are strictly
+// result-neutral: with neither configured every hook is a nil-check no-op,
+// and with them configured the answers are byte-identical (the byte-identity
+// tests run with an observer attached).
+
+// Observer is a metrics registry: counters, gauges and fixed-bucket
+// histograms behind lock-free atomic handles. Share one Observer across
+// systems to aggregate, or give each its own.
+type Observer = obs.Registry
+
+// NewObserver returns an empty metrics registry.
+func NewObserver() *Observer { return obs.NewRegistry() }
+
+// Snapshot is a point-in-time, deterministically ordered copy of every
+// series in an Observer.
+type Snapshot = obs.Snapshot
+
+// Sample is one series in a Snapshot.
+type Sample = obs.Sample
+
+// HistogramSnapshot is a histogram's bucket counts, total and sum.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// Span is one timed region of a pipeline run, delivered to the configured
+// SpanExporter when it ends.
+type Span = obs.Span
+
+// SpanExporter receives each completed span; it must be safe for concurrent
+// calls.
+type SpanExporter = obs.SpanExporter
+
+// WithObserver attaches a metrics registry to the system: ingest stages,
+// query strategies, the forest's memoization and storage I/O, and API
+// errors all record into r. A nil r leaves observability off (the default).
+func WithObserver(r *Observer) Option {
+	return func(o *systemOptions) { o.registry = r }
+}
+
+// WithSpanExporter attaches a span exporter: every Ingest/Query entry point
+// runs under a root span with stage child spans ("ingest.extract",
+// "query.integrate", ...). Ctx variants inherit any exporter already armed
+// on the caller's context in preference to this one.
+func WithSpanExporter(exp SpanExporter) Option {
+	return func(o *systemOptions) { o.exporter = exp }
+}
+
+// WithSpanContext arms ctx with exp for the Ctx entry points: spans of calls
+// made with this context go to exp, taking precedence over any system-level
+// WithSpanExporter. Use it to trace a single request.
+func WithSpanContext(ctx context.Context, exp SpanExporter) context.Context {
+	return obs.WithExporter(ctx, exp)
+}
+
+// NewDebugMux returns an http.ServeMux serving r at /metrics (Prometheus
+// text format) and the net/http/pprof suite under /debug/pprof/. Mount it
+// on an operational listener; cmd/atypserve does exactly this.
+func NewDebugMux(r *Observer) *http.ServeMux { return obs.NewDebugMux(r) }
+
+// Observer returns the registry attached via WithObserver, or nil.
+func (s *System) Observer() *Observer { return s.registry }
+
+// Metrics returns a point-in-time snapshot of the attached Observer; an
+// empty snapshot when none is attached.
+func (s *System) Metrics() Snapshot { return s.registry.Snapshot() }
+
+// systemObs bundles the facade-level metric handles: ingest volume and
+// stage timings, plus API-error counters. The nil *systemObs disables all
+// of them.
+type systemObs struct {
+	ingestRecords *obs.Counter
+	ingestDays    *obs.Counter
+	ingestMicros  *obs.Counter
+	stageExtract  *obs.Histogram
+	stageAppend   *obs.Histogram
+	stageSeverity *obs.Histogram
+	ingestErrors  *obs.Counter
+	queryErrors   *obs.Counter
+}
+
+// newSystemObs registers the facade metric families; nil in, nil out.
+func newSystemObs(r *obs.Registry) *systemObs {
+	if r == nil {
+		return nil
+	}
+	return &systemObs{
+		ingestRecords: r.Counter("atyp_ingest_records_total",
+			"atypical records consumed by Ingest"),
+		ingestDays: r.Counter("atyp_ingest_days_total",
+			"days of data handed to the forest"),
+		ingestMicros: r.Counter("atyp_ingest_micros_total",
+			"micro-clusters extracted during ingest"),
+		stageExtract: r.Histogram("atyp_ingest_stage_seconds",
+			"wall-clock seconds per ingest stage", nil, "stage", "extract"),
+		stageAppend: r.Histogram("atyp_ingest_stage_seconds",
+			"wall-clock seconds per ingest stage", nil, "stage", "append"),
+		stageSeverity: r.Histogram("atyp_ingest_stage_seconds",
+			"wall-clock seconds per ingest stage", nil, "stage", "severity"),
+		ingestErrors: r.Counter("atyp_api_errors_total",
+			"errors returned by facade entry points", "op", "ingest"),
+		queryErrors: r.Counter("atyp_api_errors_total",
+			"errors returned by facade entry points", "op", "query"),
+	}
+}
+
+// now returns the wall clock when stage timings are armed, the zero time
+// otherwise — keeping the disabled path clock-free.
+func (m *systemObs) now() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (m *systemObs) extractDone(start time.Time) {
+	if m != nil {
+		m.stageExtract.ObserveSince(start)
+	}
+}
+
+func (m *systemObs) appendDone(start time.Time) {
+	if m != nil {
+		m.stageAppend.ObserveSince(start)
+	}
+}
+
+func (m *systemObs) severityDone(start time.Time) {
+	if m != nil {
+		m.stageSeverity.ObserveSince(start)
+	}
+}
+
+// ingested records one completed ingest's volume.
+func (m *systemObs) ingested(records, days, micros int64) {
+	if m != nil {
+		m.ingestRecords.Add(records)
+		m.ingestDays.Add(days)
+		m.ingestMicros.Add(micros)
+	}
+}
+
+func (m *systemObs) ingestError() {
+	if m != nil {
+		m.ingestErrors.Inc()
+	}
+}
+
+func (m *systemObs) queryError() {
+	if m != nil {
+		m.queryErrors.Inc()
+	}
+}
