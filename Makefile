@@ -4,8 +4,9 @@ FUZZTIME ?= 10s
 CLUSTER_FUZZ = FuzzMergeCommutativity FuzzMergeAssociativity FuzzMicroVsRawAgreement FuzzParallelIntegrateEquivalence
 CUBE_FUZZ    = FuzzCubeDeterminism
 OBS_FUZZ     = FuzzParseSeries FuzzHistogramMerge
+STORAGE_FUZZ = FuzzRecordReaderCorrupt
 
-.PHONY: all build test race lint fuzz-smoke bench-quick ci
+.PHONY: all build test race lint fuzz-smoke crash-matrix bench-quick ci
 
 all: build test lint
 
@@ -19,7 +20,8 @@ race:
 	$(GO) test -race ./...
 
 ## lint: curated go vet passes plus the project analyzers (floatcmp,
-## rangedeterminism, featuremutation, lockcheck). Must exit 0 on every PR.
+## rangedeterminism, featuremutation, lockcheck, rawfswrite). Must exit 0
+## on every PR.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/atyplint ./...
@@ -40,6 +42,18 @@ fuzz-smoke:
 		echo "-- fuzz $$t ($(FUZZTIME))"; \
 		$(GO) test ./internal/obs/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
+	@for t in $(STORAGE_FUZZ); do \
+		echo "-- fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/storage/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+## crash-matrix: the fault-injection suite — every mutating filesystem
+## operation of a catalog/manifest/forest save is crashed in turn (torn
+## writes included) and the recovering reopen must land on the old state,
+## the new state, or an explicit quarantine; never a parse error.
+crash-matrix:
+	$(GO) test ./internal/faultfs/ ./internal/storage/ ./internal/forest/ \
+		-run 'Crash|Quarantin|Recovery|Injector|FailRead' -count=1
 
 ## bench-quick: one serial-vs-parallel construction measurement, written to
 ## BENCH_parallel.json alongside a flattened metrics snapshot from an
@@ -49,4 +63,4 @@ fuzz-smoke:
 bench-quick:
 	$(GO) run ./cmd/atypbench -sensors 250 -months 1 -days 14 -parjson BENCH_parallel.json
 
-ci: build lint race fuzz-smoke bench-quick
+ci: build lint race crash-matrix fuzz-smoke bench-quick

@@ -21,6 +21,7 @@ import (
 
 	"github.com/cpskit/atypical/internal/cluster"
 	"github.com/cpskit/atypical/internal/experiments"
+	"github.com/cpskit/atypical/internal/faultfs"
 )
 
 func main() {
@@ -72,7 +73,7 @@ func main() {
 			fatal(err)
 		}
 		data = append(data, '\n')
-		if err := os.WriteFile(*parJSON, data, 0o644); err != nil {
+		if err := faultfs.WriteFileAtomic(faultfs.OS{}, *parJSON, data, 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("# parallel construction: %d workers, %.2fx speedup (serial %.3fs, parallel %.3fs) -> %s\n",

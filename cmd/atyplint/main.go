@@ -15,6 +15,7 @@
 //	rangedeterminism  no map-iteration order leaking into output
 //	featuremutation   SF/TF only written by the cluster package
 //	lockcheck         no lock copies, no Lock without Unlock
+//	rawfswrite        no direct os writes outside the faultfs seam
 //
 // A finding can be suppressed — with a written justification — by a
 // "//atyplint:ignore <analyzer> reason" comment on the same or preceding
@@ -35,6 +36,7 @@ import (
 	"github.com/cpskit/atypical/internal/analysis/load"
 	"github.com/cpskit/atypical/internal/analysis/lockcheck"
 	"github.com/cpskit/atypical/internal/analysis/rangedeterminism"
+	"github.com/cpskit/atypical/internal/analysis/rawfswrite"
 )
 
 // analyzers is the multichecker suite, alphabetical.
@@ -43,6 +45,7 @@ var analyzers = []*framework.Analyzer{
 	floatcmp.Analyzer,
 	lockcheck.Analyzer,
 	rangedeterminism.Analyzer,
+	rawfswrite.Analyzer,
 }
 
 // vetPasses is the curated go vet subset run alongside the custom suite:

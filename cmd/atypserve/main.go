@@ -8,6 +8,7 @@
 //	atypserve [-addr :8081] [-metrics :8080]
 //	          [-sensors 400] [-seed 42] [-months 1] [-days 30]
 //	          [-workers 0] [-queryworkers 0] [-deltas 0.02]
+//	          [-maxinflight 64] [-querytimeout 30s] [-drain 15s]
 //
 // Endpoints on -addr:
 //
@@ -18,15 +19,29 @@
 //
 //	GET /metrics                            Prometheus text format 0.0.4
 //	GET /debug/pprof/                       net/http/pprof suite
+//
+// The server is hardened for production traffic: both listeners run under
+// read/write/idle timeouts, every query carries a context deadline
+// (-querytimeout), at most -maxinflight queries run concurrently (excess
+// requests are shed with 503 and counted in atyp_serve_shed_total), and
+// SIGINT/SIGTERM drain in-flight requests for up to -drain before exit.
+// A listener that fails to bind — the metrics one included — exits the
+// process non-zero instead of serving half the surface.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"github.com/cpskit/atypical"
@@ -43,49 +58,183 @@ func main() {
 		workers      = flag.Int("workers", 0, "construction workers (0 serial, <0 one per CPU)")
 		queryWorkers = flag.Int("queryworkers", 0, "query engine workers (0 serial)")
 		deltaS       = flag.Float64("deltas", 0.02, "severity threshold δs")
+		maxInflight  = flag.Int("maxinflight", 64, "max concurrent queries before shedding 503s (<=0 unlimited)")
+		queryTimeout = flag.Duration("querytimeout", 30*time.Second, "per-query context deadline")
+		drain        = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
 	)
 	flag.Parse()
+	os.Exit(run(serveConfig{
+		addr: *addr, metricsAddr: *metricsAddr,
+		sensors: *sensors, seed: *seed, months: *months, days: *days,
+		workers: *workers, queryWorkers: *queryWorkers, deltaS: *deltaS,
+		maxInflight: *maxInflight, queryTimeout: *queryTimeout, drain: *drain,
+	}))
+}
 
+// serveConfig carries the flag values into run.
+type serveConfig struct {
+	addr, metricsAddr     string
+	sensors, months, days int
+	seed                  int64
+	workers, queryWorkers int
+	deltaS                float64
+	maxInflight           int
+	queryTimeout, drain   time.Duration
+	// onListen, when set, is told each listener's bound address — tests
+	// bind ":0" and discover the port through it.
+	onListen func(name string, addr net.Addr)
+}
+
+// run builds the system and serves until a signal arrives or a listener
+// fails; the return value is the process exit code.
+func run(sc serveConfig) int {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	return serveUntil(ctx, sc)
+}
+
+// serveUntil serves until ctx is done (drain and exit 0) or a listener
+// fails (exit 1). Split from run so tests drive shutdown with a plain
+// context instead of process signals.
+func serveUntil(ctx context.Context, sc serveConfig) int {
 	obs := atypical.NewObserver()
 	cfg := atypical.DefaultConfig()
-	cfg.Sensors = *sensors
-	cfg.Seed = *seed
-	cfg.DaysPerMonth = *days
-	cfg.DeltaS = *deltaS
+	cfg.Sensors = sc.sensors
+	cfg.Seed = sc.seed
+	cfg.DaysPerMonth = sc.days
+	cfg.DeltaS = sc.deltaS
 	sys, err := atypical.NewSystem(cfg,
-		atypical.WithWorkers(*workers),
-		atypical.WithQueryWorkers(*queryWorkers),
+		atypical.WithWorkers(sc.workers),
+		atypical.WithQueryWorkers(sc.queryWorkers),
 		atypical.WithObserver(obs),
 	)
 	if err != nil {
-		log.Fatalf("atypserve: %v", err)
+		log.Printf("atypserve: %v", err)
+		return 1
 	}
 
 	start := time.Now()
-	log.Printf("ingesting %d month(s) of %d days over %d sensors", *months, *days, *sensors)
-	sys.IngestMonths(*months)
+	log.Printf("ingesting %d month(s) of %d days over %d sensors", sc.months, sc.days, sc.sensors)
+	sys.IngestMonths(sc.months)
 	log.Printf("ingest done in %s", time.Since(start).Round(time.Millisecond))
 
-	if *metricsAddr != "" {
+	// Any listener failing surfaces here and fails the process: serving
+	// queries without the operational surface (or vice versa) is a
+	// misconfiguration to crash on, not to log and limp through. Binding
+	// happens synchronously so a bad address fails startup immediately.
+	errc := make(chan error, 2)
+	var servers []*http.Server
+	start1 := func(name string, srv *http.Server) error {
+		ln, err := net.Listen("tcp", srv.Addr)
+		if err != nil {
+			return fmt.Errorf("%s listener: %w", name, err)
+		}
+		if sc.onListen != nil {
+			sc.onListen(name, ln.Addr())
+		}
+		servers = append(servers, srv)
 		go func() {
-			log.Printf("metrics and pprof on %s", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, atypical.NewDebugMux(obs)); err != nil {
-				log.Fatalf("atypserve: metrics listener: %v", err)
+			log.Printf("%s on %s", name, ln.Addr())
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("%s listener: %w", name, err)
 			}
 		}()
+		return nil
 	}
 
+	bindFailed := func(err error) int {
+		log.Printf("atypserve: %v", err)
+		for _, srv := range servers {
+			srv.Close()
+		}
+		return 1
+	}
+	if err := start1("query API", &http.Server{
+		Addr:              sc.addr,
+		Handler:           newAPIHandler(sys, obs, sc.maxInflight, sc.queryTimeout),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      sc.queryTimeout + 5*time.Second,
+		IdleTimeout:       60 * time.Second,
+	}); err != nil {
+		return bindFailed(err)
+	}
+
+	if sc.metricsAddr != "" {
+		if err := start1("metrics and pprof", &http.Server{
+			Addr:              sc.metricsAddr,
+			Handler:           atypical.NewDebugMux(obs),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			WriteTimeout:      30 * time.Second,
+			IdleTimeout:       60 * time.Second,
+		}); err != nil {
+			return bindFailed(err)
+		}
+	}
+
+	code := 0
+	select {
+	case <-ctx.Done():
+		log.Printf("signal received; draining for up to %s", sc.drain)
+	case err := <-errc:
+		log.Printf("atypserve: %v", err)
+		code = 1
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), sc.drain)
+	defer cancel()
+	for _, srv := range servers {
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("atypserve: shutdown: %v", err)
+			code = 1
+		}
+	}
+	return code
+}
+
+// newAPIHandler assembles the query API: routing, the load-shed gate, and
+// per-request deadlines.
+func newAPIHandler(sys *atypical.System, obs *atypical.Observer, maxInflight int, queryTimeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		serveQuery(sys, w, r)
-	})
+	query := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveQuery(sys, w, r, queryTimeout)
+	}))
+	mux.Handle("/query", shedGate(query, maxInflight, obs))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	log.Printf("query API on %s", *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		log.Fatalf("atypserve: %v", err)
+	return mux
+}
+
+// shedGate caps concurrent requests through next at limit; requests beyond
+// the cap are refused immediately with 503 and a Retry-After, keeping
+// latency bounded under overload instead of queueing unboundedly. limit <= 0
+// disables the gate.
+func shedGate(next http.Handler, limit int, obs *atypical.Observer) http.Handler {
+	if limit <= 0 {
+		return next
 	}
+	slots := make(chan struct{}, limit)
+	shed := obs.Counter("atyp_serve_shed_total",
+		"requests refused with 503 by the max-in-flight gate")
+	inflight := obs.Gauge("atyp_serve_inflight",
+		"requests currently inside the load-shed gate")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case slots <- struct{}{}:
+			inflight.Add(1)
+			defer func() {
+				inflight.Add(-1)
+				<-slots
+			}()
+			next.ServeHTTP(w, r)
+		default:
+			shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server at capacity", http.StatusServiceUnavailable)
+		}
+	})
 }
 
 // queryResponse is the JSON shape of one /query answer.
@@ -109,8 +258,10 @@ type clusterJSON struct {
 	Description string  `json:"description"`
 }
 
-// serveQuery answers GET /query?strategy=all|pru|gui&from=N&days=N.
-func serveQuery(sys *atypical.System, w http.ResponseWriter, r *http.Request) {
+// serveQuery answers GET /query?strategy=all|pru|gui&from=N&days=N under a
+// deadline: a query that outlives it (or the client's disconnect) is
+// cancelled through its context and answered 503.
+func serveQuery(sys *atypical.System, w http.ResponseWriter, r *http.Request, timeout time.Duration) {
 	strat, err := parseStrategy(r.URL.Query().Get("strategy"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -126,9 +277,19 @@ func serveQuery(sys *atypical.System, w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	rep, err := sys.QueryCityCtx(r.Context(), from, days, strat)
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	rep, err := sys.QueryCityCtx(ctx, from, days, strat)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	resp := queryResponse{

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cpskit/atypical"
+)
+
+// TestShedGate fills the single slot with a blocked request and checks the
+// next one is refused with 503 instead of queueing.
+func TestShedGate(t *testing.T) {
+	obs := atypical.NewObserver()
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	h := shedGate(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}), 1, obs)
+
+	first := httptest.NewRecorder()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(first, httptest.NewRequest("GET", "/query", nil))
+	}()
+	<-entered
+
+	second := httptest.NewRecorder()
+	h.ServeHTTP(second, httptest.NewRequest("GET", "/query", nil))
+	if second.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overflow request: got %d, want 503", second.Code)
+	}
+	if second.Header().Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+
+	close(release)
+	wg.Wait()
+	if first.Code != http.StatusOK {
+		t.Fatalf("admitted request: got %d, want 200", first.Code)
+	}
+	var exposed strings.Builder
+	if _, err := obs.WriteTo(&exposed); err != nil {
+		t.Fatalf("exposing metrics: %v", err)
+	}
+	if !strings.Contains(exposed.String(), "atyp_serve_shed_total 1") {
+		t.Errorf("shed counter not exposed:\n%s", exposed.String())
+	}
+
+	// After the slot frees, the next request is admitted again.
+	third := httptest.NewRecorder()
+	h.ServeHTTP(third, httptest.NewRequest("GET", "/query", nil))
+	if third.Code != http.StatusOK {
+		t.Fatalf("post-release request: got %d, want 200", third.Code)
+	}
+}
+
+// TestShedGateUnlimited checks limit <= 0 disables the gate entirely.
+func TestShedGateUnlimited(t *testing.T) {
+	obs := atypical.NewObserver()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {})
+	if got := shedGate(inner, 0, obs); fmt.Sprintf("%T", got) != fmt.Sprintf("%T", inner) {
+		t.Fatalf("limit 0 should return next unchanged, got %T", got)
+	}
+}
+
+// TestServeUntil boots the full server on ephemeral ports, exercises the
+// query and operational surfaces, then cancels the context and checks the
+// drain path exits zero.
+func TestServeUntil(t *testing.T) {
+	addrs := make(map[string]string)
+	var mu sync.Mutex
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan int, 1)
+	go func() {
+		done <- serveUntil(ctx, serveConfig{
+			addr:        "127.0.0.1:0",
+			metricsAddr: "127.0.0.1:0",
+			sensors:     30, seed: 7, months: 1, days: 7,
+			maxInflight: 4, queryTimeout: 10 * time.Second, drain: 5 * time.Second,
+			onListen: func(name string, a net.Addr) {
+				mu.Lock()
+				addrs[name] = a.String()
+				mu.Unlock()
+			},
+		})
+	}()
+
+	api := waitForAddr(t, &mu, addrs, "query API")
+	metrics := waitForAddr(t, &mu, addrs, "metrics and pprof")
+
+	body := getOK(t, "http://"+api+"/query?strategy=all&from=0&days=7")
+	var resp queryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("query response not JSON: %v\n%s", err, body)
+	}
+	if !strings.EqualFold(resp.Strategy, "all") || resp.Days != 7 {
+		t.Errorf("query strategy/days = %q/%d, want all/7", resp.Strategy, resp.Days)
+	}
+
+	if r, err := http.Get("http://" + api + "/query?strategy=bogus"); err != nil {
+		t.Fatalf("bad-strategy request: %v", err)
+	} else {
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad strategy: got %d, want 400", r.StatusCode)
+		}
+	}
+
+	if got := string(getOK(t, "http://"+api+"/healthz")); !strings.Contains(got, "ok") {
+		t.Errorf("healthz = %q, want ok", got)
+	}
+	if got := string(getOK(t, "http://"+metrics+"/metrics")); !strings.Contains(got, "atyp_ingest_records_total") {
+		t.Errorf("metrics surface missing ingest counter:\n%.400s", got)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("serveUntil exit code = %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveUntil did not drain after cancel")
+	}
+}
+
+// TestServeUntilBindFailure occupies a port and points the metrics listener
+// at it: the process must exit non-zero instead of serving only the API.
+func TestServeUntilBindFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	code := serveUntil(context.Background(), serveConfig{
+		addr:        "127.0.0.1:0",
+		metricsAddr: ln.Addr().String(),
+		sensors:     30, seed: 7, months: 1, days: 7,
+		maxInflight: 4, queryTimeout: time.Second, drain: time.Second,
+	})
+	if code != 1 {
+		t.Fatalf("exit code with unbindable metrics address = %d, want 1", code)
+	}
+}
+
+func waitForAddr(t *testing.T, mu *sync.Mutex, addrs map[string]string, name string) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		a, ok := addrs[name]
+		mu.Unlock()
+		if ok {
+			return a
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("listener %q never bound", name)
+	return ""
+}
+
+func getOK(t *testing.T, url string) []byte {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer r.Body.Close()
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", url, r.StatusCode, body)
+	}
+	return body
+}

@@ -127,17 +127,49 @@ func (s *System) LoadForest(dir string) error {
 		return err
 	}
 	f.SetWorkers(s.workers)
-	s.forest = f
-	s.sev.Reset()
-	s.sevStale = true
 	// The engine is rebuilt rather than mutated so queries that already
 	// snapshotted the old engine finish against the old forest; the metric
 	// handles carry over so counts aggregate across the swap.
+	s.installForestLocked(f)
+	return fmt.Errorf("atypical: forest loaded from %s: %w", dir, ErrSeverityStale)
+}
+
+// ForestRecovery reports what a recovering forest load quarantined.
+type ForestRecovery = forest.LoadReport
+
+// LoadForestRecover is LoadForest in recovery mode: corrupt cluster files
+// are quarantined (renamed to *.corrupt, counted in
+// atyp_storage_corrupt_total when an Observer is attached) and the healthy
+// remainder is loaded. The report makes the degradation explicit — a
+// forest missing quarantined segments answers queries without them, so the
+// caller must decide whether that is acceptable. Like LoadForest, the
+// severity index comes back stale: the returned error wraps
+// ErrSeverityStale on success.
+func (s *System) LoadForestRecover(dir string) (ForestRecovery, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, report, err := forest.LoadWith(dir, s.spec, &s.idgen, s.forest.Options(), s.cfg.DaysPerMonth,
+		forest.LoadOptions{Recover: true, Registry: s.registry})
+	if err != nil {
+		return report, err
+	}
+	f.SetWorkers(s.workers)
+	s.installForestLocked(f)
+	return report, fmt.Errorf("atypical: forest recovered from %s: %w", dir, ErrSeverityStale)
+}
+
+// installForestLocked swaps in a freshly loaded forest, resetting the
+// severity index (not persisted, hence stale) and rebuilding the engine so
+// queries already snapshotted against the old forest finish against it.
+// Callers hold s.mu.
+func (s *System) installForestLocked(f *forest.Forest) {
+	s.forest = f
+	s.sev.Reset()
+	s.sevStale = true
 	s.engine = &query.Engine{
 		Net: s.net, Forest: f, Severity: s.sev, Gen: &s.idgen,
 		Workers: s.queryWorkers, Obs: s.engine.Obs,
 	}
-	return fmt.Errorf("atypical: forest loaded from %s: %w", dir, ErrSeverityStale)
 }
 
 // RebuildSeverity reconstructs the bottom-up severity index from the record

@@ -1,0 +1,67 @@
+// Package rawfswrite defines an analyzer enforcing the crash-safety seam:
+// production code must not write to the filesystem through package os
+// directly, because only internal/faultfs implements the atomic
+// temp-file → fsync → rename → directory-fsync protocol (and only its FS
+// seam lets the fault-injection harness exercise crash points).
+//
+// Flagged calls: os.Create, os.OpenFile, os.WriteFile and os.Rename.
+// Exempt: the internal/faultfs package itself (the one place allowed to
+// touch os) and _test.go files, which legitimately build fixtures with raw
+// writes. A deliberate exception elsewhere needs a written justification
+// via "//atyplint:ignore rawfswrite reason".
+package rawfswrite
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/cpskit/atypical/internal/analysis/framework"
+)
+
+// Analyzer flags direct os write calls outside internal/faultfs.
+var Analyzer = &framework.Analyzer{
+	Name: "rawfswrite",
+	Doc: "flag direct os.Create/os.OpenFile/os.WriteFile/os.Rename outside " +
+		"internal/faultfs (writes must go through the crash-safe faultfs seam)",
+	Run: run,
+}
+
+// flagged is the set of os functions that create or publish files.
+var flagged = map[string]bool{
+	"Create":    true,
+	"OpenFile":  true,
+	"WriteFile": true,
+	"Rename":    true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/faultfs") {
+		return nil, nil // the seam itself must touch os
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue // tests may build fixtures with raw writes
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" || !flagged[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct os.%s bypasses the crash-safe write protocol; use the "+
+					"internal/faultfs seam (WriteFileAtomic/CreateAtomic or an FS value)",
+				fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+package rawfswrite_test
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/analysistest"
+	"github.com/cpskit/atypical/internal/analysis/rawfswrite"
+)
+
+func TestRawFSWrite(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", rawfswrite.Analyzer, "rawfswrite")
+	if len(diags) == 0 {
+		t.Fatal("expected at least one true-positive diagnostic on the fixture")
+	}
+}

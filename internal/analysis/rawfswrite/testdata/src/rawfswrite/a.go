@@ -1,0 +1,32 @@
+// Fixture for the rawfswrite analyzer: direct os write calls are flagged,
+// reads and non-os lookalikes are not.
+package rawfswrite
+
+import (
+	"os"
+)
+
+func bad(path string, data []byte) {
+	_, _ = os.Create(path)                             // want `direct os\.Create bypasses the crash-safe write protocol`
+	_ = os.WriteFile(path, data, 0o644)                // want `direct os\.WriteFile bypasses the crash-safe write protocol`
+	_ = os.Rename(path, path+".new")                   // want `direct os\.Rename bypasses the crash-safe write protocol`
+	_, _ = os.OpenFile(path, os.O_RDWR, 0o644)         // want `direct os\.OpenFile bypasses the crash-safe write protocol`
+	f, _ := os.OpenFile(path, os.O_WRONLY, 0o644)      // want `direct os\.OpenFile bypasses the crash-safe write protocol`
+	_ = f
+}
+
+// lookalike has the flagged names on a different receiver: not package os.
+type lookalike struct{}
+
+func (lookalike) Create(string) error            { return nil }
+func (lookalike) WriteFile(string, []byte) error { return nil }
+
+func good(path string) {
+	_, _ = os.Open(path)     // reads are fine
+	_, _ = os.ReadFile(path) // reads are fine
+	_, _ = os.Stat(path)
+	_ = os.Remove(path) // cleanup is not a publish
+	var lk lookalike
+	_ = lk.Create(path)
+	_ = lk.WriteFile(path, nil)
+}

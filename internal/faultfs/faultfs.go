@@ -1,0 +1,228 @@
+// Package faultfs is the filesystem seam the persistence layer writes
+// through. It serves two purposes:
+//
+//  1. Crash-safety: WriteFileAtomic and AtomicFile implement the one write
+//     protocol every persisted artifact uses — write to a same-directory
+//     temp file, fsync the file, rename it over the target, fsync the
+//     parent directory. A reader can then never observe a torn file: it
+//     sees the old bytes, the new bytes, or a stray *.tmp it must ignore.
+//
+//  2. Fault injection: Injector wraps any FS and deterministically fails
+//     the N-th mutating operation (create/write/sync/rename/remove), after
+//     which every subsequent operation fails too — simulating the process
+//     dying at that point, with no cleanup code running. Crash-matrix
+//     tests step N across an entire save and assert the reload invariant
+//     at every point.
+//
+// The package is stdlib-only and deliberately tiny: just the operations
+// the storage and forest packages need. Direct os.Create/os.WriteFile/
+// os.Rename calls outside this package are flagged by the rawfswrite
+// analyzer (cmd/atyplint), so the write protocol cannot silently regress.
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// File is the writable/readable handle an FS hands out. It is the subset
+// of *os.File the persistence layer uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+}
+
+// FS abstracts the filesystem operations behind persistence. The zero
+// implementation is OS; tests substitute an Injector.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// MkdirAll creates the directory path and parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists the directory entries of name, sorted by filename.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs the directory itself, making a completed rename
+	// durable.
+	SyncDir(name string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// OpenFile implements FS.
+//
+//atyplint:ignore rawfswrite faultfs is the one package that may touch os directly
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Rename implements FS.
+//
+//atyplint:ignore rawfswrite faultfs is the one package that may touch os directly
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// SyncDir implements FS. Directory fsync is advisory on filesystems that
+// do not support it; errors other than "not supported" are reported.
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Open opens name read-only on fsys.
+func Open(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// ReadFile reads the whole of name from fsys.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := Open(fsys, name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// TmpSuffix marks in-flight atomic writes. A crash can leave such files
+// behind; loaders must skip them (IsTemp) and may delete them.
+const TmpSuffix = ".tmp"
+
+// CorruptSuffix marks quarantined files: artifacts that failed integrity
+// checks at load and were renamed aside so the store keeps serving the
+// healthy remainder while the evidence stays on disk for inspection.
+const CorruptSuffix = ".corrupt"
+
+// IsTemp reports whether name is an in-flight atomic-write temp file.
+func IsTemp(name string) bool { return strings.HasSuffix(name, TmpSuffix) }
+
+// IsQuarantined reports whether name is a quarantined corrupt file.
+func IsQuarantined(name string) bool { return strings.HasSuffix(name, CorruptSuffix) }
+
+// Quarantine renames path aside with CorruptSuffix, replacing any previous
+// quarantine of the same file.
+func Quarantine(fsys FS, path string) error {
+	return fsys.Rename(path, path+CorruptSuffix)
+}
+
+// RemoveStrayTemps deletes leftover *.tmp files in dir — debris from a
+// crash mid-atomic-write. It is always safe: a temp file is by construction
+// never the live copy of anything.
+func RemoveStrayTemps(fsys FS, dir string) error {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && IsTemp(e.Name()) {
+			if err := fsys.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFileAtomic writes data to path with full crash-safety: temp file in
+// the same directory, fsync, rename over path, fsync of the parent
+// directory. After an error (including a simulated crash) the target is
+// untouched; at worst a *.tmp file is left behind.
+func WriteFileAtomic(fsys FS, path string, data []byte, perm os.FileMode) error {
+	af, err := CreateAtomic(fsys, path, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := af.Write(data); err != nil {
+		af.Abort()
+		return err
+	}
+	return af.Commit()
+}
+
+// AtomicFile is a streaming atomic write: create with CreateAtomic, write,
+// then Commit (publish) or Abort (discard). Until Commit's rename, the
+// target path is untouched.
+type AtomicFile struct {
+	fsys FS
+	f    File
+	path string // final destination
+	tmp  string // temp file being written
+	done bool
+}
+
+// CreateAtomic begins an atomic write of path on fsys.
+func CreateAtomic(fsys FS, path string, perm os.FileMode) (*AtomicFile, error) {
+	tmp := path + TmpSuffix
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return nil, fmt.Errorf("faultfs: create %s: %w", tmp, err)
+	}
+	return &AtomicFile{fsys: fsys, f: f, path: path, tmp: tmp}, nil
+}
+
+// Write implements io.Writer on the temp file.
+func (a *AtomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Commit makes the write durable and visible: fsync temp, close, rename
+// over the destination, fsync the parent directory. On error the
+// destination is untouched and the temp file is removed best-effort.
+func (a *AtomicFile) Commit() error {
+	if a.done {
+		return fmt.Errorf("faultfs: commit of finished atomic write to %s", a.path)
+	}
+	a.done = true
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		a.fsys.Remove(a.tmp)
+		return fmt.Errorf("faultfs: sync %s: %w", a.tmp, err)
+	}
+	if err := a.f.Close(); err != nil {
+		a.fsys.Remove(a.tmp)
+		return fmt.Errorf("faultfs: close %s: %w", a.tmp, err)
+	}
+	if err := a.fsys.Rename(a.tmp, a.path); err != nil {
+		a.fsys.Remove(a.tmp)
+		return fmt.Errorf("faultfs: publish %s: %w", a.path, err)
+	}
+	if err := a.fsys.SyncDir(filepath.Dir(a.path)); err != nil {
+		return fmt.Errorf("faultfs: sync dir of %s: %w", a.path, err)
+	}
+	return nil
+}
+
+// Abort discards the write, removing the temp file. Safe after a failed
+// Commit (it becomes a no-op).
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()
+	a.fsys.Remove(a.tmp)
+}

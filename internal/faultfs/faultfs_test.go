@@ -1,0 +1,177 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.dat")
+	if err := WriteFileAtomic(OS{}, path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if _, err := os.Stat(path + TmpSuffix); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	// Overwrite must replace, not append or tear.
+	if err := WriteFileAtomic(OS{}, path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+}
+
+// Every crash-point during an atomic overwrite must leave either the old
+// or the new contents at the destination — never a mix, never absence.
+func TestWriteFileAtomicCrashMatrix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.dat")
+	if err := WriteFileAtomic(OS{}, path, []byte("old-contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := NewInjector(OS{})
+	inj.ShortWrites(true)
+	inj.CrashAt(0)
+	if err := WriteFileAtomic(inj, path, []byte("NEW-CONTENTS!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ops := inj.MutatingOps()
+	if ops < 4 { // create, write, sync, rename, syncdir
+		t.Fatalf("expected >=4 mutating ops, got %d", ops)
+	}
+
+	for k := 1; k <= ops; k++ {
+		// Reset the destination to the old contents for each crash-point.
+		if err := WriteFileAtomic(OS{}, path, []byte("old-contents"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		inj.CrashAt(k)
+		err := WriteFileAtomic(inj, path, []byte("NEW-CONTENTS!"), 0o644)
+		if err == nil {
+			t.Fatalf("crash-point %d: write unexpectedly succeeded", k)
+		}
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash-point %d: error %v does not wrap ErrCrashed", k, err)
+		}
+		got, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("crash-point %d: destination unreadable: %v", k, rerr)
+		}
+		if s := string(got); s != "old-contents" && s != "NEW-CONTENTS!" {
+			t.Fatalf("crash-point %d: torn destination %q", k, s)
+		}
+	}
+
+	// The one acceptable debris is a *.tmp file; RemoveStrayTemps clears it.
+	if err := RemoveStrayTemps(OS{}, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if IsTemp(e.Name()) {
+			t.Fatalf("stray temp survived cleanup: %s", e.Name())
+		}
+	}
+}
+
+// The very last crash-point (SyncDir, after the rename) still errors but
+// the new contents are already published.
+func TestCrashAfterRenamePublishes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.dat")
+	inj := NewInjector(OS{})
+	inj.CrashAt(0)
+	if err := WriteFileAtomic(inj, path, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	last := inj.MutatingOps()
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	inj.CrashAt(last) // the dir fsync
+	if err := WriteFileAtomic(inj, path, []byte("data"), 0o644); err == nil {
+		t.Fatal("expected error from crashed dir sync")
+	}
+	if got, err := os.ReadFile(path); err != nil || string(got) != "data" {
+		t.Fatalf("rename did not publish before dir-sync crash: %q, %v", got, err)
+	}
+}
+
+func TestInjectorLatchesAfterCrash(t *testing.T) {
+	inj := NewInjector(OS{})
+	inj.CrashAt(1)
+	dir := t.TempDir()
+	if err := inj.MkdirAll(filepath.Join(dir, "a"), 0o755); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("first op: %v", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("not latched")
+	}
+	// Reads fail too once crashed.
+	if _, err := inj.ReadDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash: %v", err)
+	}
+	if err := inj.Remove(filepath.Join(dir, "nope")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("cleanup after crash: %v", err)
+	}
+}
+
+func TestFailReadAt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.dat")
+	if err := WriteFileAtomic(OS{}, path, []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(OS{})
+	inj.FailReadAt(2) // open is read-op 1, first Read is 2
+	f, err := Open(inj, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	if _, err := f.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read: %v", err)
+	}
+	// Not latched: the next read succeeds.
+	if n, err := f.Read(buf); err != nil || n != 3 {
+		t.Fatalf("second read: n=%d err=%v", n, err)
+	}
+}
+
+func TestQuarantineAndHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.rec")
+	if err := WriteFileAtomic(OS{}, path, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Quarantine(OS{}, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("original still present after quarantine")
+	}
+	q := path + CorruptSuffix
+	if _, err := os.Stat(q); err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+	if !IsQuarantined(filepath.Base(q)) || IsQuarantined("d.rec") {
+		t.Fatal("IsQuarantined misclassifies")
+	}
+	if !IsTemp("a.tmp") || IsTemp("a.rec") {
+		t.Fatal("IsTemp misclassifies")
+	}
+}

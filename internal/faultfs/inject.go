@@ -1,0 +1,229 @@
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error returned by a deliberately failed operation.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by every operation after a simulated crash: the
+// "process" is dead, so nothing — not even cleanup — succeeds anymore.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// Injector wraps an FS and deterministically injects faults by operation
+// index, so a test can enumerate crash-points: run once clean, read
+// MutatingOps, then re-run with CrashAt(k) for every k in [1, ops].
+//
+// Mutating operations — file creation (any OpenFile with a write flag),
+// Write, Sync, Rename, Remove, MkdirAll, SyncDir — are counted in
+// execution order. CrashAt(k) makes the k-th such operation fail with
+// ErrCrashed and latches the crashed state: all later operations on the
+// injector (reads included) fail too, and cleanup paths cannot run,
+// exactly as if the process had died. ShortWrites(true) additionally makes
+// a crashing Write land half its bytes first, modeling a torn write.
+//
+// FailReadAt(k) independently fails the k-th read operation (read-only
+// open, Read, ReadDir) with ErrInjected, without latching; it exercises
+// load-path error handling.
+//
+// An Injector is safe for concurrent use, though crash-matrix tests are
+// deterministic only when the wrapped save path is itself sequential (the
+// storage and forest save paths are).
+type Injector struct {
+	inner FS
+
+	mu      sync.Mutex
+	mutOps  int
+	readOps int
+
+	crashAt     int // 1-based mutating-op index to crash on; 0 = never
+	shortWrites bool
+	failReadAt  int // 1-based read-op index to fail; 0 = never
+	crashed     bool
+}
+
+// NewInjector wraps inner with no faults armed.
+func NewInjector(inner FS) *Injector { return &Injector{inner: inner} }
+
+// CrashAt arms a simulated crash on the n-th mutating operation (1-based)
+// and resets the operation counters and crashed state. n <= 0 disarms.
+func (in *Injector) CrashAt(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashAt = n
+	in.mutOps, in.readOps, in.crashed = 0, 0, false
+}
+
+// ShortWrites selects whether a crashing Write first lands half its bytes.
+func (in *Injector) ShortWrites(on bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.shortWrites = on
+}
+
+// FailReadAt arms an ErrInjected on the n-th read operation (1-based) and
+// resets the counters. n <= 0 disarms.
+func (in *Injector) FailReadAt(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.failReadAt = n
+	in.mutOps, in.readOps, in.crashed = 0, 0, false
+}
+
+// MutatingOps returns the number of mutating operations observed since the
+// last arm/reset — after a clean run, the number of distinct crash-points.
+func (in *Injector) MutatingOps() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.mutOps
+}
+
+// Crashed reports whether the simulated crash has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// beforeMutate accounts one mutating op; a non-nil error means the op must
+// fail without touching the real filesystem. fired is true only on the
+// exact operation the crash triggers on (torn-write modeling needs to tell
+// "dying now" apart from "already dead").
+func (in *Injector) beforeMutate() (fired bool, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return false, ErrCrashed
+	}
+	in.mutOps++
+	if in.crashAt > 0 && in.mutOps == in.crashAt {
+		in.crashed = true
+		return true, ErrCrashed
+	}
+	return false, nil
+}
+
+// beforeRead accounts one read op.
+func (in *Injector) beforeRead() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	in.readOps++
+	if in.failReadAt > 0 && in.readOps == in.failReadAt {
+		return ErrInjected
+	}
+	return nil
+}
+
+// shortWriteArmed reports whether the crash that just fired should land a
+// torn half-write.
+func (in *Injector) shortWriteArmed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.shortWrites
+}
+
+const writeFlags = os.O_WRONLY | os.O_RDWR | os.O_APPEND | os.O_CREATE | os.O_TRUNC
+
+// OpenFile implements FS: opens with a write flag count as mutating ops.
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&writeFlags != 0 {
+		if _, err := in.beforeMutate(); err != nil {
+			return nil, err
+		}
+	} else if err := in.beforeRead(); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+// Rename implements FS.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if _, err := in.beforeMutate(); err != nil {
+		return err
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(name string) error {
+	if _, err := in.beforeMutate(); err != nil {
+		return err
+	}
+	return in.inner.Remove(name)
+}
+
+// MkdirAll implements FS.
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if _, err := in.beforeMutate(); err != nil {
+		return err
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+// ReadDir implements FS.
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := in.beforeRead(); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadDir(name)
+}
+
+// SyncDir implements FS.
+func (in *Injector) SyncDir(name string) error {
+	if _, err := in.beforeMutate(); err != nil {
+		return err
+	}
+	return in.inner.SyncDir(name)
+}
+
+// injFile routes per-file operations back through the injector's accounting.
+type injFile struct {
+	in *Injector
+	f  File
+}
+
+func (jf *injFile) Read(p []byte) (int, error) {
+	if err := jf.in.beforeRead(); err != nil {
+		return 0, err
+	}
+	return jf.f.Read(p)
+}
+
+func (jf *injFile) Write(p []byte) (int, error) {
+	if fired, err := jf.in.beforeMutate(); err != nil {
+		if fired && jf.in.shortWriteArmed() && len(p) > 1 {
+			// Torn write: half the buffer reaches the file, then the
+			// process dies. io.Writer contract: n < len(p) with an error.
+			n, werr := jf.f.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return jf.f.Write(p)
+}
+
+func (jf *injFile) Sync() error {
+	if _, err := jf.in.beforeMutate(); err != nil {
+		return err
+	}
+	return jf.f.Sync()
+}
+
+// Close is never injected: closing is how even a dying process releases
+// descriptors, and failing it would leak files in tests rather than model
+// anything real.
+func (jf *injFile) Close() error { return jf.f.Close() }

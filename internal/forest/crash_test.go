@@ -1,0 +1,155 @@
+package forest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/faultfs"
+	"github.com/cpskit/atypical/internal/obs"
+	"github.com/cpskit/atypical/internal/storage"
+)
+
+// TestForestSaveCrashMatrix crashes an overwriting Save at every mutating
+// filesystem operation and checks every published cluster file stays
+// individually valid — a recovering load (and even a strict one, since the
+// atomic protocol never publishes torn files) succeeds with nothing to
+// quarantine.
+func TestForestSaveCrashMatrix(t *testing.T) {
+	// The second save overwrites day files and adds a memoized week, so the
+	// matrix covers both fresh and replacing renames.
+	build := func(days int, memoWeek bool) *Forest {
+		f, _ := buildForest(t, days)
+		if memoWeek {
+			f.Week(0)
+		}
+		return f
+	}
+
+	probe := faultfs.NewInjector(faultfs.OS{})
+	probeDir := t.TempDir()
+	if err := build(3, false).SaveFS(probeDir, probe); err != nil {
+		t.Fatal(err)
+	}
+	before := probe.MutatingOps()
+	if err := build(7, true).SaveFS(probeDir, probe); err != nil {
+		t.Fatal(err)
+	}
+	ops := probe.MutatingOps() - before
+	if ops < 8 {
+		t.Fatalf("overwriting save took %d mutating ops; expected several per file", ops)
+	}
+
+	for k := 1; k <= ops; k++ {
+		dir := t.TempDir()
+		if err := build(3, false).Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		inj := faultfs.NewInjector(faultfs.OS{})
+		inj.ShortWrites(true)
+		inj.CrashAt(k)
+		if err := build(7, true).SaveFS(dir, inj); err == nil {
+			t.Fatalf("crash %d/%d: injected save unexpectedly succeeded", k, ops)
+		}
+
+		var g cluster.IDGen
+		loaded, report, err := LoadWith(dir, cps.DefaultSpec(), &g, opts(), 30,
+			LoadOptions{Recover: true})
+		if err != nil {
+			t.Fatalf("crash %d/%d: recovering load: %v", k, ops, err)
+		}
+		if len(report.Quarantined) != 0 {
+			t.Fatalf("crash %d/%d: atomic saves should never need quarantine, got %v",
+				k, ops, report.Quarantined)
+		}
+		if days := len(loaded.Days()); days < 3 || days > 7 {
+			t.Fatalf("crash %d/%d: loaded %d days, want between old (3) and new (7)", k, ops, days)
+		}
+		// The strict loader must agree: nothing on disk is torn.
+		var g2 cluster.IDGen
+		if _, err := Load(dir, cps.DefaultSpec(), &g2, opts(), 30); err != nil {
+			t.Fatalf("crash %d/%d: strict load after crash: %v", k, ops, err)
+		}
+		// Crash debris is cleared by the load, not inherited forever.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if faultfs.IsTemp(e.Name()) {
+				t.Errorf("crash %d/%d: stray temp survived load: %s", k, ops, e.Name())
+			}
+		}
+	}
+}
+
+// TestForestLoadQuarantinesFlippedFile bit-flips one cluster file: the
+// strict load fails with ErrCorrupt, the recovering load quarantines the
+// file, counts it, and serves the healthy remainder.
+func TestForestLoadQuarantinesFlippedFile(t *testing.T) {
+	f, _ := buildForest(t, 5)
+	dir := t.TempDir()
+	if err := f.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(dir, "day-00002.clu")
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x20
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var g cluster.IDGen
+	if _, err := Load(dir, cps.DefaultSpec(), &g, opts(), 30); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("strict load of flipped file: err = %v, want ErrCorrupt", err)
+	}
+
+	reg := obs.NewRegistry()
+	var g2 cluster.IDGen
+	loaded, report, err := LoadWith(dir, cps.DefaultSpec(), &g2, opts(), 30,
+		LoadOptions{Recover: true, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Quarantined) != 1 || report.Quarantined[0] != "day-00002.clu" {
+		t.Fatalf("Quarantined = %v, want [day-00002.clu]", report.Quarantined)
+	}
+	if _, err := os.Stat(victim + faultfs.CorruptSuffix); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if days := loaded.Days(); len(days) != 4 {
+		t.Fatalf("loaded days = %v, want the 4 healthy ones", days)
+	}
+	if loaded.Day(2) != nil {
+		t.Error("quarantined day still present")
+	}
+	var exposed strings.Builder
+	if _, err := reg.WriteTo(&exposed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exposed.String(), "atyp_storage_corrupt_total") ||
+		!strings.Contains(exposed.String(), `src="forest"`) {
+		t.Errorf("corruption metric not exposed:\n%s", exposed.String())
+	}
+
+	// A reload of the quarantined directory is clean: *.corrupt is ignored.
+	var g3 cluster.IDGen
+	again, report2, err := LoadWith(dir, cps.DefaultSpec(), &g3, opts(), 30,
+		LoadOptions{Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report2.Quarantined) != 0 {
+		t.Errorf("second recovery re-quarantined: %v", report2.Quarantined)
+	}
+	if len(again.Days()) != 4 {
+		t.Errorf("second recovery days = %v", again.Days())
+	}
+}

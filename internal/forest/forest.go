@@ -17,14 +17,16 @@ package forest
 import (
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"github.com/cpskit/atypical/internal/cluster"
 	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/faultfs"
 	"github.com/cpskit/atypical/internal/obs"
 	"github.com/cpskit/atypical/internal/storage"
 )
@@ -73,6 +75,7 @@ type forestObs struct {
 	versionBumps           *obs.Counter
 	bytesRead              *obs.Counter
 	bytesWritten           *obs.Counter
+	corrupt                *obs.Counter
 }
 
 // memoHit records a level served from the memo cache (or joined onto an
@@ -117,6 +120,9 @@ func (f *Forest) SetObserver(r *obs.Registry) {
 		versionBumps: r.Counter("atyp_forest_version_bumps_total", "forest writes invalidating memoized levels"),
 		bytesRead:    r.Counter("atyp_storage_bytes_read_total", "bytes read loading persisted clusters"),
 		bytesWritten: r.Counter("atyp_storage_bytes_written_total", "bytes written persisting clusters"),
+		corrupt: r.Counter("atyp_storage_corrupt_total",
+			"persisted files that failed integrity checks and were quarantined",
+			"src", "forest"),
 	})
 }
 
@@ -382,8 +388,19 @@ func (f *Forest) IntegratePath(path PathFunc) map[int][]*cluster.Cluster {
 // structure of Section IV (micro-clusters and the low-level macro-clusters
 // that have been computed; everything else is integrated on demand). The
 // snapshot is taken under the lock; file I/O runs outside it.
+//
+// Every file is written through the faultfs atomic protocol (temp file →
+// fsync → rename → directory fsync), so a crash mid-save leaves each file
+// at either its previous or its new contents — never torn — plus at most
+// stray *.tmp debris that loads ignore and remove.
 func (f *Forest) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return f.SaveFS(dir, faultfs.OS{})
+}
+
+// SaveFS is Save on an explicit filesystem seam; fault-injection tests
+// pass a faultfs.Injector to enumerate crash-points.
+func (f *Forest) SaveFS(dir string, fsys faultfs.FS) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("forest: %w", err)
 	}
 	type fileSnapshot struct {
@@ -393,40 +410,63 @@ func (f *Forest) Save(dir string) error {
 	var files []fileSnapshot
 	f.mu.RLock()
 	for _, d := range f.daysLocked() {
-		files = append(files, fileSnapshot{fmt.Sprintf("day-%05d.clu", d), f.days[d]})
+		files = append(files, fileSnapshot{levelFileName("day", d), f.days[d]})
 	}
 	for _, w := range sortedKeys(f.weeks) {
-		files = append(files, fileSnapshot{fmt.Sprintf("week-%05d.clu", w), f.weeks[w]})
+		files = append(files, fileSnapshot{levelFileName("week", w), f.weeks[w]})
 	}
 	for _, m := range sortedKeys(f.months) {
-		files = append(files, fileSnapshot{fmt.Sprintf("month-%05d.clu", m), f.months[m]})
+		files = append(files, fileSnapshot{levelFileName("month", m), f.months[m]})
 	}
 	f.mu.RUnlock()
 
 	m := f.obsm.Load()
 	for _, snap := range files {
 		path := filepath.Join(dir, snap.name)
-		file, err := os.Create(path)
+		af, err := faultfs.CreateAtomic(fsys, path, 0o644)
 		if err != nil {
 			return fmt.Errorf("forest: %w", err)
 		}
-		n, err := storage.WriteClusters(file, snap.cs)
+		n, err := storage.WriteClusters(af, snap.cs)
 		if err != nil {
-			file.Close()
+			af.Abort()
+			return fmt.Errorf("forest: writing %s: %w", path, err)
+		}
+		if err := af.Commit(); err != nil {
 			return fmt.Errorf("forest: writing %s: %w", path, err)
 		}
 		if m != nil {
 			m.bytesWritten.Add(n)
 		}
-		if err := file.Close(); err != nil {
-			return fmt.Errorf("forest: %w", err)
-		}
 	}
 	return nil
 }
 
+// LoadOptions configures LoadWith.
+type LoadOptions struct {
+	// FS is the filesystem seam; nil means the real filesystem.
+	FS faultfs.FS
+	// Recover quarantines corrupt cluster files (renamed to *.corrupt,
+	// counted in atyp_storage_corrupt_total) and loads the healthy
+	// remainder, instead of failing the whole load. The quarantines are
+	// reported, never silent: the caller decides whether a forest missing
+	// those segments is acceptable.
+	Recover bool
+	// Registry, when non-nil, observes the load (bytes read, corrupt
+	// files) and stays attached to the forest.
+	Registry *obs.Registry
+}
+
+// LoadReport describes what a load had to do.
+type LoadReport struct {
+	// Quarantined lists cluster files (base names) that failed integrity
+	// checks and were renamed aside with the .corrupt suffix.
+	Quarantined []string
+}
+
 // Load reads a forest previously saved to dir, restoring the materialized
-// days and any persisted week/month levels into the memo caches.
+// days and any persisted week/month levels into the memo caches. Any
+// corrupt file fails the load with an error wrapping storage.ErrCorrupt.
 func Load(dir string, spec cps.WindowSpec, gen *cluster.IDGen, opts cluster.IntegrateOptions, daysPerMonth int) (*Forest, error) {
 	return LoadObserved(dir, spec, gen, opts, daysPerMonth, nil)
 }
@@ -435,15 +475,31 @@ func Load(dir string, spec cps.WindowSpec, gen *cluster.IDGen, opts cluster.Inte
 // the bytes-read counter covers the restore itself as well as later Saves.
 // A nil registry behaves exactly like Load.
 func LoadObserved(dir string, spec cps.WindowSpec, gen *cluster.IDGen, opts cluster.IntegrateOptions, daysPerMonth int, r *obs.Registry) (*Forest, error) {
+	f, _, err := LoadWith(dir, spec, gen, opts, daysPerMonth, LoadOptions{Registry: r})
+	return f, err
+}
+
+// LoadWith reads a saved forest with explicit filesystem and recovery
+// options. Stray *.tmp files (crash debris) are removed; *.corrupt files
+// (previous quarantines) are ignored.
+func LoadWith(dir string, spec cps.WindowSpec, gen *cluster.IDGen, opts cluster.IntegrateOptions, daysPerMonth int, lo LoadOptions) (*Forest, LoadReport, error) {
+	fsys := lo.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
 	f := New(spec, gen, opts, daysPerMonth)
-	f.SetObserver(r)
+	f.SetObserver(lo.Registry)
 	m := f.obsm.Load()
-	entries, err := os.ReadDir(dir)
+	var report LoadReport
+	if err := faultfs.RemoveStrayTemps(fsys, dir); err != nil {
+		return nil, report, fmt.Errorf("forest: %w", err)
+	}
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("forest: %w", err)
+		return nil, report, fmt.Errorf("forest: %w", err)
 	}
 	read := func(name string) ([]*cluster.Cluster, error) {
-		file, err := os.Open(filepath.Join(dir, name))
+		file, err := faultfs.Open(fsys, filepath.Join(dir, name))
 		if err != nil {
 			return nil, fmt.Errorf("forest: %w", err)
 		}
@@ -466,29 +522,62 @@ func LoadObserved(dir string, spec cps.WindowSpec, gen *cluster.IDGen, opts clus
 		return cs, nil
 	}
 	for _, e := range entries {
-		var idx int
-		switch {
-		case scans(e.Name(), "day-%d.clu", &idx):
-			cs, err := read(e.Name())
-			if err != nil {
-				return nil, err
+		level, idx, ok := parseLevelFileName(e.Name())
+		if !ok {
+			continue
+		}
+		cs, err := read(e.Name())
+		if err != nil {
+			if !lo.Recover {
+				return nil, report, err
 			}
+			if qerr := faultfs.Quarantine(fsys, filepath.Join(dir, e.Name())); qerr != nil {
+				return nil, report, fmt.Errorf("forest: quarantining %s: %w", e.Name(), qerr)
+			}
+			if m != nil {
+				m.corrupt.Inc()
+			}
+			report.Quarantined = append(report.Quarantined, e.Name())
+			continue
+		}
+		switch level {
+		case "day":
 			f.days[idx] = cs
-		case scans(e.Name(), "week-%d.clu", &idx):
-			cs, err := read(e.Name())
-			if err != nil {
-				return nil, err
-			}
+		case "week":
 			f.weeks[idx] = cs
-		case scans(e.Name(), "month-%d.clu", &idx):
-			cs, err := read(e.Name())
-			if err != nil {
-				return nil, err
-			}
+		case "month":
 			f.months[idx] = cs
 		}
 	}
-	return f, nil
+	return f, report, nil
+}
+
+// levelFileName names the cluster file of one level index.
+func levelFileName(level string, idx int) string {
+	return fmt.Sprintf("%s-%05d.clu", level, idx)
+}
+
+// parseLevelFileName strictly parses a cluster file name back into its
+// level and index. Strictness matters: crash debris ("day-00001.clu.tmp")
+// and quarantined files ("day-00001.clu.corrupt") must not load, and the
+// previous fmt.Sscanf matching accepted both.
+func parseLevelFileName(name string) (level string, idx int, ok bool) {
+	rest, found := strings.CutSuffix(name, ".clu")
+	if !found {
+		return "", 0, false
+	}
+	for _, lvl := range [...]string{"day", "week", "month"} {
+		digits, found := strings.CutPrefix(rest, lvl+"-")
+		if !found || digits == "" {
+			continue
+		}
+		n, err := strconv.Atoi(digits)
+		if err != nil || n < 0 {
+			return "", 0, false
+		}
+		return lvl, n, true
+	}
+	return "", 0, false
 }
 
 // countingReader tracks bytes read through it for the storage counter.
@@ -501,12 +590,6 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 	n, err := cr.r.Read(p)
 	cr.n += int64(n)
 	return n, err
-}
-
-// scans reports whether name matches the format and stores the index.
-func scans(name, format string, idx *int) bool {
-	_, err := fmt.Sscanf(name, format, idx)
-	return err == nil
 }
 
 // Stats summarizes the forest for diagnostics.

@@ -1,13 +1,18 @@
 package storage
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/faultfs"
+	"github.com/cpskit/atypical/internal/obs"
 )
 
 // DatasetInfo is the manifest entry of one stored dataset.
@@ -36,33 +41,240 @@ type manifest struct {
 
 const manifestName = "manifest.json"
 
+// recExt is the record-file extension of catalog datasets.
+const recExt = ".rec"
+
 // Catalog manages a directory of record files with a JSON manifest, so
 // tools can list and open datasets without scanning them.
+//
+// Every write is crash-safe: record files and the manifest go through the
+// faultfs atomic protocol (temp file → fsync → rename → directory fsync),
+// and the record file is always published before the manifest that
+// references it. A crash therefore leaves the catalog at either the old or
+// the new state of the interrupted write, plus at most a stray *.tmp file
+// that the next open removes.
 type Catalog struct {
-	dir string
-	m   manifest
+	dir      string
+	fsys     faultfs.FS
+	m        manifest
+	corrupt  *obs.Counter
+	recovery RecoveryReport
 }
 
-// OpenCatalog opens (or initializes) a catalog at dir.
+// CatalogOptions configures OpenCatalogWith.
+type CatalogOptions struct {
+	// FS is the filesystem seam; nil means the real filesystem.
+	FS faultfs.FS
+	// Recover enables crash recovery at open: a missing or corrupt
+	// manifest is reconstructed by scanning the record files, every
+	// dataset is integrity-checked end to end (CRC framing included), and
+	// corrupt record files are quarantined (renamed to *.corrupt) instead
+	// of failing the open. The repaired manifest is written back
+	// atomically.
+	Recover bool
+	// Observer, when non-nil, registers atyp_storage_corrupt_total and
+	// counts quarantined files into it.
+	Observer *obs.Registry
+}
+
+// RecoveryReport describes what a recovering open had to do. All file
+// names are base names within the catalog directory.
+type RecoveryReport struct {
+	// Quarantined lists record files that failed integrity checks and
+	// were renamed aside with the .corrupt suffix.
+	Quarantined []string
+	// Repaired lists manifest entries that disagreed with the bytes on
+	// disk (or referenced missing files) and were re-derived or dropped.
+	Repaired []string
+	// Rebuilt reports that the manifest itself was missing or corrupt and
+	// was reconstructed from the record files.
+	Rebuilt bool
+}
+
+// Dirty reports whether the recovery had anything to do.
+func (r RecoveryReport) Dirty() bool {
+	return r.Rebuilt || len(r.Quarantined) > 0 || len(r.Repaired) > 0
+}
+
+// OpenCatalog opens (or initializes) a catalog at dir on the real
+// filesystem, with strict integrity handling: a corrupt manifest fails the
+// open.
 func OpenCatalog(dir string) (*Catalog, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenCatalogWith(dir, CatalogOptions{})
+}
+
+// OpenCatalogWith opens a catalog with explicit filesystem and recovery
+// options.
+func OpenCatalogWith(dir string, o CatalogOptions) (*Catalog, error) {
+	fsys := o.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
-	c := &Catalog{dir: dir, m: manifest{Version: 1}}
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	c := &Catalog{dir: dir, fsys: fsys, m: manifest{Version: 1}}
+	if o.Observer != nil {
+		c.corrupt = o.Observer.Counter("atyp_storage_corrupt_total",
+			"persisted files that failed integrity checks and were quarantined",
+			"src", "catalog")
+	}
+	// Debris from a crash mid-atomic-write is never the live copy of
+	// anything; clear it before anything else looks at the directory.
+	if err := faultfs.RemoveStrayTemps(fsys, dir); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+
+	data, err := faultfs.ReadFile(fsys, filepath.Join(dir, manifestName))
 	switch {
-	case os.IsNotExist(err):
+	case errors.Is(err, fs.ErrNotExist):
+		if o.Recover {
+			if err := c.rebuildManifest(true); err != nil {
+				return nil, err
+			}
+		}
 		return c, nil
 	case err != nil:
 		return nil, fmt.Errorf("storage: %w", err)
 	}
-	if err := json.Unmarshal(data, &c.m); err != nil {
-		return nil, fmt.Errorf("storage: corrupt manifest: %w", err)
+	if uerr := json.Unmarshal(data, &c.m); uerr != nil || c.m.Version != 1 {
+		if !o.Recover {
+			if uerr != nil {
+				return nil, fmt.Errorf("storage: corrupt manifest: %w", uerr)
+			}
+			return nil, fmt.Errorf("storage: unsupported manifest version %d", c.m.Version)
+		}
+		// Quarantine the bad manifest and reconstruct it from the record
+		// files themselves.
+		if err := faultfs.Quarantine(fsys, filepath.Join(dir, manifestName)); err != nil {
+			return nil, fmt.Errorf("storage: quarantining manifest: %w", err)
+		}
+		c.countCorrupt()
+		c.recovery.Quarantined = append(c.recovery.Quarantined, manifestName)
+		c.m = manifest{Version: 1}
+		if err := c.rebuildManifest(true); err != nil {
+			return nil, err
+		}
+		return c, nil
 	}
-	if c.m.Version != 1 {
-		return nil, fmt.Errorf("storage: unsupported manifest version %d", c.m.Version)
+	if o.Recover {
+		if err := c.verifyDatasets(); err != nil {
+			return nil, err
+		}
 	}
 	return c, nil
+}
+
+// Recovery returns what the opening recovery pass did (zero value when the
+// catalog was opened strictly or was already healthy).
+func (c *Catalog) Recovery() RecoveryReport { return c.recovery }
+
+// countCorrupt bumps the quarantine metric when armed.
+func (c *Catalog) countCorrupt() {
+	if c.corrupt != nil {
+		c.corrupt.Inc()
+	}
+}
+
+// rebuildManifest reconstructs the manifest by scanning and fully decoding
+// every record file in the directory, quarantining the corrupt ones. When
+// markRebuilt is set the pass is recorded in the recovery report.
+func (c *Catalog) rebuildManifest(markRebuilt bool) error {
+	entries, err := c.fsys.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	c.m.Datasets = nil
+	found := false
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, recExt) {
+			continue
+		}
+		found = true
+		info, err := c.deriveInfo(strings.TrimSuffix(name, recExt))
+		if err != nil {
+			if qerr := faultfs.Quarantine(c.fsys, filepath.Join(c.dir, name)); qerr != nil {
+				return fmt.Errorf("storage: quarantining %s: %w", name, qerr)
+			}
+			c.countCorrupt()
+			c.recovery.Quarantined = append(c.recovery.Quarantined, name)
+			continue
+		}
+		c.m.Datasets = append(c.m.Datasets, info)
+	}
+	if markRebuilt && (found || len(c.recovery.Quarantined) > 0) {
+		c.recovery.Rebuilt = true
+	}
+	if c.recovery.Dirty() {
+		return c.saveManifest()
+	}
+	return nil
+}
+
+// verifyDatasets checks every manifest entry against the bytes on disk:
+// corrupt files are quarantined and dropped, missing files dropped, and
+// entries whose metadata disagrees with a healthy file are re-derived
+// (a crash can publish a record file without its manifest update).
+func (c *Catalog) verifyDatasets() error {
+	kept := c.m.Datasets[:0]
+	for _, d := range c.m.Datasets {
+		fileName := d.Name + recExt
+		info, err := c.deriveInfo(d.Name)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			c.recovery.Repaired = append(c.recovery.Repaired, fileName)
+			continue
+		case err != nil:
+			if qerr := faultfs.Quarantine(c.fsys, filepath.Join(c.dir, fileName)); qerr != nil {
+				return fmt.Errorf("storage: quarantining %s: %w", fileName, qerr)
+			}
+			c.countCorrupt()
+			c.recovery.Quarantined = append(c.recovery.Quarantined, fileName)
+			continue
+		case info != d:
+			c.recovery.Repaired = append(c.recovery.Repaired, fileName)
+			d = info
+		}
+		kept = append(kept, d)
+	}
+	c.m.Datasets = kept
+	if c.recovery.Dirty() {
+		return c.saveManifest()
+	}
+	return nil
+}
+
+// deriveInfo fully decodes dataset name's record file — CRC framing
+// verified end to end — and derives its manifest entry from the contents.
+func (c *Catalog) deriveInfo(name string) (DatasetInfo, error) {
+	data, err := faultfs.ReadFile(c.fsys, filepath.Join(c.dir, name+recExt))
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	recs, err := ReadRecords(bytes.NewReader(data))
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	rs, err := cps.FromSorted(recs)
+	if err != nil {
+		return DatasetInfo{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return datasetInfo(name, rs, int64(len(data))), nil
+}
+
+// datasetInfo summarizes a record set into its manifest entry.
+func datasetInfo(name string, rs *cps.RecordSet, encodedBytes int64) DatasetInfo {
+	span := rs.WindowSpan()
+	return DatasetInfo{
+		Name:          name,
+		Records:       int64(rs.Len()),
+		Bytes:         encodedBytes,
+		WindowFrom:    int64(span.From),
+		WindowTo:      int64(span.To),
+		Sensors:       len(rs.Sensors()),
+		TotalSeverity: float64(rs.TotalSeverity()),
+	}
 }
 
 // List returns the manifest entries, ascending by name.
@@ -84,41 +296,29 @@ func (c *Catalog) Info(name string) (DatasetInfo, bool) {
 }
 
 // Write stores a record set under name (replacing any previous dataset of
-// that name) and updates the manifest atomically.
+// that name) and updates the manifest. Both the record file and the
+// manifest are written atomically and durably (fsync of file and
+// directory), record file first — a crash in between leaves a consistent
+// catalog that a recovering open repairs to the new contents.
 func (c *Catalog) Write(name string, rs *cps.RecordSet) (DatasetInfo, error) {
-	if name == "" || name != filepath.Base(name) {
+	if name == "" || name != filepath.Base(name) ||
+		strings.HasSuffix(name, faultfs.TmpSuffix) || strings.HasSuffix(name, faultfs.CorruptSuffix) {
 		return DatasetInfo{}, fmt.Errorf("storage: invalid dataset name %q", name)
 	}
-	path := filepath.Join(c.dir, name+".rec")
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	path := filepath.Join(c.dir, name+recExt)
+	af, err := faultfs.CreateAtomic(c.fsys, path, 0o644)
 	if err != nil {
 		return DatasetInfo{}, fmt.Errorf("storage: %w", err)
 	}
-	n, err := WriteRecords(f, rs.Records())
-	if err == nil {
-		err = f.Close()
-	} else {
-		f.Close()
-	}
+	n, err := WriteRecords(af, rs.Records())
 	if err != nil {
-		os.Remove(tmp)
+		af.Abort()
 		return DatasetInfo{}, fmt.Errorf("storage: writing %s: %w", name, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return DatasetInfo{}, fmt.Errorf("storage: %w", err)
+	if err := af.Commit(); err != nil {
+		return DatasetInfo{}, fmt.Errorf("storage: writing %s: %w", name, err)
 	}
-	span := rs.WindowSpan()
-	info := DatasetInfo{
-		Name:          name,
-		Records:       int64(rs.Len()),
-		Bytes:         n,
-		WindowFrom:    int64(span.From),
-		WindowTo:      int64(span.To),
-		Sensors:       len(rs.Sensors()),
-		TotalSeverity: float64(rs.TotalSeverity()),
-	}
+	info := datasetInfo(name, rs, n)
 	replaced := false
 	for i, d := range c.m.Datasets {
 		if d.Name == name {
@@ -141,7 +341,7 @@ func (c *Catalog) Read(name string) (*cps.RecordSet, error) {
 	if _, ok := c.Info(name); !ok {
 		return nil, fmt.Errorf("storage: unknown dataset %q", name)
 	}
-	f, err := os.Open(filepath.Join(c.dir, name+".rec"))
+	f, err := faultfs.Open(c.fsys, filepath.Join(c.dir, name+recExt))
 	if err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
@@ -163,7 +363,7 @@ func (c *Catalog) Open(name string) (*RecordReader, func() error, error) {
 	if _, ok := c.Info(name); !ok {
 		return nil, nil, fmt.Errorf("storage: unknown dataset %q", name)
 	}
-	f, err := os.Open(filepath.Join(c.dir, name+".rec"))
+	f, err := faultfs.Open(c.fsys, filepath.Join(c.dir, name+recExt))
 	if err != nil {
 		return nil, nil, fmt.Errorf("storage: %w", err)
 	}
@@ -187,25 +387,21 @@ func (c *Catalog) Delete(name string) error {
 	if idx < 0 {
 		return fmt.Errorf("storage: unknown dataset %q", name)
 	}
-	if err := os.Remove(filepath.Join(c.dir, name+".rec")); err != nil && !os.IsNotExist(err) {
+	if err := c.fsys.Remove(filepath.Join(c.dir, name+recExt)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("storage: %w", err)
 	}
 	c.m.Datasets = append(c.m.Datasets[:idx], c.m.Datasets[idx+1:]...)
 	return c.saveManifest()
 }
 
-// saveManifest writes the manifest atomically.
+// saveManifest writes the manifest atomically and durably through the
+// shared faultfs helper.
 func (c *Catalog) saveManifest() error {
 	data, err := json.MarshalIndent(&c.m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
-	tmp := filepath.Join(c.dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("storage: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(c.dir, manifestName)); err != nil {
-		os.Remove(tmp)
+	if err := faultfs.WriteFileAtomic(c.fsys, filepath.Join(c.dir, manifestName), data, 0o644); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
 	return nil

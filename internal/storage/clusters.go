@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -11,11 +12,32 @@ import (
 	"github.com/cpskit/atypical/internal/cps"
 )
 
-var clusterMagic = [8]byte{'A', 'T', 'Y', 'P', 'C', 'L', 'U', '1'}
+// Cluster file layout, version 2 (little endian):
+//
+//	magic "ATYPCLU2" | uvarint payloadLen | uint32 crc | payload
+//	payload: uvarint clusterCount, then per cluster the delta-encoded
+//	         fields WriteClusters documents below.
+//
+// Version 1 ("ATYPCLU1") is the same payload with no length/CRC framing;
+// ReadClusters still decodes it, so forests saved before the framing
+// change keep loading. Only version 2 is ever written: the CRC is what
+// lets a crash-recovering load tell a torn or bit-rotted cluster file from
+// a healthy one instead of trusting whatever uvarints it finds.
+
+var (
+	clusterMagicV1 = [8]byte{'A', 'T', 'Y', 'P', 'C', 'L', 'U', '1'}
+	clusterMagic   = [8]byte{'A', 'T', 'Y', 'P', 'C', 'L', 'U', '2'}
+)
+
+// maxClusterPayload clamps the declared payload length of a cluster file:
+// the length is untrusted bytes read before the CRC check, and real
+// per-level cluster files are orders of magnitude smaller.
+const maxClusterPayload = 256 << 20
 
 // WriteClusters encodes clusters — features only, with child cluster IDs to
 // preserve tree structure — and returns the bytes written. The encoded size
-// of a micro-cluster set is the AC curve of Fig. 16.
+// of a micro-cluster set is the AC curve of Fig. 16. The payload is framed
+// with its length and CRC32 so readers verify integrity end to end.
 func WriteClusters(w io.Writer, cs []*cluster.Cluster) (int64, error) {
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
@@ -51,6 +73,15 @@ func WriteClusters(w io.Writer, cs []*cluster.Cluster) (int64, error) {
 			prevW = e.Key
 		}
 	}
+	var hdr [binary.MaxVarintLen64]byte
+	if _, err := bw.Write(hdr[:binary.PutUvarint(hdr[:], uint64(len(buf)))]); err != nil {
+		return cw.n, err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(buf))
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return cw.n, err
+	}
 	if _, err := bw.Write(buf); err != nil {
 		return cw.n, err
 	}
@@ -60,20 +91,73 @@ func WriteClusters(w io.Writer, cs []*cluster.Cluster) (int64, error) {
 	return cw.n, nil
 }
 
-// ReadClusters decodes clusters written by WriteClusters. Children are
+// ReadClusters decodes clusters written by WriteClusters, verifying the
+// version-2 CRC framing (version-1 files decode without it). Children are
 // resolved among the decoded set when present; references to clusters
 // outside the set are dropped (partial materialization stores levels
-// separately).
+// separately). Any integrity failure returns an error wrapping ErrCorrupt
+// (or ErrBadMagic) — never partial data.
 func ReadClusters(r io.Reader) ([]*cluster.Cluster, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
 	}
-	if magic != clusterMagic {
+	switch magic {
+	case clusterMagic:
+		return readClustersV2(br)
+	case clusterMagicV1:
+		return decodeClusters(func() (uint64, error) { return binary.ReadUvarint(br) })
+	default:
 		return nil, ErrBadMagic
 	}
-	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+}
+
+// readClustersV2 verifies the length/CRC frame, then decodes the payload.
+func readClustersV2(br *bufio.Reader) ([]*cluster.Cluster, error) {
+	payloadLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: payload length: %v", ErrCorrupt, err)
+	}
+	if payloadLen > maxClusterPayload {
+		return nil, fmt.Errorf("%w: absurd payload length %d", ErrCorrupt, payloadLen)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: crc: %v", ErrCorrupt, err)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return nil, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	if _, err := br.ReadByte(); err == nil {
+		return nil, fmt.Errorf("%w: data past payload", ErrCorrupt)
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	pos := 0
+	cs, err := decodeClusters(func() (uint64, error) {
+		v, k := binary.Uvarint(payload[pos:])
+		if k <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+		}
+		pos += k
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(payload)-pos)
+	}
+	return cs, nil
+}
+
+// decodeClusters is the payload decoder shared by both format versions.
+func decodeClusters(get func() (uint64, error)) ([]*cluster.Cluster, error) {
 	n, err := get()
 	if err != nil {
 		return nil, fmt.Errorf("%w: cluster count: %v", ErrCorrupt, err)

@@ -1,0 +1,280 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/faultfs"
+	"github.com/cpskit/atypical/internal/obs"
+)
+
+// crashSet builds a record set in canonical order whose severities survive
+// quantization, so round-trip comparison is exact equality.
+func crashSet(t *testing.T, n int, sevBase float64) *cps.RecordSet {
+	t.Helper()
+	recs := make([]cps.Record, 0, n)
+	for i := 0; i < n; i++ {
+		recs = append(recs, cps.Record{
+			Window:   cps.Window(i / 4),
+			Sensor:   cps.SensorID(i%4 + 1),
+			Severity: cps.Severity(sevBase + float64(i%7)),
+		})
+	}
+	rs, err := cps.FromSorted(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func sameRecords(a, b []cps.Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// noStrayTemps fails the test if dir still holds *.tmp debris.
+func noStrayTemps(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if faultfs.IsTemp(e.Name()) {
+			t.Errorf("stray temp file survived recovery: %s", e.Name())
+		}
+	}
+}
+
+// TestCatalogWriteCrashMatrix crashes a dataset overwrite at every mutating
+// filesystem operation in turn and checks a recovering reopen always lands
+// on the old contents, the new contents, or an explicit quarantine — never a
+// parse error or torn data.
+func TestCatalogWriteCrashMatrix(t *testing.T) {
+	rsOld := crashSet(t, 20_000, 1)
+	rsNew := crashSet(t, 30_000, 2)
+
+	// Clean pass to count the mutating operations of one overwrite.
+	probe := faultfs.NewInjector(faultfs.OS{})
+	c, err := OpenCatalogWith(t.TempDir(), CatalogOptions{FS: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write("d1", rsOld); err != nil {
+		t.Fatal(err)
+	}
+	before := probe.MutatingOps()
+	if _, err := c.Write("d1", rsNew); err != nil {
+		t.Fatal(err)
+	}
+	ops := probe.MutatingOps() - before
+	if ops < 4 {
+		t.Fatalf("overwrite took %d mutating ops; the atomic protocol needs more", ops)
+	}
+
+	wantOld := rsOld.Records()
+	wantNew := rsNew.Records()
+	for k := 1; k <= ops; k++ {
+		dir := t.TempDir()
+		seed, err := OpenCatalog(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := seed.Write("d1", rsOld); err != nil {
+			t.Fatal(err)
+		}
+
+		inj := faultfs.NewInjector(faultfs.OS{})
+		inj.ShortWrites(true)
+		victim, err := OpenCatalogWith(dir, CatalogOptions{FS: inj})
+		if err != nil {
+			t.Fatalf("crash %d/%d: reopen before injection: %v", k, ops, err)
+		}
+		inj.CrashAt(k)
+		if _, err := victim.Write("d1", rsNew); err == nil {
+			t.Fatalf("crash %d/%d: injected write unexpectedly succeeded", k, ops)
+		}
+
+		reg := obs.NewRegistry()
+		rec, err := OpenCatalogWith(dir, CatalogOptions{Recover: true, Observer: reg})
+		if err != nil {
+			t.Fatalf("crash %d/%d: recovering open: %v", k, ops, err)
+		}
+		noStrayTemps(t, dir)
+
+		if _, ok := rec.Info("d1"); !ok {
+			// Acceptable only as an explicit quarantine, never a silent drop.
+			if len(rec.Recovery().Quarantined) == 0 {
+				t.Fatalf("crash %d/%d: dataset vanished without quarantine: %+v", k, ops, rec.Recovery())
+			}
+			continue
+		}
+		got, err := rec.Read("d1")
+		if err != nil {
+			t.Fatalf("crash %d/%d: reading recovered dataset: %v", k, ops, err)
+		}
+		if !sameRecords(got.Records(), wantOld) && !sameRecords(got.Records(), wantNew) {
+			t.Fatalf("crash %d/%d: recovered dataset is neither old nor new state (%d records)",
+				k, ops, got.Len())
+		}
+	}
+}
+
+// TestCatalogRecordFlipQuarantined bit-flips a record file and checks the
+// recovering open quarantines it, drops it from the manifest, and counts it.
+func TestCatalogRecordFlipQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write("d1", crashSet(t, 5000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write("d2", crashSet(t, 5000, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "d1"+recExt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict read surfaces the corruption as ErrCorrupt, not garbage.
+	if _, err := c.Read("d1"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict read of flipped file: err = %v, want ErrCorrupt", err)
+	}
+
+	reg := obs.NewRegistry()
+	rec, err := OpenCatalogWith(dir, CatalogOptions{Recover: true, Observer: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := rec.Recovery()
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "d1"+recExt {
+		t.Fatalf("Quarantined = %v, want [d1%s]", rep.Quarantined, recExt)
+	}
+	if _, ok := rec.Info("d1"); ok {
+		t.Error("quarantined dataset still listed in manifest")
+	}
+	if _, ok := rec.Info("d2"); !ok {
+		t.Error("healthy dataset lost during recovery")
+	}
+	if _, err := os.Stat(path + faultfs.CorruptSuffix); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	var exposed strings.Builder
+	if _, err := reg.WriteTo(&exposed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exposed.String(), "atyp_storage_corrupt_total") ||
+		!strings.Contains(exposed.String(), `src="catalog"`) {
+		t.Errorf("corruption metric not exposed:\n%s", exposed.String())
+	}
+
+	// A second recovering open finds nothing left to repair.
+	again, err := OpenCatalogWith(dir, CatalogOptions{Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Recovery().Dirty() {
+		t.Errorf("second recovery still dirty: %+v", again.Recovery())
+	}
+}
+
+// TestCatalogManifestCorruptRecovery scribbles over the manifest and checks
+// strict opens fail while recovering opens rebuild it from the record files.
+func TestCatalogManifestCorruptRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Write("d1", crashSet(t, 5000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenCatalog(dir); err == nil {
+		t.Fatal("strict open of corrupt manifest succeeded")
+	}
+
+	rec, err := OpenCatalogWith(dir, CatalogOptions{Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Recovery().Rebuilt {
+		t.Errorf("recovery report not marked rebuilt: %+v", rec.Recovery())
+	}
+	got, ok := rec.Info("d1")
+	if !ok {
+		t.Fatal("rebuilt manifest lost dataset d1")
+	}
+	if got != want {
+		t.Errorf("rebuilt info = %+v, want %+v", got, want)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName+faultfs.CorruptSuffix)); err != nil {
+		t.Errorf("corrupt manifest not quarantined: %v", err)
+	}
+}
+
+// TestCatalogManifestLagsRecordFile models the crash window between the
+// record-file rename and the manifest write: the new file is published but
+// the manifest still describes the old one. Recovery must re-derive the
+// entry, not quarantine a healthy file.
+func TestCatalogManifestLagsRecordFile(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write("d1", crashSet(t, 5000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	oldManifest, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsNew := crashSet(t, 9000, 2)
+	if _, err := c.Write("d1", rsNew); err != nil {
+		t.Fatal(err)
+	}
+	// Roll the manifest back as if the crash hit before it was replaced.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), oldManifest, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := OpenCatalogWith(dir, CatalogOptions{Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := rec.Recovery(); len(rep.Repaired) != 1 || rep.Repaired[0] != "d1"+recExt {
+		t.Fatalf("Repaired = %v, want [d1%s]", rep.Repaired, recExt)
+	}
+	got, err := rec.Read("d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRecords(got.Records(), rsNew.Records()) {
+		t.Error("repair did not adopt the published record file")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"github.com/cpskit/atypical/internal/cps"
 )
 
 // Decoders must reject arbitrary input with an error — never panic, never
@@ -70,6 +72,61 @@ func TestReadRecordsMutationsDetected(t *testing.T) {
 			}
 		}
 	}
+}
+
+// FuzzRecordReaderCorrupt drives the streaming reader over arbitrary bytes:
+// it must never panic, never stream records past a detected corruption, and
+// always agree with the batch reader about whether the input is valid.
+func FuzzRecordReaderCorrupt(f *testing.F) {
+	valid := func(n int, seed int64) []byte {
+		var buf bytes.Buffer
+		if _, err := WriteRecords(&buf, randomCanonical(n, seed)); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(valid(100, 1))
+	f.Add(valid(0, 2))
+	truncated := valid(9000, 3)
+	f.Add(truncated[:len(truncated)*2/3])
+	flipped := valid(500, 4)
+	flipped[len(flipped)/2] ^= 0x08
+	f.Add(flipped)
+	f.Add([]byte("ATYPREC1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rr, err := NewRecordReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var streamed []cps.Record
+		for {
+			rec, ok := rr.Next()
+			if !ok {
+				break
+			}
+			streamed = append(streamed, rec)
+		}
+		batch, batchErr := ReadRecords(bytes.NewReader(data))
+		if (batchErr == nil) != (rr.Err() == nil) {
+			t.Fatalf("stream err %v disagrees with batch err %v", rr.Err(), batchErr)
+		}
+		if batchErr != nil {
+			return
+		}
+		if int64(len(streamed)) != rr.Total() {
+			t.Fatalf("streamed %d records, declared total %d", len(streamed), rr.Total())
+		}
+		if len(streamed) != len(batch) {
+			t.Fatalf("streamed %d records, batch decoded %d", len(streamed), len(batch))
+		}
+		for i := range streamed {
+			if streamed[i] != batch[i] {
+				t.Fatalf("record %d: stream %+v vs batch %+v", i, streamed[i], batch[i])
+			}
+		}
+	})
 }
 
 // The streaming reader agrees with the batch reader on every prefix

@@ -22,6 +22,7 @@ type RecordReader struct {
 	blockPos   int
 	prevWindow cps.Window
 	prevSensor cps.SensorID
+	eofChecked bool
 	err        error
 }
 
@@ -43,7 +44,9 @@ func NewRecordReader(r io.Reader) (*RecordReader, error) {
 	return &RecordReader{br: br, total: total}, nil
 }
 
-// Total returns the number of records the file declares.
+// Total returns the number of records the file declares. The value is an
+// untrusted on-disk count: callers preallocating from it must clamp (see
+// capHint) — the reader itself never allocates proportionally to it.
 func (rr *RecordReader) Total() int64 { return int64(rr.total) }
 
 // Next returns the next record. ok is false at end of stream or on error;
@@ -54,6 +57,17 @@ func (rr *RecordReader) Next() (rec cps.Record, ok bool) {
 	}
 	if rr.blockPos >= len(rr.block) {
 		if rr.read >= rr.total {
+			// The declared count is exhausted; the stream must be too.
+			// Trailing bytes mean the header count was corrupted low, so
+			// surface that instead of silently dropping records.
+			if !rr.eofChecked {
+				rr.eofChecked = true
+				if _, err := rr.br.ReadByte(); err == nil {
+					rr.err = fmt.Errorf("%w: data past declared record count", ErrCorrupt)
+				} else if err != io.EOF {
+					rr.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+				}
+			}
 			return cps.Record{}, false
 		}
 		if err := rr.loadBlock(); err != nil {
@@ -76,6 +90,15 @@ func (rr *RecordReader) loadBlock() error {
 	if err != nil {
 		return fmt.Errorf("%w: block header: %v", ErrCorrupt, err)
 	}
+	// Both counts come from untrusted bytes read before any CRC check:
+	// clamp them against what the writer can produce before allocating or
+	// decoding anything.
+	if n > blockSize {
+		return fmt.Errorf("%w: absurd block record count %d", ErrCorrupt, n)
+	}
+	if rr.read+n > rr.total {
+		return fmt.Errorf("%w: block overruns declared record count", ErrCorrupt)
+	}
 	payloadLen, err := binary.ReadUvarint(rr.br)
 	if err != nil {
 		return fmt.Errorf("%w: block length: %v", ErrCorrupt, err)
@@ -94,7 +117,11 @@ func (rr *RecordReader) loadBlock() error {
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
 		return fmt.Errorf("%w: crc mismatch", ErrCorrupt)
 	}
-	rr.block = rr.block[:0]
+	if cap(rr.block) < int(n) {
+		rr.block = make([]cps.Record, 0, n) // n is clamped to blockSize above
+	} else {
+		rr.block = rr.block[:0]
+	}
 	rr.blockPos = 0
 	pos := 0
 	next := func() (uint64, error) {
@@ -131,6 +158,9 @@ func (rr *RecordReader) loadBlock() error {
 			Severity: cps.Severity(float64(sq) * SeverityQuantum),
 		})
 		rr.prevWindow, rr.prevSensor = window, sensor
+	}
+	if pos != len(payload) {
+		return fmt.Errorf("%w: %d trailing bytes in block", ErrCorrupt, len(payload)-pos)
 	}
 	return nil
 }

@@ -140,6 +140,13 @@ func ReadRecords(r io.Reader) ([]cps.Record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: block header: %v", ErrCorrupt, err)
 		}
+		// Clamp untrusted pre-CRC counts against what the writer produces.
+		if n > blockSize {
+			return nil, fmt.Errorf("%w: absurd block record count %d", ErrCorrupt, n)
+		}
+		if uint64(len(recs))+n > total {
+			return nil, fmt.Errorf("%w: block overruns declared record count", ErrCorrupt)
+		}
 		payloadLen, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("%w: block length: %v", ErrCorrupt, err)
@@ -194,6 +201,14 @@ func ReadRecords(r io.Reader) ([]cps.Record, error) {
 			})
 			prevWindow, prevSensor = window, sensor
 		}
+		if pos != len(payload) {
+			return nil, fmt.Errorf("%w: %d trailing bytes in block", ErrCorrupt, len(payload)-pos)
+		}
+	}
+	if _, err := br.ReadByte(); err == nil {
+		return nil, fmt.Errorf("%w: data past declared record count", ErrCorrupt)
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return recs, nil
 }
