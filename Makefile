@@ -20,8 +20,8 @@ race:
 	$(GO) test -race ./...
 
 ## lint: curated go vet passes plus the project analyzers (floatcmp,
-## rangedeterminism, featuremutation, lockcheck, rawfswrite). Must exit 0
-## on every PR.
+## rangedeterminism, featuremutation, lockcheck, rawfswrite, rawlog).
+## Must exit 0 on every PR.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/atyplint ./...

@@ -99,6 +99,7 @@ type systemOptions struct {
 	balanceSet      bool
 	registry        *obs.Registry
 	exporter        obs.SpanExporter
+	slos            []sloSpec
 }
 
 // WithWorkers bounds the goroutines used for offline construction (per-day
@@ -265,6 +266,9 @@ func NewSystem(cfg Config, options ...Option) (*System, error) {
 	s.engine = &query.Engine{
 		Net: net, Forest: s.forest, Severity: s.sev, Gen: &s.idgen,
 		Workers: queryWorkers, Obs: query.NewMetrics(o.registry),
+	}
+	for _, slo := range o.slos {
+		s.engine.Obs.SetSLO(slo.strat, slo.target)
 	}
 
 	gcfg := gen.DefaultConfig(net)
@@ -458,6 +462,32 @@ func (s *System) QueryAtCtx(ctx context.Context, q query.Query, strat Strategy) 
 		s.obs.queryError()
 	}
 	return res, err
+}
+
+// QueryCityExplainCtx is QueryCityCtx with EXPLAIN: alongside the report it
+// returns the structured Explain record of the run.
+func (s *System) QueryCityExplainCtx(ctx context.Context, firstDay, days int, strat Strategy) (*Report, *Explain, error) {
+	q := query.CityQuery(s.net, s.spec, firstDay, days, s.cfg.DeltaS)
+	return s.QueryAtExplainCtx(ctx, q, strat)
+}
+
+// QueryBoxExplainCtx is QueryBoxCtx with EXPLAIN.
+func (s *System) QueryBoxExplainCtx(ctx context.Context, box geo.BBox, firstDay, days int, strat Strategy) (*Report, *Explain, error) {
+	q := query.BoxQuery(s.net, s.spec, box, firstDay, days, s.cfg.DeltaS)
+	return s.QueryAtExplainCtx(ctx, q, strat)
+}
+
+// QueryAtExplainCtx runs an explicit query collecting an Explain record.
+// The report is exactly what QueryAtCtx would have returned — EXPLAIN
+// observes the run, it never changes it (the determinism tests enforce
+// this). The record is only valid after a nil error.
+func (s *System) QueryAtExplainCtx(ctx context.Context, q query.Query, strat Strategy) (*Report, *Explain, error) {
+	ctx, exp := query.WithExplain(ctx)
+	res, err := s.QueryAtCtx(ctx, q, strat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, exp, nil
 }
 
 // legacyReport adapts a Ctx-variant result for the entry points that predate

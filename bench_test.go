@@ -209,24 +209,35 @@ func BenchmarkFig17QueryGui(b *testing.B) { benchQuery(b, query.Gui) }
 // BenchmarkObsOverheadQuery measures the cost of the observability hooks on
 // the Pruned query path — the fastest strategy, so instrumentation overhead
 // is largest relative to the work. "off" is the shipped default (obs
-// compiled in, every handle nil); "on" records into a live registry. The
+// compiled in, every handle nil); "on" records into a live registry;
+// "explain" additionally arms a per-query Explain collector on the context
+// (the EXPLAIN side-channel, priced per query rather than per system). The
 // DESIGN.md zero-overhead claim is that off stays within noise of the
-// pre-instrumentation engine and on stays within a few percent.
+// pre-instrumentation engine and on stays within a few percent; explain is
+// allowed to cost more — it is opt-in per request — but must stay within
+// the same order of magnitude.
 func BenchmarkObsOverheadQuery(b *testing.B) {
 	f := benchFixture(b)
 	q := query.CityQuery(f.net, f.spec, 0, 14, 0.02)
-	run := func(b *testing.B, m *query.Metrics) {
+	run := func(b *testing.B, m *query.Metrics, explain bool) {
 		engine := &query.Engine{
 			Net: f.engine.Net, Forest: f.engine.Forest, Severity: f.engine.Severity,
 			Gen: f.engine.Gen, Obs: m,
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			engine.Run(q, query.Pru)
+			ctx := context.Background()
+			if explain {
+				ctx, _ = query.WithExplain(ctx)
+			}
+			if _, err := engine.RunCtx(ctx, q, query.Pru); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
-	b.Run("off", func(b *testing.B) { run(b, nil) })
-	b.Run("on", func(b *testing.B) { run(b, query.NewMetrics(obs.NewRegistry())) })
+	b.Run("off", func(b *testing.B) { run(b, nil, false) })
+	b.Run("on", func(b *testing.B) { run(b, query.NewMetrics(obs.NewRegistry()), false) })
+	b.Run("explain", func(b *testing.B) { run(b, nil, true) })
 }
 
 // --- Fig. 18/19: precision-recall scoring path ---

@@ -7,9 +7,17 @@
 //	atypbench [-exp fig17] [-csv] [-sensors 400] [-months 12] [-querymonths 3]
 //	          [-days 28] [-seed 42] [-deltas 0.02] [-deltad 1.5] [-deltat 15m]
 //	          [-deltasim 0.5] [-balance avg]
+//	          [-parjson BENCH_parallel.json] [-workers 0] [-maxregress 0.25]
 //
 // Without -exp, all experiments run in presentation order. Fig. 15 also
 // emits Fig. 16 (they share a sweep).
+//
+// In -parjson mode the previous result at the target path (if any) is
+// preserved as <path minus .json>.prev.json and compared against the fresh
+// run: a delta section reports the serial/parallel construction time and
+// speedup movement, and the run exits non-zero when either measured total
+// regressed by more than -maxregress (fraction; 0 disables the gate) — the
+// CI perf gate.
 package main
 
 import (
@@ -38,8 +46,9 @@ func main() {
 		deltaT   = flag.Duration("deltat", 15*time.Minute, "time interval threshold δt")
 		deltaSim = flag.Float64("deltasim", 0.5, "similarity threshold δsim")
 		balance  = flag.String("balance", "avg", "balance function g (avg, max, min, geo, har)")
-		parJSON  = flag.String("parjson", "", "quick mode: run the serial-vs-parallel construction benchmark, write JSON to this path, and exit")
-		workers  = flag.Int("workers", 0, "worker count for -parjson (0 = GOMAXPROCS)")
+		parJSON    = flag.String("parjson", "", "quick mode: run the serial-vs-parallel construction benchmark, write JSON to this path, and exit")
+		workers    = flag.Int("workers", 0, "worker count for -parjson (0 = GOMAXPROCS)")
+		maxRegress = flag.Float64("maxregress", 0.25, "fail -parjson runs whose serial or parallel total regressed by more than this fraction vs the previous JSON (0 disables)")
 	)
 	flag.Parse()
 
@@ -63,10 +72,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("# deployment: %d sensors, %d highways, %d regions; seed %d\n\n",
+	out := os.Stdout
+	fmt.Fprintf(out, "# deployment: %d sensors, %d highways, %d regions; seed %d\n\n",
 		env.Net.NumSensors(), len(env.Net.Highways), env.Net.Grid.NumRegions(), cfg.Seed)
 
 	if *parJSON != "" {
+		prev, prevData := readPrevious(*parJSON)
 		res := experiments.MeasureParallelConstruction(env, *workers)
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -76,8 +87,25 @@ func main() {
 		if err := faultfs.WriteFileAtomic(faultfs.OS{}, *parJSON, data, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("# parallel construction: %d workers, %.2fx speedup (serial %.3fs, parallel %.3fs) -> %s\n",
+		fmt.Fprintf(out, "# parallel construction: %d workers, %.2fx speedup (serial %.3fs, parallel %.3fs) -> %s\n",
 			res.Workers, res.Speedup, res.Serial.Total, res.Parallel.Total, *parJSON)
+		if prev != nil {
+			prevPath := prevPath(*parJSON)
+			if err := faultfs.WriteFileAtomic(faultfs.OS{}, prevPath, prevData, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(out, "\n# delta vs previous run (%s):\n", prevPath)
+			fmt.Fprintf(out, "#   serial    %.3fs -> %.3fs  (%+.1f%%)\n",
+				prev.Serial.Total, res.Serial.Total, deltaPct(prev.Serial.Total, res.Serial.Total))
+			fmt.Fprintf(out, "#   parallel  %.3fs -> %.3fs  (%+.1f%%)\n",
+				prev.Parallel.Total, res.Parallel.Total, deltaPct(prev.Parallel.Total, res.Parallel.Total))
+			fmt.Fprintf(out, "#   speedup   %.2fx -> %.2fx\n", prev.Speedup, res.Speedup)
+			if *maxRegress > 0 {
+				if msg := regression(prev, &res, *maxRegress); msg != "" {
+					fatal(fmt.Errorf("performance regression beyond %.0f%%: %s", *maxRegress*100, msg))
+				}
+			}
+		}
 		return
 	}
 
@@ -95,13 +123,55 @@ func main() {
 		tables := experiments.Registry[id](env)
 		for _, tab := range tables {
 			if *csv {
-				fmt.Printf("# %s: %s\n%s\n", tab.ID, tab.Title, tab.CSV())
+				fmt.Fprintf(out, "# %s: %s\n%s\n", tab.ID, tab.Title, tab.CSV())
 			} else {
-				fmt.Println(tab.Render())
+				fmt.Fprintln(out, tab.Render())
 			}
 		}
-		fmt.Printf("# %s completed in %s\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "# %s completed in %s\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// readPrevious loads the prior -parjson result at path; a missing or
+// unparseable file (first run, format change) yields nil rather than an
+// error — there is simply nothing to compare against.
+func readPrevious(path string) (*experiments.ParResult, []byte) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil
+	}
+	var prev experiments.ParResult
+	if err := json.Unmarshal(data, &prev); err != nil || prev.Serial.Total <= 0 || prev.Parallel.Total <= 0 {
+		return nil, nil
+	}
+	return &prev, data
+}
+
+// prevPath names the preserved copy of the previous result:
+// BENCH_parallel.json -> BENCH_parallel.prev.json.
+func prevPath(path string) string {
+	const ext = ".json"
+	if len(path) > len(ext) && path[len(path)-len(ext):] == ext {
+		return path[:len(path)-len(ext)] + ".prev" + ext
+	}
+	return path + ".prev"
+}
+
+// deltaPct is the percentage change from prev to cur.
+func deltaPct(prev, cur float64) float64 {
+	return (cur - prev) / prev * 100
+}
+
+// regression names the first measured total that slowed down by more than
+// the allowed fraction, or "" when both are within budget.
+func regression(prev *experiments.ParResult, cur *experiments.ParResult, allowed float64) string {
+	if cur.Serial.Total > prev.Serial.Total*(1+allowed) {
+		return fmt.Sprintf("serial construction %.3fs -> %.3fs", prev.Serial.Total, cur.Serial.Total)
+	}
+	if cur.Parallel.Total > prev.Parallel.Total*(1+allowed) {
+		return fmt.Sprintf("parallel construction %.3fs -> %.3fs", prev.Parallel.Total, cur.Parallel.Total)
+	}
+	return ""
 }
 
 func fatal(err error) {

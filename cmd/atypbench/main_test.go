@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/cpskit/atypical/internal/experiments"
+)
+
+func TestPrevPath(t *testing.T) {
+	cases := map[string]string{
+		"BENCH_parallel.json":     "BENCH_parallel.prev.json",
+		"out/BENCH_parallel.json": "out/BENCH_parallel.prev.json",
+		"bench":                   "bench.prev",
+	}
+	for in, want := range cases {
+		if got := prevPath(in); got != want {
+			t.Errorf("prevPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestReadPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_parallel.json")
+	if prev, _ := readPrevious(path); prev != nil {
+		t.Error("missing file should yield nil")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if prev, _ := readPrevious(path); prev != nil {
+		t.Error("unparseable file should yield nil")
+	}
+	if err := os.WriteFile(path, []byte(`{"serial":{"total_s":2.0},"parallel":{"total_s":0.5},"speedup":4.0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prev, data := readPrevious(path)
+	if prev == nil || prev.Serial.Total != 2.0 || prev.Parallel.Total != 0.5 {
+		t.Fatalf("readPrevious = %+v", prev)
+	}
+	if len(data) == 0 {
+		t.Error("raw bytes not returned")
+	}
+}
+
+func TestRegressionGate(t *testing.T) {
+	prev := &experiments.ParResult{}
+	prev.Serial.Total = 2.0
+	prev.Parallel.Total = 1.0
+	cur := &experiments.ParResult{}
+
+	// Within budget: 20% slower with 25% allowed.
+	cur.Serial.Total, cur.Parallel.Total = 2.4, 1.2
+	if msg := regression(prev, cur, 0.25); msg != "" {
+		t.Errorf("within-budget run flagged: %s", msg)
+	}
+	// Serial regressed beyond budget.
+	cur.Serial.Total, cur.Parallel.Total = 2.6, 1.0
+	if msg := regression(prev, cur, 0.25); msg == "" {
+		t.Error("serial regression not flagged")
+	}
+	// Parallel regressed beyond budget.
+	cur.Serial.Total, cur.Parallel.Total = 2.0, 1.3
+	if msg := regression(prev, cur, 0.25); msg == "" {
+		t.Error("parallel regression not flagged")
+	}
+	// Speedups (faster runs) never trip the gate.
+	cur.Serial.Total, cur.Parallel.Total = 1.0, 0.4
+	if msg := regression(prev, cur, 0.25); msg != "" {
+		t.Errorf("improvement flagged: %s", msg)
+	}
+}

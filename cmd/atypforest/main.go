@@ -79,12 +79,12 @@ func main() {
 			totalMicros += len(micros)
 		}
 		totalRecords += rs.Len()
-		fmt.Printf("%s: %d records\n", info.Name, rs.Len())
+		fmt.Fprintf(os.Stdout, "%s: %d records\n", info.Name, rs.Len())
 	}
 	if err := f.Save(*out); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("forest: %d days, %d micro-clusters from %d records in %s -> %s\n",
+	fmt.Fprintf(os.Stdout, "forest: %d days, %d micro-clusters from %d records in %s -> %s\n",
 		len(f.Days()), totalMicros, totalRecords, time.Since(start).Round(time.Millisecond), *out)
 }
 

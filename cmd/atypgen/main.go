@@ -44,15 +44,15 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("deployment: %d sensors on %d highways\n", net.NumSensors(), len(net.Highways))
-	fmt.Printf("%-8s %10s %12s %10s %8s %10s\n", "dataset", "sensors", "readings", "atypical%", "events", "bytes")
+	fmt.Fprintf(os.Stdout, "deployment: %d sensors on %d highways\n", net.NumSensors(), len(net.Highways))
+	fmt.Fprintf(os.Stdout, "%-8s %10s %12s %10s %8s %10s\n", "dataset", "sensors", "readings", "atypical%", "events", "bytes")
 	for m := 0; m < *months; m++ {
 		ds := g.Month(m)
 		info, err := catalog.Write(fmt.Sprintf("d%02d", m+1), ds.Atypical)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%-8s %10d %12d %9.1f%% %8d %10d\n",
+		fmt.Fprintf(os.Stdout, "%-8s %10d %12d %9.1f%% %8d %10d\n",
 			info.Name, net.NumSensors(), ds.NumReadings, ds.AtypicalPct(), len(ds.Truth), info.Bytes)
 	}
 }

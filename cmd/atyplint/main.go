@@ -16,6 +16,7 @@
 //	featuremutation   SF/TF only written by the cluster package
 //	lockcheck         no lock copies, no Lock without Unlock
 //	rawfswrite        no direct os writes outside the faultfs seam
+//	rawlog            no log.Printf/fmt.Print* in commands outside olog
 //
 // A finding can be suppressed — with a written justification — by a
 // "//atyplint:ignore <analyzer> reason" comment on the same or preceding
@@ -37,6 +38,7 @@ import (
 	"github.com/cpskit/atypical/internal/analysis/lockcheck"
 	"github.com/cpskit/atypical/internal/analysis/rangedeterminism"
 	"github.com/cpskit/atypical/internal/analysis/rawfswrite"
+	"github.com/cpskit/atypical/internal/analysis/rawlog"
 )
 
 // analyzers is the multichecker suite, alphabetical.
@@ -46,6 +48,7 @@ var analyzers = []*framework.Analyzer{
 	lockcheck.Analyzer,
 	rangedeterminism.Analyzer,
 	rawfswrite.Analyzer,
+	rawlog.Analyzer,
 }
 
 // vetPasses is the curated go vet subset run alongside the custom suite:
@@ -68,7 +71,7 @@ func run() int {
 
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-18s %s\n", a.Name, firstLine(a.Doc))
+			fmt.Fprintf(os.Stdout, "%-18s %s\n", a.Name, firstLine(a.Doc))
 		}
 		return 0
 	}
@@ -148,7 +151,7 @@ func run() int {
 		return findings[i].analyzer < findings[j].analyzer
 	})
 	for _, f := range findings {
-		fmt.Printf("%s: %s: %s\n", f.pos, f.analyzer, f.msg)
+		fmt.Fprintf(os.Stdout, "%s: %s: %s\n", f.pos, f.analyzer, f.msg)
 	}
 
 	status := 0

@@ -8,9 +8,16 @@
 //	atypquery -forest forest/ -data data/ -from 0 -days 7
 //	          [-strategy gui] [-deltas 0.02] [-sensors 400] [-seed 42]
 //	          [-minlat x -minlon x -maxlat x -maxlon x]
+//	          [-explain] [-explainjson]
+//
+// -explain prints the run's EXPLAIN table after the report: strategy,
+// significance bound arithmetic, per-stage timings, pruning and red-zone
+// accounting, merge-tree shape, and per-macro significance verdicts.
+// -explainjson prints the same record as indented JSON instead.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,7 +49,9 @@ func main() {
 		minLon    = flag.Float64("minlon", 0, "spatial range: west edge")
 		maxLat    = flag.Float64("maxlat", 0, "spatial range: north edge")
 		maxLon    = flag.Float64("maxlon", 0, "spatial range: east edge")
-		showMap   = flag.Bool("map", false, "print the region severity map with red zones")
+		showMap     = flag.Bool("map", false, "print the region severity map with red zones")
+		explain     = flag.Bool("explain", false, "print the query EXPLAIN table after the report")
+		explainJSON = flag.Bool("explainjson", false, "print the query EXPLAIN record as JSON after the report")
 	)
 	flag.Parse()
 
@@ -92,20 +101,29 @@ func main() {
 	} else {
 		q = query.CityQuery(net, spec, *from, *days, *deltaS)
 	}
-	res := engine.Run(q, strategy)
-
-	fmt.Printf("query: days [%d, %d), %d regions, strategy %s, δs=%.3g (bound %.0f severity-min)\n",
-		*from, *from+*days, len(q.Regions), res.Strategy, *deltaS, float64(res.Bound))
-	fmt.Printf("inputs: %d of %d micro-clusters", res.InputMicros, res.CandidateMicros)
-	if strategy == query.Gui {
-		fmt.Printf(" (%d red zones)", res.RedZones)
+	ctx := context.Background()
+	var exp *query.Explain
+	if *explain || *explainJSON {
+		ctx, exp = query.WithExplain(ctx)
 	}
-	fmt.Printf("; %d macro-clusters, %d significant; %s\n\n",
+	res, err := engine.RunCtx(ctx, q, strategy)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := os.Stdout
+	fmt.Fprintf(out, "query: days [%d, %d), %d regions, strategy %s, δs=%.3g (bound %.0f severity-min)\n",
+		*from, *from+*days, len(q.Regions), res.Strategy, *deltaS, float64(res.Bound))
+	fmt.Fprintf(out, "inputs: %d of %d micro-clusters", res.InputMicros, res.CandidateMicros)
+	if strategy == query.Gui {
+		fmt.Fprintf(out, " (%d red zones)", res.RedZones)
+	}
+	fmt.Fprintf(out, "; %d macro-clusters, %d significant; %s\n\n",
 		len(res.Macros), len(res.Significant), res.Elapsed.Round(time.Millisecond))
 
-	fmt.Print(report.Ranking(net, spec, res.Significant))
+	fmt.Fprint(out, report.Ranking(net, spec, res.Significant))
 	if len(res.Significant) == 0 {
-		fmt.Println("no significant clusters in range — lower δs or widen the range")
+		fmt.Fprintln(out, "no significant clusters in range — lower δs or widen the range")
 	}
 	if *showMap {
 		n := 0
@@ -113,8 +131,19 @@ func main() {
 			n += len(net.SensorsInRegion(r))
 		}
 		zones := sev.GuidedRedZones(q.Regions, q.Time, q.DeltaS, n)
-		fmt.Println()
-		fmt.Print(report.RegionHeatmap(net, sev, q.Time, zones))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, report.RegionHeatmap(net, sev, q.Time, zones))
+	}
+	if *explainJSON {
+		data, err := exp.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out)
+		out.Write(data)
+	} else if *explain {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, exp.Text())
 	}
 }
 

@@ -1,7 +1,8 @@
 // Command atypserve runs the pipeline as a long-lived query server: it
 // builds (or generates) a deployment, ingests the requested months, and then
 // serves analytical queries over HTTP alongside the operational surface —
-// Prometheus-text metrics at /metrics and the pprof suite at /debug/pprof/.
+// Prometheus-text metrics at /metrics, the pprof suite at /debug/pprof/, and
+// the live trace buffer at /debug/traces.
 //
 // Usage:
 //
@@ -9,24 +10,38 @@
 //	          [-sensors 400] [-seed 42] [-months 1] [-days 30]
 //	          [-workers 0] [-queryworkers 0] [-deltas 0.02]
 //	          [-maxinflight 64] [-querytimeout 30s] [-drain 15s]
+//	          [-logjson] [-traces 256] [-slowquery -1]
+//	          [-slo gui=500ms,all=2s] [-sloobjective 0.99]
 //
 // Endpoints on -addr:
 //
 //	GET /query?strategy=gui&from=0&days=7   JSON query report
-//	GET /healthz                            liveness probe
+//	GET /query?...&explain=1                report plus an "explain" record
+//	GET /healthz                            liveness probe (always 200)
+//	GET /readyz                             readiness probe (503 until ingest completes)
 //
 // Endpoints on -metrics (omit the flag to disable):
 //
 //	GET /metrics                            Prometheus text format 0.0.4
 //	GET /debug/pprof/                       net/http/pprof suite
+//	GET /debug/traces                       last -traces finished spans, newest first
 //
-// The server is hardened for production traffic: both listeners run under
-// read/write/idle timeouts, every query carries a context deadline
-// (-querytimeout), at most -maxinflight queries run concurrently (excess
-// requests are shed with 503 and counted in atyp_serve_shed_total), and
-// SIGINT/SIGTERM drain in-flight requests for up to -drain before exit.
-// A listener that fails to bind — the metrics one included — exits the
-// process non-zero instead of serving half the surface.
+// The server is hardened for production traffic: both listeners bind and
+// serve before ingestion starts (readiness gates /query with 503 until the
+// model is loaded, so orchestrators can route on /readyz while /healthz
+// already answers), every query carries a context deadline (-querytimeout),
+// at most -maxinflight queries run concurrently (excess requests are shed
+// with 503 and counted in atyp_serve_shed_total), and SIGINT/SIGTERM drain
+// in-flight requests for up to -drain before exit. A listener that fails to
+// bind — the metrics one included — exits the process non-zero instead of
+// serving half the surface.
+//
+// Logs are structured (internal/obs/olog): every line carries level and
+// message keys, and lines emitted under an active span carry trace/span IDs
+// for correlation with /debug/traces. -slowquery T arms the slow-query log:
+// any query at or above T is logged at WARN with its full EXPLAIN record
+// (T=0 logs every query; negative disables). -slo installs per-strategy
+// latency objectives surfaced as atyp_slo_burn_rate gauges.
 package main
 
 import (
@@ -35,16 +50,20 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/cpskit/atypical"
+	"github.com/cpskit/atypical/internal/obs/olog"
 )
 
 func main() {
@@ -61,6 +80,11 @@ func main() {
 		maxInflight  = flag.Int("maxinflight", 64, "max concurrent queries before shedding 503s (<=0 unlimited)")
 		queryTimeout = flag.Duration("querytimeout", 30*time.Second, "per-query context deadline")
 		drain        = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+		logJSON      = flag.Bool("logjson", false, "emit logs as JSON lines instead of key=value text")
+		traces       = flag.Int("traces", 256, "finished traces retained for /debug/traces (<=0 disables)")
+		slowQuery    = flag.Duration("slowquery", -1, "log queries at or above this latency with their EXPLAIN (0 logs all, <0 disables)")
+		slo          = flag.String("slo", "", "per-strategy latency SLO targets, e.g. gui=500ms,all=2s")
+		sloObjective = flag.Float64("sloobjective", 0.99, "fraction of queries that must meet their SLO target")
 	)
 	flag.Parse()
 	os.Exit(run(serveConfig{
@@ -68,6 +92,8 @@ func main() {
 		sensors: *sensors, seed: *seed, months: *months, days: *days,
 		workers: *workers, queryWorkers: *queryWorkers, deltaS: *deltaS,
 		maxInflight: *maxInflight, queryTimeout: *queryTimeout, drain: *drain,
+		logJSON: *logJSON, traces: *traces, slowQuery: *slowQuery,
+		slo: *slo, sloObjective: *sloObjective,
 	}))
 }
 
@@ -80,9 +106,18 @@ type serveConfig struct {
 	deltaS                float64
 	maxInflight           int
 	queryTimeout, drain   time.Duration
+	logJSON               bool
+	traces                int
+	slowQuery             time.Duration
+	slo                   string
+	sloObjective          float64
 	// onListen, when set, is told each listener's bound address — tests
 	// bind ":0" and discover the port through it.
 	onListen func(name string, addr net.Addr)
+	// logTo overrides the log destination (tests capture it with their own
+	// locking); nil means stderr. The server logs from several goroutines,
+	// so the writer must tolerate concurrent Write calls.
+	logTo io.Writer
 }
 
 // run builds the system and serves until a signal arrives or a listener
@@ -93,30 +128,81 @@ func run(sc serveConfig) int {
 	return serveUntil(ctx, sc)
 }
 
+// newLogger builds the process logger on the olog handler: structured
+// key=value (or JSON) lines with span correlation.
+func newLogger(sc serveConfig) *slog.Logger {
+	w := io.Writer(os.Stderr)
+	if sc.logTo != nil {
+		w = sc.logTo
+	}
+	return olog.NewWith(w, olog.Options{JSON: sc.logJSON})
+}
+
+// parseSLO parses "gui=500ms,all=2s" into per-strategy targets.
+func parseSLO(spec string, objective float64) (map[atypical.Strategy]atypical.SLOTarget, error) {
+	out := make(map[atypical.Strategy]atypical.SLOTarget)
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -slo entry %q (want strategy=duration)", part)
+		}
+		strat, err := parseStrategy(name)
+		if err != nil {
+			return nil, fmt.Errorf("bad -slo entry %q: %v", part, err)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad -slo duration %q", val)
+		}
+		out[strat] = atypical.SLOTarget{Latency: d, Objective: objective}
+	}
+	return out, nil
+}
+
 // serveUntil serves until ctx is done (drain and exit 0) or a listener
 // fails (exit 1). Split from run so tests drive shutdown with a plain
-// context instead of process signals.
+// context instead of process signals. Listeners bind and serve before
+// ingestion: /healthz and /metrics answer immediately, /readyz and /query
+// gate on the background ingest completing.
 func serveUntil(ctx context.Context, sc serveConfig) int {
-	obs := atypical.NewObserver()
+	logger := newLogger(sc)
+	reg := atypical.NewObserver()
+	atypical.RegisterRuntimeMetrics(reg)
+
+	slos, err := parseSLO(sc.slo, sc.sloObjective)
+	if err != nil {
+		logger.Error("atypserve: invalid flags", "err", err)
+		return 1
+	}
+	opts := []atypical.Option{
+		atypical.WithWorkers(sc.workers),
+		atypical.WithQueryWorkers(sc.queryWorkers),
+		atypical.WithObserver(reg),
+	}
+	var ring *atypical.TraceRing
+	if sc.traces > 0 {
+		ring = atypical.NewTraceRing(sc.traces)
+		opts = append(opts, atypical.WithSpanExporter(ring.Export))
+	}
+	for _, strat := range []atypical.Strategy{atypical.IntegrateAll, atypical.Pruned, atypical.Guided} {
+		if target, ok := slos[strat]; ok {
+			opts = append(opts, atypical.WithQuerySLO(strat, target))
+		}
+	}
+
 	cfg := atypical.DefaultConfig()
 	cfg.Sensors = sc.sensors
 	cfg.Seed = sc.seed
 	cfg.DaysPerMonth = sc.days
 	cfg.DeltaS = sc.deltaS
-	sys, err := atypical.NewSystem(cfg,
-		atypical.WithWorkers(sc.workers),
-		atypical.WithQueryWorkers(sc.queryWorkers),
-		atypical.WithObserver(obs),
-	)
+	sys, err := atypical.NewSystem(cfg, opts...)
 	if err != nil {
-		log.Printf("atypserve: %v", err)
+		logger.Error("atypserve: building system", "err", err)
 		return 1
 	}
-
-	start := time.Now()
-	log.Printf("ingesting %d month(s) of %d days over %d sensors", sc.months, sc.days, sc.sensors)
-	sys.IngestMonths(sc.months)
-	log.Printf("ingest done in %s", time.Since(start).Round(time.Millisecond))
 
 	// Any listener failing surfaces here and fails the process: serving
 	// queries without the operational surface (or vice versa) is a
@@ -134,7 +220,7 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 		}
 		servers = append(servers, srv)
 		go func() {
-			log.Printf("%s on %s", name, ln.Addr())
+			logger.Info("listener up", "name", name, "addr", ln.Addr().String())
 			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				errc <- fmt.Errorf("%s listener: %w", name, err)
 			}
@@ -143,15 +229,20 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 	}
 
 	bindFailed := func(err error) int {
-		log.Printf("atypserve: %v", err)
+		logger.Error("atypserve: startup", "err", err)
 		for _, srv := range servers {
 			srv.Close()
 		}
 		return 1
 	}
+	var ready atomic.Bool
 	if err := start1("query API", &http.Server{
-		Addr:              sc.addr,
-		Handler:           newAPIHandler(sys, obs, sc.maxInflight, sc.queryTimeout),
+		Addr: sc.addr,
+		Handler: newAPIHandler(apiConfig{
+			sys: sys, obs: reg, ready: &ready, logger: logger,
+			maxInflight: sc.maxInflight, queryTimeout: sc.queryTimeout,
+			slowQuery: sc.slowQuery,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      sc.queryTimeout + 5*time.Second,
@@ -163,7 +254,7 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 	if sc.metricsAddr != "" {
 		if err := start1("metrics and pprof", &http.Server{
 			Addr:              sc.metricsAddr,
-			Handler:           atypical.NewDebugMux(obs),
+			Handler:           atypical.NewDebugMux(reg, ring),
 			ReadHeaderTimeout: 5 * time.Second,
 			ReadTimeout:       10 * time.Second,
 			WriteTimeout:      30 * time.Second,
@@ -173,12 +264,26 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 		}
 	}
 
+	// Ingest in the background so the listeners answer probes while the
+	// model builds; /readyz flips once the last month lands. A shutdown
+	// signal cancels the ingest through ctx.
+	go func() {
+		start := time.Now()
+		logger.Info("ingest starting", "months", sc.months, "days", sc.days, "sensors", sc.sensors)
+		if _, err := sys.IngestMonthsCtx(ctx, sc.months); err != nil {
+			logger.Error("ingest aborted", "err", err)
+			return
+		}
+		logger.Info("ingest done", "elapsed", time.Since(start).Round(time.Millisecond).String())
+		ready.Store(true)
+	}()
+
 	code := 0
 	select {
 	case <-ctx.Done():
-		log.Printf("signal received; draining for up to %s", sc.drain)
+		logger.Info("signal received; draining", "budget", sc.drain.String())
 	case err := <-errc:
-		log.Printf("atypserve: %v", err)
+		logger.Error("atypserve: serving", "err", err)
 		code = 1
 	}
 
@@ -186,23 +291,46 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 	defer cancel()
 	for _, srv := range servers {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("atypserve: shutdown: %v", err)
+			logger.Error("atypserve: shutdown", "err", err)
 			code = 1
 		}
 	}
 	return code
 }
 
-// newAPIHandler assembles the query API: routing, the load-shed gate, and
-// per-request deadlines.
-func newAPIHandler(sys *atypical.System, obs *atypical.Observer, maxInflight int, queryTimeout time.Duration) http.Handler {
+// apiConfig wires the query API handler.
+type apiConfig struct {
+	sys          *atypical.System
+	obs          *atypical.Observer
+	ready        *atomic.Bool
+	logger       *slog.Logger
+	maxInflight  int
+	queryTimeout time.Duration
+	slowQuery    time.Duration
+}
+
+// newAPIHandler assembles the query API: routing, the readiness gate, the
+// load-shed gate, and per-request deadlines.
+func newAPIHandler(ac apiConfig) http.Handler {
 	mux := http.NewServeMux()
 	query := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		serveQuery(sys, w, r, queryTimeout)
+		if ac.ready != nil && !ac.ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "warming up: ingest in progress", http.StatusServiceUnavailable)
+			return
+		}
+		serveQuery(ac, w, r)
 	}))
-	mux.Handle("/query", shedGate(query, maxInflight, obs))
+	mux.Handle("/query", shedGate(query, ac.maxInflight, ac.obs))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if ac.ready != nil && !ac.ready.Load() {
+			http.Error(w, "ingest in progress", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	return mux
 }
@@ -237,18 +365,21 @@ func shedGate(next http.Handler, limit int, obs *atypical.Observer) http.Handler
 	})
 }
 
-// queryResponse is the JSON shape of one /query answer.
+// queryResponse is the JSON shape of one /query answer. Explain is the
+// explain=1 side channel: absent (omitempty) unless requested, so the
+// report bytes without it are identical to the pre-EXPLAIN server's.
 type queryResponse struct {
-	Strategy        string        `json:"strategy"`
-	FirstDay        int           `json:"first_day"`
-	Days            int           `json:"days"`
-	CandidateMicros int           `json:"candidate_micros"`
-	InputMicros     int           `json:"input_micros"`
-	RedZones        int           `json:"red_zones,omitempty"`
-	Macros          int           `json:"macros"`
-	Significant     int           `json:"significant"`
-	ElapsedMS       float64       `json:"elapsed_ms"`
-	Clusters        []clusterJSON `json:"clusters"`
+	Strategy        string            `json:"strategy"`
+	FirstDay        int               `json:"first_day"`
+	Days            int               `json:"days"`
+	CandidateMicros int               `json:"candidate_micros"`
+	InputMicros     int               `json:"input_micros"`
+	RedZones        int               `json:"red_zones,omitempty"`
+	Macros          int               `json:"macros"`
+	Significant     int               `json:"significant"`
+	ElapsedMS       float64           `json:"elapsed_ms"`
+	Clusters        []clusterJSON     `json:"clusters"`
+	Explain         *atypical.Explain `json:"explain,omitempty"`
 }
 
 // clusterJSON summarizes one significant cluster.
@@ -260,8 +391,10 @@ type clusterJSON struct {
 
 // serveQuery answers GET /query?strategy=all|pru|gui&from=N&days=N under a
 // deadline: a query that outlives it (or the client's disconnect) is
-// cancelled through its context and answered 503.
-func serveQuery(sys *atypical.System, w http.ResponseWriter, r *http.Request, timeout time.Duration) {
+// cancelled through its context and answered 503. explain=1 attaches the
+// run's EXPLAIN record; an armed -slowquery threshold collects EXPLAIN for
+// every run and logs offenders at WARN.
+func serveQuery(ac apiConfig, w http.ResponseWriter, r *http.Request) {
 	strat, err := parseStrategy(r.URL.Query().Get("strategy"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -277,13 +410,30 @@ func serveQuery(sys *atypical.System, w http.ResponseWriter, r *http.Request, ti
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	wantExplain := false
+	switch v := r.URL.Query().Get("explain"); v {
+	case "", "0", "false":
+	case "1", "true":
+		wantExplain = true
+	default:
+		http.Error(w, fmt.Sprintf("bad explain: %q (want 0 or 1)", v), http.StatusBadRequest)
+		return
+	}
 	ctx := r.Context()
-	if timeout > 0 {
+	if ac.queryTimeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, ac.queryTimeout)
 		defer cancel()
 	}
-	rep, err := sys.QueryCityCtx(ctx, from, days, strat)
+
+	slowArmed := ac.slowQuery >= 0
+	var rep *atypical.Report
+	var exp *atypical.Explain
+	if wantExplain || slowArmed {
+		rep, exp, err = ac.sys.QueryCityExplainCtx(ctx, from, days, strat)
+	} else {
+		rep, err = ac.sys.QueryCityCtx(ctx, from, days, strat)
+	}
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -292,6 +442,19 @@ func serveQuery(sys *atypical.System, w http.ResponseWriter, r *http.Request, ti
 		http.Error(w, err.Error(), status)
 		return
 	}
+	if slowArmed && rep.Elapsed >= ac.slowQuery {
+		attrs := []any{
+			"strategy", rep.Strategy.String(),
+			"from", from, "days", days,
+			"elapsed", rep.Elapsed.String(),
+			"threshold", ac.slowQuery.String(),
+		}
+		if data, jerr := json.Marshal(exp); jerr == nil {
+			attrs = append(attrs, "explain", string(data))
+		}
+		ac.logger.WarnContext(ctx, "slow query", attrs...)
+	}
+
 	resp := queryResponse{
 		Strategy:        rep.Strategy.String(),
 		FirstDay:        from,
@@ -303,18 +466,21 @@ func serveQuery(sys *atypical.System, w http.ResponseWriter, r *http.Request, ti
 		Significant:     len(rep.Significant),
 		ElapsedMS:       float64(rep.Elapsed) / float64(time.Millisecond),
 	}
+	if wantExplain {
+		resp.Explain = exp
+	}
 	for _, c := range rep.Significant {
 		resp.Clusters = append(resp.Clusters, clusterJSON{
 			ID:          uint64(c.ID),
 			Severity:    float64(c.Severity()),
-			Description: sys.Describe(c),
+			Description: ac.sys.Describe(c),
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(resp); err != nil {
-		log.Printf("atypserve: encoding response: %v", err)
+		ac.logger.Error("encoding response", "err", err)
 	}
 }
 

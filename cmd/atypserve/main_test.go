@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -76,30 +77,59 @@ func TestShedGateUnlimited(t *testing.T) {
 	}
 }
 
+// lockedBuffer is a concurrency-safe log sink for serveConfig.logTo.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
 // TestServeUntil boots the full server on ephemeral ports, exercises the
-// query and operational surfaces, then cancels the context and checks the
-// drain path exits zero.
+// query and operational surfaces — readiness, EXPLAIN side-channel, trace
+// buffer, slow-query log — then cancels the context and checks the drain
+// path exits zero.
 func TestServeUntil(t *testing.T) {
 	addrs := make(map[string]string)
 	var mu sync.Mutex
+	var logs lockedBuffer
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan int, 1)
 	go func() {
 		done <- serveUntil(ctx, serveConfig{
 			addr:        "127.0.0.1:0",
 			metricsAddr: "127.0.0.1:0",
-			sensors:     30, seed: 7, months: 1, days: 7,
+			sensors: 30, seed: 7, months: 1, days: 7, deltaS: 0.02,
 			maxInflight: 4, queryTimeout: 10 * time.Second, drain: 5 * time.Second,
+			traces: 32, slowQuery: 0, slo: "gui=1ns", sloObjective: 0.9,
 			onListen: func(name string, a net.Addr) {
 				mu.Lock()
 				addrs[name] = a.String()
 				mu.Unlock()
 			},
+			logTo: &logs,
 		})
 	}()
 
 	api := waitForAddr(t, &mu, addrs, "query API")
 	metrics := waitForAddr(t, &mu, addrs, "metrics and pprof")
+
+	// Liveness answers while the model may still be ingesting; queries wait
+	// on readiness.
+	if got := string(getOK(t, "http://"+api+"/healthz")); !strings.Contains(got, "ok") {
+		t.Errorf("healthz = %q, want ok", got)
+	}
+	waitForReady(t, "http://"+api+"/readyz")
 
 	body := getOK(t, "http://"+api+"/query?strategy=all&from=0&days=7")
 	var resp queryResponse
@@ -108,6 +138,29 @@ func TestServeUntil(t *testing.T) {
 	}
 	if !strings.EqualFold(resp.Strategy, "all") || resp.Days != 7 {
 		t.Errorf("query strategy/days = %q/%d, want all/7", resp.Strategy, resp.Days)
+	}
+	if resp.Explain != nil {
+		t.Error("explain attached without explain=1")
+	}
+	if strings.Contains(string(body), `"explain"`) {
+		t.Error("explain key present in plain query response bytes")
+	}
+
+	// explain=1 attaches the EXPLAIN record; the rest of the report is the
+	// same shape.
+	body = getOK(t, "http://"+api+"/query?strategy=gui&from=0&days=7&explain=1")
+	var explained queryResponse
+	if err := json.Unmarshal(body, &explained); err != nil {
+		t.Fatalf("explain response not JSON: %v\n%s", err, body)
+	}
+	if explained.Explain == nil {
+		t.Fatalf("explain=1 returned no explain record:\n%s", body)
+	}
+	if explained.Explain.Strategy != "Gui" {
+		t.Errorf("explain strategy = %q, want Gui", explained.Explain.Strategy)
+	}
+	if explained.Explain.Threshold.Bound <= 0 || len(explained.Explain.Stages) == 0 {
+		t.Errorf("explain record incomplete: %+v", explained.Explain)
 	}
 
 	if r, err := http.Get("http://" + api + "/query?strategy=bogus"); err != nil {
@@ -119,11 +172,26 @@ func TestServeUntil(t *testing.T) {
 		}
 	}
 
-	if got := string(getOK(t, "http://"+api+"/healthz")); !strings.Contains(got, "ok") {
-		t.Errorf("healthz = %q, want ok", got)
-	}
 	if got := string(getOK(t, "http://"+metrics+"/metrics")); !strings.Contains(got, "atyp_ingest_records_total") {
 		t.Errorf("metrics surface missing ingest counter:\n%.400s", got)
+	} else {
+		if !strings.Contains(got, "atyp_go_goroutines") || !strings.Contains(got, "atyp_build_info{") {
+			t.Errorf("runtime/build-info families missing from /metrics")
+		}
+		if !strings.Contains(got, `atyp_slo_burn_rate{strategy="gui"}`) {
+			t.Errorf("SLO burn-rate gauge missing from /metrics")
+		}
+	}
+
+	// The trace ring captured the served queries.
+	traces := string(getOK(t, "http://"+metrics+"/debug/traces"))
+	if !strings.Contains(traces, "query.run") {
+		t.Errorf("/debug/traces missing query.run root:\n%.400s", traces)
+	}
+
+	// -slowquery 0 logs every query with its EXPLAIN.
+	if logged := logs.String(); !strings.Contains(logged, "slow query") || !strings.Contains(logged, `\"strategy\":\"Gui\"`) && !strings.Contains(logged, `"strategy":"Gui"`) {
+		t.Errorf("slow-query log missing or without explain:\n%.800s", logged)
 	}
 
 	cancel()
@@ -134,6 +202,61 @@ func TestServeUntil(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("serveUntil did not drain after cancel")
+	}
+}
+
+// waitForReady polls the readiness probe until it answers 200.
+func waitForReady(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		r, err := http.Get(url)
+		if err == nil {
+			r.Body.Close()
+			if r.StatusCode == http.StatusOK {
+				return
+			}
+			if r.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("readyz: unexpected status %d", r.StatusCode)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("readyz never turned ready")
+}
+
+// TestReadinessGate checks the probe split: /healthz always answers 200
+// (liveness), /readyz and /query answer 503 until the ready flag flips.
+func TestReadinessGate(t *testing.T) {
+	var ready atomic.Bool
+	var logs lockedBuffer
+	h := newAPIHandler(apiConfig{
+		ready: &ready, logger: newLogger(serveConfig{logTo: &logs}),
+	})
+
+	status := func(path string) int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Errorf("healthz before ready = %d, want 200", got)
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("readyz before ready = %d, want 503", got)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/query", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("query before ready = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("warming-up 503 missing Retry-After")
+	}
+
+	ready.Store(true)
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Errorf("readyz after ready = %d, want 200", got)
 	}
 }
 

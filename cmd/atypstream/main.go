@@ -70,7 +70,7 @@ func main() {
 			closed = append(closed, c)
 			if float64(c.Severity()) >= *alert {
 				alerts++
-				fmt.Printf("ALERT %s\n", report.Describe(net, spec, c))
+				fmt.Fprintf(os.Stdout, "ALERT %s\n", report.Describe(net, spec, c))
 			}
 		},
 	}, &idgen)
@@ -94,7 +94,7 @@ func main() {
 	proc.Flush()
 	elapsed := time.Since(start)
 
-	fmt.Printf("\nreplayed %d records in %s (%.0f records/s): %d events closed, %d alerts\n",
+	fmt.Fprintf(os.Stdout, "\nreplayed %d records in %s (%.0f records/s): %d events closed, %d alerts\n",
 		proc.Observed(), elapsed.Round(time.Millisecond),
 		float64(proc.Observed())/elapsed.Seconds(), proc.Emitted(), alerts)
 
@@ -102,7 +102,7 @@ func main() {
 	if *top > len(closed) {
 		*top = len(closed)
 	}
-	fmt.Printf("\ntop %d events of the replay:\n%s", *top, report.Ranking(net, spec, closed[:*top]))
+	fmt.Fprintf(os.Stdout, "\ntop %d events of the replay:\n%s", *top, report.Ranking(net, spec, closed[:*top]))
 }
 
 func fatal(err error) {

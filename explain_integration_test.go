@@ -1,0 +1,126 @@
+package atypical
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestQueryExplainFacade exercises the EXPLAIN surface end to end through
+// the facade: the record is collected, canonical JSON is deterministic
+// across identical queries, and the report itself is exactly what the
+// explain-free entry point returns.
+func TestQueryExplainFacade(t *testing.T) {
+	sys := buildSystem(t)
+	plain, err := sys.QueryCityCtx(context.Background(), 0, 7, Guided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payloads [][]byte
+	for run := 0; run < 2; run++ {
+		rep, exp, err := sys.QueryCityExplainCtx(context.Background(), 0, 7, Guided)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exp == nil {
+			t.Fatal("explain record missing")
+		}
+		if exp.Strategy != "Gui" {
+			t.Errorf("explain strategy = %q", exp.Strategy)
+		}
+		if rep.CandidateMicros != plain.CandidateMicros || rep.InputMicros != plain.InputMicros ||
+			rep.RedZones != plain.RedZones || len(rep.Macros) != len(plain.Macros) ||
+			len(rep.Significant) != len(plain.Significant) {
+			t.Errorf("explained report shape diverged: %+v vs %+v", rep, plain)
+		}
+		data, err := exp.Canonical().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, data)
+	}
+	if !bytes.Equal(payloads[0], payloads[1]) {
+		t.Errorf("canonical Explain differs across identical facade queries:\n%s\nvs\n%s",
+			payloads[0], payloads[1])
+	}
+}
+
+// TestQuerySLOOption wires an impossible latency objective and checks the
+// burn-rate gauge reports the budget overrun on /metrics-visible series.
+func TestQuerySLOOption(t *testing.T) {
+	reg := NewObserver()
+	sys := buildSystem(t, WithObserver(reg),
+		WithQuerySLO(Guided, SLOTarget{Latency: time.Nanosecond, Objective: 0.99}))
+	if rep := sys.QueryCity(0, 7, Guided); len(rep.Macros) == 0 {
+		t.Fatal("query returned nothing; SLO assertions would be vacuous")
+	}
+	snap := sys.Metrics()
+	if v, ok := snap.Value("atyp_slo_breaches_total", "strategy", "gui"); !ok || v < 1 {
+		t.Errorf("breaches = %v (present=%v), want >= 1", v, ok)
+	}
+	// Every query breached a 1ns target: burn rate = 1/(1-0.99) = 100.
+	if v, ok := snap.Value("atyp_slo_burn_rate", "strategy", "gui"); !ok || v < 99 {
+		t.Errorf("burn rate = %v (present=%v), want ~100", v, ok)
+	}
+	if _, ok := snap.Value("atyp_slo_burn_rate", "strategy", "all"); ok {
+		t.Error("unconfigured strategy gained SLO series")
+	}
+}
+
+// TestTraceRingFacade attaches a TraceRing as the span exporter and reads
+// the assembled traces back through /debug/traces.
+func TestTraceRingFacade(t *testing.T) {
+	ring := NewTraceRing(16)
+	sys := buildSystem(t, WithSpanExporter(ring.Export))
+	if _, err := sys.QueryCityCtx(context.Background(), 0, 7, IntegrateAll); err != nil {
+		t.Fatal(err)
+	}
+	traces := ring.Snapshot()
+	if len(traces) == 0 {
+		t.Fatal("ring captured no traces")
+	}
+	var query *Trace
+	for i := range traces {
+		if traces[i].Root.Name == "query.run" {
+			query = &traces[i]
+		}
+	}
+	if query == nil {
+		t.Fatalf("no query.run root among %d traces", len(traces))
+	}
+	foundChild := false
+	for _, c := range query.Children {
+		if c.Name == "query.integrate" {
+			foundChild = true
+			if c.TraceID != query.Root.TraceID {
+				t.Errorf("child trace ID %d != root %d", c.TraceID, query.Root.TraceID)
+			}
+		}
+	}
+	if !foundChild {
+		t.Errorf("query.integrate child missing from trace: %+v", query.Children)
+	}
+
+	srv := httptest.NewServer(NewDebugMux(sys.Observer(), ring))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatalf("invalid /debug/traces JSON: %v\n%s", err, body)
+	}
+	if len(decoded) == 0 {
+		t.Error("/debug/traces empty")
+	}
+}

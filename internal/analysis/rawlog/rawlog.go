@@ -1,0 +1,89 @@
+// Package rawlog defines an analyzer enforcing the structured-logging seam
+// in command binaries: package main must not log through the stdlib log
+// package's printers or write to the implicit stdout via fmt.Print*,
+// because only the internal/obs/olog handler emits structured lines with
+// span/trace correlation (and only structured lines survive log pipelines).
+//
+// Flagged in package main: log.Print/Printf/Println, log.Fatal/Fatalf/
+// Fatalln and log.Panic/Panicf/Panicln, plus fmt.Print/Printf/Println
+// (implicit stdout). Explicit-writer output — fmt.Fprintf(os.Stdout, ...)
+// for program results, fmt.Fprintln(os.Stderr, ...) for fatal errors — is
+// allowed: naming the destination is precisely what separates a program's
+// output from its logging. Library packages, _test.go files and the
+// examples tree are exempt. A deliberate exception needs a written
+// justification via "//atyplint:ignore rawlog reason".
+package rawlog
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/cpskit/atypical/internal/analysis/framework"
+)
+
+// Analyzer flags stdlib log printers and implicit-stdout fmt prints in
+// package main.
+var Analyzer = &framework.Analyzer{
+	Name: "rawlog",
+	Doc: "flag log.Printf/fmt.Print* in command binaries " +
+		"(logs must go through the structured internal/obs/olog seam; " +
+		"program output must name its writer via fmt.Fprint*)",
+	Run: run,
+}
+
+// flaggedLog is the set of package log printers: unstructured lines on the
+// shared default logger.
+var flaggedLog = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+// flaggedFmt is the set of fmt printers writing to the implicit stdout.
+var flaggedFmt = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if pass.Pkg.Name() != "main" {
+		return nil, nil // the seam binds commands; libraries return errors
+	}
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue // tests print through the testing package anyway
+		}
+		if strings.Contains(filename, "/examples/") {
+			continue // examples print for the reader, not for operators
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "log" && flaggedLog[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"unstructured log.%s in a command binary; log through the "+
+						"internal/obs/olog slog handler for structured, span-correlated lines",
+					fn.Name())
+			case fn.Pkg().Path() == "fmt" && flaggedFmt[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"fmt.%s writes to the implicit stdout; name the destination "+
+						"(fmt.F%s(os.Stdout, ...)) so output and logging stay separable",
+					fn.Name(), strings.ToLower(fn.Name()[:1])+fn.Name()[1:])
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

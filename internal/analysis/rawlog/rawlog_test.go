@@ -1,0 +1,15 @@
+package rawlog_test
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/analysistest"
+	"github.com/cpskit/atypical/internal/analysis/rawlog"
+)
+
+func TestRawLog(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", rawlog.Analyzer, "rawlog")
+	if len(diags) == 0 {
+		t.Fatal("expected at least one true-positive diagnostic on the fixture")
+	}
+}

@@ -1,0 +1,39 @@
+// Fixture for the rawlog analyzer: stdlib log printers and implicit-stdout
+// fmt prints are flagged in package main; explicit-writer output is not.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	bad()
+	good()
+}
+
+func bad() {
+	log.Printf("ingest done in %s", "1s")   // want `unstructured log\.Printf in a command binary`
+	log.Println("listener up")              // want `unstructured log\.Println in a command binary`
+	log.Print("starting")                   // want `unstructured log\.Print in a command binary`
+	fmt.Printf("%d clusters\n", 3)          // want `fmt\.Printf writes to the implicit stdout`
+	fmt.Println("done")                     // want `fmt\.Println writes to the implicit stdout`
+	fmt.Print("x")                          // want `fmt\.Print writes to the implicit stdout`
+	defer log.Fatalf("unreachable: %v", 1)  // want `unstructured log\.Fatalf in a command binary`
+}
+
+// lookalike has the flagged names on a different receiver: not package log.
+type lookalike struct{}
+
+func (lookalike) Printf(string, ...any) {}
+func (lookalike) Println(...any)        {}
+
+func good() {
+	fmt.Fprintf(os.Stdout, "%d clusters\n", 3) // explicit writer: program output
+	fmt.Fprintln(os.Stderr, "fatal:", "err")   // explicit writer: error channel
+	_ = fmt.Sprintf("%d", 3)                   // formatting is not printing
+	var lk lookalike
+	lk.Printf("%d", 3)
+	lk.Println("done")
+}

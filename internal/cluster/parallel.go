@@ -85,6 +85,29 @@ func ExtractMicroClustersDays(ctx context.Context, gen *IDGen, days []DayRecords
 // and with it the integration result, depends only on the input.
 const integrateChunkSize = 128
 
+// IntegrateChunkSize exports the fixed merge-tree leaf width for
+// introspection surfaces (query EXPLAIN reports the tree shape).
+const IntegrateChunkSize = integrateChunkSize
+
+// MergeTreeWidths returns the node count at each level of the fixed
+// reduction tree IntegrateParallelCtx builds for n inputs: widths[0] is the
+// leaf chunk count, each next level halves (odd tails carry), and the last
+// entry is always 1. n <= 1 short-circuits integration entirely and yields
+// nil. Because the tree is a function of n alone, EXPLAIN can report the
+// exact shape without instrumenting the reduction.
+func MergeTreeWidths(n int) []int {
+	if n <= 1 {
+		return nil
+	}
+	width := (n + integrateChunkSize - 1) / integrateChunkSize
+	widths := []int{width}
+	for width > 1 {
+		width = (width + 1) / 2
+		widths = append(widths, width)
+	}
+	return widths
+}
+
 // IntegrateParallel is Integrate as a chunked pairwise-merge tree reduction:
 // fixed-size chunks integrate independently, then neighbors combine level by
 // level until one cluster set remains. See the package comment above for the

@@ -15,6 +15,7 @@
 package forest
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -262,7 +263,16 @@ func (f *Forest) MicrosInRange(tr cps.TimeRange) []*cluster.Cluster {
 // Week integrates (and memoizes) the macro-clusters of week w — the
 // clustering-tree level above days in Fig. 10.
 func (f *Forest) Week(w int) []*cluster.Cluster {
-	return f.memoized(memoKey{'w', w}, func() []*cluster.Cluster {
+	return f.WeekCtx(context.Background(), w)
+}
+
+// WeekCtx is Week with introspection: when ctx carries an obs.MemoSink
+// (installed by the query EXPLAIN pipeline), the lookup reports whether it
+// hit the memo cache and which forest version it saw. The context carries
+// observability only — cancellation is not consulted, and the answer is
+// identical to Week's.
+func (f *Forest) WeekCtx(ctx context.Context, w int) []*cluster.Cluster {
+	return f.memoized(ctx, memoKey{'w', w}, func() []*cluster.Cluster {
 		f.mu.RLock()
 		var leaves []*cluster.Cluster
 		for d := w * DaysPerWeek; d < (w+1)*DaysPerWeek; d++ {
@@ -277,15 +287,30 @@ func (f *Forest) Week(w int) []*cluster.Cluster {
 // week-level clusters — the multi-level aggregation path day → week →
 // month.
 func (f *Forest) Month(m int) []*cluster.Cluster {
-	return f.memoized(memoKey{'m', m}, func() []*cluster.Cluster {
+	return f.MonthCtx(context.Background(), m)
+}
+
+// MonthCtx is Month with introspection; see WeekCtx. Week lookups performed
+// on behalf of the month integration report through the same sink.
+func (f *Forest) MonthCtx(ctx context.Context, m int) []*cluster.Cluster {
+	return f.memoized(ctx, memoKey{'m', m}, func() []*cluster.Cluster {
 		firstDay := m * f.daysPerMonth
 		lastDay := (m+1)*f.daysPerMonth - 1
 		var leaves []*cluster.Cluster
 		for w := firstDay / DaysPerWeek; w <= lastDay/DaysPerWeek; w++ {
-			leaves = append(leaves, f.Week(w)...)
+			leaves = append(leaves, f.WeekCtx(ctx, w)...)
 		}
 		return f.integrate(leaves)
 	})
+}
+
+// Version returns the forest's write-version counter — bumped by every
+// AddDay/AppendDay, and the join key EXPLAIN records use to tie an answer
+// to a specific forest state.
+func (f *Forest) Version() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.version
 }
 
 // memoMapLocked returns the memo map for a level. Callers hold f.mu.
@@ -296,17 +321,31 @@ func (f *Forest) memoMapLocked(level byte) map[int][]*cluster.Cluster {
 	return f.months
 }
 
+// levelName expands the memo level byte for events and EXPLAIN records.
+func levelName(level byte) string {
+	if level == 'w' {
+		return "week"
+	}
+	return "month"
+}
+
 // memoized returns the cached value for key or computes it once: concurrent
 // first callers coalesce onto a single compute (singleflight), and a result
 // computed against a forest that changed meanwhile is returned to its
-// callers but not cached.
-func (f *Forest) memoized(key memoKey, compute func() []*cluster.Cluster) []*cluster.Cluster {
+// callers but not cached. Each lookup reports hit/miss both to the metric
+// handles (process-wide aggregates) and to any obs.MemoSink on ctx (the
+// per-request EXPLAIN path).
+func (f *Forest) memoized(ctx context.Context, key memoKey, compute func() []*cluster.Cluster) []*cluster.Cluster {
 	f.mu.RLock()
 	cached, ok := f.memoMapLocked(key.level)[key.idx]
 	ver := f.version
 	f.mu.RUnlock()
+	emit := func(hit bool) {
+		obs.EmitMemo(ctx, obs.MemoEvent{Level: levelName(key.level), Index: key.idx, Hit: hit, Version: ver})
+	}
 	if ok {
 		f.obsm.Load().memoHit(key.level)
+		emit(true)
 		return cached
 	}
 
@@ -316,6 +355,7 @@ func (f *Forest) memoized(key memoKey, compute func() []*cluster.Cluster) []*clu
 		// Coalescing onto another caller's computation counts as a hit:
 		// no integration work is spent on this lookup.
 		f.obsm.Load().memoHit(key.level)
+		emit(true)
 		<-c.done
 		return c.val
 	}
@@ -330,9 +370,11 @@ func (f *Forest) memoized(key memoKey, compute func() []*cluster.Cluster) []*clu
 	f.mu.RUnlock()
 	if ok {
 		f.obsm.Load().memoHit(key.level)
+		emit(true)
 		c.val = cached
 	} else {
 		f.obsm.Load().memoMiss(key.level)
+		emit(false)
 		c.val = compute()
 		f.mu.Lock()
 		if f.version == ver {

@@ -22,6 +22,7 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	if r == nil {
 		return 0, nil
 	}
+	r.runCollect()
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	r.mu.RLock()
@@ -152,8 +153,10 @@ func (r *Registry) Handler() http.Handler {
 // NewDebugMux wires the standard operational surface: /metrics for the
 // registry and the full net/http/pprof suite under /debug/pprof/ — on an
 // explicit mux rather than http.DefaultServeMux, so callers choose what
-// they expose and where.
-func NewDebugMux(r *Registry) *http.ServeMux {
+// they expose and where. Passing a TraceRing additionally mounts it at
+// /debug/traces (JSON, newest root span first); only the first ring is
+// used.
+func NewDebugMux(r *Registry, rings ...*TraceRing) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -161,5 +164,11 @@ func NewDebugMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, ring := range rings {
+		if ring != nil {
+			mux.Handle("/debug/traces", ring.Handler())
+			break
+		}
+	}
 	return mux
 }

@@ -1,0 +1,51 @@
+package obs
+
+import "context"
+
+// Introspection hooks. Like span exporters, these propagate through
+// context.Context so a single request can opt into deep visibility without
+// arming the whole process: the query EXPLAIN pipeline installs a MemoSink
+// before walking the forest, and the forest emits one MemoEvent per
+// memoized-level lookup it performs on behalf of that request. With no sink
+// in the context every emit is one failed context lookup — the same
+// zero-cost-when-disabled contract as spans.
+
+// MemoEvent describes one memoized-level lookup inside the forest: which
+// level slot was touched, whether it was served from cache (or coalesced
+// onto an in-flight computation), and the forest version the lookup saw —
+// enough for an EXPLAIN reader to tell a warm query from one that paid for
+// integration, and to correlate the answer with a specific forest state.
+type MemoEvent struct {
+	// Level is the memoized level ("week" or "month").
+	Level string
+	// Index is the level slot (week or month number).
+	Index int
+	// Hit reports a cache hit (including coalescing onto another caller's
+	// in-flight computation).
+	Hit bool
+	// Version is the forest version counter observed by the lookup.
+	Version uint64
+}
+
+// MemoSink receives memo events. Sinks are called synchronously on the
+// goroutine performing the lookup; a sink shared across goroutines must
+// synchronize itself.
+type MemoSink func(MemoEvent)
+
+type memoSinkKey struct{}
+
+// WithMemoSink arms ctx so forest memo lookups below it report into sink.
+// A nil sink returns ctx unchanged.
+func WithMemoSink(ctx context.Context, sink MemoSink) context.Context {
+	if sink == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, memoSinkKey{}, sink)
+}
+
+// EmitMemo delivers ev to the context's memo sink, if any.
+func EmitMemo(ctx context.Context, ev MemoEvent) {
+	if sink, _ := ctx.Value(memoSinkKey{}).(MemoSink); sink != nil {
+		sink(ev)
+	}
+}

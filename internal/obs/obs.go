@@ -59,6 +59,9 @@ func (k Kind) String() string {
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
+	// collect hooks run before every Snapshot/WriteTo, outside the lock —
+	// pull-style metrics (Go runtime vitals) refresh their gauges here.
+	collect []func()
 }
 
 // family is one metric family: a name, a kind, and its label-keyed series.
@@ -233,11 +236,35 @@ type Snapshot struct {
 	Samples []Sample
 }
 
+// OnCollect registers fn to run at the start of every Snapshot and WriteTo,
+// before the registry lock is taken — the seam for scrape-time metrics that
+// are pulled rather than pushed (see RegisterRuntimeMetrics). Hooks must be
+// safe for concurrent calls: two scrapes may overlap.
+func (r *Registry) OnCollect(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collect = append(r.collect, fn)
+	r.mu.Unlock()
+}
+
+// runCollect invokes the collect hooks outside the lock.
+func (r *Registry) runCollect() {
+	r.mu.RLock()
+	hooks := r.collect
+	r.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
 // Snapshot captures the registry. A nil registry yields an empty snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
+	r.runCollect()
 	r.mu.RLock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {

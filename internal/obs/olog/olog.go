@@ -1,0 +1,88 @@
+// Package olog is the project's structured logging seam: a thin wrapper
+// around the stdlib log/slog that stamps every record carrying a traced
+// context with the span correlation IDs of internal/obs. One seam, one
+// format — cmd/ binaries log through olog instead of log.Printf, so a log
+// line about a slow query carries the same trace ID as the span in
+// /debug/traces and the EXPLAIN record returned to the client. The rawlog
+// atyplint analyzer mechanically enforces the seam.
+//
+// Records logged with a plain context carry no extra attributes; records
+// logged with a context inside an obs span gain trace, span and span_name.
+// The handler delegates rendering to any slog.Handler, so callers pick
+// text (human tails) or JSON (log shippers) without touching call sites.
+package olog
+
+import (
+	"context"
+	"io"
+	"log/slog"
+
+	"github.com/cpskit/atypical/internal/obs"
+)
+
+// Handler decorates an inner slog.Handler with span correlation: records
+// whose context is inside an obs span gain trace/span/span_name attributes.
+type Handler struct {
+	inner slog.Handler
+}
+
+// NewHandler wraps inner with span correlation.
+func NewHandler(inner slog.Handler) *Handler {
+	return &Handler{inner: inner}
+}
+
+// Enabled defers to the inner handler.
+func (h *Handler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle stamps span correlation attributes and delegates.
+func (h *Handler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		rec = rec.Clone()
+		rec.AddAttrs(
+			slog.String("trace", sp.TraceHex()),
+			slog.String("span", sp.SpanHex()),
+			slog.String("span_name", sp.Name),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+// WithAttrs returns a correlated handler over the inner handler's WithAttrs.
+func (h *Handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &Handler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup returns a correlated handler over the inner handler's WithGroup.
+func (h *Handler) WithGroup(name string) slog.Handler {
+	return &Handler{inner: h.inner.WithGroup(name)}
+}
+
+// Options configures the convenience constructors.
+type Options struct {
+	// Level is the minimum record level (default slog.LevelInfo).
+	Level slog.Leveler
+	// JSON selects slog.NewJSONHandler rendering over text.
+	JSON bool
+}
+
+// New returns a logger writing slog text lines to w with span correlation —
+// the default for command diagnostics on stderr.
+func New(w io.Writer) *slog.Logger { return NewWith(w, Options{}) }
+
+// NewJSON returns a logger writing slog JSON lines to w with span
+// correlation — the shape log shippers ingest.
+func NewJSON(w io.Writer) *slog.Logger { return NewWith(w, Options{JSON: true}) }
+
+// NewWith returns a correlated logger over w with explicit options.
+func NewWith(w io.Writer, o Options) *slog.Logger {
+	hopts := &slog.HandlerOptions{Level: o.Level}
+	var inner slog.Handler
+	if o.JSON {
+		inner = slog.NewJSONHandler(w, hopts)
+	} else {
+		inner = slog.NewTextHandler(w, hopts)
+	}
+	return slog.New(NewHandler(inner))
+}

@@ -1,0 +1,111 @@
+package olog_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"github.com/cpskit/atypical/internal/obs"
+	"github.com/cpskit/atypical/internal/obs/olog"
+)
+
+// TestSpanCorrelation checks a record logged inside a span carries the
+// span's trace and span IDs, and one logged outside carries neither.
+func TestSpanCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	logger := olog.NewJSON(&buf)
+
+	ctx := obs.WithExporter(context.Background(), func(obs.Span) {})
+	sctx, sp := obs.Start(ctx, "query.run")
+	if sp == nil {
+		t.Fatal("armed context produced a nil span")
+	}
+	logger.InfoContext(sctx, "inside", "k", "v")
+	sp.End()
+	logger.InfoContext(context.Background(), "outside")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2:\n%s", len(lines), buf.String())
+	}
+
+	var inside map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &inside); err != nil {
+		t.Fatalf("inside line not JSON: %v", err)
+	}
+	if inside["trace"] != sp.TraceHex() || inside["span"] != sp.SpanHex() {
+		t.Errorf("inside line trace/span = %v/%v, want %s/%s",
+			inside["trace"], inside["span"], sp.TraceHex(), sp.SpanHex())
+	}
+	if inside["span_name"] != "query.run" {
+		t.Errorf("span_name = %v, want query.run", inside["span_name"])
+	}
+	if inside["k"] != "v" {
+		t.Errorf("user attr lost: %v", inside)
+	}
+
+	var outside map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &outside); err != nil {
+		t.Fatalf("outside line not JSON: %v", err)
+	}
+	if _, ok := outside["trace"]; ok {
+		t.Errorf("uncorrelated record gained a trace attr: %v", outside)
+	}
+}
+
+// TestTextHandlerCorrelation checks the text form carries the same
+// correlation attributes.
+func TestTextHandlerCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	logger := olog.New(&buf)
+	ctx := obs.WithExporter(context.Background(), func(obs.Span) {})
+	sctx, sp := obs.Start(ctx, "ingest")
+	logger.WarnContext(sctx, "slow")
+	sp.End()
+	line := buf.String()
+	if !strings.Contains(line, "trace="+sp.TraceHex()) || !strings.Contains(line, "span_name=ingest") {
+		t.Errorf("text line missing correlation: %s", line)
+	}
+}
+
+// TestLevelGate checks Options.Level filters below-threshold records.
+func TestLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	logger := olog.NewWith(&buf, olog.Options{Level: slog.LevelWarn})
+	logger.Info("dropped")
+	logger.Warn("kept")
+	if got := buf.String(); strings.Contains(got, "dropped") || !strings.Contains(got, "kept") {
+		t.Errorf("level gate failed:\n%s", got)
+	}
+}
+
+// TestWithAttrsAndGroupKeepCorrelation checks derived loggers still stamp
+// span IDs.
+func TestWithAttrsAndGroupKeepCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	logger := olog.NewJSON(&buf).With("component", "serve").WithGroup("query")
+	ctx := obs.WithExporter(context.Background(), func(obs.Span) {})
+	sctx, sp := obs.Start(ctx, "query.run")
+	logger.InfoContext(sctx, "hit", "strategy", "gui")
+	sp.End()
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if rec["component"] != "serve" {
+		t.Errorf("WithAttrs attr lost: %v", rec)
+	}
+	group, _ := rec["query"].(map[string]any)
+	if group == nil || group["strategy"] != "gui" {
+		t.Errorf("group attrs wrong: %v", rec)
+	}
+	// Correlation attrs are added at Handle time, inside the open group —
+	// present either at top level or in the group depending on handler
+	// nesting; assert they exist somewhere.
+	if rec["trace"] == nil && group["trace"] == nil {
+		t.Errorf("derived logger lost correlation: %v", rec)
+	}
+}

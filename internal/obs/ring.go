@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceRing keeps the last N finished root spans together with their child
+// spans — the live introspection surface behind /debug/traces. It doubles
+// as a SpanExporter: wire ring.Export as the exporter and every completed
+// root region (a query, an ingest) lands in the ring with its stage spans
+// attached.
+//
+// The ring itself is lock-free: completed traces are published by an
+// atomic cursor increment plus an atomic pointer store, and snapshots read
+// the slots with atomic loads — writers never block readers and vice
+// versa. Child spans end before their root (End is called innermost-first),
+// so between a child's End and its root's End the child is parked in a
+// small mutex-guarded staging map keyed by trace ID; only the final
+// assembly into the ring is published.
+type TraceRing struct {
+	slots  []atomic.Pointer[Trace]
+	cursor atomic.Uint64 // next sequence number; slot = (seq-1) % len
+
+	mu      sync.Mutex
+	pending map[uint64][]Span // trace ID → finished non-root spans
+}
+
+// Trace is one finished root span plus the child spans that ran under it,
+// in completion order.
+type Trace struct {
+	Root     Span
+	Children []Span
+}
+
+// maxStagedTraces bounds how many distinct unfinished traces may hold
+// staged children at once.
+const maxStagedTraces = 1024
+
+// NewTraceRing returns a ring keeping the last n root spans; n < 1 is
+// raised to 1.
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{
+		slots:   make([]atomic.Pointer[Trace], n),
+		pending: make(map[uint64][]Span),
+	}
+}
+
+// Export implements SpanExporter: child spans stage until their root ends,
+// root spans assemble the trace and publish it into the ring. Spans without
+// a trace ID (never produced by Start) are dropped.
+func (tr *TraceRing) Export(s Span) {
+	if tr == nil || s.TraceID == 0 {
+		return
+	}
+	if s.ParentID != 0 {
+		tr.mu.Lock()
+		// Bound the staging map: a root that never ends (panic, programmer
+		// error) must not leak its children forever. Dropping the incoming
+		// child loses detail on a pathological trace, never a healthy one.
+		if len(tr.pending) < maxStagedTraces || tr.pending[s.TraceID] != nil {
+			tr.pending[s.TraceID] = append(tr.pending[s.TraceID], s)
+		}
+		tr.mu.Unlock()
+		return
+	}
+	tr.mu.Lock()
+	children := tr.pending[s.TraceID]
+	delete(tr.pending, s.TraceID)
+	tr.mu.Unlock()
+	t := &Trace{Root: s, Children: children}
+	seq := tr.cursor.Add(1)
+	tr.slots[(seq-1)%uint64(len(tr.slots))].Store(t)
+}
+
+// Snapshot returns the completed traces, newest first. Concurrent exports
+// may publish while the snapshot walks the slots; each slot read is atomic,
+// so every returned trace is fully assembled even if the set is a
+// non-instantaneous cut.
+func (tr *TraceRing) Snapshot() []Trace {
+	if tr == nil {
+		return nil
+	}
+	n := uint64(len(tr.slots))
+	head := tr.cursor.Load()
+	out := make([]Trace, 0, n)
+	for i := uint64(0); i < n && i < head; i++ {
+		t := tr.slots[(head-1-i)%n].Load()
+		if t == nil {
+			break // older slot not yet published by a lagging writer
+		}
+		out = append(out, *t)
+	}
+	return out
+}
+
+// traceJSON is the wire shape of one trace at /debug/traces.
+type traceJSON struct {
+	Trace    string     `json:"trace"`
+	Root     spanJSON   `json:"root"`
+	Children []spanJSON `json:"children,omitempty"`
+}
+
+// spanJSON is the wire shape of one span.
+type spanJSON struct {
+	Name       string            `json:"name"`
+	Span       string            `json:"span"`
+	Parent     string            `json:"parent,omitempty"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+func toSpanJSON(s Span) spanJSON {
+	out := spanJSON{
+		Name:       s.Name,
+		Span:       s.SpanHex(),
+		Parent:     s.Parent,
+		Start:      s.Start,
+		DurationMS: float64(s.Duration) / float64(time.Millisecond),
+	}
+	if len(s.Attrs) > 0 {
+		out.Attrs = make(map[string]string, len(s.Attrs))
+		for _, a := range s.Attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	return out
+}
+
+// Handler serves the ring as JSON, newest trace first.
+func (tr *TraceRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		traces := tr.Snapshot()
+		out := make([]traceJSON, 0, len(traces))
+		for _, t := range traces {
+			tj := traceJSON{Trace: t.Root.TraceHex(), Root: toSpanJSON(t.Root)}
+			for _, c := range t.Children {
+				tj.Children = append(tj.Children, toSpanJSON(c))
+			}
+			out = append(out, tj)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out) // headers sent; a broken pipe has no recovery
+	})
+}

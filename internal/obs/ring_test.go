@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestTraceRingAssemblesChildren checks a root span arrives in the ring
+// with its finished children attached and newest-first ordering holds.
+func TestTraceRingAssemblesChildren(t *testing.T) {
+	ring := NewTraceRing(4)
+	ctx := WithExporter(context.Background(), ring.Export)
+
+	for i := 0; i < 2; i++ {
+		rctx, root := Start(ctx, fmt.Sprintf("query.run.%d", i))
+		_, child := Start(rctx, "query.integrate")
+		child.End()
+		root.End()
+	}
+
+	traces := ring.Snapshot()
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	if traces[0].Root.Name != "query.run.1" || traces[1].Root.Name != "query.run.0" {
+		t.Errorf("not newest-first: %s then %s", traces[0].Root.Name, traces[1].Root.Name)
+	}
+	newest := traces[0]
+	if len(newest.Children) != 1 || newest.Children[0].Name != "query.integrate" {
+		t.Fatalf("children = %+v, want one query.integrate", newest.Children)
+	}
+	if newest.Children[0].TraceID != newest.Root.TraceID {
+		t.Error("child trace ID differs from root")
+	}
+	if newest.Children[0].ParentID != newest.Root.SpanID {
+		t.Error("child parent ID does not point at root span")
+	}
+}
+
+// TestTraceRingEviction checks the ring keeps only the last N roots.
+func TestTraceRingEviction(t *testing.T) {
+	ring := NewTraceRing(3)
+	ctx := WithExporter(context.Background(), ring.Export)
+	for i := 0; i < 10; i++ {
+		_, root := Start(ctx, fmt.Sprintf("r%d", i))
+		root.End()
+	}
+	traces := ring.Snapshot()
+	if len(traces) != 3 {
+		t.Fatalf("got %d traces, want 3", len(traces))
+	}
+	for i, want := range []string{"r9", "r8", "r7"} {
+		if traces[i].Root.Name != want {
+			t.Errorf("trace[%d] = %s, want %s", i, traces[i].Root.Name, want)
+		}
+	}
+}
+
+// TestTraceRingHandler checks the JSON surface renders the snapshot.
+func TestTraceRingHandler(t *testing.T) {
+	ring := NewTraceRing(2)
+	ctx := WithExporter(context.Background(), ring.Export)
+	rctx, root := Start(ctx, "query.run")
+	root.SetAttr("strategy", "gui")
+	_, child := Start(rctx, "query.redzones")
+	child.End()
+	root.End()
+
+	rec := httptest.NewRecorder()
+	ring.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var out []struct {
+		Trace string `json:"trace"`
+		Root  struct {
+			Name  string            `json:"name"`
+			Attrs map[string]string `json:"attrs"`
+		} `json:"root"`
+		Children []struct {
+			Name string `json:"name"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(out) != 1 || out[0].Root.Name != "query.run" {
+		t.Fatalf("unexpected payload: %s", rec.Body.String())
+	}
+	if out[0].Root.Attrs["strategy"] != "gui" {
+		t.Errorf("root attrs lost: %s", rec.Body.String())
+	}
+	if len(out[0].Children) != 1 || out[0].Children[0].Name != "query.redzones" {
+		t.Errorf("children wrong: %s", rec.Body.String())
+	}
+	if out[0].Trace != root.TraceHex() {
+		t.Errorf("trace id = %s, want %s", out[0].Trace, root.TraceHex())
+	}
+}
+
+// TestTraceRingConcurrent hammers the ring with concurrent exporters and
+// snapshot readers; run under -race this is the satellite's ring hammer.
+// Every observed trace must be fully assembled (children belong to the
+// root's trace).
+func TestTraceRingConcurrent(t *testing.T) {
+	ring := NewTraceRing(8)
+	ctx := WithExporter(context.Background(), ring.Export)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				rctx, root := Start(ctx, "root")
+				_, c1 := Start(rctx, "stage.a")
+				c1.End()
+				_, c2 := Start(rctx, "stage.b")
+				c2.End()
+				root.End()
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, tr := range ring.Snapshot() {
+					for _, c := range tr.Children {
+						if c.TraceID != tr.Root.TraceID {
+							t.Error("torn trace: child from another root")
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := len(ring.Snapshot()); got != 8 {
+		t.Errorf("ring holds %d traces after hammer, want 8", got)
+	}
+}

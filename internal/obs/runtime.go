@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Go runtime metrics. RegisterRuntimeMetrics arms a registry with process
+// vitals — goroutine count, heap bytes, GC pause distribution — refreshed
+// at scrape time through the registry's collect hook, plus a constant
+// atyp_build_info gauge carrying the toolchain version and VCS revision.
+// Scrape-time refresh keeps the cost where the reader is: an unscraped
+// registry never touches runtime.ReadMemStats.
+
+// gcPauseBuckets spans 10µs to ~80ms in powers of two — the realistic Go
+// GC stop-the-world pause range.
+var gcPauseBuckets = ExpBuckets(10e-6, 2, 14)
+
+// RegisterRuntimeMetrics registers the Go runtime families on r and hooks
+// their refresh into every Snapshot/WriteTo. Safe to call more than once
+// (handles resolve to the same series; each call adds its own hook, so call
+// it once per registry). A nil registry is a no-op.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	goroutines := r.Gauge("atyp_go_goroutines", "goroutines currently live")
+	heapAlloc := r.Gauge("atyp_go_heap_alloc_bytes", "bytes of allocated heap objects")
+	heapSys := r.Gauge("atyp_go_heap_sys_bytes", "bytes of heap obtained from the OS")
+	gcRuns := r.Gauge("atyp_go_gc_runs_total", "completed GC cycles since process start")
+	gcPause := r.Histogram("atyp_go_gc_pause_seconds",
+		"stop-the-world GC pause durations", gcPauseBuckets)
+	registerBuildInfo(r)
+
+	var mu sync.Mutex
+	lastGC := uint32(0)
+	r.OnCollect(func() {
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		gcRuns.Set(float64(ms.NumGC))
+		// Feed only the pauses completed since the previous scrape into the
+		// histogram; PauseNs is a 256-entry circular buffer indexed by cycle.
+		mu.Lock()
+		from := lastGC
+		if ms.NumGC-from > uint32(len(ms.PauseNs)) {
+			from = ms.NumGC - uint32(len(ms.PauseNs))
+		}
+		for c := from; c < ms.NumGC; c++ {
+			gcPause.Observe(float64(ms.PauseNs[(c+255)%256]) / 1e9)
+		}
+		lastGC = ms.NumGC
+		mu.Unlock()
+	})
+}
+
+// registerBuildInfo exposes atyp_build_info{go_version,vcs_revision} = 1,
+// the conventional join key for "which binary produced these series".
+func registerBuildInfo(r *Registry) {
+	goVersion, revision := runtime.Version(), "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	r.Gauge("atyp_build_info",
+		"constant 1 labeled with the build's toolchain and VCS revision",
+		"go_version", goVersion, "vcs_revision", revision).Set(1)
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestRuntimeMetricsCollect checks the runtime families refresh at
+// snapshot time and carry plausible values.
+func TestRuntimeMetricsCollect(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+
+	snap := r.Snapshot()
+	if v, ok := snap.Value("atyp_go_goroutines"); !ok || v < 1 {
+		t.Errorf("atyp_go_goroutines = %v (ok=%v), want >= 1", v, ok)
+	}
+	if v, ok := snap.Value("atyp_go_heap_alloc_bytes"); !ok || v <= 0 {
+		t.Errorf("atyp_go_heap_alloc_bytes = %v (ok=%v), want > 0", v, ok)
+	}
+	if _, ok := snap.Histogram("atyp_go_gc_pause_seconds"); !ok {
+		t.Error("GC pause histogram not registered")
+	}
+
+	// Force a GC cycle; the next scrape must feed the pause histogram and
+	// advance the cycle gauge.
+	runtime.GC()
+	snap = r.Snapshot()
+	if v, _ := snap.Value("atyp_go_gc_runs_total"); v < 1 {
+		t.Errorf("atyp_go_gc_runs_total = %v after runtime.GC(), want >= 1", v)
+	}
+	h, _ := snap.Histogram("atyp_go_gc_pause_seconds")
+	if h.Count < 1 {
+		t.Errorf("GC pause histogram count = %d after runtime.GC(), want >= 1", h.Count)
+	}
+}
+
+// TestBuildInfoGauge checks the build info join gauge exists with the
+// toolchain label and value 1.
+func TestBuildInfoGauge(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "atyp_build_info{") || !strings.Contains(out, `go_version="`) {
+		t.Errorf("build info gauge missing:\n%.600s", out)
+	}
+	for _, sm := range r.Snapshot().Samples {
+		if sm.Name == "atyp_build_info" && sm.Value != 1 {
+			t.Errorf("atyp_build_info = %v, want 1", sm.Value)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"context"
+	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,6 +14,14 @@ import (
 // completed span to the exporter. With no exporter in the context, Start
 // returns a nil *Span whose methods are no-ops and allocates nothing —
 // instrumented code calls Start/End unconditionally.
+//
+// Every span carries correlation IDs: a SpanID unique within the process, a
+// TraceID shared by every span under the same root, and the ParentID of its
+// enclosing span (0 at the root). The IDs let log lines (internal/obs/olog)
+// and the trace ring (/debug/traces) join on the same request. They are
+// drawn from a process-local atomic counter — cheap, collision-free within
+// a process, and only drawn when an exporter is armed, so the disabled path
+// stays allocation- and atomics-free.
 
 // Attr is one key/value annotation on a span.
 type Attr struct {
@@ -27,6 +37,13 @@ type Span struct {
 	Name string
 	// Parent is the enclosing span's name, "" at the root.
 	Parent string
+	// TraceID groups every span of one root region; inherited from the
+	// parent span, freshly drawn at the root.
+	TraceID uint64
+	// SpanID uniquely identifies this span within the process.
+	SpanID uint64
+	// ParentID is the enclosing span's SpanID, 0 at the root.
+	ParentID uint64
 	// Start is the opening wall-clock instant.
 	Start time.Time
 	// Duration is stamped by End.
@@ -35,6 +52,31 @@ type Span struct {
 	Attrs []Attr
 
 	exporter SpanExporter
+}
+
+// idCounter deals process-unique span and trace IDs, starting at 1 so 0
+// stays the "absent" sentinel.
+var idCounter atomic.Uint64
+
+// nextID returns a fresh non-zero ID.
+func nextID() uint64 { return idCounter.Add(1) }
+
+// TraceHex renders the trace ID as fixed-width hex, the form log lines and
+// the /debug/traces JSON share.
+func (s *Span) TraceHex() string { return idHex(s.TraceID) }
+
+// SpanHex renders the span ID as fixed-width hex.
+func (s *Span) SpanHex() string { return idHex(s.SpanID) }
+
+// idHex renders an ID as 16 hex digits.
+func idHex(id uint64) string {
+	const digits = 16
+	buf := make([]byte, 0, digits)
+	buf = strconv.AppendUint(buf, id, 16)
+	for len(buf) < digits {
+		buf = append([]byte{'0'}, buf...)
+	}
+	return string(buf)
 }
 
 // SpanExporter receives each completed span. Exporters must be safe for
@@ -59,6 +101,13 @@ func HasExporter(ctx context.Context) bool {
 	return exp != nil
 }
 
+// SpanFromContext returns the span ctx is currently inside, or nil. Log
+// handlers use it to stamp trace/span IDs onto records.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
 // Start opens a span named name if ctx carries an exporter, recording the
 // context's current span as its parent, and returns a context carrying the
 // new span. Without an exporter it returns ctx and a nil span — the
@@ -68,9 +117,13 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	if exp == nil {
 		return ctx, nil
 	}
-	s := &Span{Name: name, Start: time.Now(), exporter: exp}
+	s := &Span{Name: name, SpanID: nextID(), Start: time.Now(), exporter: exp}
 	if parent, _ := ctx.Value(spanKey{}).(*Span); parent != nil {
 		s.Parent = parent.Name
+		s.TraceID = parent.TraceID
+		s.ParentID = parent.SpanID
+	} else {
+		s.TraceID = nextID()
 	}
 	return context.WithValue(ctx, spanKey{}, s), s
 }

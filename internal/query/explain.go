@@ -1,0 +1,422 @@
+// Query EXPLAIN. The paper's contribution is a cost/accuracy trade between
+// the All/Pru/Gui strategies; aggregate counters (metrics.go) show the
+// trade across traffic, but debugging one slow or surprising query needs
+// the per-run story: which strategy ran, how many micro-clusters each stage
+// saw and shed, which red zones Gui consulted, how the forest's memo cache
+// behaved, the shape of the integration merge tree, and the significance
+// bound arithmetic δs·length(T)·N applied to each macro-cluster's actual
+// severity. An Explain record captures exactly that.
+//
+// Collection is per-request and context-armed, matching the span/metrics
+// contract: WithExplain returns a context carrying an empty record, the
+// engine fills it during the run, and with no record armed every hook is a
+// single context lookup — the result is never affected either way (the
+// byte-identity tests run with explain armed).
+
+package query
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/obs"
+)
+
+// explainRedZoneCap bounds the region IDs embedded per record; the count
+// is always exact.
+const explainRedZoneCap = 128
+
+// explainVerdictCap bounds the per-macro significance verdicts embedded per
+// record; the aggregate counts are always exact.
+const explainVerdictCap = 256
+
+// Explain is the structured record of one query run. Field order is fixed
+// (encoding/json emits struct fields in declaration order), and every
+// embedded slice is produced in a deterministic order, so two runs over
+// identical state marshal to identical bytes once timings are zeroed via
+// Canonical.
+type Explain struct {
+	// Strategy is the paper's label for the executed strategy.
+	Strategy string `json:"strategy"`
+	// Query describes the question asked.
+	Query ExplainQuery `json:"query"`
+	// Threshold is the significance bound math of Definition 5.
+	Threshold ExplainThreshold `json:"threshold"`
+	// Stages lists the pipeline stages in execution order with timings and
+	// input/output cardinalities.
+	Stages []ExplainStage `json:"stages"`
+	// Candidates summarizes the strategy's pruning behaviour.
+	Candidates ExplainCandidates `json:"candidates"`
+	// RedZones is present on Gui runs only.
+	RedZones *ExplainRedZones `json:"red_zones,omitempty"`
+	// Forest describes the forest state consulted and the memoized-level
+	// path taken (materialized runs).
+	Forest ExplainForest `json:"forest"`
+	// MergeTree is the integration shape.
+	MergeTree ExplainMergeTree `json:"merge_tree"`
+	// Significance holds the per-macro verdicts of the final filter.
+	Significance ExplainSignificance `json:"significance"`
+	// ElapsedNS is the run's wall-clock time.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// ExplainQuery is the question: spatial extent, time range, threshold.
+type ExplainQuery struct {
+	Regions    int     `json:"regions"`
+	Sensors    int     `json:"sensors"`
+	FromWindow int64   `json:"from_window"`
+	ToWindow   int64   `json:"to_window"`
+	Windows    int     `json:"windows"`
+	DeltaS     float64 `json:"delta_s"`
+}
+
+// ExplainThreshold spells out bound = δs · length(T) · N with the inputs.
+type ExplainThreshold struct {
+	DeltaS  float64 `json:"delta_s"`
+	LengthT int     `json:"length_t"`
+	Sensors int     `json:"sensors"`
+	Bound   float64 `json:"bound"`
+	// DayBound is the day-scale bound Pru prunes against, absent otherwise.
+	DayBound *float64 `json:"day_bound,omitempty"`
+}
+
+// ExplainStage is one timed pipeline stage.
+type ExplainStage struct {
+	Name       string `json:"name"`
+	In         int    `json:"in"`
+	Out        int    `json:"out"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// ExplainCandidates summarizes strategy pruning: Scanned candidates in
+// range, Pruned = Scanned - Kept, Kept fed to integration.
+type ExplainCandidates struct {
+	Scanned int `json:"scanned"`
+	Pruned  int `json:"pruned"`
+	Kept    int `json:"kept"`
+}
+
+// ExplainRedZones reports the red zones a Gui run consulted. Regions is
+// ascending by ID and capped at explainRedZoneCap entries; Count is exact.
+type ExplainRedZones struct {
+	Count     int   `json:"count"`
+	Regions   []int `json:"regions"`
+	Truncated bool  `json:"truncated,omitempty"`
+}
+
+// ExplainMemo is one memoized-level lookup inside the forest.
+type ExplainMemo struct {
+	Level   string `json:"level"`
+	Index   int    `json:"index"`
+	Hit     bool   `json:"hit"`
+	Version uint64 `json:"version"`
+}
+
+// ExplainForest ties the answer to a forest state.
+type ExplainForest struct {
+	// Version is the forest's write-version counter at run time.
+	Version uint64 `json:"version"`
+	// Memos is the memoized-level path, in lookup order (materialized runs;
+	// empty when the run scanned raw day leaves only).
+	Memos []ExplainMemo `json:"memos,omitempty"`
+}
+
+// ExplainMergeTree is the integration shape: the serial pairwise scan or
+// the fixed chunked reduction tree of cluster.IntegrateParallel.
+type ExplainMergeTree struct {
+	Parallel bool `json:"parallel"`
+	Workers  int  `json:"workers,omitempty"`
+	// ChunkSize is the fixed leaf width (parallel only).
+	ChunkSize int `json:"chunk_size,omitempty"`
+	// Levels is the node count per reduction level, leaves first (parallel
+	// only; nil when the input short-circuits).
+	Levels []int `json:"levels,omitempty"`
+	Inputs int   `json:"inputs"`
+	Macros int   `json:"macros"`
+}
+
+// ExplainVerdict is the significance filter applied to one macro-cluster.
+type ExplainVerdict struct {
+	Cluster     uint64  `json:"cluster"`
+	Severity    float64 `json:"severity"`
+	Significant bool    `json:"significant"`
+}
+
+// ExplainSignificance is the final filter: every macro's actual severity
+// against the bound. Verdicts follow integration output order, capped at
+// explainVerdictCap entries; the counts are exact.
+type ExplainSignificance struct {
+	Bound       float64          `json:"bound"`
+	Macros      int              `json:"macros"`
+	Significant int              `json:"significant"`
+	Verdicts    []ExplainVerdict `json:"verdicts"`
+	Truncated   bool             `json:"truncated,omitempty"`
+}
+
+type explainKey struct{}
+
+// WithExplain arms ctx to collect an Explain for the next engine run on
+// this context and returns the record, which is filled in place by the run.
+// The context also carries a memo sink so forest lookups report their
+// hit/miss path. One record collects one run: arm a fresh context per
+// query. Collection is not synchronized — use the returned record only
+// after the run returns.
+func WithExplain(ctx context.Context) (context.Context, *Explain) {
+	exp := &Explain{}
+	ctx = context.WithValue(ctx, explainKey{}, exp)
+	ctx = obs.WithMemoSink(ctx, func(ev obs.MemoEvent) {
+		exp.Forest.Memos = append(exp.Forest.Memos, ExplainMemo{
+			Level: ev.Level, Index: ev.Index, Hit: ev.Hit, Version: ev.Version,
+		})
+	})
+	return ctx, exp
+}
+
+// ExplainFromContext returns the armed record, or nil.
+func ExplainFromContext(ctx context.Context) *Explain {
+	exp, _ := ctx.Value(explainKey{}).(*Explain)
+	return exp
+}
+
+// reset clears a record for (re)collection, keeping allocated slices out of
+// the way of stale reads. Nil-safe.
+func (e *Explain) reset() {
+	if e == nil {
+		return
+	}
+	*e = Explain{}
+}
+
+// begin records the question. Nil-safe.
+func (e *Explain) begin(q Query, s Strategy, sensors int) {
+	if e == nil {
+		return
+	}
+	e.Strategy = s.String()
+	e.Query = ExplainQuery{
+		Regions:    len(q.Regions),
+		Sensors:    sensors,
+		FromWindow: int64(q.Time.From),
+		ToWindow:   int64(q.Time.To),
+		Windows:    q.Time.Len(),
+		DeltaS:     q.DeltaS,
+	}
+}
+
+// setBound records the significance arithmetic. Nil-safe.
+func (e *Explain) setBound(deltaS float64, lengthT, sensors int, bound float64) {
+	if e == nil {
+		return
+	}
+	e.Threshold = ExplainThreshold{DeltaS: deltaS, LengthT: lengthT, Sensors: sensors, Bound: bound}
+	e.Significance.Bound = bound
+}
+
+// setDayBound records Pru's day-scale pruning bound. Nil-safe.
+func (e *Explain) setDayBound(bound float64) {
+	if e == nil {
+		return
+	}
+	e.Threshold.DayBound = &bound
+}
+
+// stageStart returns the stage clock origin — the zero time when explain is
+// off, keeping the disabled path clock-free.
+func (e *Explain) stageStart() time.Time {
+	if e == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// stageEnd appends one finished stage. Nil-safe.
+func (e *Explain) stageEnd(start time.Time, name string, in, out int) {
+	if e == nil {
+		return
+	}
+	e.Stages = append(e.Stages, ExplainStage{
+		Name: name, In: in, Out: out, DurationNS: int64(time.Since(start)),
+	})
+}
+
+// setCandidates records the pruning summary. Nil-safe.
+func (e *Explain) setCandidates(scanned, kept int) {
+	if e == nil {
+		return
+	}
+	e.Candidates = ExplainCandidates{Scanned: scanned, Pruned: scanned - kept, Kept: kept}
+}
+
+// setRedZones records Gui's consulted red zones. Nil-safe. zones must be in
+// the deterministic ascending order GuidedRedZones returns.
+func (e *Explain) setRedZones(zones []int) {
+	if e == nil {
+		return
+	}
+	rz := &ExplainRedZones{Count: len(zones)}
+	if len(zones) > explainRedZoneCap {
+		rz.Regions = zones[:explainRedZoneCap]
+		rz.Truncated = true
+	} else {
+		rz.Regions = zones
+	}
+	e.RedZones = rz
+}
+
+// setForestVersion ties the record to a forest state. Nil-safe.
+func (e *Explain) setForestVersion(v uint64) {
+	if e == nil {
+		return
+	}
+	e.Forest.Version = v
+}
+
+// setMergeTree records the integration shape. Nil-safe.
+func (e *Explain) setMergeTree(workers, inputs, macros int) {
+	if e == nil {
+		return
+	}
+	mt := ExplainMergeTree{Inputs: inputs, Macros: macros}
+	if workers != 0 {
+		mt.Parallel = true
+		mt.Workers = workers
+		mt.ChunkSize = cluster.IntegrateChunkSize
+		mt.Levels = cluster.MergeTreeWidths(inputs)
+	}
+	e.MergeTree = mt
+}
+
+// addVerdict records one macro-cluster's significance check. Nil-safe.
+func (e *Explain) addVerdict(id uint64, severity float64, significant bool) {
+	if e == nil {
+		return
+	}
+	e.Significance.Macros++
+	if significant {
+		e.Significance.Significant++
+	}
+	if len(e.Significance.Verdicts) >= explainVerdictCap {
+		e.Significance.Truncated = true
+		return
+	}
+	e.Significance.Verdicts = append(e.Significance.Verdicts, ExplainVerdict{
+		Cluster: id, Severity: severity, Significant: significant,
+	})
+}
+
+// finish stamps the total elapsed time. Nil-safe.
+func (e *Explain) finish(elapsed time.Duration) {
+	if e == nil {
+		return
+	}
+	e.ElapsedNS = int64(elapsed)
+}
+
+// Canonical returns a deep copy with every run-unique field normalized: all
+// timings zeroed, and verdict cluster IDs replaced by their output ordinal
+// (macro-clusters born in integration draw fresh IDs from the shared
+// generator each run, so the raw IDs are unique per run by design). The
+// result's JSON is byte-identical across two runs of the same query over
+// the same state — the determinism golden test asserts exactly this.
+func (e *Explain) Canonical() *Explain {
+	if e == nil {
+		return nil
+	}
+	out := *e
+	out.ElapsedNS = 0
+	out.Stages = make([]ExplainStage, len(e.Stages))
+	for i, st := range e.Stages {
+		st.DurationNS = 0
+		out.Stages[i] = st
+	}
+	out.Significance.Verdicts = make([]ExplainVerdict, len(e.Significance.Verdicts))
+	for i, v := range e.Significance.Verdicts {
+		v.Cluster = uint64(i)
+		out.Significance.Verdicts[i] = v
+	}
+	// Remaining slices are immutable after the run; sharing them keeps
+	// Canonical cheap.
+	return &out
+}
+
+// JSON marshals the record, indented, with a trailing newline.
+func (e *Explain) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Text renders the record as the human-readable table cmd/atypquery
+// -explain prints.
+func (e *Explain) Text() string {
+	if e == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXPLAIN %s\n", e.Strategy)
+	fmt.Fprintf(&b, "  query        %d regions, %d sensors, windows [%d, %d) (%d windows), δs=%g\n",
+		e.Query.Regions, e.Query.Sensors, e.Query.FromWindow, e.Query.ToWindow, e.Query.Windows, e.Query.DeltaS)
+	fmt.Fprintf(&b, "  bound        δs·length(T)·N = %g · %d · %d = %.3f severity-min\n",
+		e.Threshold.DeltaS, e.Threshold.LengthT, e.Threshold.Sensors, e.Threshold.Bound)
+	if e.Threshold.DayBound != nil {
+		fmt.Fprintf(&b, "  day bound    %.3f (Pru prunes micro-clusters below this at day scale)\n", *e.Threshold.DayBound)
+	}
+	fmt.Fprintf(&b, "  candidates   %d scanned, %d pruned, %d integrated\n",
+		e.Candidates.Scanned, e.Candidates.Pruned, e.Candidates.Kept)
+	if e.RedZones != nil {
+		fmt.Fprintf(&b, "  red zones    %d regions pass the bound: %v", e.RedZones.Count, e.RedZones.Regions)
+		if e.RedZones.Truncated {
+			fmt.Fprintf(&b, " (+%d more)", e.RedZones.Count-len(e.RedZones.Regions))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  forest       version %d", e.Forest.Version)
+	if len(e.Forest.Memos) > 0 {
+		hits := 0
+		for _, m := range e.Forest.Memos {
+			if m.Hit {
+				hits++
+			}
+		}
+		fmt.Fprintf(&b, "; memo path %d lookups (%d hit / %d miss):", len(e.Forest.Memos), hits, len(e.Forest.Memos)-hits)
+		for _, m := range e.Forest.Memos {
+			verb := "miss"
+			if m.Hit {
+				verb = "hit"
+			}
+			fmt.Fprintf(&b, " %s[%d]=%s@v%d", m.Level, m.Index, verb, m.Version)
+		}
+	}
+	b.WriteByte('\n')
+	if e.MergeTree.Parallel {
+		fmt.Fprintf(&b, "  merge tree   parallel ×%d workers, chunk %d, levels %v: %d inputs → %d macros\n",
+			e.MergeTree.Workers, e.MergeTree.ChunkSize, e.MergeTree.Levels, e.MergeTree.Inputs, e.MergeTree.Macros)
+	} else {
+		fmt.Fprintf(&b, "  merge tree   serial pairwise scan: %d inputs → %d macros\n",
+			e.MergeTree.Inputs, e.MergeTree.Macros)
+	}
+	fmt.Fprintf(&b, "  significance %d of %d macros pass bound %.3f\n",
+		e.Significance.Significant, e.Significance.Macros, e.Significance.Bound)
+	for _, v := range e.Significance.Verdicts {
+		mark := "  ✗"
+		if v.Significant {
+			mark = "  ✓"
+		}
+		fmt.Fprintf(&b, "  %s cluster %-8d severity %10.3f\n", mark, v.Cluster, v.Severity)
+	}
+	if e.Significance.Truncated {
+		fmt.Fprintf(&b, "    … %d more verdicts elided\n", e.Significance.Macros-len(e.Significance.Verdicts))
+	}
+	fmt.Fprintf(&b, "  stages      ")
+	for _, st := range e.Stages {
+		fmt.Fprintf(&b, " %s %s (%d→%d)", st.Name, time.Duration(st.DurationNS).Round(time.Microsecond), st.In, st.Out)
+	}
+	fmt.Fprintf(&b, "\n  elapsed      %s\n", time.Duration(e.ElapsedNS).Round(time.Microsecond))
+	return b.String()
+}

@@ -1,8 +1,15 @@
 package query
 
 import (
+	"sync/atomic"
+	"time"
+
 	"github.com/cpskit/atypical/internal/obs"
 )
+
+// strategyLabels are the lowercase strategy names the CLI flags and metric
+// labels use, indexed by Strategy.
+var strategyLabels = [3]string{"all", "pru", "gui"}
 
 // Metrics holds the engine's pre-resolved observability handles — one
 // resolution at wiring time, lock-free atomic updates on the hot path.
@@ -18,6 +25,29 @@ type Metrics struct {
 	rejected [3]*obs.Counter
 	redzones *obs.Counter
 	errors   *obs.Counter
+	// reg is kept so SLO families register lazily at SetSLO time — an SLO
+	// that was never configured leaves no empty series on /metrics.
+	reg *obs.Registry
+	slo [3]*sloState
+}
+
+// SLOTarget is a latency service-level objective for one strategy: at least
+// Objective of queries should finish within Latency.
+type SLOTarget struct {
+	Latency   time.Duration
+	Objective float64 // fraction in (0, 1), e.g. 0.99
+}
+
+// sloState tracks one strategy's objective. Counters are process-lifetime;
+// the burn rate is the classic SRE ratio (observed breach fraction over the
+// error budget 1-objective): 1.0 means burning the budget exactly as fast
+// as allowed, above 1.0 the objective will be missed.
+type sloState struct {
+	target   SLOTarget
+	total    atomic.Int64
+	breaches atomic.Int64
+	breachC  *obs.Counter
+	burn     *obs.Gauge
 }
 
 // NewMetrics registers the engine's metric families on r and returns the
@@ -32,10 +62,9 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		errors: r.Counter("atyp_query_errors_total",
 			"queries returning an error (cancellation, unknown strategy)"),
 	}
-	// Label values are the lowercase strategy names the CLI flags use.
-	names := [3]string{"all", "pru", "gui"}
+	m.reg = r
 	for s := All; s <= Gui; s++ {
-		label := []string{"strategy", names[s]}
+		label := []string{"strategy", strategyLabels[s]}
 		m.queries[s] = r.Counter("atyp_query_total",
 			"analytical queries served", label...)
 		m.latency[s] = r.Histogram("atyp_query_seconds",
@@ -48,6 +77,30 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"macro-clusters rejected by the significance bound", label...)
 	}
 	return m
+}
+
+// SetSLO installs a latency objective for one strategy, registering the
+// atyp_slo_* families on the metrics' registry. Call at wiring time, before
+// the engine serves queries — installation is not synchronized against
+// observe. Invalid targets (non-positive latency, objective outside (0,1))
+// and out-of-range strategies are ignored. Nil-safe.
+func (m *Metrics) SetSLO(s Strategy, t SLOTarget) {
+	if m == nil || s > Gui || t.Latency <= 0 || t.Objective <= 0 || t.Objective >= 1 {
+		return
+	}
+	label := []string{"strategy", strategyLabels[s]}
+	st := &sloState{
+		target: t,
+		breachC: m.reg.Counter("atyp_slo_breaches_total",
+			"queries exceeding their strategy's SLO latency target", label...),
+		burn: m.reg.Gauge("atyp_slo_burn_rate",
+			"error-budget burn rate: breach fraction over (1-objective); >1 means the objective is being missed", label...),
+	}
+	m.reg.Gauge("atyp_slo_target_seconds",
+		"configured SLO latency target in seconds", label...).Set(t.Latency.Seconds())
+	m.reg.Gauge("atyp_slo_objective",
+		"configured SLO objective fraction", label...).Set(t.Objective)
+	m.slo[s] = st
 }
 
 // observe records one finished run. A nil res (error path) counts only the
@@ -71,5 +124,15 @@ func (m *Metrics) observe(res *Result, err error) {
 	m.rejected[s].Add(int64(len(res.Macros) - len(res.Significant)))
 	if s == Gui {
 		m.redzones.Add(int64(res.RedZones))
+	}
+	if slo := m.slo[s]; slo != nil {
+		total := slo.total.Add(1)
+		breaches := slo.breaches.Load()
+		if res.Elapsed > slo.target.Latency {
+			breaches = slo.breaches.Add(1)
+			slo.breachC.Inc()
+		}
+		// Objective is validated in SetSLO, so the budget is positive.
+		slo.burn.Set(float64(breaches) / float64(total) / (1 - slo.target.Objective))
 	}
 }

@@ -163,9 +163,14 @@ func (e *Engine) RunCtx(ctx context.Context, q Query, s Strategy) (*Result, erro
 func (e *Engine) runCtx(ctx context.Context, q Query, s Strategy) (*Result, error) {
 	start := time.Now()
 	res := &Result{Strategy: s}
+	exp := ExplainFromContext(ctx)
+	exp.reset()
 
 	numSensors := e.sensorsInRegions(q.Regions)
 	res.Bound = cluster.SignificanceBound(q.DeltaS, q.Time.Len(), numSensors)
+	exp.begin(q, s, numSensors)
+	exp.setBound(q.DeltaS, q.Time.Len(), numSensors, float64(res.Bound))
+	exp.setForestVersion(e.Forest.Version())
 
 	inRegion := make(map[geo.RegionID]bool, len(q.Regions))
 	for _, r := range q.Regions {
@@ -173,11 +178,14 @@ func (e *Engine) runCtx(ctx context.Context, q Query, s Strategy) (*Result, erro
 	}
 
 	// Candidates: micro-clusters in the time range touching W.
-	candidates, err := e.filterTouching(ctx, e.Forest.MicrosInRange(q.Time), inRegion)
+	st := exp.stageStart()
+	raw := e.Forest.MicrosInRange(q.Time)
+	candidates, err := e.filterTouching(ctx, raw, inRegion)
 	if err != nil {
 		return nil, err
 	}
 	res.CandidateMicros = len(candidates)
+	exp.stageEnd(st, "candidates", len(raw), len(candidates))
 
 	var inputs []*cluster.Cluster
 	switch s {
@@ -186,19 +194,32 @@ func (e *Engine) runCtx(ctx context.Context, q Query, s Strategy) (*Result, erro
 	case Pru:
 		// Beforehand pruning: keep micro-clusters significant at the scale
 		// of one day (Example 6's "significant in the scale of one day").
+		st = exp.stageStart()
 		dayBound := cluster.SignificanceBound(q.DeltaS, e.Forest.Spec().PerDay(), numSensors)
+		exp.setDayBound(float64(dayBound))
 		for _, c := range candidates {
 			if c.Significant(dayBound) {
 				inputs = append(inputs, c)
 			}
 		}
+		exp.stageEnd(st, "prune", len(candidates), len(inputs))
 	case Gui:
 		// Algorithm 4, lines 1–3: compute red zones from the distributive
 		// bottom-up severity, drop micro-clusters entirely outside them.
+		st = exp.stageStart()
 		_, zsp := obs.Start(ctx, "query.redzones")
 		zones := e.Severity.GuidedRedZones(q.Regions, q.Time, q.DeltaS, numSensors)
 		zsp.End()
 		res.RedZones = len(zones)
+		if exp != nil {
+			ids := make([]int, len(zones))
+			for i, z := range zones {
+				ids[i] = int(z)
+			}
+			exp.setRedZones(ids)
+		}
+		exp.stageEnd(st, "redzones", len(q.Regions), len(zones))
+		st = exp.stageStart()
 		zoneSet := make(map[geo.RegionID]bool, len(zones))
 		for _, z := range zones {
 			zoneSet[z] = true
@@ -207,26 +228,38 @@ func (e *Engine) runCtx(ctx context.Context, q Query, s Strategy) (*Result, erro
 		if err != nil {
 			return nil, err
 		}
+		exp.stageEnd(st, "guided_filter", len(candidates), len(inputs))
 	default:
 		return nil, fmt.Errorf("%w %v", ErrUnknownStrategy, s)
 	}
 	res.InputMicros = len(inputs)
+	exp.setCandidates(res.CandidateMicros, res.InputMicros)
 
 	// Algorithm 4 line 4: integrate the qualified micro-clusters.
+	st = exp.stageStart()
 	ictx, isp := obs.Start(ctx, "query.integrate")
 	res.Macros, err = e.integrate(ictx, inputs)
 	isp.End()
 	if err != nil {
 		return nil, err
 	}
+	exp.stageEnd(st, "integrate", len(inputs), len(res.Macros))
+	exp.setMergeTree(e.Workers, len(inputs), len(res.Macros))
 
 	// Lines 5–7: the significance check removing false positives.
+	st = exp.stageStart()
 	for _, c := range res.Macros {
-		if c.Significant(res.Bound) {
+		sig := c.Significant(res.Bound)
+		if sig {
 			res.Significant = append(res.Significant, c)
 		}
+		if exp != nil {
+			exp.addVerdict(uint64(c.ID), float64(c.Severity()), sig)
+		}
 	}
+	exp.stageEnd(st, "significance", len(res.Macros), len(res.Significant))
 	res.Elapsed = time.Since(start)
+	exp.finish(res.Elapsed)
 	return res, nil
 }
 
@@ -302,8 +335,13 @@ func (e *Engine) RunMaterializedCtx(ctx context.Context, q Query) (*Result, erro
 func (e *Engine) runMaterializedCtx(ctx context.Context, q Query) (*Result, error) {
 	start := time.Now()
 	res := &Result{Strategy: All}
+	exp := ExplainFromContext(ctx)
+	exp.reset()
 	numSensors := e.sensorsInRegions(q.Regions)
 	res.Bound = cluster.SignificanceBound(q.DeltaS, q.Time.Len(), numSensors)
+	exp.begin(q, All, numSensors)
+	exp.setBound(q.DeltaS, q.Time.Len(), numSensors, float64(res.Bound))
+	exp.setForestVersion(e.Forest.Version())
 
 	inRegion := make(map[geo.RegionID]bool, len(q.Regions))
 	for _, r := range q.Regions {
@@ -314,35 +352,53 @@ func (e *Engine) runMaterializedCtx(ctx context.Context, q Query) (*Result, erro
 	firstDay := int(q.Time.From / perDay)
 	lastDay := int(q.Time.To / perDay) // exclusive
 
+	// Materialize: covered weeks contribute memoized week macros (each
+	// lookup reports a memo event into the Explain), ragged days their
+	// micro-clusters.
+	st := exp.stageStart()
 	var leaves []*cluster.Cluster
 	day := firstDay
 	for day < lastDay {
 		if day%forest.DaysPerWeek == 0 && day+forest.DaysPerWeek <= lastDay {
-			leaves = append(leaves, e.Forest.Week(day/forest.DaysPerWeek)...)
+			leaves = append(leaves, e.Forest.WeekCtx(ctx, day/forest.DaysPerWeek)...)
 			day += forest.DaysPerWeek
 			continue
 		}
 		leaves = append(leaves, e.Forest.Day(day)...)
 		day++
 	}
+	exp.stageEnd(st, "materialize", lastDay-firstDay, len(leaves))
 	res.CandidateMicros = len(leaves)
+	st = exp.stageStart()
 	inputs, err := e.filterTouching(ctx, leaves, inRegion)
 	if err != nil {
 		return nil, err
 	}
+	exp.stageEnd(st, "candidates", len(leaves), len(inputs))
 	res.InputMicros = len(inputs)
+	exp.setCandidates(res.CandidateMicros, res.InputMicros)
+	st = exp.stageStart()
 	ictx, isp := obs.Start(ctx, "query.integrate")
 	res.Macros, err = e.integrate(ictx, inputs)
 	isp.End()
 	if err != nil {
 		return nil, err
 	}
+	exp.stageEnd(st, "integrate", len(inputs), len(res.Macros))
+	exp.setMergeTree(e.Workers, len(inputs), len(res.Macros))
+	st = exp.stageStart()
 	for _, c := range res.Macros {
-		if c.Significant(res.Bound) {
+		sig := c.Significant(res.Bound)
+		if sig {
 			res.Significant = append(res.Significant, c)
 		}
+		if exp != nil {
+			exp.addVerdict(uint64(c.ID), float64(c.Severity()), sig)
+		}
 	}
+	exp.stageEnd(st, "significance", len(res.Macros), len(res.Significant))
 	res.Elapsed = time.Since(start)
+	exp.finish(res.Elapsed)
 	return res, nil
 }
 

@@ -6,7 +6,15 @@ import (
 	"time"
 
 	"github.com/cpskit/atypical/internal/obs"
+	"github.com/cpskit/atypical/internal/query"
 )
+
+// sloSpec is one WithQuerySLO request, applied after the engine's metrics
+// are wired in NewSystem.
+type sloSpec struct {
+	strat  Strategy
+	target SLOTarget
+}
 
 // This file surfaces the internal/obs observability layer through the
 // facade. Attach a registry with WithObserver to have every pipeline stage
@@ -65,9 +73,51 @@ func WithSpanContext(ctx context.Context, exp SpanExporter) context.Context {
 }
 
 // NewDebugMux returns an http.ServeMux serving r at /metrics (Prometheus
-// text format) and the net/http/pprof suite under /debug/pprof/. Mount it
-// on an operational listener; cmd/atypserve does exactly this.
-func NewDebugMux(r *Observer) *http.ServeMux { return obs.NewDebugMux(r) }
+// text format) and the net/http/pprof suite under /debug/pprof/. Passing a
+// TraceRing additionally mounts /debug/traces serving its newest-first
+// span snapshot as JSON. Mount it on an operational listener; cmd/atypserve
+// does exactly this.
+func NewDebugMux(r *Observer, rings ...*TraceRing) *http.ServeMux {
+	return obs.NewDebugMux(r, rings...)
+}
+
+// RegisterRuntimeMetrics registers Go runtime vitals on r — goroutine and
+// heap gauges, GC cycle count and pause histogram, and the
+// atyp_build_info{go_version,vcs_revision} join gauge — refreshed at each
+// scrape via the registry's collect hook. Nil-safe.
+func RegisterRuntimeMetrics(r *Observer) { obs.RegisterRuntimeMetrics(r) }
+
+// TraceRing is a fixed-size lock-free buffer of the most recent finished
+// root spans with their children — the storage behind /debug/traces. A ring
+// is a SpanExporter: attach it with WithSpanExporter or WithSpanContext.
+type TraceRing = obs.TraceRing
+
+// Trace is one assembled root span with its child spans.
+type Trace = obs.Trace
+
+// NewTraceRing returns a ring retaining the last n finished traces.
+func NewTraceRing(n int) *TraceRing { return obs.NewTraceRing(n) }
+
+// Explain is the structured EXPLAIN record of one query run: strategy,
+// significance bound arithmetic, per-stage timings and cardinalities,
+// pruning and red-zone accounting, the forest memo path, the integration
+// merge-tree shape, and per-macro significance verdicts.
+type Explain = query.Explain
+
+// SLOTarget is a per-strategy latency objective; see WithQuerySLO.
+type SLOTarget = query.SLOTarget
+
+// WithQuerySLO installs a latency service-level objective for one query
+// strategy: at least target.Objective of runs should finish within
+// target.Latency. The attached Observer (WithObserver is required for this
+// option to have any effect) gains atyp_slo_breaches_total and the
+// atyp_slo_burn_rate gauge — breach fraction over the error budget
+// 1-objective, where a value above 1 means the objective is being missed.
+func WithQuerySLO(strat Strategy, target SLOTarget) Option {
+	return func(o *systemOptions) {
+		o.slos = append(o.slos, sloSpec{strat: strat, target: target})
+	}
+}
 
 // Observer returns the registry attached via WithObserver, or nil.
 func (s *System) Observer() *Observer { return s.registry }
