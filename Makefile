@@ -6,7 +6,7 @@ CUBE_FUZZ    = FuzzCubeDeterminism
 OBS_FUZZ     = FuzzParseSeries FuzzHistogramMerge
 STORAGE_FUZZ = FuzzRecordReaderCorrupt
 
-.PHONY: all build test race lint fuzz-smoke crash-matrix bench-quick ci
+.PHONY: all build test race lint lint-json fuzz-smoke crash-matrix bench-quick ci
 
 all: build test lint
 
@@ -19,12 +19,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-## lint: curated go vet passes plus the project analyzers (floatcmp,
-## rangedeterminism, featuremutation, lockcheck, rawfswrite, rawlog).
-## Must exit 0 on every PR.
+## lint: curated go vet passes plus the project analyzers (see
+## `go run ./cmd/atyplint -list` or the DESIGN.md invariant table —
+## kept in sync by TestAnalyzerTableInSync). -time prints per-analyzer
+## wall time on stderr. Must exit 0 on every PR.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/atyplint ./...
+	$(GO) run ./cmd/atyplint -time ./...
+
+## lint-json: the same findings as machine-readable JSON (including
+## suppressed sites, marked), for the CI artifact and problem matcher.
+lint-json:
+	$(GO) run ./cmd/atyplint -json ./... > atyplint.json
 
 ## fuzz-smoke: bounded-budget run of every fuzz target; catches regressions
 ## in the cluster algebra (Properties 2 and 3) and cube/report determinism

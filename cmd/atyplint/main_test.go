@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// docTable parses the analyzer table out of this command's package doc
+// comment in main.go: lines of the form "//\tname  description".
+func docTable(t *testing.T) map[string]string {
+	t.Helper()
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := regexp.MustCompile(`^//\t([a-z]+)\s{2,}(.+)$`)
+	out := map[string]string{}
+	for _, line := range strings.Split(string(src), "\n") {
+		if strings.HasPrefix(line, "package ") {
+			break // only the doc comment counts
+		}
+		if m := row.FindStringSubmatch(line); m != nil {
+			out[m[1]] = strings.TrimSpace(m[2])
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no analyzer table found in main.go doc comment")
+	}
+	return out
+}
+
+// designTable parses the analyzer table in DESIGN.md ("| `name` | desc |"
+// rows of section 5b).
+func designTable(t *testing.T) map[string]string {
+	t.Helper()
+	src, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := regexp.MustCompile("^\\| `([a-z]+)` \\| (.+) \\|$")
+	out := map[string]string{}
+	for _, line := range strings.Split(string(src), "\n") {
+		if m := row.FindStringSubmatch(line); m != nil {
+			out[m[1]] = strings.TrimSpace(m[2])
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no analyzer table found in DESIGN.md")
+	}
+	return out
+}
+
+// TestAnalyzerTableInSync pins the three places the analyzer suite is
+// enumerated — the analyzers slice (the truth), the doc comment of this
+// command, and the DESIGN.md invariant table — to the same names and
+// one-line descriptions, so adding an analyzer without documenting it (or
+// documenting one that is not registered) fails the build.
+func TestAnalyzerTableInSync(t *testing.T) {
+	slice := map[string]bool{}
+	var names []string
+	for _, a := range analyzers {
+		if slice[a.Name] {
+			t.Errorf("analyzer %s registered twice", a.Name)
+		}
+		slice[a.Name] = true
+		names = append(names, a.Name)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("analyzers slice is not alphabetical: %v", names)
+	}
+
+	doc := docTable(t)
+	design := designTable(t)
+
+	for _, name := range names {
+		if _, ok := doc[name]; !ok {
+			t.Errorf("analyzer %s missing from main.go doc comment table", name)
+		}
+		if _, ok := design[name]; !ok {
+			t.Errorf("analyzer %s missing from DESIGN.md table", name)
+		}
+	}
+	for name := range doc {
+		if !slice[name] {
+			t.Errorf("main.go doc comment lists %s, which is not registered", name)
+		}
+	}
+	for name := range design {
+		if !slice[name] {
+			t.Errorf("DESIGN.md table lists %s, which is not registered", name)
+		}
+	}
+	for name, docDesc := range doc {
+		if designDesc, ok := design[name]; ok && docDesc != designDesc {
+			t.Errorf("%s description differs:\n  main.go:   %s\n  DESIGN.md: %s",
+				name, docDesc, designDesc)
+		}
+	}
+}

@@ -287,7 +287,10 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 		code = 1
 	}
 
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), sc.drain)
+	// The parent ctx is already done here (that's why we are shutting
+	// down); WithoutCancel keeps its values without inheriting the
+	// cancellation, giving the drain its own deadline.
+	shutdownCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), sc.drain)
 	defer cancel()
 	for _, srv := range servers {
 		if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -12,6 +12,18 @@
 // patterns on one line expect multiple diagnostics. Diagnostics without a
 // matching expectation, and expectations without a matching diagnostic,
 // fail the test.
+//
+// Fixtures may import each other (testdata/src/<dep>/ packages): the
+// analyzer runs over every fixture package in dependency order with a
+// shared fact store, so fact-exporting analyzers are testable end to end.
+// A declaration expected to receive an object fact asserts it with
+//
+//	func F() {} // want fact:`nondet\(time.Now\)`
+//
+// where the pattern must match the fact's String() form. Facts without a
+// matching fact-expectation are ignored (an analyzer may export more than a
+// fixture asserts), but every fact-expectation must be satisfied by a fact
+// on an object declared at that line.
 package analysistest
 
 import (
@@ -27,55 +39,101 @@ import (
 )
 
 // wantRe extracts the expectation patterns from a "// want ..." comment:
-// a sequence of double-quoted Go strings or backquoted raw strings.
-var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+// a sequence of double-quoted Go strings or backquoted raw strings, each
+// optionally prefixed with "fact:" to assert an exported object fact
+// instead of a diagnostic.
+var wantRe = regexp.MustCompile("(fact:)?(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
 
 // expectation is one want-pattern at a file line.
 type expectation struct {
 	file    string
 	line    int
+	fact    bool
 	re      *regexp.Regexp
 	matched bool
 }
 
-// Run loads testdata/src/<pkg> beneath dir, applies the analyzer, and
-// reports mismatches through t. It returns the diagnostics for callers that
-// want to assert more.
-func Run(t *testing.T, dir string, a *framework.Analyzer, pkg string) []framework.Diagnostic {
+// Run loads testdata/src/<pkg> (for each named pkg) beneath dir plus any
+// fixture packages they import, applies the analyzer to every loaded
+// package in dependency order with a shared fact store, and reports
+// mismatches through t. It returns the diagnostics of the named packages
+// (dependency-only fixtures contribute expectations but not returned
+// diagnostics) for callers that want to assert more.
+func Run(t *testing.T, dir string, a *framework.Analyzer, pkgs ...string) []framework.Diagnostic {
 	t.Helper()
 	root := dir + "/src"
-	loaded, err := load.FixturePackage(root, pkg)
+	loaded, err := load.FixturePackages(root, pkgs...)
 	if err != nil {
-		t.Fatalf("loading fixture %s: %v", pkg, err)
+		t.Fatalf("loading fixtures %v: %v", pkgs, err)
+	}
+	named := map[string]bool{}
+	for _, p := range pkgs {
+		named[p] = true
 	}
 
-	expectations := collectWants(t, loaded)
+	framework.RegisterFactTypes(a)
+	store := framework.NewFactStore()
 
-	var diags []framework.Diagnostic
-	pass := &framework.Pass{
-		Analyzer:  a,
-		Fset:      loaded.Fset,
-		Files:     loaded.Syntax,
-		Pkg:       loaded.Types,
-		TypesInfo: loaded.TypesInfo,
-		Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+	var expectations []*expectation
+	var namedDiags []framework.Diagnostic
+	type located struct {
+		pos token.Position
+		msg string
 	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("%s on fixture %s: %v", a.Name, pkg, err)
+	var diags []located
+	var facts []located
+
+	for _, pkg := range loaded {
+		expectations = append(expectations, collectWants(t, pkg)...)
+		pass := &framework.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		isNamed := named[pkg.PkgPath]
+		pass.Report = func(d framework.Diagnostic) {
+			diags = append(diags, located{pos: pkg.Fset.Position(d.Pos), msg: d.Message})
+			if isNamed {
+				namedDiags = append(namedDiags, d)
+			}
+		}
+		pass.SetFacts(store)
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s on fixture %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		for _, of := range pass.AllObjectFacts() {
+			facts = append(facts, located{
+				pos: pkg.Fset.Position(of.Object.Pos()),
+				msg: of.Fact.String(),
+			})
+		}
+		if err := pass.FinishFacts(); err != nil {
+			t.Fatalf("%s: serializing facts of %s: %v", a.Name, pkg.PkgPath, err)
+		}
 	}
 
 	for _, d := range diags {
-		pos := loaded.Fset.Position(d.Pos)
-		if !claim(expectations, pos.Filename, pos.Line, d.Message) {
-			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		if !claim(expectations, false, d.pos.Filename, d.pos.Line, d.msg) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.pos, d.msg)
 		}
+	}
+	// Facts are claim-only: unasserted facts are fine, unmatched
+	// fact-expectations are not.
+	for _, f := range facts {
+		claim(expectations, true, f.pos.Filename, f.pos.Line, f.msg)
 	}
 	for _, e := range expectations {
 		if !e.matched {
-			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.re)
+			kind := "diagnostic"
+			if e.fact {
+				kind = "fact"
+			}
+			t.Errorf("%s:%d: no %s matching %q", e.file, e.line, kind, e.re)
 		}
 	}
-	return diags
+	return namedDiags
 }
 
 // collectWants scans fixture comments for want-expectations.
@@ -90,20 +148,23 @@ func collectWants(t *testing.T, pkg *load.Package) []*expectation {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				patterns := wantRe.FindAllString(strings.TrimPrefix(text, "want"), -1)
-				if len(patterns) == 0 {
+				matches := wantRe.FindAllStringSubmatch(strings.TrimPrefix(text, "want"), -1)
+				if len(matches) == 0 {
 					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
 				}
-				for _, p := range patterns {
-					s, err := unquote(p)
+				for _, m := range matches {
+					s, err := unquote(m[2])
 					if err != nil {
-						t.Fatalf("%s: bad want pattern %s: %v", pos, p, err)
+						t.Fatalf("%s: bad want pattern %s: %v", pos, m[2], err)
 					}
 					re, err := regexp.Compile(s)
 					if err != nil {
 						t.Fatalf("%s: bad want regexp %q: %v", pos, s, err)
 					}
-					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					out = append(out, &expectation{
+						file: pos.Filename, line: pos.Line,
+						fact: m[1] == "fact:", re: re,
+					})
 				}
 			}
 		}
@@ -118,11 +179,11 @@ func unquote(s string) (string, error) {
 	return strconv.Unquote(s)
 }
 
-// claim marks the first unmatched expectation at (file, line) whose pattern
-// matches msg.
-func claim(exps []*expectation, file string, line int, msg string) bool {
+// claim marks the first unmatched expectation of the given kind at
+// (file, line) whose pattern matches msg.
+func claim(exps []*expectation, fact bool, file string, line int, msg string) bool {
 	for _, e := range exps {
-		if !e.matched && e.file == file && e.line == line && e.re.MatchString(msg) {
+		if !e.matched && e.fact == fact && e.file == file && e.line == line && e.re.MatchString(msg) {
 			e.matched = true
 			return true
 		}

@@ -1,0 +1,270 @@
+// Package callgraph builds a per-package static call graph over the typed
+// ASTs produced by internal/analysis/load, shared by the interprocedural
+// (fact-exporting) analyzers.
+//
+// The graph is intentionally conservative in the direction each client
+// needs:
+//
+//   - Static calls to declared functions and to methods with a concrete
+//     receiver become ordinary edges, including edges into imported
+//     packages (whose conclusions analyzers read back as facts).
+//   - Function literals do not get nodes of their own: calls inside a
+//     FuncLit are attributed to the enclosing declared function. A closure
+//     handed to a worker pool is therefore charged to the function that
+//     wrote it, which is the attribution that matters for reachability from
+//     the determinism roots.
+//   - A *reference* to a declared function or method (passing it as a
+//     value, assigning it to a variable) also becomes an edge, flagged
+//     Ref — whoever takes a function value may call it.
+//   - Calls through interface methods are resolved against the method sets
+//     of every named type visible to the package (its own scope plus all
+//     direct imports); each concrete implementation becomes an edge flagged
+//     Iface. Calls through bare function values resolve to nothing and are
+//     recorded as DynamicSites.
+//
+// Edges never point "up" the import DAG — a callee is always in the current
+// package or one of its (transitive) imports — which is what lets analyzers
+// run packages in dependency order and rely on facts alone for
+// cross-package propagation.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/cpskit/atypical/internal/analysis/framework"
+)
+
+// Edge is one call (or function-value reference) from a node.
+type Edge struct {
+	Callee *types.Func
+	Pos    token.Pos
+	// Iface marks an edge added by conservative interface resolution.
+	Iface bool
+	// Ref marks a function-value reference rather than a direct call.
+	Ref bool
+}
+
+// Node is one declared function or method of the package under analysis.
+type Node struct {
+	Obj   *types.Func
+	Decl  *ast.FuncDecl
+	Edges []Edge
+	// DynamicSites are call positions through plain function values, which
+	// resolve to no callee. Clients that need soundness against them can
+	// treat each as "calls anything".
+	DynamicSites []token.Pos
+}
+
+// Graph is the call graph of one package.
+type Graph struct {
+	Nodes map[*types.Func]*Node
+	// order preserves declaration order for deterministic iteration.
+	order []*Node
+}
+
+// ForEach visits nodes in declaration order.
+func (g *Graph) ForEach(fn func(*Node)) {
+	for _, n := range g.order {
+		fn(n)
+	}
+}
+
+// Lookup returns the node for a function declared in this package, or nil.
+func (g *Graph) Lookup(fn *types.Func) *Node { return g.Nodes[fn] }
+
+// Build constructs the call graph for the package of pass.
+func Build(pass *framework.Pass) *Graph {
+	g := &Graph{Nodes: map[*types.Func]*Node{}}
+	b := &builder{pass: pass, ifaceCache: map[*types.Named]map[string][]*types.Func{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &Node{Obj: obj, Decl: fd}
+			b.walk(node, fd.Body)
+			g.Nodes[obj] = node
+			g.order = append(g.order, node)
+		}
+	}
+	return g
+}
+
+// ShortName renders pkg.Func or (pkg.T).M with bare package names instead
+// of full import paths, for human-readable call chains in diagnostics.
+func ShortName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	short := fn.Pkg().Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		star := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			star = "*"
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("(%s%s.%s).%s", star, short, named.Obj().Name(), fn.Name())
+		}
+	}
+	return short + "." + fn.Name()
+}
+
+type builder struct {
+	pass *framework.Pass
+	// ifaceCache memoizes interface-method resolution per interface-defining
+	// named type and method name.
+	ifaceCache map[*types.Named]map[string][]*types.Func
+	// scopeTypes lazily enumerates the named types visible to the package.
+	scopeTypes []types.Type
+}
+
+// walk collects edges from body into node.
+func (b *builder) walk(node *Node, body ast.Node) {
+	info := b.pass.TypesInfo
+	// callFuns marks expressions in call position so the reference walk can
+	// skip them.
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := ast.Unparen(call.Fun)
+		callFuns[fun] = true
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion, not a call
+		}
+		switch f := fun.(type) {
+		case *ast.Ident:
+			switch obj := info.Uses[f].(type) {
+			case *types.Func:
+				node.Edges = append(node.Edges, Edge{Callee: obj, Pos: call.Pos()})
+			case *types.Builtin, nil:
+				// builtins and type exprs: no edge
+			default:
+				node.DynamicSites = append(node.DynamicSites, call.Pos())
+			}
+		case *ast.SelectorExpr:
+			callFuns[f.Sel] = true
+			if sel, ok := info.Selections[f]; ok && sel.Kind() == types.MethodVal {
+				fn, ok := sel.Obj().(*types.Func)
+				if !ok {
+					break
+				}
+				if types.IsInterface(sel.Recv()) {
+					for _, impl := range b.implementations(sel.Recv(), fn.Name()) {
+						node.Edges = append(node.Edges, Edge{Callee: impl, Pos: call.Pos(), Iface: true})
+					}
+					// The interface method object itself is also recorded:
+					// a client may have a fact on the interface method.
+					node.Edges = append(node.Edges, Edge{Callee: fn, Pos: call.Pos(), Iface: true})
+				} else {
+					node.Edges = append(node.Edges, Edge{Callee: fn, Pos: call.Pos()})
+				}
+				break
+			}
+			// Qualified call pkg.F or a struct-field func value.
+			switch obj := info.Uses[f.Sel].(type) {
+			case *types.Func:
+				node.Edges = append(node.Edges, Edge{Callee: obj, Pos: call.Pos()})
+			default:
+				node.DynamicSites = append(node.DynamicSites, call.Pos())
+			}
+		default:
+			// Call of a call result, index expression, func literal called
+			// in place, etc. A FuncLit called in place is already attributed
+			// via its body; everything else is dynamic.
+			if _, isLit := fun.(*ast.FuncLit); !isLit {
+				node.DynamicSites = append(node.DynamicSites, call.Pos())
+			}
+		}
+		return true
+	})
+	// Reference edges: uses of declared functions outside call position.
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || callFuns[id] {
+			return true
+		}
+		if fn, ok := info.Uses[id].(*types.Func); ok {
+			node.Edges = append(node.Edges, Edge{Callee: fn, Pos: id.Pos(), Ref: true})
+		}
+		return true
+	})
+}
+
+// implementations returns the concrete methods named name of every visible
+// named type that implements iface.
+func (b *builder) implementations(iface types.Type, name string) []*types.Func {
+	in, ok := types.Unalias(iface).(*types.Named)
+	var cache map[string][]*types.Func
+	if ok {
+		cache = b.ifaceCache[in]
+		if impls, hit := cache[name]; hit {
+			return impls
+		}
+	}
+	it, ok := iface.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, t := range b.visibleTypes() {
+		pt := types.NewPointer(t)
+		if !types.Implements(t, it) && !types.Implements(pt, it) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(pt, true, b.pass.Pkg, name)
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	if in != nil {
+		if cache == nil {
+			cache = map[string][]*types.Func{}
+			b.ifaceCache[in] = cache
+		}
+		cache[name] = out
+	}
+	return out
+}
+
+// visibleTypes enumerates the named (non-interface) types declared by the
+// package under analysis and by its direct imports.
+func (b *builder) visibleTypes() []types.Type {
+	if b.scopeTypes != nil {
+		return b.scopeTypes
+	}
+	collect := func(pkg *types.Package) {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			t := tn.Type()
+			if types.IsInterface(t) {
+				continue
+			}
+			b.scopeTypes = append(b.scopeTypes, t)
+		}
+	}
+	collect(b.pass.Pkg)
+	for _, imp := range b.pass.Pkg.Imports() {
+		collect(imp)
+	}
+	if b.scopeTypes == nil {
+		b.scopeTypes = []types.Type{}
+	}
+	return b.scopeTypes
+}

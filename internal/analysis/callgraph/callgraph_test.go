@@ -1,0 +1,143 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/framework"
+)
+
+func buildSrc(t *testing.T, src string) (*framework.Pass, *Graph) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := framework.NewInfo()
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &framework.Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg,
+		TypesInfo: info, Report: func(framework.Diagnostic) {}}
+	return pass, Build(pass)
+}
+
+// edges returns the callee full names from fn, split by edge kind.
+func edges(t *testing.T, g *Graph, pkg *types.Package, fn string) (static, iface, refs []string) {
+	t.Helper()
+	obj, _ := pkg.Scope().Lookup(fn).(*types.Func)
+	if obj == nil {
+		t.Fatalf("no func %s", fn)
+	}
+	n := g.Lookup(obj)
+	if n == nil {
+		t.Fatalf("no node for %s", fn)
+	}
+	for _, e := range n.Edges {
+		switch {
+		case e.Iface:
+			iface = append(iface, e.Callee.FullName())
+		case e.Ref:
+			refs = append(refs, e.Callee.FullName())
+		default:
+			static = append(static, e.Callee.FullName())
+		}
+	}
+	return
+}
+
+func has(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStaticAndMethodEdges(t *testing.T) {
+	pass, g := buildSrc(t, `package p
+import "strings"
+type T struct{}
+func (t *T) M() {}
+func helper() {}
+func F(t *T) {
+	helper()
+	t.M()
+	strings.ToUpper("x")
+}
+`)
+	static, _, _ := edges(t, g, pass.Pkg, "F")
+	for _, want := range []string{"p.helper", "(*p.T).M", "strings.ToUpper"} {
+		if !has(static, want) {
+			t.Errorf("missing static edge F -> %s (have %v)", want, static)
+		}
+	}
+}
+
+func TestFuncLitAttributionAndRefs(t *testing.T) {
+	pass, g := buildSrc(t, `package p
+func leaf() {}
+func run(f func()) { f() }
+func F() {
+	run(func() { leaf() })
+	g := leaf
+	_ = g
+}
+`)
+	static, _, refs := edges(t, g, pass.Pkg, "F")
+	if !has(static, "p.leaf") {
+		t.Errorf("closure call should attribute leaf to F; static=%v", static)
+	}
+	if !has(static, "p.run") {
+		t.Errorf("missing edge to run; static=%v", static)
+	}
+	if !has(refs, "p.leaf") {
+		t.Errorf("assigning leaf should add a Ref edge; refs=%v", refs)
+	}
+	// run calls only its parameter: one dynamic site, no static edges.
+	runObj := pass.Pkg.Scope().Lookup("run").(*types.Func)
+	n := g.Lookup(runObj)
+	if len(n.DynamicSites) != 1 {
+		t.Errorf("run should have 1 dynamic site, got %d", len(n.DynamicSites))
+	}
+}
+
+func TestInterfaceResolution(t *testing.T) {
+	pass, g := buildSrc(t, `package p
+type I interface{ Do() }
+type A struct{}
+func (A) Do() {}
+type B struct{}
+func (*B) Do() {}
+func F(i I) { i.Do() }
+`)
+	_, iface, _ := edges(t, g, pass.Pkg, "F")
+	for _, want := range []string{"(p.A).Do", "(*p.B).Do"} {
+		if !has(iface, want) {
+			t.Errorf("interface call should resolve to %s (have %v)", want, iface)
+		}
+	}
+}
+
+func TestConversionIsNotACall(t *testing.T) {
+	pass, g := buildSrc(t, `package p
+type Celsius float64
+func F(x float64) Celsius { return Celsius(x) }
+`)
+	static, iface, refs := edges(t, g, pass.Pkg, "F")
+	if len(static)+len(iface)+len(refs) != 0 {
+		t.Errorf("conversion produced edges: %v %v %v", static, iface, refs)
+	}
+	n := g.Lookup(pass.Pkg.Scope().Lookup("F").(*types.Func))
+	if len(n.DynamicSites) != 0 {
+		t.Errorf("conversion produced dynamic sites")
+	}
+}

@@ -1,0 +1,309 @@
+// Package ctxflow defines an interprocedural analyzer enforcing the
+// context-propagation contract: once a function holds a context, that
+// context — not a fresh one — must flow into everything it calls.
+//
+// Four rules:
+//
+//  1. A function with a context.Context parameter must not call
+//     context.Background() or context.TODO(): it already has a context.
+//     (Detaching deliberately is the rare exception and carries an
+//     //atyplint:ignore ctxflow with the reason.)
+//
+//  2. A function with a context parameter must not call a callee that
+//     *drops* the context: one that takes no context itself but reaches
+//     context.Background()/TODO() further down. Drop-status crosses
+//     package boundaries as a DropsCtx object fact, so a legacy bridge
+//     three helpers deep still convicts the call site.
+//
+//  3. A function with a context parameter must not call F when the same
+//     scope also offers FCtx (same name + "Ctx" suffix, first parameter a
+//     context.Context, same package or method set): the Ctx variant exists
+//     precisely so in-context callers use it.
+//
+//  4. In library (non-main) packages, a function *without* a context
+//     parameter may call context.Background()/TODO() only in bridge
+//     position — directly as a call argument, the sanctioned shape of the
+//     legacy non-Ctx wrappers (`func F(...) { return FCtx(context.
+//     Background(), ...) }`). Storing a fresh context in a variable or
+//     field hides it from this analysis and is reported.
+//
+// Rules 1–3 apply everywhere including commands; rule 4 only to library
+// packages (package main owns its root context).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/cpskit/atypical/internal/analysis/callgraph"
+	"github.com/cpskit/atypical/internal/analysis/framework"
+)
+
+// maxPath bounds the reported bridge chain.
+const maxPath = 8
+
+// DropsCtx is the object fact exported for functions without a context
+// parameter that reach context.Background()/TODO(); calling one from a
+// context-holding function silently severs cancellation.
+type DropsCtx struct {
+	Path []string
+}
+
+func (*DropsCtx) AFact() {}
+
+func (f *DropsCtx) String() string { return "dropsctx" }
+
+// Analyzer enforces context threading through every call path.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc: "context-holding functions must thread their ctx into every callee " +
+		"that accepts one; context.Background/TODO only in main or legacy " +
+		"bridge position",
+	FactTypes: []framework.Fact{(*DropsCtx)(nil)},
+	Run:       run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	g := callgraph.Build(pass)
+	isMain := pass.Pkg.Name() == "main"
+
+	// drops maps local functions (without ctx params) that reach a fresh
+	// context to their example chain.
+	drops := map[*types.Func]*DropsCtx{}
+
+	// Seed: direct Background/TODO use in functions without a ctx param.
+	g.ForEach(func(n *callgraph.Node) {
+		if hasCtxParam(n.Obj) {
+			return
+		}
+		for _, e := range n.Edges {
+			if name := freshCtx(e.Callee); name != "" {
+				drops[n.Obj] = &DropsCtx{Path: []string{callgraph.ShortName(n.Obj), name}}
+				return
+			}
+		}
+	})
+	// Seed: imported facts.
+	g.ForEach(func(n *callgraph.Node) {
+		if hasCtxParam(n.Obj) {
+			return
+		}
+		if _, done := drops[n.Obj]; done {
+			return
+		}
+		for _, e := range n.Edges {
+			if e.Callee.Pkg() == nil || e.Callee.Pkg() == pass.Pkg {
+				continue
+			}
+			var fact DropsCtx
+			if pass.ImportObjectFact(e.Callee, &fact) {
+				drops[n.Obj] = &DropsCtx{Path: extend(callgraph.ShortName(n.Obj), fact.Path)}
+				break
+			}
+		}
+	})
+	// Fixpoint over intra-package edges. Propagation stops at functions
+	// that take a ctx parameter: those are judged at their own body (rule
+	// 1), not inherited — a caller handing them its ctx keeps the flow.
+	for changed := true; changed; {
+		changed = false
+		g.ForEach(func(n *callgraph.Node) {
+			if hasCtxParam(n.Obj) {
+				return
+			}
+			if _, done := drops[n.Obj]; done {
+				return
+			}
+			for _, e := range n.Edges {
+				d, ok := drops[e.Callee]
+				if !ok {
+					continue
+				}
+				drops[n.Obj] = &DropsCtx{Path: extend(callgraph.ShortName(n.Obj), d.Path)}
+				changed = true
+				return
+			}
+		})
+	}
+	g.ForEach(func(n *callgraph.Node) {
+		if d, ok := drops[n.Obj]; ok && !isMain {
+			pass.ExportObjectFact(n.Obj, d)
+		}
+	})
+
+	// Rules 1 and 4: direct Background/TODO calls, by position.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			checkFreshCalls(pass, fd, obj, isMain)
+		}
+	}
+
+	// Rules 2 and 3: call sites inside context-holding functions.
+	g.ForEach(func(n *callgraph.Node) {
+		if !hasCtxParam(n.Obj) {
+			return
+		}
+		for _, e := range n.Edges {
+			if e.Ref || e.Iface || hasCtxParam(e.Callee) {
+				continue
+			}
+			if d, ok := drops[e.Callee]; ok {
+				pass.Reportf(e.Pos,
+					"%s holds a ctx but calls %s, which drops it: %s",
+					n.Obj.Name(), callgraph.ShortName(e.Callee), strings.Join(d.Path, " -> "))
+				continue
+			}
+			var fact DropsCtx
+			if e.Callee.Pkg() != nil && e.Callee.Pkg() != pass.Pkg &&
+				pass.ImportObjectFact(e.Callee, &fact) {
+				pass.Reportf(e.Pos,
+					"%s holds a ctx but calls %s, which drops it: %s",
+					n.Obj.Name(), callgraph.ShortName(e.Callee), strings.Join(fact.Path, " -> "))
+				continue
+			}
+			if sib := ctxSibling(e.Callee); sib != nil {
+				pass.Reportf(e.Pos,
+					"%s holds a ctx but calls %s; use %s and pass the ctx",
+					n.Obj.Name(), callgraph.ShortName(e.Callee), callgraph.ShortName(sib))
+			}
+		}
+	})
+	return nil, nil
+}
+
+// checkFreshCalls reports direct context.Background/TODO calls that violate
+// rule 1 (any, when fn holds a ctx) or rule 4 (non-bridge position in
+// library code).
+func checkFreshCalls(pass *framework.Pass, fd *ast.FuncDecl, fn *types.Func, isMain bool) {
+	holdsCtx := hasCtxParam(fn)
+	// bridgeArgs marks Background/TODO calls appearing directly as an
+	// argument of another call — the legacy-wrapper bridge shape.
+	bridgeArgs := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+				if freshCtxExpr(pass, inner) != "" {
+					bridgeArgs[inner] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := freshCtxExpr(pass, call)
+		if name == "" {
+			return true
+		}
+		switch {
+		case holdsCtx:
+			pass.Reportf(call.Pos(),
+				"%s already holds a ctx; pass it instead of calling %s", fn.Name(), name)
+		case !isMain && !bridgeArgs[call]:
+			pass.Reportf(call.Pos(),
+				"%s in library code outside a bridge call; accept a ctx parameter instead", name)
+		}
+		return true
+	})
+}
+
+// freshCtx names fn when it is context.Background or context.TODO.
+func freshCtx(fn *types.Func) string {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	switch fn.Name() {
+	case "Background", "TODO":
+		return "context." + fn.Name()
+	}
+	return ""
+}
+
+// freshCtxExpr names the context constructor a call expression invokes, or
+// returns "".
+func freshCtxExpr(pass *framework.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return freshCtx(fn)
+}
+
+// hasCtxParam reports whether fn's signature takes a context.Context.
+func hasCtxParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxSibling returns the FCtx counterpart of a non-ctx function or method,
+// or nil: same package-level scope (or same method set) holding Name+"Ctx"
+// whose signature accepts a context.
+func ctxSibling(fn *types.Func) *types.Func {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	want := fn.Name() + "Ctx"
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		obj, _, _ := types.LookupFieldOrMethod(t, true, pkg, want)
+		if m, ok := obj.(*types.Func); ok && hasCtxParam(m) {
+			return m
+		}
+		return nil
+	}
+	if obj, ok := pkg.Scope().Lookup(want).(*types.Func); ok && hasCtxParam(obj) {
+		return obj
+	}
+	return nil
+}
+
+// extend prepends head to a copy of path, truncating to maxPath.
+func extend(head string, path []string) []string {
+	out := make([]string, 0, len(path)+1)
+	out = append(out, head)
+	out = append(out, path...)
+	if len(out) > maxPath {
+		out = append(out[:maxPath-1], "...")
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/analysistest"
+	"github.com/cpskit/atypical/internal/analysis/ctxflow"
+)
+
+// TestCtxflow drives the library fixture and the package-main fixture in
+// one run: drop facts from ctxflowdep must convict call sites in both.
+func TestCtxflow(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", ctxflow.Analyzer, "ctxflow", "ctxflowmain")
+	if len(diags) == 0 {
+		t.Fatal("expected diagnostics on the fixture")
+	}
+}

@@ -1,0 +1,71 @@
+// Fixture for the ctxflow analyzer: a library package where every context
+// must be threaded, never replaced or dropped.
+package ctxflow
+
+import (
+	"context"
+
+	"ctxflowdep"
+)
+
+func HasCtxBad(ctx context.Context) int {
+	return ctxflowdep.RunCtx(context.Background(), 1) // want `HasCtxBad already holds a ctx; pass it instead of calling context\.Background`
+}
+
+func HasCtxTODO(ctx context.Context) {
+	_ = context.TODO() // want `HasCtxTODO already holds a ctx; pass it instead of calling context\.TODO`
+}
+
+func HasCtxGood(ctx context.Context) int {
+	return ctxflowdep.RunCtx(ctx, 1)
+}
+
+func DerivedIsFine(ctx context.Context) int {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return ctxflowdep.RunCtx(sub, 1)
+}
+
+func CallsBridge(ctx context.Context) int {
+	return ctxflowdep.Run(1) // want `CallsBridge holds a ctx but calls ctxflowdep\.Run, which drops it: ctxflowdep\.Run -> context\.Background`
+}
+
+func CallsDeep(ctx context.Context) int {
+	return ctxflowdep.Deep(2) // want `CallsDeep holds a ctx but calls ctxflowdep\.Deep, which drops it: ctxflowdep\.Deep -> ctxflowdep\.Run -> context\.Background`
+}
+
+// FetchCtx / Fetch: a sibling pair where the non-ctx variant is not a
+// bridge (it never touches Background) — rule 3 still steers in-context
+// callers to the Ctx variant.
+func FetchCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+func Fetch(n int) int { return n + 1 }
+
+func CallsFetch(ctx context.Context) int {
+	return Fetch(3) // want `CallsFetch holds a ctx but calls ctxflow\.Fetch; use ctxflow\.FetchCtx and pass the ctx`
+}
+
+type Store struct{}
+
+func (s *Store) GetCtx(ctx context.Context, k string) string { return k }
+
+func (s *Store) Get(k string) string { return k }
+
+func UsesStore(ctx context.Context, s *Store) string {
+	return s.Get("k") // want `UsesStore holds a ctx but calls \(\*ctxflow\.Store\)\.Get; use \(\*ctxflow\.Store\)\.GetCtx and pass the ctx`
+}
+
+func storesCtx() context.Context { // want fact:`dropsctx`
+	ctx := context.Background() // want `context\.Background in library code outside a bridge call; accept a ctx parameter instead`
+	return ctx
+}
+
+// LocalBridge is the sanctioned wrapper shape inside this package.
+func LocalBridge(n int) int { // want fact:`dropsctx`
+	return FetchCtx(context.Background(), n)
+}

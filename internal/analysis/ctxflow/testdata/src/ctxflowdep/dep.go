@@ -1,0 +1,25 @@
+// Fixture dependency for the ctxflow analyzer: legacy bridge wrappers whose
+// drop-status must reach dependents as facts.
+package ctxflowdep
+
+import "context"
+
+// RunCtx is the real, context-aware entry point.
+func RunCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// Run is the sanctioned legacy bridge: Background directly in call-argument
+// position is allowed (rule 4), but the function still earns a DropsCtx
+// fact so in-context callers are warned off it.
+func Run(n int) int { // want fact:`dropsctx`
+	return RunCtx(context.Background(), n)
+}
+
+// Deep hides the bridge one level further down.
+func Deep(n int) int { // want fact:`dropsctx`
+	return Run(n)
+}

@@ -1,0 +1,19 @@
+// Fixture: package main owns its root context, so non-bridge Background is
+// fine here (rule 4 does not apply), and neither is the bridge shape.
+package main
+
+import (
+	"context"
+
+	"ctxflowdep"
+)
+
+func main() {
+	ctx := context.Background()
+	_ = ctxflowdep.RunCtx(ctx, 1)
+}
+
+// helper holds a ctx, so rules 1-3 still apply inside a command.
+func helper(ctx context.Context) int {
+	return ctxflowdep.Deep(1) // want `helper holds a ctx but calls ctxflowdep\.Deep, which drops it: ctxflowdep\.Deep -> ctxflowdep\.Run -> context\.Background`
+}

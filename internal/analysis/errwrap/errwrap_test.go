@@ -1,0 +1,18 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/analysistest"
+	"github.com/cpskit/atypical/internal/analysis/errwrap"
+)
+
+// TestErrwrap drives the contract fixture and its contract dependency in one
+// run: Classifiable facts from errwrapdep must acquit GoodDepFact and the
+// missing fact on errwrapdep.Fresh must convict BadDepFresh.
+func TestErrwrap(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", errwrap.Analyzer, "errwrap")
+	if len(diags) == 0 {
+		t.Fatal("expected diagnostics on the fixture")
+	}
+}

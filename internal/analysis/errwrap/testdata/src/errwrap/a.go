@@ -1,0 +1,75 @@
+// Fixture for the errwrap analyzer: a contract package exercising local
+// classification, helper propagation, variable dataflow, and cross-package
+// facts from errwrapdep.
+package errwrap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"errwrapdep"
+)
+
+// ErrMain is this package's declared sentinel.
+var ErrMain = errors.New("errwrap: main sentinel")
+
+func GoodSentinel() error { // want fact:`errwrap:ok`
+	return ErrMain
+}
+
+func GoodWrap(name string) error { // want fact:`errwrap:ok`
+	if _, err := os.Open(name); err != nil {
+		return fmt.Errorf("errwrap: opening %s: %w", name, err)
+	}
+	return nil
+}
+
+func GoodPassthrough(name string) error { // want fact:`errwrap:ok`
+	_, err := os.Open(name)
+	return err
+}
+
+func GoodCtx(ctx context.Context) error { // want fact:`errwrap:ok`
+	return ctx.Err()
+}
+
+func GoodDepFact(cause error) error { // want fact:`errwrap:ok`
+	return errwrapdep.Wrap(cause)
+}
+
+// freshHelper mints a chain-less error; unexported, so no diagnostic here —
+// the blame surfaces at its exported exposers.
+func freshHelper(n int) error {
+	return fmt.Errorf("errwrap: odd input %d", n) // want `unclassifiable error reaches exported errwrap\.BadViaHelper: fmt\.Errorf without %w mints a chain-less error; wrap the cause or one of ErrMain with %w`
+}
+
+func BadViaHelper(n int) error {
+	return freshHelper(n)
+}
+
+func BadInlineNew() error {
+	return errors.New("errwrap: one-off") // want `unclassifiable error reaches exported errwrap\.BadInlineNew: inline errors\.New mints a chain-less error \(declare a sentinel instead\); wrap the cause or one of ErrMain with %w`
+}
+
+func BadDepFresh() error {
+	return errwrapdep.Fresh(3) // want `unclassifiable error reaches exported errwrap\.BadDepFresh: error from errwrapdep\.Fresh, which mints unclassifiable errors; wrap the cause or one of ErrMain with %w`
+}
+
+// BadViaVar routes the fresh error through a local variable: the
+// flow-insensitive dataflow still convicts.
+func BadViaVar(n int) (err error) {
+	if n > 0 {
+		err = fmt.Errorf("errwrap: positive %d", n) // want `unclassifiable error reaches exported errwrap\.BadViaVar: fmt\.Errorf without %w mints a chain-less error; wrap the cause or one of ErrMain with %w`
+	}
+	return err
+}
+
+func GoodViaVar(n int) error { // want fact:`errwrap:ok`
+	var err error
+	if n > 0 {
+		err = fmt.Errorf("errwrap: positive %d: %w", n, ErrMain)
+	}
+	return err
+}

@@ -1,0 +1,27 @@
+// Fixture dependency for the errwrap analyzer: a contract package whose
+// classifiable functions must be visible to dependents as facts.
+package errwrapdep
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDep is this package's declared sentinel.
+var ErrDep = errors.New("errwrapdep: failed")
+
+// Sentinel returns the declared sentinel: classifiable.
+func Sentinel() error { // want fact:`errwrap:ok`
+	return ErrDep
+}
+
+// Wrap passes a cause through with its chain intact: classifiable.
+func Wrap(cause error) error { // want fact:`errwrap:ok`
+	return fmt.Errorf("errwrapdep: %w", cause)
+}
+
+// Fresh mints a chain-less error, so it earns no fact and is reported here
+// (errwrapdep is itself under contract).
+func Fresh(n int) error {
+	return fmt.Errorf("errwrapdep: bad value %d", n) // want `unclassifiable error reaches exported errwrapdep\.Fresh: fmt\.Errorf without %w mints a chain-less error; wrap the cause or one of ErrDep with %w`
+}

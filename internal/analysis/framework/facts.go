@@ -1,0 +1,323 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is a typed, serializable datum an analyzer attaches to a package or
+// to a package-level object so that analyses of *dependent* packages can see
+// conclusions about their imports — the interprocedural layer of the suite.
+// This mirrors golang.org/x/tools/go/analysis facts: a fact type is a
+// pointer to a gob-encodable struct, declared in Analyzer.FactTypes, and
+// facts cross package boundaries only through an encode/decode round-trip
+// (enforced by FactStore), so nothing non-serializable can leak through.
+//
+// Facts also implement fmt.Stringer; the rendered form is what the
+// analysistest harness matches against `// want fact:"re"` assertions.
+type Fact interface {
+	AFact() // marker method, conventionally implemented on pointer types
+	String() string
+}
+
+// ObjectFact pairs an exported fact with the object it describes.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// PackageFact pairs an exported fact with its package path.
+type PackageFact struct {
+	PkgPath string
+	Fact    Fact
+}
+
+// ObjectKey renders a package-level object (func, var, const, type) or a
+// method as a stable string usable across the source-checked and
+// export-data views of the same package: "Name" for package-level objects,
+// "(T).M" / "(*T).M" for methods. It returns "" for objects facts cannot be
+// attached to (locals, struct fields, interface methods of anonymous
+// types).
+func ObjectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			star := ""
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+				star = "*"
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return ""
+			}
+			return "(" + star + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	return obj.Name()
+}
+
+// gobFact is the serialized form of one fact: the object key ("" for a
+// package fact) plus the fact value itself (gob handles the concrete type
+// via interface registration).
+type gobFact struct {
+	Key  string
+	Fact Fact
+}
+
+// pkgFacts is the decoded fact set of one (analyzer, package) pair.
+type pkgFacts struct {
+	byKey map[string][]Fact // object key ("" = package fact) -> facts
+}
+
+// FactStore carries facts between packages for one analyzer. Exported facts
+// are gob-encoded when a package's pass finishes and lazily decoded when a
+// dependent imports them, so every cross-package fact provably survives
+// serialization — the same discipline go/analysis applies in its
+// separate-compilation drivers.
+type FactStore struct {
+	encoded  map[string][]byte    // pkg path -> gob blob of []gobFact
+	decoded  map[string]*pkgFacts // pkg path -> decoded cache
+	analyzed map[string]bool      // pkg path -> a pass over it has finished
+}
+
+// NewFactStore returns an empty store. Fact concrete types must be
+// registered via RegisterFactTypes before use.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		encoded:  map[string][]byte{},
+		decoded:  map[string]*pkgFacts{},
+		analyzed: map[string]bool{},
+	}
+}
+
+// RegisterFactTypes registers an analyzer's fact prototypes with gob.
+// Safe to call repeatedly with the same types.
+func RegisterFactTypes(a *Analyzer) {
+	for _, f := range a.FactTypes {
+		gob.Register(f)
+	}
+}
+
+// finish serializes the facts exported during one package's pass into the
+// store. It panics if a fact fails to encode: a non-serializable fact is an
+// analyzer bug, not an input condition.
+func (s *FactStore) finish(pkgPath string, exported []gobFact) error {
+	s.analyzed[pkgPath] = true
+	if len(exported) == 0 {
+		return nil
+	}
+	// Deterministic blob: sort by key then rendered fact.
+	sort.SliceStable(exported, func(i, j int) bool {
+		if exported[i].Key != exported[j].Key {
+			return exported[i].Key < exported[j].Key
+		}
+		return exported[i].Fact.String() < exported[j].Fact.String()
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(exported); err != nil {
+		return fmt.Errorf("facts: encoding %d fact(s) of %s: %v", len(exported), pkgPath, err)
+	}
+	s.encoded[pkgPath] = buf.Bytes()
+	delete(s.decoded, pkgPath) // in case the same path is re-analyzed
+	return nil
+}
+
+// facts decodes (once) and returns the fact set for pkgPath, or nil.
+func (s *FactStore) facts(pkgPath string) *pkgFacts {
+	if pf, ok := s.decoded[pkgPath]; ok {
+		return pf
+	}
+	blob, ok := s.encoded[pkgPath]
+	if !ok {
+		return nil
+	}
+	var raw []gobFact
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&raw); err != nil {
+		// Decode of our own encoding failing is a programming error; treat
+		// the package as fact-free rather than crashing the driver.
+		return nil
+	}
+	pf := &pkgFacts{byKey: map[string][]Fact{}}
+	for _, gf := range raw {
+		pf.byKey[gf.Key] = append(pf.byKey[gf.Key], gf.Fact)
+	}
+	s.decoded[pkgPath] = pf
+	return pf
+}
+
+// ---- Pass-side API ----
+
+// factState is the per-pass fact context wired into a Pass by drivers.
+type factState struct {
+	store    *FactStore
+	pkgPath  string
+	exported []gobFact
+	// objects remembers the object each exported fact was attached to, for
+	// AllObjectFacts (the serialized form only keeps the key).
+	objects []types.Object
+}
+
+// SetFacts arms a Pass with a fact store. Drivers call this before Run;
+// passes without a store (legacy drivers) still work — exports are dropped
+// and imports report no facts.
+func (p *Pass) SetFacts(store *FactStore) {
+	p.facts = &factState{store: store, pkgPath: p.Pkg.Path()}
+}
+
+// FinishFacts serializes the facts exported during this pass into the
+// store, making them visible to dependent packages. Drivers call it after
+// Run returns.
+func (p *Pass) FinishFacts() error {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.store.finish(p.facts.pkgPath, p.facts.exported)
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the package
+// under analysis and be addressable by ObjectKey. Unkeyable objects are
+// ignored (matching go/analysis, which panics only on nil).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil || obj == nil {
+		return
+	}
+	key := ObjectKey(obj)
+	if key == "" || obj.Pkg() == nil || obj.Pkg().Path() != p.facts.pkgPath {
+		return
+	}
+	p.facts.exported = append(p.facts.exported, gobFact{Key: key, Fact: fact})
+	p.facts.objects = append(p.facts.objects, obj)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.exported = append(p.facts.exported, gobFact{Key: "", Fact: fact})
+	p.facts.objects = append(p.facts.objects, nil)
+}
+
+// ImportObjectFact copies into fact (a pointer to the zero value of a
+// registered fact type) the fact of that type previously exported for obj —
+// by this pass or by the pass over the package that owns obj — and reports
+// whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key := ObjectKey(obj)
+	if key == "" {
+		return false
+	}
+	if obj.Pkg().Path() == p.facts.pkgPath {
+		// Same package: read back from the in-flight export list.
+		for _, gf := range p.facts.exported {
+			if gf.Key == key && assignFact(fact, gf.Fact) {
+				return true
+			}
+		}
+		return false
+	}
+	pf := p.facts.store.facts(obj.Pkg().Path())
+	if pf == nil {
+		return false
+	}
+	for _, f := range pf.byKey[key] {
+		if assignFact(fact, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// ImportPackageFact copies into fact the package-level fact of that type
+// exported by the pass over pkg (possibly this one), reporting success.
+func (p *Pass) ImportPackageFact(pkgPath string, fact Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	if pkgPath == p.facts.pkgPath {
+		for _, gf := range p.facts.exported {
+			if gf.Key == "" && assignFact(fact, gf.Fact) {
+				return true
+			}
+		}
+		return false
+	}
+	pf := p.facts.store.facts(pkgPath)
+	if pf == nil {
+		return false
+	}
+	for _, f := range pf.byKey[""] {
+		if assignFact(fact, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzedPackage reports whether this analyzer's pass over pkgPath has
+// already finished (or is the current pass). It lets an analyzer tell
+// "analyzed dependency that exported no fact for this object" — an
+// authoritative negative — apart from "package outside the analysis scope"
+// (stdlib, export-data-only), where absence of a fact means nothing.
+func (p *Pass) AnalyzedPackage(pkgPath string) bool {
+	if p.facts == nil {
+		return false
+	}
+	return pkgPath == p.facts.pkgPath || p.facts.store.analyzed[pkgPath]
+}
+
+// AllObjectFacts returns the object facts exported during this pass, for
+// drivers (the analysistest fact assertions).
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	if p.facts == nil {
+		return nil
+	}
+	var out []ObjectFact
+	for i, gf := range p.facts.exported {
+		if gf.Key != "" && p.facts.objects[i] != nil {
+			out = append(out, ObjectFact{Object: p.facts.objects[i], Fact: gf.Fact})
+		}
+	}
+	return out
+}
+
+// AllPackageFacts returns the package facts exported during this pass.
+func (p *Pass) AllPackageFacts() []PackageFact {
+	if p.facts == nil {
+		return nil
+	}
+	var out []PackageFact
+	for _, gf := range p.facts.exported {
+		if gf.Key == "" {
+			out = append(out, PackageFact{PkgPath: p.facts.pkgPath, Fact: gf.Fact})
+		}
+	}
+	return out
+}
+
+// assignFact copies *src into *dst when both are pointers to the same
+// concrete fact type. Returns false on type mismatch, which is how a lookup
+// for one fact type skips facts of another.
+func assignFact(dst, src Fact) bool {
+	dv := reflect.ValueOf(dst)
+	sv := reflect.ValueOf(src)
+	if dv.Kind() != reflect.Pointer || sv.Kind() != reflect.Pointer || dv.Type() != sv.Type() {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}

@@ -1,0 +1,170 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type testFact struct {
+	Source string
+}
+
+func (*testFact) AFact()           {}
+func (f *testFact) String() string { return fmt.Sprintf("test(%s)", f.Source) }
+
+type otherFact struct{ N int }
+
+func (*otherFact) AFact()           {}
+func (f *otherFact) String() string { return fmt.Sprintf("other(%d)", f.N) }
+
+// checkSrc type-checks one single-file package for the fact tests.
+func checkSrc(t *testing.T, path, src string) (*Pass, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{
+		Fset:      fset,
+		Files:     []*ast.File{f},
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(Diagnostic) {},
+	}
+	return pass, pkg
+}
+
+func TestObjectFactRoundTrip(t *testing.T) {
+	a := &Analyzer{Name: "t", FactTypes: []Fact{(*testFact)(nil), (*otherFact)(nil)}}
+	RegisterFactTypes(a)
+	store := NewFactStore()
+
+	pass, pkg := checkSrc(t, "lower", `package lower
+func F() {}
+type T struct{}
+func (T) M() {}
+func (*T) PM() {}
+var V int
+`)
+	pass.Analyzer = a
+	pass.SetFacts(store)
+
+	fObj := pkg.Scope().Lookup("F")
+	pass.ExportObjectFact(fObj, &testFact{Source: "time.Now"})
+	named := pkg.Scope().Lookup("T").Type().(*types.Named)
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		pass.ExportObjectFact(m, &testFact{Source: "m:" + m.Name()})
+	}
+	pass.ExportObjectFact(pkg.Scope().Lookup("V"), &otherFact{N: 7})
+	pass.ExportPackageFact(&otherFact{N: 42})
+
+	// Same-pass import sees in-flight facts.
+	var tf testFact
+	if !pass.ImportObjectFact(fObj, &tf) || tf.Source != "time.Now" {
+		t.Fatalf("same-pass import: got %+v", tf)
+	}
+	// Type filtering: importing the wrong type misses.
+	var of otherFact
+	if pass.ImportObjectFact(fObj, &of) {
+		t.Fatal("otherFact should not be found on F")
+	}
+
+	if err := pass.FinishFacts(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A dependent pass sees the facts through the gob round-trip, looked up
+	// by object key against a *different* types.Package identity for the
+	// same import path (simulating the export-data view).
+	pass2, pkg2 := checkSrc(t, "lower", `package lower
+func F() {}
+type T struct{}
+func (T) M() {}
+var V int
+`)
+	dep := &Pass{Analyzer: a, Fset: pass2.Fset, Files: pass2.Files,
+		Pkg: types.NewPackage("upper", "upper"), TypesInfo: pass2.TypesInfo,
+		Report: func(Diagnostic) {}}
+	dep.SetFacts(store)
+
+	var got testFact
+	if !dep.ImportObjectFact(pkg2.Scope().Lookup("F"), &got) || got.Source != "time.Now" {
+		t.Fatalf("cross-package object fact: got %+v", got)
+	}
+	m := pkg2.Scope().Lookup("T").Type().(*types.Named).Method(0)
+	if !dep.ImportObjectFact(m, &got) || got.Source != "m:M" {
+		t.Fatalf("method fact: got %+v", got)
+	}
+	var pkgFact otherFact
+	if !dep.ImportPackageFact("lower", &pkgFact) || pkgFact.N != 42 {
+		t.Fatalf("package fact: got %+v", pkgFact)
+	}
+	if dep.ImportPackageFact("nosuch", &pkgFact) {
+		t.Fatal("package fact for unknown package should miss")
+	}
+}
+
+func TestObjectKeyShapes(t *testing.T) {
+	_, pkg := checkSrc(t, "k", `package k
+func F() {}
+type T struct{ X int }
+func (T) M() {}
+func (*T) PM() {}
+var V int
+`)
+	cases := map[string]string{"F": "F", "V": "V"}
+	for name, want := range cases {
+		if got := ObjectKey(pkg.Scope().Lookup(name)); got != want {
+			t.Errorf("ObjectKey(%s) = %q, want %q", name, got, want)
+		}
+	}
+	named := pkg.Scope().Lookup("T").Type().(*types.Named)
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		key := ObjectKey(m)
+		want := "(T).M"
+		if m.Name() == "PM" {
+			want = "(*T).PM"
+		}
+		if key != want {
+			t.Errorf("ObjectKey(%s) = %q, want %q", m.Name(), key, want)
+		}
+	}
+	// Struct fields are not keyable.
+	st := named.Underlying().(*types.Struct)
+	if got := ObjectKey(st.Field(0)); got != "" {
+		t.Errorf("field key = %q, want empty", got)
+	}
+}
+
+func TestPassWithoutFactsIsInert(t *testing.T) {
+	pass, pkg := checkSrc(t, "inert", `package inert
+func F() {}
+`)
+	pass.Analyzer = &Analyzer{Name: "t"}
+	obj := pkg.Scope().Lookup("F")
+	pass.ExportObjectFact(obj, &testFact{Source: "x"}) // must not panic
+	var tf testFact
+	if pass.ImportObjectFact(obj, &tf) {
+		t.Fatal("factless pass should import nothing")
+	}
+	if err := pass.FinishFacts(); err != nil {
+		t.Fatal(err)
+	}
+	if pass.AllObjectFacts() != nil || pass.AllPackageFacts() != nil {
+		t.Fatal("factless pass should report no facts")
+	}
+}

@@ -31,6 +31,12 @@ type Analyzer struct {
 	// pass.Report/Reportf; the result value is unused today and exists for
 	// API compatibility with go/analysis.
 	Run func(*Pass) (any, error)
+
+	// FactTypes lists prototypes (pointers to zero values) of every fact
+	// type the analyzer exports or imports. A non-empty list marks the
+	// analyzer as interprocedural: drivers must run it over packages in
+	// dependency order with a shared FactStore.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -45,6 +51,10 @@ type Pass struct {
 
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+
+	// facts is the interprocedural fact context, armed by SetFacts. Nil in
+	// drivers that run analyzers purely intraprocedurally.
+	facts *factState
 }
 
 // Diagnostic is one finding at a source position.

@@ -197,6 +197,10 @@ type fixtureImporter struct {
 	pkgs map[string]*types.Package
 	// loading guards against import cycles among fixtures.
 	loading map[string]bool
+	// loaded records every source-checked fixture package in completion
+	// order — dependencies before dependents, the order interprocedural
+	// analyzers must run in.
+	loaded []*Package
 }
 
 func (im *fixtureImporter) Import(path string) (*types.Package, error) {
@@ -215,6 +219,7 @@ func (im *fixtureImporter) Import(path string) (*types.Package, error) {
 			return nil, err
 		}
 		im.pkgs[path] = pkg.Types
+		im.loaded = append(im.loaded, pkg)
 		return pkg.Types, nil
 	}
 	return im.std.Import(path)
@@ -240,6 +245,20 @@ func checkFixtureDir(fset *token.FileSet, dir, pkgPath string, imp types.Importe
 // FixturePackage loads testdata package `path` under root (typically
 // "testdata/src"), for the analysistest harness.
 func FixturePackage(root, path string) (*Package, error) {
+	pkgs, err := FixturePackages(root, path)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[len(pkgs)-1], nil
+}
+
+// FixturePackages loads the named testdata packages under root together
+// with every fixture package they import, all type-checked from source
+// against one shared FileSet. The result is in dependency order
+// (dependencies before dependents) with the last named package last, so an
+// interprocedural analyzer can be run over the slice front to back with a
+// shared fact store.
+func FixturePackages(root string, paths ...string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	im := &fixtureImporter{
 		root:    root,
@@ -248,5 +267,18 @@ func FixturePackage(root, path string) (*Package, error) {
 		pkgs:    map[string]*types.Package{},
 		loading: map[string]bool{},
 	}
-	return checkFixtureDir(fset, filepath.Join(root, filepath.FromSlash(path)), path, im)
+	for _, path := range paths {
+		if _, ok := im.pkgs[path]; ok {
+			continue // already pulled in as a dependency of an earlier one
+		}
+		im.loading[path] = true
+		pkg, err := checkFixtureDir(fset, filepath.Join(root, filepath.FromSlash(path)), path, im)
+		delete(im.loading, path)
+		if err != nil {
+			return nil, err
+		}
+		im.pkgs[path] = pkg.Types
+		im.loaded = append(im.loaded, pkg)
+	}
+	return im.loaded, nil
 }

@@ -1,0 +1,466 @@
+// Package lockorder defines an interprocedural analyzer proving the absence
+// of lock-order inversions: it builds a lock-acquisition graph whose nodes
+// are mutexes identified by their declaration site — "pkg.Type.field" for
+// struct fields, "pkg.Var" for package-level mutexes — and whose edges mean
+// "some function acquires the second lock while holding the first". A cycle
+// in that graph (including a self-edge: re-acquiring a held, non-reentrant
+// mutex) is a potential deadlock and is reported.
+//
+// The graph is interprocedural. Each function's transitive acquisition set
+// crosses package boundaries as an Acquires object fact, so `holding
+// forest.Forest.mu, call cube.Add` adds the forest.Forest.mu ->
+// cube.SeverityIndex.mu edge even though the cube acquisition is three
+// helpers down. Accumulated edges travel as an EdgeSet package fact; a
+// cycle is reported once, in the package whose edge closes it.
+//
+// Approximations, chosen to be conservative for *ordering* (a reported
+// cycle may be a false positive in code with external serialization; a
+// clean report is trustworthy modulo func-value and interface calls, which
+// are not tracked): locks are identified per declaration, not per instance;
+// hold intervals are computed in source order within a body (a deferred
+// Unlock holds to function end); `go`-launched closures do not inherit the
+// parent's held set.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/cpskit/atypical/internal/analysis/callgraph"
+	"github.com/cpskit/atypical/internal/analysis/framework"
+)
+
+// Acquires is the object fact listing every lock a function may acquire,
+// directly or transitively. Callers holding a lock consult it to extend the
+// acquisition graph across package boundaries.
+type Acquires struct {
+	IDs []string
+}
+
+func (*Acquires) AFact() {}
+
+func (f *Acquires) String() string { return "acquires(" + strings.Join(f.IDs, ",") + ")" }
+
+// EdgeSet is the package fact carrying the acquisition edges known after
+// analyzing a package (its own plus its imports'), so a dependent package
+// can close — and report — a cycle whose other half lives upstream.
+type EdgeSet struct {
+	Edges []EdgePair
+}
+
+// EdgePair is one "To acquired while holding From" edge.
+type EdgePair struct {
+	From, To string
+}
+
+func (*EdgeSet) AFact() {}
+
+func (f *EdgeSet) String() string {
+	parts := make([]string, len(f.Edges))
+	for i, e := range f.Edges {
+		parts[i] = e.From + "->" + e.To
+	}
+	return "edges(" + strings.Join(parts, ",") + ")"
+}
+
+// Analyzer reports lock-order cycles in the interprocedural acquisition
+// graph.
+var Analyzer = &framework.Analyzer{
+	Name: "lockorder",
+	Doc: "build the interprocedural lock-acquisition graph and report " +
+		"ordering cycles (potential deadlocks), including re-acquiring a held mutex",
+	FactTypes: []framework.Fact{(*Acquires)(nil), (*EdgeSet)(nil)},
+	Run:       run,
+}
+
+// localEdge is an edge observed in this package, with the site that created
+// it.
+type localEdge struct {
+	from, to string
+	pos      token.Pos
+	// via names the callee whose Acquires fact produced the edge, "" for a
+	// direct Lock call.
+	via string
+}
+
+func run(pass *framework.Pass) (any, error) {
+	g := callgraph.Build(pass)
+
+	// Pass 1: per-function direct acquisitions and local edges.
+	direct := map[*types.Func][]string{}
+	type pendingCall struct {
+		held   []string
+		callee *types.Func
+		pos    token.Pos
+	}
+	var calls []pendingCall
+	var edges []localEdge
+	g.ForEach(func(n *callgraph.Node) {
+		if n.Decl == nil || n.Decl.Body == nil {
+			return
+		}
+		w := &bodyWalker{pass: pass}
+		w.walk(n.Decl.Body)
+		// Dedupe: one body may acquire the same lock several times
+		// (lock/unlock/relock), but summaries are sets.
+		set := map[string]bool{}
+		for _, id := range w.acquired {
+			set[id] = true
+		}
+		direct[n.Obj] = sortedKeys(set)
+		edges = append(edges, w.edges...)
+		for _, c := range w.calls {
+			calls = append(calls, pendingCall{held: c.held, callee: c.callee, pos: c.pos})
+		}
+	})
+
+	// Pass 2: transitive acquisition summaries — local fixpoint seeded with
+	// imported facts.
+	summary := map[*types.Func][]string{}
+	for fn, ids := range direct {
+		summary[fn] = ids
+	}
+	acquiresOf := func(fn *types.Func) []string {
+		if fn.Pkg() == pass.Pkg {
+			return summary[fn]
+		}
+		var fact Acquires
+		if pass.ImportObjectFact(fn, &fact) {
+			return fact.IDs
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		g.ForEach(func(n *callgraph.Node) {
+			set := map[string]bool{}
+			for _, id := range summary[n.Obj] {
+				set[id] = true
+			}
+			added := false
+			for _, e := range n.Edges {
+				if e.Ref || e.Iface {
+					continue
+				}
+				for _, id := range acquiresOf(e.Callee) {
+					if !set[id] {
+						set[id] = true
+						added = true
+					}
+				}
+			}
+			if added {
+				summary[n.Obj] = sortedKeys(set)
+				changed = true
+			}
+		})
+	}
+
+	// Edges through calls: holding H, calling a function that (transitively)
+	// acquires A adds H -> A.
+	for _, c := range calls {
+		for _, a := range acquiresOf(c.callee) {
+			for _, h := range c.held {
+				edges = append(edges, localEdge{
+					from: h, to: a, pos: c.pos, via: callgraph.ShortName(c.callee)})
+			}
+		}
+	}
+
+	// Export facts.
+	if pass.Pkg.Name() != "main" {
+		g.ForEach(func(n *callgraph.Node) {
+			if ids := summary[n.Obj]; len(ids) > 0 {
+				pass.ExportObjectFact(n.Obj, &Acquires{IDs: ids})
+			}
+		})
+	}
+
+	// Full graph: imported edges plus local ones.
+	full := map[string]map[string]bool{}
+	addEdge := func(from, to string) {
+		m, okM := full[from]
+		if !okM {
+			m = map[string]bool{}
+			full[from] = m
+		}
+		m[to] = true
+	}
+	var imported []EdgePair
+	for _, imp := range pass.Pkg.Imports() {
+		var fact EdgeSet
+		if pass.ImportPackageFact(imp.Path(), &fact) {
+			for _, e := range fact.Edges {
+				addEdge(e.From, e.To)
+				imported = append(imported, e)
+			}
+		}
+	}
+	for _, e := range edges {
+		addEdge(e.from, e.to)
+	}
+	if pass.Pkg.Name() != "main" {
+		all := map[EdgePair]bool{}
+		for _, e := range imported {
+			all[e] = true
+		}
+		for _, e := range edges {
+			all[EdgePair{From: e.from, To: e.to}] = true
+		}
+		flat := make([]EdgePair, 0, len(all))
+		for e := range all {
+			flat = append(flat, e)
+		}
+		sort.Slice(flat, func(i, j int) bool {
+			if flat[i].From != flat[j].From {
+				return flat[i].From < flat[j].From
+			}
+			return flat[i].To < flat[j].To
+		})
+		if len(flat) > 0 {
+			pass.ExportPackageFact(&EdgeSet{Edges: flat})
+		}
+	}
+
+	// Report: every local edge that closes a cycle, once per site.
+	type siteKey struct {
+		pair EdgePair
+		pos  token.Pos
+	}
+	seen := map[siteKey]bool{}
+	for _, e := range edges {
+		key := siteKey{pair: EdgePair{From: e.from, To: e.to}, pos: e.pos}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if e.from == e.to {
+			what := "acquires " + e.to + " while already holding it"
+			if e.via != "" {
+				what = "calls " + e.via + ", which acquires " + e.to + ", while already holding it"
+			}
+			pass.Reportf(e.pos, "lock order: %s (self-deadlock on a non-reentrant mutex)", what)
+			continue
+		}
+		if path := findPath(full, e.to, e.from); path != nil {
+			cycle := append([]string{e.from}, path...)
+			what := "acquiring " + e.to
+			if e.via != "" {
+				what = "calling " + e.via + " (acquires " + e.to + ")"
+			}
+			pass.Reportf(e.pos, "lock order cycle %s: %s while holding %s inverts the existing order",
+				strings.Join(cycle, " -> "), what, e.from)
+		}
+	}
+	return nil, nil
+}
+
+// ---- body traversal ----
+
+// heldLock is one currently-held acquisition.
+type heldLock struct {
+	id string
+}
+
+type callSite struct {
+	held   []string
+	callee *types.Func
+	pos    token.Pos
+}
+
+// bodyWalker simulates one function body in source order, tracking the held
+// set.
+type bodyWalker struct {
+	pass     *framework.Pass
+	held     []heldLock
+	acquired []string
+	edges    []localEdge
+	calls    []callSite
+}
+
+func (w *bodyWalker) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// A spawned goroutine does not hold the parent's locks; walk its
+			// body with an empty held set.
+			if lit, okL := ast.Unparen(n.Call.Fun).(*ast.FuncLit); okL {
+				sub := &bodyWalker{pass: w.pass}
+				sub.walk(lit.Body)
+				w.acquired = append(w.acquired, sub.acquired...)
+				w.edges = append(w.edges, sub.edges...)
+				w.calls = append(w.calls, sub.calls...)
+			}
+			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at function end: keep the lock in
+			// the held set for everything after. Other deferred calls are
+			// modelled at the defer site (approximation).
+			if id, kind := w.lockOp(n.Call); id != "" && (kind == "Unlock" || kind == "RUnlock") {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			w.call(n)
+			return true
+		}
+		return true
+	})
+}
+
+// call processes one call expression: a Lock/Unlock on a tracked mutex
+// updates the held set; any other resolvable call is recorded against the
+// current held set for the interprocedural pass.
+func (w *bodyWalker) call(call *ast.CallExpr) {
+	if id, kind := w.lockOp(call); id != "" {
+		switch kind {
+		case "Lock", "RLock":
+			for _, h := range w.held {
+				w.edges = append(w.edges, localEdge{from: h.id, to: id, pos: call.Pos()})
+			}
+			w.held = append(w.held, heldLock{id: id})
+			w.acquired = append(w.acquired, id)
+		case "Unlock", "RUnlock":
+			for i := len(w.held) - 1; i >= 0; i-- {
+				if w.held[i].id == id {
+					w.held = append(w.held[:i], w.held[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	callee := staticCallee(w.pass, call)
+	if callee == nil || len(w.held) == 0 {
+		return
+	}
+	held := make([]string, len(w.held))
+	for i, h := range w.held {
+		held[i] = h.id
+	}
+	w.calls = append(w.calls, callSite{held: held, callee: callee, pos: call.Pos()})
+}
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock on a trackable mutex and
+// returns its lock ID and the method name ("" id otherwise).
+func (w *bodyWalker) lockOp(call *ast.CallExpr) (string, string) {
+	sel, okS := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okS {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	fn, okF := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !okF || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return lockID(w.pass, sel.X), sel.Sel.Name
+}
+
+// lockID names the mutex operand by declaration site: "pkg.Type.field" for
+// a struct field, "pkg.Var" for a package-level var. Locals and
+// untrackable shapes return "".
+func lockID(pass *framework.Pass, expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		obj := pass.TypesInfo.Uses[e.Sel]
+		v, okV := obj.(*types.Var)
+		if !okV {
+			return ""
+		}
+		if v.IsField() {
+			t := pass.TypeOf(e.X)
+			if t == nil {
+				return ""
+			}
+			if p, okP := t.(*types.Pointer); okP {
+				t = p.Elem()
+			}
+			if named, okN := types.Unalias(t).(*types.Named); okN && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + v.Name()
+			}
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+		return ""
+	case *ast.Ident:
+		v, okV := pass.TypesInfo.Uses[e].(*types.Var)
+		if !okV {
+			return ""
+		}
+		if v.Pkg() != nil && !v.IsField() && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+// staticCallee resolves a call to a declared function or method, nil for
+// func values and interface calls.
+func staticCallee(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, okS := pass.TypesInfo.Selections[fun]; okS {
+			fn, okF := sel.Obj().(*types.Func)
+			if !okF {
+				return nil
+			}
+			if sig, okG := fn.Type().(*types.Signature); okG && sig.Recv() != nil &&
+				types.IsInterface(sig.Recv().Type()) {
+				return nil
+			}
+			return fn
+		}
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// findPath returns a lock path from -> ... -> to in the edge map, nil if
+// unreachable.
+func findPath(full map[string]map[string]bool, from, to string) []string {
+	type qe struct {
+		id   string
+		path []string
+	}
+	visited := map[string]bool{from: true}
+	queue := []qe{{id: from, path: []string{from}}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.id == to {
+			return cur.path
+		}
+		next := sortedKeys(full[cur.id])
+		for _, n := range next {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			queue = append(queue, qe{id: n, path: append(append([]string{}, cur.path...), n)})
+		}
+	}
+	return nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,18 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/analysistest"
+	"github.com/cpskit/atypical/internal/analysis/lockorder"
+)
+
+// TestLockorder drives the fixture and its dependency in one run: the
+// cross-package cycles only close through lockorderdep's Acquires and
+// EdgeSet facts.
+func TestLockorder(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", lockorder.Analyzer, "lockorder")
+	if len(diags) == 0 {
+		t.Fatal("expected diagnostics on the fixture")
+	}
+}

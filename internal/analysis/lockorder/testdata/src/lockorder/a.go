@@ -1,0 +1,76 @@
+// Fixture for the lockorder analyzer: intra-package inversions, self
+// deadlocks, and cycles closed against lockorderdep's exported facts.
+package lockorder
+
+import (
+	"sync"
+
+	"lockorderdep"
+)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func (a *A) lockThenB(b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock order cycle lockorder\.A\.mu -> lockorder\.B\.mu -> lockorder\.A\.mu: acquiring lockorder\.B\.mu while holding lockorder\.A\.mu inverts the existing order`
+	b.mu.Unlock()
+}
+
+func (b *B) lockThenA(a *A) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock order cycle lockorder\.B\.mu -> lockorder\.A\.mu -> lockorder\.B\.mu: acquiring lockorder\.A\.mu while holding lockorder\.B\.mu inverts the existing order`
+	a.mu.Unlock()
+}
+
+func (a *A) double() {
+	a.mu.Lock()
+	a.mu.Lock() // want `lock order: acquires lockorder\.A\.mu while already holding it \(self-deadlock on a non-reentrant mutex\)`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Inverts closes a cycle against the Mu -> Nu edge imported from
+// lockorderdep's EdgeSet package fact.
+func Inverts() {
+	lockorderdep.Nu.Lock()
+	defer lockorderdep.Nu.Unlock()
+	lockorderdep.Mu.Lock() // want `lock order cycle lockorderdep\.Nu -> lockorderdep\.Mu -> lockorderdep\.Nu: acquiring lockorderdep\.Mu while holding lockorderdep\.Nu inverts the existing order`
+	lockorderdep.Mu.Unlock()
+}
+
+// ViaFact closes the same cycle through a call: TouchMu's Acquires fact
+// supplies the Nu -> Mu edge.
+func ViaFact() {
+	lockorderdep.Nu.Lock()
+	defer lockorderdep.Nu.Unlock()
+	lockorderdep.TouchMu() // want `lock order cycle lockorderdep\.Nu -> lockorderdep\.Mu -> lockorderdep\.Nu: calling lockorderdep\.TouchMu \(acquires lockorderdep\.Mu\) while holding lockorderdep\.Nu inverts the existing order`
+}
+
+// Wrapper holds its own lock around calls into lockorderdep: the resulting
+// Wrapper.mu -> D.mu edge is fine (no cycle), and Bad's transitive summary
+// must include both locks.
+type Wrapper struct {
+	mu sync.Mutex
+	d  *lockorderdep.D
+}
+
+func (w *Wrapper) Bad() { // want fact:`acquires\(lockorder\.Wrapper\.mu,lockorderdep\.D\.mu\)`
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.d.Do()
+}
+
+// spawned goroutines do not inherit the held set: no A.mu -> B.mu edge here,
+// so no new cycle site.
+func (a *A) goroutineIsDetached(b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	go func() {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}()
+}

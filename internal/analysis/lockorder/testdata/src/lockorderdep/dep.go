@@ -1,0 +1,39 @@
+// Fixture dependency for the lockorder analyzer: its acquisition summaries
+// (Acquires object facts) and edges (EdgeSet package fact) must reach the
+// dependent fixture.
+package lockorderdep
+
+import "sync"
+
+// Mu and Nu are package-level locks the dependent package can also acquire.
+var (
+	Mu sync.Mutex
+	Nu sync.Mutex
+)
+
+// Both establishes the Mu -> Nu order; no cycle exists inside this package.
+func Both() { // want fact:`acquires\(lockorderdep\.Mu,lockorderdep\.Nu\)`
+	Mu.Lock()
+	Nu.Lock()
+	Nu.Unlock()
+	Mu.Unlock()
+}
+
+// TouchMu acquires Mu only; callers holding another lock inherit the edge
+// through this fact.
+func TouchMu() { // want fact:`acquires\(lockorderdep\.Mu\)`
+	Mu.Lock()
+	Mu.Unlock()
+}
+
+// D carries an unexported mutex dependents can only reach through Do.
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (d *D) Do() { // want fact:`acquires\(lockorderdep\.D\.mu\)`
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n++
+}

@@ -1,0 +1,210 @@
+// Package nondet defines an interprocedural analyzer proving that the
+// declared determinism roots — the functions whose output the byte-identity
+// guarantees rest on (cluster extract/integrate, the cube severity build,
+// Explain.Canonical) — cannot reach a source of nondeterminism through any
+// static call path.
+//
+// A function is a *determinism root* when its doc comment carries the
+// directive
+//
+//	//atyplint:deterministic
+//
+// Nondeterminism sources are calls to time.Now/time.Since, anything in
+// math/rand (v1 or v2) or crypto/rand, os.Getenv/LookupEnv/Environ, and
+// order-leaking map ranges (the exact heuristic of the rangedeterminism
+// analyzer, shared via rangedeterminism.Leaks). Reachability is computed
+// over the internal/analysis/callgraph static graph: closures are charged
+// to their enclosing function, interface calls resolve conservatively to
+// every visible implementation, and function-value references count as
+// potential calls.
+//
+// Each function that can reach a source gets a Reaches object fact with the
+// source name and an example call path; facts propagate across package
+// boundaries, so a root in internal/cluster is convicted even when the
+// offending call hides three helpers deep in another package. Calls into
+// internal/obs are exempt: metrics and spans read the clock by design, and
+// their output is a side channel that never feeds query answers.
+//
+// A root that must keep an exempted call documents it with
+// //atyplint:ignore nondet <reason> at the root's declaration.
+package nondet
+
+import (
+	"go/types"
+	"strings"
+
+	"github.com/cpskit/atypical/internal/analysis/callgraph"
+	"github.com/cpskit/atypical/internal/analysis/framework"
+	"github.com/cpskit/atypical/internal/analysis/rangedeterminism"
+)
+
+// RootDirective marks a function as a determinism root when it appears in
+// the function's doc comment.
+const RootDirective = "atyplint:deterministic"
+
+// maxPath bounds the reported example call chain.
+const maxPath = 8
+
+// Reaches is the object fact exported for every function that can reach a
+// nondeterminism source. Path is an example call chain, shortest-first,
+// ending at the source.
+type Reaches struct {
+	Source string
+	Path   []string
+}
+
+func (*Reaches) AFact() {}
+
+func (f *Reaches) String() string { return "nondet(" + f.Source + ")" }
+
+// Analyzer proves determinism roots cannot reach nondeterminism sources.
+var Analyzer = &framework.Analyzer{
+	Name: "nondet",
+	Doc: "prove declared determinism roots (//atyplint:deterministic) cannot " +
+		"transitively reach time.Now, math/rand, os.Getenv or an order-leaking " +
+		"map range",
+	FactTypes: []framework.Fact{(*Reaches)(nil)},
+	Run:       run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	g := callgraph.Build(pass)
+
+	reaches := map[*types.Func]*Reaches{}
+
+	// Seed: direct sources — source calls, and leaky map ranges in the
+	// function's own body.
+	g.ForEach(func(n *callgraph.Node) {
+		if leaks := rangedeterminism.Leaks(pass, n.Decl.Body); len(leaks) > 0 {
+			reaches[n.Obj] = &Reaches{
+				Source: "unordered map range",
+				Path:   []string{callgraph.ShortName(n.Obj)},
+			}
+			return
+		}
+		for _, e := range n.Edges {
+			if src := sourceOf(e.Callee); src != "" {
+				reaches[n.Obj] = &Reaches{
+					Source: src,
+					Path:   []string{callgraph.ShortName(n.Obj), src},
+				}
+				return
+			}
+		}
+	})
+
+	// Seed: imported facts — callees in other packages already convicted.
+	g.ForEach(func(n *callgraph.Node) {
+		if _, done := reaches[n.Obj]; done {
+			return
+		}
+		for _, e := range n.Edges {
+			if exempt(e.Callee) || e.Callee.Pkg() == nil || e.Callee.Pkg() == pass.Pkg {
+				continue
+			}
+			var fact Reaches
+			if pass.ImportObjectFact(e.Callee, &fact) {
+				reaches[n.Obj] = &Reaches{
+					Source: fact.Source,
+					Path:   extend(callgraph.ShortName(n.Obj), fact.Path),
+				}
+				break
+			}
+		}
+	})
+
+	// Fixpoint over intra-package edges.
+	for changed := true; changed; {
+		changed = false
+		g.ForEach(func(n *callgraph.Node) {
+			if _, done := reaches[n.Obj]; done {
+				return
+			}
+			for _, e := range n.Edges {
+				r, ok := reaches[e.Callee]
+				if !ok || exempt(e.Callee) {
+					continue
+				}
+				reaches[n.Obj] = &Reaches{
+					Source: r.Source,
+					Path:   extend(callgraph.ShortName(n.Obj), r.Path),
+				}
+				changed = true
+				return
+			}
+		})
+	}
+
+	// Export facts and convict roots.
+	g.ForEach(func(n *callgraph.Node) {
+		r, ok := reaches[n.Obj]
+		if !ok {
+			return
+		}
+		pass.ExportObjectFact(n.Obj, r)
+		if isRoot(n) {
+			pass.Reportf(n.Decl.Name.Pos(),
+				"determinism root %s can reach nondeterminism source %s: %s",
+				n.Obj.Name(), r.Source, strings.Join(r.Path, " -> "))
+		}
+	})
+	return nil, nil
+}
+
+// isRoot reports whether the node's doc comment declares a determinism root.
+func isRoot(n *callgraph.Node) bool {
+	if n.Decl.Doc == nil {
+		return false
+	}
+	for _, c := range n.Decl.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), RootDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// sourceOf names the nondeterminism source fn is, or "".
+func sourceOf(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2", "crypto/rand":
+		return pkg.Path() + "." + fn.Name()
+	case "os":
+		switch fn.Name() {
+		case "Getenv", "LookupEnv", "Environ":
+			return "os." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// exempt reports whether calls to fn never taint the caller: the
+// observability layer reads the clock by design and its output is a side
+// channel, not part of any query answer.
+func exempt(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return strings.Contains(pkg.Path(), "internal/obs")
+}
+
+// extend prepends head to a copy of path, truncating to maxPath.
+func extend(head string, path []string) []string {
+	out := make([]string, 0, len(path)+1)
+	out = append(out, head)
+	out = append(out, path...)
+	if len(out) > maxPath {
+		out = append(out[:maxPath-1], "...")
+	}
+	return out
+}

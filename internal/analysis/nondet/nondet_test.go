@@ -1,0 +1,18 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/analysistest"
+	"github.com/cpskit/atypical/internal/analysis/nondet"
+)
+
+// TestNondet drives the multi-package fixture: nondetdep's facts must cross
+// the package boundary into nondet's roots, and the internal/obs exemption
+// must hold.
+func TestNondet(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", nondet.Analyzer, "nondet")
+	if len(diags) == 0 {
+		t.Fatal("expected diagnostics on the fixture roots")
+	}
+}

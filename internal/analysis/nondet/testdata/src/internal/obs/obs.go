@@ -1,0 +1,10 @@
+// Fixture standing in for the real observability layer: it reads the clock,
+// but calls into any internal/obs path are exempt from nondet propagation —
+// metrics are a side channel, never part of a query answer.
+package obs
+
+import "time"
+
+func Observe() int64 {
+	return time.Now().UnixNano()
+}

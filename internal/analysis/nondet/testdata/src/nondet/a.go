@@ -1,0 +1,83 @@
+// Fixture for the nondet analyzer: functions marked //atyplint:deterministic
+// must not reach a nondeterminism source through any static call path.
+package nondet
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"internal/obs"
+
+	"nondetdep"
+)
+
+//atyplint:deterministic
+func RootDirect() int64 { // want `determinism root RootDirect can reach nondeterminism source time\.Now: nondet\.RootDirect -> time\.Now`
+	return time.Now().UnixNano()
+}
+
+func localRand() int { // want fact:`nondet\(math/rand\.Intn\)`
+	return rand.Intn(10)
+}
+
+//atyplint:deterministic
+func RootViaLocal() int { // want `determinism root RootViaLocal can reach nondeterminism source math/rand\.Intn: nondet\.RootViaLocal -> nondet\.localRand -> math/rand\.Intn`
+	return localRand()
+}
+
+//atyplint:deterministic
+func RootViaDep() int64 { // want `determinism root RootViaDep can reach nondeterminism source time\.Now: nondet\.RootViaDep -> nondetdep\.Hidden -> nondetdep\.Stamp -> time\.Now`
+	return nondetdep.Hidden()
+}
+
+//atyplint:deterministic
+func RootClean(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys // sorted: not a leak, and Pure is deterministic
+}
+
+//atyplint:deterministic
+func RootMapRange(m map[int]float64) []int { // want `determinism root RootMapRange can reach nondeterminism source unordered map range: nondet\.RootMapRange`
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+//atyplint:deterministic
+func RootEnvClosure() string { // want `determinism root RootEnvClosure can reach nondeterminism source os\.Getenv`
+	f := func() string { return os.Getenv("HOME") }
+	return f()
+}
+
+//atyplint:deterministic
+func RootObsExempt(n int) int {
+	obs.Observe() // exempt: observability is a side channel
+	return nondetdep.Pure(n, n)
+}
+
+type ticker interface{ Tick() int64 }
+
+type clockTicker struct{}
+
+func (clockTicker) Tick() int64 { // want fact:`nondet\(time\.Now\)`
+	return time.Now().Unix()
+}
+
+//atyplint:deterministic
+func RootIface(t ticker) int64 { // want `determinism root RootIface can reach nondeterminism source time\.Now`
+	return t.Tick()
+}
+
+//atyplint:deterministic
+func RootFuncValue() int64 { // want `determinism root RootFuncValue can reach nondeterminism source time\.Now`
+	clock := time.Now
+	return clock().Unix()
+}

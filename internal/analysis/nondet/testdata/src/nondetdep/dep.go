@@ -1,0 +1,15 @@
+// Fixture dependency for the nondet analyzer: a helper package whose
+// nondeterminism must propagate to dependents through object facts.
+package nondetdep
+
+import "time"
+
+func Stamp() int64 { // want fact:`nondet\(time\.Now\)`
+	return time.Now().UnixNano()
+}
+
+func Hidden() int64 { // want fact:`nondet\(time\.Now\)`
+	return Stamp()
+}
+
+func Pure(a, b int) int { return a + b }

@@ -20,6 +20,7 @@
 package rangedeterminism
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -50,13 +51,31 @@ func run(pass *framework.Pass) (any, error) {
 			default:
 				return true
 			}
-			if body != nil {
-				checkFunc(pass, body)
+			for _, l := range Leaks(pass, body) {
+				pass.Reportf(l.Pos, "%s", l.Message)
 			}
 			return true
 		})
 	}
 	return nil, nil
+}
+
+// Leak is one order-leaking map iteration found by the heuristic.
+type Leak struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Leaks applies the analyzer's heuristic to one function body and returns
+// the order-leaking map ranges as data instead of reporting them. The
+// nondet analyzer reuses this to treat a leaky map range as a
+// nondeterminism *source* for its interprocedural reachability pass, so the
+// two analyzers cannot drift apart on what "unordered map range" means.
+func Leaks(pass *framework.Pass, body *ast.BlockStmt) []Leak {
+	if body == nil {
+		return nil
+	}
+	return checkFunc(pass, body)
 }
 
 // appendSite records one `s = append(s, ...)` under a map-range loop.
@@ -66,7 +85,8 @@ type appendSite struct {
 	reported bool
 }
 
-func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) []Leak {
+	var leaks []Leak
 	var sites []*appendSite
 	ast.Inspect(body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
@@ -84,9 +104,9 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
 			switch stmt := m.(type) {
 			case *ast.CallExpr:
 				if name, ok := serializes(pass, stmt); ok {
-					pass.Reportf(stmt.Pos(),
+					leaks = append(leaks, Leak{Pos: stmt.Pos(), Message: fmt.Sprintf(
 						"map iteration feeds %s; iteration order is random — collect and sort first",
-						name)
+						name)})
 				}
 			case *ast.AssignStmt:
 				for i, rhs := range stmt.Rhs {
@@ -103,7 +123,7 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
 		return true
 	})
 	if len(sites) == 0 {
-		return
+		return leaks
 	}
 	// A site is satisfied by any sort.* / slices.* call after its loop that
 	// mentions the appended slice.
@@ -127,11 +147,12 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
 	})
 	for _, s := range sites {
 		if !s.reported {
-			pass.Reportf(s.rng.Pos(),
+			leaks = append(leaks, Leak{Pos: s.rng.Pos(), Message: fmt.Sprintf(
 				"map iteration collects into %q which is never sorted in this function; "+
-					"result order is nondeterministic", s.obj.Name())
+					"result order is nondeterministic", s.obj.Name())})
 		}
 	}
+	return leaks
 }
 
 // serializes reports whether call writes ordered output (and what kind).

@@ -103,6 +103,8 @@ func componentsToEvents(recs []cps.Record, d *dsu.DSU) [][]cps.Record {
 
 // ExtractMicroClusters runs Algorithm 1 end to end: extract the atypical
 // events and summarize each into a micro-cluster.
+//
+//atyplint:deterministic
 func ExtractMicroClusters(gen *IDGen, recs []cps.Record, neighbors [][]cps.SensorID, maxGap int) []*Cluster {
 	events := ExtractEvents(recs, neighbors, maxGap)
 	out := make([]*Cluster, len(events))

@@ -35,6 +35,8 @@ func (o IntegrateOptions) similarity(a, b *Cluster) float64 {
 // fixpoint postcondition as the textbook algorithm: no surviving pair has
 // similarity above δsim. Merge order — which the paper notes can influence
 // hard-clustering results — is deterministic (ascending input position).
+//
+//atyplint:deterministic
 func Integrate(gen *IDGen, micros []*Cluster, opts IntegrateOptions) []*Cluster {
 	return integrateCore(micros, opts, gen.Next)
 }

@@ -45,6 +45,8 @@ type DayRecords struct {
 // total event count is reserved from gen as one block and dealt out by (day,
 // event) position. Cancelling ctx abandons the batch; days never ingest
 // partially.
+//
+//atyplint:deterministic
 func ExtractMicroClustersDays(ctx context.Context, gen *IDGen, days []DayRecords, neighbors [][]cps.SensorID, maxGap, workers int) ([][]*Cluster, error) {
 	if len(days) == 0 {
 		return nil, ctx.Err()
@@ -112,6 +114,8 @@ func MergeTreeWidths(n int) []int {
 // fixed-size chunks integrate independently, then neighbors combine level by
 // level until one cluster set remains. See the package comment above for the
 // determinism contract. Workers <= 0 means one per CPU.
+//
+//atyplint:deterministic
 func IntegrateParallel(gen *IDGen, micros []*Cluster, opts IntegrateOptions, workers int) []*Cluster {
 	out, err := IntegrateParallelCtx(context.Background(), gen, micros, opts, workers)
 	if err != nil {
@@ -125,6 +129,8 @@ func IntegrateParallel(gen *IDGen, micros []*Cluster, opts IntegrateOptions, wor
 // IntegrateParallelCtx is IntegrateParallel with cooperative cancellation:
 // between chunks and reduction levels the context is polled, and a cancelled
 // context abandons the reduction with ctx's error.
+//
+//atyplint:deterministic
 func IntegrateParallelCtx(ctx context.Context, gen *IDGen, micros []*Cluster, opts IntegrateOptions, workers int) ([]*Cluster, error) {
 	if opts.SimThreshold <= 0 {
 		panic("cluster: IntegrateOptions.SimThreshold must be positive")

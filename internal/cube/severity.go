@@ -56,6 +56,8 @@ func (x *SeverityIndex) Reset() {
 
 // Add aggregates records into the index. Records for sensors outside the
 // region grid are ignored (they belong to no pre-defined region).
+//
+//atyplint:deterministic
 func (x *SeverityIndex) Add(recs []cps.Record) {
 	shard := x.accumulate(recs)
 	x.mu.Lock()
@@ -72,6 +74,8 @@ func (x *SeverityIndex) Add(recs []cps.Record) {
 // accumulated in a single shard, in record order. Building a fresh index
 // from per-day slices therefore produces bit-identical floats to feeding the
 // same slices through Add one day at a time, for every worker count.
+//
+//atyplint:deterministic
 func (x *SeverityIndex) AddDays(ctx context.Context, days [][]cps.Record, workers int) error {
 	shards := make([]*severityShard, len(days))
 	if err := par.Do(ctx, len(days), workers, func(i int) error {

@@ -194,7 +194,7 @@ func (a *AtomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
 // destination is untouched and the temp file is removed best-effort.
 func (a *AtomicFile) Commit() error {
 	if a.done {
-		return fmt.Errorf("faultfs: commit of finished atomic write to %s", a.path)
+		return fmt.Errorf("%w: commit to %s", ErrFinished, a.path)
 	}
 	a.done = true
 	if err := a.f.Sync(); err != nil {

@@ -14,6 +14,10 @@ var ErrInjected = errors.New("faultfs: injected fault")
 // "process" is dead, so nothing — not even cleanup — succeeds anymore.
 var ErrCrashed = errors.New("faultfs: simulated crash")
 
+// ErrFinished reports misuse of an AtomicFile whose write already
+// committed or aborted.
+var ErrFinished = errors.New("faultfs: atomic write already finished")
+
 // Injector wraps an FS and deterministically injects faults by operation
 // index, so a test can enumerate crash-points: run once clean, read
 // MutatingOps, then re-run with CrashAt(k) for every k in [1, ops].

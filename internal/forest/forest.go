@@ -168,10 +168,22 @@ func (f *Forest) Spec() cps.WindowSpec { return f.spec }
 // so this knob trades only wall-clock time.
 func (f *Forest) SetWorkers(n int) { f.workers.Store(int32(n)) }
 
-// integrate runs the configured integration path.
+// integrate runs the configured integration path; legacy bridge for
+// callers without a context.
 func (f *Forest) integrate(leaves []*cluster.Cluster) []*cluster.Cluster {
+	return f.integrateCtx(context.Background(), leaves)
+}
+
+// integrateCtx runs the configured integration path with ctx threaded into
+// the parallel reduction (observability spans, cooperative cancellation).
+// The answer must stay correct for the memo layer even when ctx is already
+// cancelled, so a cancelled parallel run falls back to the serial path
+// rather than returning a partial result.
+func (f *Forest) integrateCtx(ctx context.Context, leaves []*cluster.Cluster) []*cluster.Cluster {
 	if w := int(f.workers.Load()); w != 0 {
-		return cluster.IntegrateParallel(f.gen, leaves, f.opts, w)
+		if out, err := cluster.IntegrateParallelCtx(ctx, f.gen, leaves, f.opts, w); err == nil {
+			return out
+		}
 	}
 	return cluster.Integrate(f.gen, leaves, f.opts)
 }
@@ -268,9 +280,9 @@ func (f *Forest) Week(w int) []*cluster.Cluster {
 
 // WeekCtx is Week with introspection: when ctx carries an obs.MemoSink
 // (installed by the query EXPLAIN pipeline), the lookup reports whether it
-// hit the memo cache and which forest version it saw. The context carries
-// observability only — cancellation is not consulted, and the answer is
-// identical to Week's.
+// hit the memo cache and which forest version it saw. Cancellation only
+// reroutes the parallel integration path to the serial one, so the answer
+// is always identical to Week's.
 func (f *Forest) WeekCtx(ctx context.Context, w int) []*cluster.Cluster {
 	return f.memoized(ctx, memoKey{'w', w}, func() []*cluster.Cluster {
 		f.mu.RLock()
@@ -279,7 +291,7 @@ func (f *Forest) WeekCtx(ctx context.Context, w int) []*cluster.Cluster {
 			leaves = append(leaves, f.days[d]...)
 		}
 		f.mu.RUnlock()
-		return f.integrate(leaves)
+		return f.integrateCtx(ctx, leaves)
 	})
 }
 
@@ -300,7 +312,7 @@ func (f *Forest) MonthCtx(ctx context.Context, m int) []*cluster.Cluster {
 		for w := firstDay / DaysPerWeek; w <= lastDay/DaysPerWeek; w++ {
 			leaves = append(leaves, f.WeekCtx(ctx, w)...)
 		}
-		return f.integrate(leaves)
+		return f.integrateCtx(ctx, leaves)
 	})
 }
 

@@ -322,6 +322,8 @@ func (e *Explain) finish(elapsed time.Duration) {
 // generator each run, so the raw IDs are unique per run by design). The
 // result's JSON is byte-identical across two runs of the same query over
 // the same state — the determinism golden test asserts exactly this.
+//
+//atyplint:deterministic
 func (e *Explain) Canonical() *Explain {
 	if e == nil {
 		return nil

@@ -142,7 +142,7 @@ func OpenCatalogWith(dir string, o CatalogOptions) (*Catalog, error) {
 			if uerr != nil {
 				return nil, fmt.Errorf("storage: corrupt manifest: %w", uerr)
 			}
-			return nil, fmt.Errorf("storage: unsupported manifest version %d", c.m.Version)
+			return nil, fmt.Errorf("%w: unsupported manifest version %d", ErrCorrupt, c.m.Version)
 		}
 		// Quarantine the bad manifest and reconstruct it from the record
 		// files themselves.
@@ -303,7 +303,7 @@ func (c *Catalog) Info(name string) (DatasetInfo, bool) {
 func (c *Catalog) Write(name string, rs *cps.RecordSet) (DatasetInfo, error) {
 	if name == "" || name != filepath.Base(name) ||
 		strings.HasSuffix(name, faultfs.TmpSuffix) || strings.HasSuffix(name, faultfs.CorruptSuffix) {
-		return DatasetInfo{}, fmt.Errorf("storage: invalid dataset name %q", name)
+		return DatasetInfo{}, fmt.Errorf("%w: %q", ErrInvalidName, name)
 	}
 	path := filepath.Join(c.dir, name+recExt)
 	af, err := faultfs.CreateAtomic(c.fsys, path, 0o644)
@@ -339,7 +339,7 @@ func (c *Catalog) Write(name string, rs *cps.RecordSet) (DatasetInfo, error) {
 // Read loads the dataset stored under name.
 func (c *Catalog) Read(name string) (*cps.RecordSet, error) {
 	if _, ok := c.Info(name); !ok {
-		return nil, fmt.Errorf("storage: unknown dataset %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
 	f, err := faultfs.Open(c.fsys, filepath.Join(c.dir, name+recExt))
 	if err != nil {
@@ -361,7 +361,7 @@ func (c *Catalog) Read(name string) (*cps.RecordSet, error) {
 // the returned closer when done.
 func (c *Catalog) Open(name string) (*RecordReader, func() error, error) {
 	if _, ok := c.Info(name); !ok {
-		return nil, nil, fmt.Errorf("storage: unknown dataset %q", name)
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
 	f, err := faultfs.Open(c.fsys, filepath.Join(c.dir, name+recExt))
 	if err != nil {
@@ -385,7 +385,7 @@ func (c *Catalog) Delete(name string) error {
 		}
 	}
 	if idx < 0 {
-		return fmt.Errorf("storage: unknown dataset %q", name)
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
 	if err := c.fsys.Remove(filepath.Join(c.dir, name+recExt)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("storage: %w", err)

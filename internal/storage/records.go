@@ -45,10 +45,16 @@ var recordMagic = [8]byte{'A', 'T', 'Y', 'P', 'R', 'E', 'C', '1'}
 // blockSize is the number of records per CRC-protected block.
 const blockSize = 8192
 
-// Errors returned by the record reader.
+// Sentinel errors of the storage package; everything an exported function
+// returns wraps one of these or passes the underlying cause through with
+// %w (the errwrap analyzer proves it).
 var (
 	ErrBadMagic = errors.New("storage: not a record file (bad magic)")
 	ErrCorrupt  = errors.New("storage: corrupt record file")
+	// ErrUnknownDataset reports a dataset name absent from the catalog.
+	ErrUnknownDataset = errors.New("storage: unknown dataset")
+	// ErrInvalidName reports a dataset name the catalog refuses to store.
+	ErrInvalidName = errors.New("storage: invalid dataset name")
 )
 
 // WriteRecords encodes records — which must be in canonical (window, sensor)

@@ -8,12 +8,17 @@
 package trust
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"github.com/cpskit/atypical/internal/cps"
 	"github.com/cpskit/atypical/internal/index"
 )
+
+// ErrConfig is the sentinel every configuration rejection wraps, so callers
+// can errors.Is-classify a bad Config without string matching.
+var ErrConfig = errors.New("trust: invalid configuration")
 
 // Score is one sensor's trustworthiness assessment.
 type Score struct {
@@ -47,10 +52,10 @@ type Analyzer struct {
 // New validates cfg and returns an analyzer.
 func New(cfg Config) (*Analyzer, error) {
 	if cfg.MaxGap < 0 {
-		return nil, fmt.Errorf("trust: MaxGap must be non-negative, got %d", cfg.MaxGap)
+		return nil, fmt.Errorf("%w: MaxGap must be non-negative, got %d", ErrConfig, cfg.MaxGap)
 	}
 	if cfg.Prior < 0 {
-		return nil, fmt.Errorf("trust: Prior must be non-negative, got %v", cfg.Prior)
+		return nil, fmt.Errorf("%w: Prior must be non-negative, got %v", ErrConfig, cfg.Prior)
 	}
 	if cfg.Prior == 0 {
 		cfg.Prior = 1
