@@ -5,8 +5,9 @@ CLUSTER_FUZZ = FuzzMergeCommutativity FuzzMergeAssociativity FuzzMicroVsRawAgree
 CUBE_FUZZ    = FuzzCubeDeterminism
 OBS_FUZZ     = FuzzParseSeries FuzzHistogramMerge
 STORAGE_FUZZ = FuzzRecordReaderCorrupt
+ROOT_FUZZ    = FuzzShardedQueryEquivalence
 
-.PHONY: all build test race lint lint-json fuzz-smoke crash-matrix bench-quick ci
+.PHONY: all build test race lint lint-json fuzz-smoke crash-matrix bench-quick shard-matrix ci
 
 all: build test lint
 
@@ -52,6 +53,10 @@ fuzz-smoke:
 		echo "-- fuzz $$t ($(FUZZTIME))"; \
 		$(GO) test ./internal/storage/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
+	@for t in $(ROOT_FUZZ); do \
+		echo "-- fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test . -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
 
 ## crash-matrix: the fault-injection suite — every mutating filesystem
 ## operation of a catalog/manifest/forest save is crashed in turn (torn
@@ -69,4 +74,14 @@ crash-matrix:
 bench-quick:
 	$(GO) run ./cmd/atypbench -sensors 250 -months 1 -days 14 -parjson BENCH_parallel.json
 
-ci: build lint race crash-matrix fuzz-smoke bench-quick
+## shard-matrix: the tentpole equivalence gate — sharded answers (1/2/8
+## shards, in-process and HTTP backends) must render byte-identically to the
+## unsharded system, wrappers must stay veneers over Run, and shard loss must
+## surface as an explicitly partial answer. -count=1 defeats the test cache
+## so the matrix really runs on every invocation.
+shard-matrix:
+	$(GO) test . ./internal/shard/ \
+		-run 'TestShardedQueryByteIdentical|TestBypassShardsByteIdentical|TestShardMatrix|TestShardedPartialFailure|TestWrappersByteIdenticalToRun|TestCoordinatorGatherEqualsUnshardedCandidates|TestHTTPBackendRoundTripAndFailure' \
+		-count=1
+
+ci: build lint race crash-matrix shard-matrix fuzz-smoke bench-quick

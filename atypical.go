@@ -23,10 +23,20 @@
 //	if err != nil { ... }
 //	ds := sys.GenerateMonth(0)           // or ingest your own records
 //	sys.Ingest(ds.Atypical)
-//	rep := sys.QueryCity(0, 7, atypical.Guided)
-//	for _, c := range rep.Significant {
+//	res, err := sys.Run(ctx, atypical.QueryRequest{
+//		Days:     7,                     // Q(whole city, days [0, 7))
+//		Strategy: atypical.Guided,
+//	})
+//	if err != nil { ... }
+//	for _, c := range res.Significant {
 //		fmt.Println(sys.Describe(c))
 //	}
+//
+// Run is the single query entry point: QueryRequest selects the spatial
+// scope (whole city, a bounding box, or explicit regions), the time window,
+// the strategy, and per-run flags (EXPLAIN collection, partial-result
+// tolerance under sharding). The legacy Query{City,Box,At} method matrix
+// survives as thin deprecated wrappers over Run.
 //
 // See the examples directory for complete programs.
 package atypical
@@ -34,6 +44,7 @@ package atypical
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"sync"
 	"time"
 
@@ -47,6 +58,7 @@ import (
 	"github.com/cpskit/atypical/internal/obs"
 	"github.com/cpskit/atypical/internal/query"
 	"github.com/cpskit/atypical/internal/report"
+	"github.com/cpskit/atypical/internal/shard"
 	"github.com/cpskit/atypical/internal/traffic"
 )
 
@@ -100,6 +112,9 @@ type systemOptions struct {
 	registry        *obs.Registry
 	exporter        obs.SpanExporter
 	slos            []sloSpec
+	shards          int
+	shardURLs       []string
+	shardClient     *http.Client
 }
 
 // WithWorkers bounds the goroutines used for offline construction (per-day
@@ -149,7 +164,10 @@ func DefaultConfig() Config {
 		DeltaT:       15 * time.Minute,
 		DeltaS:       0.02,
 		SimThreshold: 0.5,
-		Balance:      "avg",
+		// Balance is intentionally left empty — empty selects
+		// BalanceArithmetic, the same g the old "avg" default named. The
+		// deprecated string field is now only populated by flag parsing in
+		// cmd/; typed selection goes through WithBalance.
 	}
 }
 
@@ -180,6 +198,14 @@ type System struct {
 	registry *obs.Registry
 	obs      *systemObs
 	exporter obs.SpanExporter
+
+	// Sharding wiring (nil when WithShards/WithShardServers are not used):
+	// the deterministic shard map, the in-process per-shard forests fed by
+	// ingest (local sharding only), and the scatter-gather coordinator the
+	// engine queries through. See sharding.go.
+	shardMap *shard.Map
+	shardSet *shard.Set
+	coord    *shard.Coordinator
 
 	// mu guards the swappable model pointers (LoadForest replaces them) and
 	// the severity staleness flag. The structures behind the pointers are
@@ -269,6 +295,9 @@ func NewSystem(cfg Config, options ...Option) (*System, error) {
 	}
 	for _, slo := range o.slos {
 		s.engine.Obs.SetSLO(slo.strat, slo.target)
+	}
+	if err := s.wireShards(&o, opts); err != nil {
+		return nil, err
 	}
 
 	gcfg := gen.DefaultConfig(net)
@@ -361,6 +390,12 @@ func (s *System) ingestCtx(ctx context.Context, rs *cps.RecordSet) error {
 	slices := make([][]cps.Record, len(days))
 	for i, d := range days {
 		fst.AppendDay(d.Day, perDay[i])
+		if s.shardSet != nil {
+			// Local sharding: route the day's micro-clusters (in canonical
+			// extraction order) to their home shards as well. The shard
+			// forests share the cluster values with the global forest.
+			s.shardSet.AppendDay(d.Day, perDay[i])
+		}
 		micros += len(perDay[i])
 		slices[i] = d.Records
 	}
@@ -416,78 +451,104 @@ const (
 // Report is the outcome of an analytical query.
 type Report = query.Result
 
+// The legacy query method matrix. Every method below is a thin wrapper over
+// Run — same engine, same bytes (the wrapper byte-identity tests enforce
+// it) — kept so existing callers keep compiling. Wrappers tolerate partial
+// sharded answers the way Run does with AllowPartial set: the Report's
+// Partial flag carries the degradation, there is no error path for it here.
+
 // QueryCity runs Q(whole city, [firstDay, firstDay+days)) at the configured
 // δs under the given strategy.
+//
+// Deprecated: use Run with a QueryRequest ({FirstDay, Days, Strategy}).
 func (s *System) QueryCity(firstDay, days int, strat Strategy) *Report {
 	return legacyReport(s.QueryCityCtx(context.Background(), firstDay, days, strat))
 }
 
 // QueryCityCtx is QueryCity with cooperative cancellation.
+//
+// Deprecated: use Run with a QueryRequest ({FirstDay, Days, Strategy}).
 func (s *System) QueryCityCtx(ctx context.Context, firstDay, days int, strat Strategy) (*Report, error) {
-	q := query.CityQuery(s.net, s.spec, firstDay, days, s.cfg.DeltaS)
-	return s.QueryAtCtx(ctx, q, strat)
+	return s.runReport(ctx, QueryRequest{FirstDay: firstDay, Days: days, Strategy: strat})
 }
 
 // QueryBox restricts the spatial range to the regions intersecting box.
+//
+// Deprecated: use Run with a QueryRequest ({Box, FirstDay, Days, Strategy}).
 func (s *System) QueryBox(box geo.BBox, firstDay, days int, strat Strategy) *Report {
 	return legacyReport(s.QueryBoxCtx(context.Background(), box, firstDay, days, strat))
 }
 
 // QueryBoxCtx is QueryBox with cooperative cancellation.
+//
+// Deprecated: use Run with a QueryRequest ({Box, FirstDay, Days, Strategy}).
 func (s *System) QueryBoxCtx(ctx context.Context, box geo.BBox, firstDay, days int, strat Strategy) (*Report, error) {
-	q := query.BoxQuery(s.net, s.spec, box, firstDay, days, s.cfg.DeltaS)
-	return s.QueryAtCtx(ctx, q, strat)
+	return s.runReport(ctx, QueryRequest{Box: &box, FirstDay: firstDay, Days: days, Strategy: strat})
 }
 
 // QueryAt runs an explicit query (custom δs or region set).
+//
+// Deprecated: use Run with a QueryRequest ({Regions, Window, DeltaS,
+// Strategy}).
 func (s *System) QueryAt(q query.Query, strat Strategy) *Report {
 	return legacyReport(s.QueryAtCtx(context.Background(), q, strat))
 }
 
-// QueryAtCtx runs an explicit query with cooperative cancellation. It is the
-// primitive every query entry point funnels through: it snapshots the
-// current engine under the system lock (so a concurrent LoadForest cannot
-// tear the query), refuses Guided runs while the severity index is stale
-// (ErrSeverityStale), and honors ctx inside the parallel engine.
+// QueryAtCtx runs an explicit query with cooperative cancellation.
+//
+// Deprecated: use Run with a QueryRequest ({Regions, Window, DeltaS,
+// Strategy}).
 func (s *System) QueryAtCtx(ctx context.Context, q query.Query, strat Strategy) (*Report, error) {
-	s.mu.RLock()
-	engine, stale := s.engine, s.sevStale
-	s.mu.RUnlock()
-	if strat == Guided && stale {
-		s.obs.queryError()
-		return nil, fmt.Errorf("atypical: guided query on stale severity index: %w", ErrSeverityStale)
-	}
-	res, err := engine.RunCtx(s.armSpans(ctx), q, strat)
-	if err != nil {
-		s.obs.queryError()
-	}
-	return res, err
+	return s.runReport(ctx, requestFromQuery(q, strat))
 }
 
 // QueryCityExplainCtx is QueryCityCtx with EXPLAIN: alongside the report it
 // returns the structured Explain record of the run.
+//
+// Deprecated: use Run with QueryRequest.Explain set; RunResult carries the
+// record.
 func (s *System) QueryCityExplainCtx(ctx context.Context, firstDay, days int, strat Strategy) (*Report, *Explain, error) {
-	q := query.CityQuery(s.net, s.spec, firstDay, days, s.cfg.DeltaS)
-	return s.QueryAtExplainCtx(ctx, q, strat)
+	return s.runExplain(ctx, QueryRequest{FirstDay: firstDay, Days: days, Strategy: strat})
 }
 
 // QueryBoxExplainCtx is QueryBoxCtx with EXPLAIN.
+//
+// Deprecated: use Run with QueryRequest.Explain set; RunResult carries the
+// record.
 func (s *System) QueryBoxExplainCtx(ctx context.Context, box geo.BBox, firstDay, days int, strat Strategy) (*Report, *Explain, error) {
-	q := query.BoxQuery(s.net, s.spec, box, firstDay, days, s.cfg.DeltaS)
-	return s.QueryAtExplainCtx(ctx, q, strat)
+	return s.runExplain(ctx, QueryRequest{Box: &box, FirstDay: firstDay, Days: days, Strategy: strat})
 }
 
 // QueryAtExplainCtx runs an explicit query collecting an Explain record.
 // The report is exactly what QueryAtCtx would have returned — EXPLAIN
 // observes the run, it never changes it (the determinism tests enforce
 // this). The record is only valid after a nil error.
+//
+// Deprecated: use Run with QueryRequest.Explain set; RunResult carries the
+// record.
 func (s *System) QueryAtExplainCtx(ctx context.Context, q query.Query, strat Strategy) (*Report, *Explain, error) {
-	ctx, exp := query.WithExplain(ctx)
-	res, err := s.QueryAtCtx(ctx, q, strat)
+	return s.runExplain(ctx, requestFromQuery(q, strat))
+}
+
+// runReport adapts Run to the legacy (*Report, error) wrapper shape.
+func (s *System) runReport(ctx context.Context, req QueryRequest) (*Report, error) {
+	req.AllowPartial = true // legacy surface: degradation rides the Partial flag
+	res, err := s.Run(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return res.Report, nil
+}
+
+// runExplain adapts Run to the legacy (*Report, *Explain, error) shape.
+func (s *System) runExplain(ctx context.Context, req QueryRequest) (*Report, *Explain, error) {
+	req.AllowPartial = true
+	req.Explain = true
+	res, err := s.Run(ctx, req)
 	if err != nil {
 		return nil, nil, err
 	}
-	return res, exp, nil
+	return res.Report, res.Explain, nil
 }
 
 // legacyReport adapts a Ctx-variant result for the entry points that predate

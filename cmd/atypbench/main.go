@@ -8,6 +8,7 @@
 //	          [-days 28] [-seed 42] [-deltas 0.02] [-deltad 1.5] [-deltat 15m]
 //	          [-deltasim 0.5] [-balance avg]
 //	          [-parjson BENCH_parallel.json] [-workers 0] [-maxregress 0.25]
+//	          [-benchshards 2]
 //
 // Without -exp, all experiments run in presentation order. Fig. 15 also
 // emits Fig. 16 (they share a sweep).
@@ -17,7 +18,11 @@
 // run: a delta section reports the serial/parallel construction time and
 // speedup movement, and the run exits non-zero when either measured total
 // regressed by more than -maxregress (fraction; 0 disables the gate) — the
-// CI perf gate.
+// CI perf gate. -benchshards additionally times the same Guided query
+// unsharded versus scatter-gathered across that many in-process shards
+// (equivalence-checked; a mismatch fails the run) and holds the sharded
+// time to the same -maxregress budget; artifacts from before the field
+// existed simply skip the comparison.
 package main
 
 import (
@@ -49,6 +54,7 @@ func main() {
 		parJSON    = flag.String("parjson", "", "quick mode: run the serial-vs-parallel construction benchmark, write JSON to this path, and exit")
 		workers    = flag.Int("workers", 0, "worker count for -parjson (0 = GOMAXPROCS)")
 		maxRegress = flag.Float64("maxregress", 0.25, "fail -parjson runs whose serial or parallel total regressed by more than this fraction vs the previous JSON (0 disables)")
+		benchShards = flag.Int("benchshards", 2, "shard fan-out for the -parjson sharded-query benchmark (0 disables)")
 	)
 	flag.Parse()
 
@@ -79,6 +85,12 @@ func main() {
 	if *parJSON != "" {
 		prev, prevData := readPrevious(*parJSON)
 		res := experiments.MeasureParallelConstruction(env, *workers)
+		if *benchShards > 0 {
+			res.ShardQuery = experiments.MeasureShardedQuery(env, *benchShards)
+			if !res.ShardQuery.Identical {
+				fatal(fmt.Errorf("sharded query (%d shards) diverged from the unsharded answer", *benchShards))
+			}
+		}
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -89,6 +101,10 @@ func main() {
 		}
 		fmt.Fprintf(out, "# parallel construction: %d workers, %.2fx speedup (serial %.3fs, parallel %.3fs) -> %s\n",
 			res.Workers, res.Speedup, res.Serial.Total, res.Parallel.Total, *parJSON)
+		if sq := res.ShardQuery; sq != nil {
+			fmt.Fprintf(out, "# sharded query: %d shards, unsharded %.3fs vs sharded %.3fs, answers identical\n",
+				sq.Shards, sq.UnshardedS, sq.ShardedS)
+		}
 		if prev != nil {
 			prevPath := prevPath(*parJSON)
 			if err := faultfs.WriteFileAtomic(faultfs.OS{}, prevPath, prevData, 0o644); err != nil {
@@ -170,6 +186,13 @@ func regression(prev *experiments.ParResult, cur *experiments.ParResult, allowed
 	}
 	if cur.Parallel.Total > prev.Parallel.Total*(1+allowed) {
 		return fmt.Sprintf("parallel construction %.3fs -> %.3fs", prev.Parallel.Total, cur.Parallel.Total)
+	}
+	// Artifacts written before the sharded-query benchmark existed (or runs
+	// with -benchshards 0) carry no ShardQuery; skip rather than fail.
+	if prev.ShardQuery != nil && cur.ShardQuery != nil &&
+		prev.ShardQuery.ShardedS > 0 &&
+		cur.ShardQuery.ShardedS > prev.ShardQuery.ShardedS*(1+allowed) {
+		return fmt.Sprintf("sharded query %.3fs -> %.3fs", prev.ShardQuery.ShardedS, cur.ShardQuery.ShardedS)
 	}
 	return ""
 }

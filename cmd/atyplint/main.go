@@ -16,6 +16,7 @@
 // on (see DESIGN.md, "Static analysis & invariants"):
 //
 //	ctxflow           context-holding functions thread their ctx; no fresh contexts in libraries
+//	deprecatedfield   deprecated struct fields (Config.Balance) stay confined to their declaring package, main, and tests
 //	errwrap           exported errors of contract packages are classifiable via errors.Is
 //	featuremutation   SF/TF only written by the cluster package
 //	floatcmp          no ==/!= on float severities or similarities
@@ -44,6 +45,7 @@ import (
 	"time"
 
 	"github.com/cpskit/atypical/internal/analysis/ctxflow"
+	"github.com/cpskit/atypical/internal/analysis/deprecatedfield"
 	"github.com/cpskit/atypical/internal/analysis/errwrap"
 	"github.com/cpskit/atypical/internal/analysis/featuremutation"
 	"github.com/cpskit/atypical/internal/analysis/floatcmp"
@@ -60,6 +62,7 @@ import (
 // analyzers is the multichecker suite, alphabetical.
 var analyzers = []*framework.Analyzer{
 	ctxflow.Analyzer,
+	deprecatedfield.Analyzer,
 	errwrap.Analyzer,
 	featuremutation.Analyzer,
 	floatcmp.Analyzer,

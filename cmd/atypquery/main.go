@@ -8,7 +8,12 @@
 //	atypquery -forest forest/ -data data/ -from 0 -days 7
 //	          [-strategy gui] [-deltas 0.02] [-sensors 400] [-seed 42]
 //	          [-minlat x -minlon x -maxlat x -maxlon x]
-//	          [-explain] [-explainjson]
+//	          [-shards 0] [-explain] [-explainjson]
+//
+// -shards n answers the query scatter-gather across n in-process shards
+// (the loaded forest is partitioned by home region) instead of one pass
+// over the whole forest; the answer is byte-identical either way, so the
+// flag exists to exercise and time the sharded path from the CLI.
 //
 // -explain prints the run's EXPLAIN table after the report: strategy,
 // significance bound arithmetic, per-stage timings, pruning and red-zone
@@ -30,6 +35,7 @@ import (
 	"github.com/cpskit/atypical/internal/geo"
 	"github.com/cpskit/atypical/internal/query"
 	"github.com/cpskit/atypical/internal/report"
+	"github.com/cpskit/atypical/internal/shard"
 	"github.com/cpskit/atypical/internal/storage"
 	"github.com/cpskit/atypical/internal/traffic"
 )
@@ -49,6 +55,7 @@ func main() {
 		minLon    = flag.Float64("minlon", 0, "spatial range: west edge")
 		maxLat    = flag.Float64("maxlat", 0, "spatial range: north edge")
 		maxLon    = flag.Float64("maxlon", 0, "spatial range: east edge")
+		shards      = flag.Int("shards", 0, "scatter-gather the query across n in-process shards (0 unsharded)")
 		showMap     = flag.Bool("map", false, "print the region severity map with red zones")
 		explain     = flag.Bool("explain", false, "print the query EXPLAIN table after the report")
 		explainJSON = flag.Bool("explainjson", false, "print the query EXPLAIN record as JSON after the report")
@@ -94,6 +101,17 @@ func main() {
 	}
 
 	engine := &query.Engine{Net: net, Forest: f, Severity: sev, Gen: &idgen}
+	if *shards > 0 {
+		m, err := shard.NewMap(net.Grid, *shards)
+		if err != nil {
+			fatal(err)
+		}
+		set := shard.NewSet(m, net, spec, &idgen, opts, 28)
+		for _, day := range f.Days() {
+			set.AppendDay(day, f.Day(day))
+		}
+		engine.Scatterer = shard.NewCoordinator(set.Backends(), nil)
+	}
 	var q query.Query
 	if *maxLat != 0 || *maxLon != 0 {
 		box := geo.BBox{Min: geo.Point{Lat: *minLat, Lon: *minLon}, Max: geo.Point{Lat: *maxLat, Lon: *maxLon}}
@@ -118,8 +136,12 @@ func main() {
 	if strategy == query.Gui {
 		fmt.Fprintf(out, " (%d red zones)", res.RedZones)
 	}
-	fmt.Fprintf(out, "; %d macro-clusters, %d significant; %s\n\n",
+	fmt.Fprintf(out, "; %d macro-clusters, %d significant; %s\n",
 		len(res.Macros), len(res.Significant), res.Elapsed.Round(time.Millisecond))
+	if res.Partial {
+		fmt.Fprintf(out, "PARTIAL ANSWER: shards %v failed after retry\n", res.FailedShards)
+	}
+	fmt.Fprintln(out)
 
 	fmt.Fprint(out, report.Ranking(net, spec, res.Significant))
 	if len(res.Significant) == 0 {

@@ -12,13 +12,20 @@
 //	          [-maxinflight 64] [-querytimeout 30s] [-drain 15s]
 //	          [-logjson] [-traces 256] [-slowquery -1]
 //	          [-slo gui=500ms,all=2s] [-sloobjective 0.99]
+//	          [-shards 0] [-shardpeers url,url] [-shardserve k/n]
 //
 // Endpoints on -addr:
 //
-//	GET /query?strategy=gui&from=0&days=7   JSON query report
-//	GET /query?...&explain=1                report plus an "explain" record
-//	GET /healthz                            liveness probe (always 200)
-//	GET /readyz                             readiness probe (503 until ingest completes)
+//	GET  /query?strategy=gui&from=0&days=7  JSON query report
+//	GET  /query?...&explain=1               report plus an "explain" record
+//	POST /query                             the same report for a QueryRequest
+//	                                        JSON body (see wireQuery); byte-
+//	                                        identical to the GET answer
+//	GET  /healthz                           liveness probe (always 200)
+//	GET  /readyz                            readiness probe (503 until ingest
+//	                                        completes; per-shard lines when
+//	                                        sharding is enabled)
+//	POST /shard/query                       shard wire protocol (-shardserve only)
 //
 // Endpoints on -metrics (omit the flag to disable):
 //
@@ -35,6 +42,14 @@
 // in-flight requests for up to -drain before exit. A listener that fails to
 // bind — the metrics one included — exits the process non-zero instead of
 // serving half the surface.
+//
+// Sharding: -shards n partitions query serving across n in-process shard
+// forests (scatter-gather, byte-identical answers). -shardpeers routes the
+// candidates stage to remote shard servers instead — processes started with
+// -shardserve k/n over the same -sensors/-seed/-days configuration, which
+// serve their slice at /shard/query behind the same readiness and shedding
+// gates. A peer lost after retry yields an explicitly partial response
+// ("partial": true plus failed_shards) and bumps atyp_shard_failures_total.
 //
 // Logs are structured (internal/obs/olog): every line carries level and
 // message keys, and lines emitted under an active span carry trace/span IDs
@@ -85,6 +100,9 @@ func main() {
 		slowQuery    = flag.Duration("slowquery", -1, "log queries at or above this latency with their EXPLAIN (0 logs all, <0 disables)")
 		slo          = flag.String("slo", "", "per-strategy latency SLO targets, e.g. gui=500ms,all=2s")
 		sloObjective = flag.Float64("sloobjective", 0.99, "fraction of queries that must meet their SLO target")
+		shards       = flag.Int("shards", 0, "partition query serving across n in-process shards (0 unsharded)")
+		shardPeers   = flag.String("shardpeers", "", "comma-separated shard server base URLs (HTTP scatter-gather)")
+		shardServe   = flag.String("shardserve", "", "serve shard k of n at /shard/query, e.g. 0/4")
 	)
 	flag.Parse()
 	os.Exit(run(serveConfig{
@@ -94,6 +112,7 @@ func main() {
 		maxInflight: *maxInflight, queryTimeout: *queryTimeout, drain: *drain,
 		logJSON: *logJSON, traces: *traces, slowQuery: *slowQuery,
 		slo: *slo, sloObjective: *sloObjective,
+		shards: *shards, shardPeers: *shardPeers, shardServe: *shardServe,
 	}))
 }
 
@@ -111,6 +130,9 @@ type serveConfig struct {
 	slowQuery             time.Duration
 	slo                   string
 	sloObjective          float64
+	shards                int
+	shardPeers            string
+	shardServe            string
 	// onListen, when set, is told each listener's bound address — tests
 	// bind ":0" and discover the port through it.
 	onListen func(name string, addr net.Addr)
@@ -192,6 +214,18 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 			opts = append(opts, atypical.WithQuerySLO(strat, target))
 		}
 	}
+	if sc.shards > 0 {
+		opts = append(opts, atypical.WithShards(sc.shards))
+	}
+	if sc.shardPeers != "" {
+		var urls []string
+		for _, u := range strings.Split(sc.shardPeers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		opts = append(opts, atypical.WithShardServers(urls...))
+	}
 
 	cfg := atypical.DefaultConfig()
 	cfg.Sensors = sc.sensors
@@ -202,6 +236,19 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 	if err != nil {
 		logger.Error("atypserve: building system", "err", err)
 		return 1
+	}
+
+	var shardHandler http.Handler
+	if sc.shardServe != "" {
+		k, n, err := parseShardServe(sc.shardServe)
+		if err != nil {
+			logger.Error("atypserve: invalid flags", "err", err)
+			return 1
+		}
+		if shardHandler, err = sys.ShardHandler(k, n); err != nil {
+			logger.Error("atypserve: shard server", "err", err)
+			return 1
+		}
 	}
 
 	// Any listener failing surfaces here and fails the process: serving
@@ -241,7 +288,7 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 		Handler: newAPIHandler(apiConfig{
 			sys: sys, obs: reg, ready: &ready, logger: logger,
 			maxInflight: sc.maxInflight, queryTimeout: sc.queryTimeout,
-			slowQuery: sc.slowQuery,
+			slowQuery: sc.slowQuery, shardHandler: shardHandler,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
@@ -301,6 +348,22 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 	return code
 }
 
+// parseShardServe parses the -shardserve value "k/n" into shard index k of
+// fan-out n.
+func parseShardServe(s string) (k, n int, err error) {
+	ks, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shardserve %q (want k/n, e.g. 0/4)", s)
+	}
+	if k, err = strconv.Atoi(ks); err != nil {
+		return 0, 0, fmt.Errorf("bad -shardserve index %q: %v", ks, err)
+	}
+	if n, err = strconv.Atoi(ns); err != nil {
+		return 0, 0, fmt.Errorf("bad -shardserve fan-out %q: %v", ns, err)
+	}
+	return k, n, nil
+}
+
 // apiConfig wires the query API handler.
 type apiConfig struct {
 	sys          *atypical.System
@@ -310,6 +373,9 @@ type apiConfig struct {
 	maxInflight  int
 	queryTimeout time.Duration
 	slowQuery    time.Duration
+	// shardHandler, when set, is mounted at atypical.ShardQueryPath behind
+	// the readiness and shedding gates (-shardserve role).
+	shardHandler http.Handler
 }
 
 // newAPIHandler assembles the query API: routing, the readiness gate, the
@@ -325,17 +391,57 @@ func newAPIHandler(ac apiConfig) http.Handler {
 		serveQuery(ac, w, r)
 	}))
 	mux.Handle("/query", shedGate(query, ac.maxInflight, ac.obs))
+	if ac.shardHandler != nil {
+		sh := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if ac.ready != nil && !ac.ready.Load() {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "warming up: ingest in progress", http.StatusServiceUnavailable)
+				return
+			}
+			ac.shardHandler.ServeHTTP(w, r)
+		}))
+		mux.Handle(atypical.ShardQueryPath, shedGate(sh, ac.maxInflight, ac.obs))
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if ac.ready != nil && !ac.ready.Load() {
 			http.Error(w, "ingest in progress", http.StatusServiceUnavailable)
 			return
 		}
-		fmt.Fprintln(w, "ready")
+		serveReady(ac, w, r)
 	})
 	return mux
+}
+
+// serveReady answers /readyz once ingest completed. On a sharded system the
+// answer lists every shard's readiness and turns 503 as soon as any shard is
+// unreachable, so orchestrators route coordinators only when the whole
+// fan-out can answer.
+func serveReady(ac apiConfig, w http.ResponseWriter, r *http.Request) {
+	sts := ac.sys.ShardsReady(r.Context())
+	if len(sts) == 0 {
+		fmt.Fprintln(w, "ready")
+		return
+	}
+	var b strings.Builder
+	down := 0
+	for _, st := range sts {
+		if st.Err != nil {
+			down++
+			fmt.Fprintf(&b, "%s not ready: %v\n", st.Shard, st.Err)
+		} else {
+			fmt.Fprintf(&b, "%s ready\n", st.Shard)
+		}
+	}
+	if down > 0 {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "%d of %d shards not ready\n%s", down, len(sts), b.String())
+		return
+	}
+	fmt.Fprintf(w, "ready\n%s", b.String())
 }
 
 // shedGate caps concurrent requests through next at limit; requests beyond
@@ -371,6 +477,7 @@ func shedGate(next http.Handler, limit int, obs *atypical.Observer) http.Handler
 // queryResponse is the JSON shape of one /query answer. Explain is the
 // explain=1 side channel: absent (omitempty) unless requested, so the
 // report bytes without it are identical to the pre-EXPLAIN server's.
+// Partial/FailedShards likewise only appear on degraded sharded answers.
 type queryResponse struct {
 	Strategy        string            `json:"strategy"`
 	FirstDay        int               `json:"first_day"`
@@ -381,6 +488,8 @@ type queryResponse struct {
 	Macros          int               `json:"macros"`
 	Significant     int               `json:"significant"`
 	ElapsedMS       float64           `json:"elapsed_ms"`
+	Partial         bool              `json:"partial,omitempty"`
+	FailedShards    []string          `json:"failed_shards,omitempty"`
 	Clusters        []clusterJSON     `json:"clusters"`
 	Explain         *atypical.Explain `json:"explain,omitempty"`
 }
@@ -392,26 +501,83 @@ type clusterJSON struct {
 	Description string  `json:"description"`
 }
 
-// serveQuery answers GET /query?strategy=all|pru|gui&from=N&days=N under a
-// deadline: a query that outlives it (or the client's disconnect) is
-// cancelled through its context and answered 503. explain=1 attaches the
-// run's EXPLAIN record; an armed -slowquery threshold collects EXPLAIN for
-// every run and logs offenders at WARN.
-func serveQuery(ac apiConfig, w http.ResponseWriter, r *http.Request) {
+// wireQuery is the QueryRequest JSON accepted on POST /query. Absent fields
+// take the GET defaults (strategy gui, from 0, days 7), so the same logical
+// query answers byte-identically whichever way it arrives.
+type wireQuery struct {
+	Strategy string   `json:"strategy"`
+	FirstDay int      `json:"first_day"`
+	Days     *int     `json:"days"`
+	Box      *wireBox `json:"box"`
+	DeltaS   float64  `json:"delta_s"`
+	Explain  bool     `json:"explain"`
+	// AllowPartial defaults to true when absent: a serving coordinator that
+	// lost a shard should answer with the explicitly flagged partial report,
+	// not a hard error. Send false to refuse degraded answers (503).
+	AllowPartial *bool `json:"allow_partial"`
+	BypassShards bool  `json:"bypass_shards"`
+}
+
+// wireBox is the optional geographic scope of a POST query.
+type wireBox struct {
+	MinLat float64 `json:"min_lat"`
+	MinLon float64 `json:"min_lon"`
+	MaxLat float64 `json:"max_lat"`
+	MaxLon float64 `json:"max_lon"`
+}
+
+// maxQueryBody bounds the POST /query body size.
+const maxQueryBody = 1 << 20
+
+// parseQueryRequest builds the facade QueryRequest from either the GET query
+// parameters or a POST wireQuery body. Both default to AllowPartial — the
+// flagged degraded answer — and the whole-city scope unless POST sends a box.
+func parseQueryRequest(r *http.Request) (atypical.QueryRequest, error) {
+	if r.Method == http.MethodPost {
+		var wq wireQuery
+		dec := json.NewDecoder(io.LimitReader(r.Body, maxQueryBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&wq); err != nil {
+			return atypical.QueryRequest{}, fmt.Errorf("bad request body: %v", err)
+		}
+		strat, err := parseStrategy(wq.Strategy)
+		if err != nil {
+			return atypical.QueryRequest{}, err
+		}
+		req := atypical.QueryRequest{
+			FirstDay:     wq.FirstDay,
+			Days:         7,
+			DeltaS:       wq.DeltaS,
+			Strategy:     strat,
+			Explain:      wq.Explain,
+			AllowPartial: true,
+			BypassShards: wq.BypassShards,
+		}
+		if wq.Days != nil {
+			req.Days = *wq.Days
+		}
+		if wq.AllowPartial != nil {
+			req.AllowPartial = *wq.AllowPartial
+		}
+		if wq.Box != nil {
+			req.Box = &atypical.BBox{
+				Min: atypical.Point{Lat: wq.Box.MinLat, Lon: wq.Box.MinLon},
+				Max: atypical.Point{Lat: wq.Box.MaxLat, Lon: wq.Box.MaxLon},
+			}
+		}
+		return req, nil
+	}
 	strat, err := parseStrategy(r.URL.Query().Get("strategy"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return atypical.QueryRequest{}, err
 	}
 	from, err := intParam(r, "from", 0)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return atypical.QueryRequest{}, err
 	}
 	days, err := intParam(r, "days", 7)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return atypical.QueryRequest{}, err
 	}
 	wantExplain := false
 	switch v := r.URL.Query().Get("explain"); v {
@@ -419,7 +585,24 @@ func serveQuery(ac apiConfig, w http.ResponseWriter, r *http.Request) {
 	case "1", "true":
 		wantExplain = true
 	default:
-		http.Error(w, fmt.Sprintf("bad explain: %q (want 0 or 1)", v), http.StatusBadRequest)
+		return atypical.QueryRequest{}, fmt.Errorf("bad explain: %q (want 0 or 1)", v)
+	}
+	return atypical.QueryRequest{
+		FirstDay: from, Days: days, Strategy: strat,
+		Explain: wantExplain, AllowPartial: true,
+	}, nil
+}
+
+// serveQuery answers GET /query?strategy=all|pru|gui&from=N&days=N — or the
+// same query as a POST QueryRequest body — under a deadline: a query that
+// outlives it (or the client's disconnect) is cancelled through its context
+// and answered 503. explain=1 attaches the run's EXPLAIN record; an armed
+// -slowquery threshold collects EXPLAIN for every run and logs offenders at
+// WARN. Both methods funnel into System.Run, so they answer byte-identically.
+func serveQuery(ac apiConfig, w http.ResponseWriter, r *http.Request) {
+	req, err := parseQueryRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	ctx := r.Context()
@@ -430,25 +613,23 @@ func serveQuery(ac apiConfig, w http.ResponseWriter, r *http.Request) {
 	}
 
 	slowArmed := ac.slowQuery >= 0
-	var rep *atypical.Report
-	var exp *atypical.Explain
-	if wantExplain || slowArmed {
-		rep, exp, err = ac.sys.QueryCityExplainCtx(ctx, from, days, strat)
-	} else {
-		rep, err = ac.sys.QueryCityCtx(ctx, from, days, strat)
-	}
+	wantExplain := req.Explain
+	req.Explain = wantExplain || slowArmed
+	res, err := ac.sys.Run(ctx, req)
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, atypical.ErrPartialResult) {
 			status = http.StatusServiceUnavailable
 		}
 		http.Error(w, err.Error(), status)
 		return
 	}
+	rep, exp := res.Report, res.Explain
 	if slowArmed && rep.Elapsed >= ac.slowQuery {
 		attrs := []any{
 			"strategy", rep.Strategy.String(),
-			"from", from, "days", days,
+			"from", req.FirstDay, "days", req.Days,
 			"elapsed", rep.Elapsed.String(),
 			"threshold", ac.slowQuery.String(),
 		}
@@ -460,14 +641,16 @@ func serveQuery(ac apiConfig, w http.ResponseWriter, r *http.Request) {
 
 	resp := queryResponse{
 		Strategy:        rep.Strategy.String(),
-		FirstDay:        from,
-		Days:            days,
+		FirstDay:        req.FirstDay,
+		Days:            req.Days,
 		CandidateMicros: rep.CandidateMicros,
 		InputMicros:     rep.InputMicros,
 		RedZones:        rep.RedZones,
 		Macros:          len(rep.Macros),
 		Significant:     len(rep.Significant),
 		ElapsedMS:       float64(rep.Elapsed) / float64(time.Millisecond),
+		Partial:         rep.Partial,
+		FailedShards:    rep.FailedShards,
 	}
 	if wantExplain {
 		resp.Explain = exp

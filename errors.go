@@ -18,6 +18,9 @@ import (
 //     Guided reached the engine.
 //   - ErrNoData: the requested range holds nothing to operate on
 //     (TrainPredictor).
+//   - ErrPartialResult: a sharded query lost shards after retry and the
+//     request did not opt into partial answers (Run with
+//     QueryRequest.AllowPartial unset).
 //
 // Context cancellation surfaces as the context's own error
 // (context.Canceled, context.DeadlineExceeded), never wrapped in a sentinel.
@@ -39,3 +42,9 @@ var ErrUnknownStrategy = query.ErrUnknownStrategy
 // ErrNoData reports that the requested operation found nothing to work on,
 // e.g. a training range with no micro-clusters.
 var ErrNoData = errors.New("atypical: no data in requested range")
+
+// ErrPartialResult reports that a sharded query would return a partial
+// answer (one or more shards failed after retry) and the request refused
+// degradation. Opt in with QueryRequest.AllowPartial to receive the partial
+// Report — explicitly flagged via Report.Partial — instead of this error.
+var ErrPartialResult = errors.New("atypical: partial result: one or more shards failed")

@@ -39,7 +39,8 @@ func (s *System) NewStreamProcessor(emit func(*Cluster)) (*StreamProcessor, erro
 }
 
 // IngestClusters adds externally produced micro-clusters (e.g. from a
-// StreamProcessor) to the forest under their first record's day.
+// StreamProcessor) to the forest under their first record's day, routing
+// them to their home shards as well when local sharding is enabled.
 func (s *System) IngestClusters(micros []*Cluster) {
 	perDay := Window(s.spec.PerDay())
 	byDay := make(map[int][]*Cluster)
@@ -53,6 +54,9 @@ func (s *System) IngestClusters(micros []*Cluster) {
 	fst := s.Forest()
 	cps.ForEachDay(byDay, func(day int, cs []*Cluster) {
 		fst.AppendDay(day, cs)
+		if s.shardSet != nil {
+			s.shardSet.AppendDay(day, cs)
+		}
 	})
 }
 
@@ -161,14 +165,23 @@ func (s *System) LoadForestRecover(dir string) (ForestRecovery, error) {
 // installForestLocked swaps in a freshly loaded forest, resetting the
 // severity index (not persisted, hence stale) and rebuilding the engine so
 // queries already snapshotted against the old forest finish against it.
-// Callers hold s.mu.
+// With local sharding enabled, the per-shard forests are rebuilt from the
+// loaded forest's days (remote shard servers are independent processes and
+// reload on their own; an HTTP coordinator's load only swaps its local
+// copy). Callers hold s.mu.
 func (s *System) installForestLocked(f *forest.Forest) {
 	s.forest = f
 	s.sev.Reset()
 	s.sevStale = true
+	if s.shardSet != nil {
+		s.shardSet.Reset()
+		for _, day := range f.Days() {
+			s.shardSet.AppendDay(day, f.Day(day))
+		}
+	}
 	s.engine = &query.Engine{
 		Net: s.net, Forest: f, Severity: s.sev, Gen: &s.idgen,
-		Workers: s.queryWorkers, Obs: s.engine.Obs,
+		Workers: s.queryWorkers, Obs: s.engine.Obs, Scatterer: s.engine.Scatterer,
 	}
 }
 

@@ -1,0 +1,136 @@
+// Package deprecatedfield defines an analyzer flagging reads, writes, and
+// composite-literal initialization of struct fields the codebase has
+// deprecated in favor of a typed replacement. The table below names each
+// field and the migration; the analyzer convicts every use outside the
+// field's own grace zone:
+//
+//   - the declaring package itself (back-compat plumbing must keep reading
+//     the field);
+//   - package main (command flag parsing is the sanctioned producer of the
+//     stringly values the deprecated fields carry);
+//   - _test.go files (the back-compat surface stays under test).
+//
+// Resolution is type-based, not textual: a selector or literal key counts
+// only when the owning named type matches the table entry, so an unrelated
+// struct that happens to share a field name stays quiet.
+package deprecatedfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/cpskit/atypical/internal/analysis/framework"
+)
+
+// Entry names one deprecated field and the migration away from it.
+type Entry struct {
+	// PkgSuffix matches the declaring package's import path: equal to it,
+	// or a "/"-delimited suffix (so "atypical" matches both the module
+	// root and a fixture package named atypical).
+	PkgSuffix string
+	// Type is the named struct type declaring the field.
+	Type string
+	// Field is the deprecated field's name.
+	Field string
+	// Advice says what to use instead; it is appended to the diagnostic.
+	Advice string
+}
+
+// Deprecated is the table of retired fields. Tests may append fixture
+// entries; the production table holds the codebase's real deprecations.
+var Deprecated = []Entry{
+	{
+		PkgSuffix: "atypical", Type: "Config", Field: "Balance",
+		Advice: "pass the typed constant via WithBalance (ParseBalance belongs in command flag parsing only)",
+	},
+}
+
+// Analyzer flags uses of deprecated struct fields outside their grace zone.
+var Analyzer = &framework.Analyzer{
+	Name: "deprecatedfield",
+	Doc: "deprecated struct fields (Config.Balance) must not spread beyond " +
+		"their declaring package, package main, and tests",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	entries := make([]Entry, 0, len(Deprecated))
+	for _, e := range Deprecated {
+		if !pkgMatches(pass.Pkg.Path(), e.PkgSuffix) {
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if e := match(entries, pass.TypeOf(n.X), n.Sel.Name); e != nil {
+					report(pass, n.Sel.Pos(), e)
+				}
+			case *ast.CompositeLit:
+				t := pass.TypeOf(n)
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if e := match(entries, t, key.Name); e != nil {
+						report(pass, key.Pos(), e)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func report(pass *framework.Pass, pos token.Pos, e *Entry) {
+	pass.Reportf(pos, "%s.%s is deprecated: %s", e.Type, e.Field, e.Advice)
+}
+
+// match returns the table entry deprecating field name on owner (possibly a
+// pointer to the named struct), or nil.
+func match(entries []Entry, owner types.Type, name string) *Entry {
+	if owner == nil {
+		return nil
+	}
+	if ptr, ok := types.Unalias(owner).(*types.Pointer); ok {
+		owner = ptr.Elem()
+	}
+	named, ok := types.Unalias(owner).(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	for i := range entries {
+		e := &entries[i]
+		if name == e.Field && obj.Name() == e.Type && pkgMatches(obj.Pkg().Path(), e.PkgSuffix) {
+			return e
+		}
+	}
+	return nil
+}
+
+// pkgMatches reports whether path is suffix itself or ends in "/"+suffix.
+func pkgMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

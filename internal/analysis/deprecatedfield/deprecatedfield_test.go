@@ -1,0 +1,18 @@
+package deprecatedfield_test
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/analysistest"
+	"github.com/cpskit/atypical/internal/analysis/deprecatedfield"
+)
+
+// TestDeprecatedField drives the consumer fixture (convicted), the
+// declaring-package fixture, the package-main fixture, and a _test.go file
+// (all exempt) in one run.
+func TestDeprecatedField(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", deprecatedfield.Analyzer, "depuser", "depmain", "atypical")
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,19 @@
+// Package atypical is the fixture stand-in for the facade: it declares the
+// deprecated field, and its own back-compat reads are exempt.
+package atypical
+
+// Config mirrors the facade configuration shape.
+type Config struct {
+	// Balance is the deprecated stringly balance selector.
+	Balance string
+	Sensors int
+}
+
+// Resolve keeps reading the deprecated field — declaring-package plumbing
+// the analyzer must leave alone.
+func Resolve(c Config) string {
+	if c.Balance != "" {
+		return c.Balance
+	}
+	return "avg"
+}

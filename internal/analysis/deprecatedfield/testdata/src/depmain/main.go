@@ -1,0 +1,11 @@
+// Command depmain is the package-main fixture: flag parsing is the
+// sanctioned producer of the stringly value, so nothing is reported here.
+package main
+
+import "atypical"
+
+func main() {
+	cfg := atypical.Config{Balance: "har"}
+	cfg.Balance = "geo"
+	_ = atypical.Resolve(cfg)
+}

@@ -1,0 +1,30 @@
+// Package depuser exercises deprecatedfield: selector reads, assignments,
+// and composite-literal keys of atypical.Config.Balance are convicted, while
+// sibling fields and lookalike structs stay quiet.
+package depuser
+
+import "atypical"
+
+// lookalike shares the field name but not the type; it must stay quiet.
+type lookalike struct {
+	Balance string
+}
+
+func Build() atypical.Config {
+	cfg := atypical.Config{
+		Balance: "avg", // want `Config\.Balance is deprecated`
+		Sensors: 4,
+	}
+	cfg.Balance = "max" // want `Config\.Balance is deprecated`
+	return cfg
+}
+
+func Read(c *atypical.Config) string {
+	return c.Balance // want `Config\.Balance is deprecated`
+}
+
+func Quiet() string {
+	l := lookalike{Balance: "avg"}
+	_ = atypical.Config{Sensors: 2}
+	return l.Balance
+}

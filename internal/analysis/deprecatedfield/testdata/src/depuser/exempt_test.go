@@ -1,0 +1,10 @@
+// Tests keep the back-compat surface covered, so _test.go files may touch
+// the deprecated field freely.
+package depuser
+
+import "atypical"
+
+func helperForTests() string {
+	cfg := atypical.Config{Balance: "min"}
+	return cfg.Balance
+}

@@ -40,6 +40,10 @@ type ParResult struct {
 	// marshals maps in sorted key order, so the artifact is deterministic
 	// modulo timing-valued series.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// ShardQuery is the sharded-query benchmark (see MeasureShardedQuery),
+	// absent in artifacts written before sharding existed so the regression
+	// gate stays nil-tolerant across the format change.
+	ShardQuery *ShardQueryBench `json:"shard_query,omitempty"`
 }
 
 // queryMetrics runs one week-long query per strategy against an instrumented

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"github.com/cpskit/atypical/internal/query"
+	"github.com/cpskit/atypical/internal/shard"
+)
+
+// ShardQueryBench is the sharded-query measurement attached to the
+// bench-quick artifact: the same week-long Guided query answered once from
+// the single forest and once scatter-gathered across Shards in-process
+// shards. Identical confirms the two answers agree (candidate and input
+// counts, significant-cluster count, bit-exact severities) — the benchmark
+// doubles as an equivalence smoke test, with the full byte-identity
+// guarantee covered by the root package's golden and fuzz tests.
+type ShardQueryBench struct {
+	Shards      int     `json:"shards"`
+	UnshardedS  float64 `json:"unsharded_s"`
+	ShardedS    float64 `json:"sharded_s"`
+	Significant int     `json:"significant"`
+	Identical   bool    `json:"identical"`
+}
+
+// MeasureShardedQuery partitions the environment's query forest across n
+// shards and times the unsharded versus the scatter-gathered answer to the
+// same query. Macro-cluster IDs differ between the two runs (the shared
+// generator keeps counting), so equivalence is checked on counts and
+// bit-exact severities rather than raw bytes.
+func MeasureShardedQuery(e *Env, n int) *ShardQueryBench {
+	eng := e.QueryStack()
+	m, err := shard.NewMap(e.Net.Grid, n)
+	if err != nil {
+		panic(err) // n >= 1 is the caller's contract
+	}
+	set := shard.NewSet(m, e.Net, e.Spec, eng.Gen, e.IntegrateOptions(), e.Cfg.DaysPerMonth)
+	for _, day := range eng.Forest.Days() {
+		set.AppendDay(day, eng.Forest.Day(day))
+	}
+	q := query.CityQuery(e.Net, e.Spec, 0, min(7, e.Cfg.QueryMonths*e.Cfg.DaysPerMonth), e.Cfg.DeltaS)
+
+	start := time.Now()
+	base := eng.Run(q, query.Gui)
+	res := &ShardQueryBench{Shards: n, UnshardedS: time.Since(start).Seconds()}
+
+	sharded := *eng
+	sharded.Scatterer = shard.NewCoordinator(set.Backends(), nil)
+	start = time.Now()
+	shr := sharded.Run(q, query.Gui)
+	res.ShardedS = time.Since(start).Seconds()
+	res.Significant = len(shr.Significant)
+
+	res.Identical = base.CandidateMicros == shr.CandidateMicros &&
+		base.InputMicros == shr.InputMicros &&
+		base.RedZones == shr.RedZones &&
+		len(base.Significant) == len(shr.Significant)
+	if res.Identical {
+		for i := range base.Significant {
+			if math.Float64bits(float64(base.Significant[i].Severity())) !=
+				math.Float64bits(float64(shr.Significant[i].Severity())) {
+				res.Identical = false
+				break
+			}
+		}
+	}
+	return res
+}

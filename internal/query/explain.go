@@ -53,6 +53,9 @@ type Explain struct {
 	Candidates ExplainCandidates `json:"candidates"`
 	// RedZones is present on Gui runs only.
 	RedZones *ExplainRedZones `json:"red_zones,omitempty"`
+	// Scatter is present on sharded runs only: the per-shard fan-out behind
+	// the scatter/gather stages.
+	Scatter *ExplainScatter `json:"scatter,omitempty"`
 	// Forest describes the forest state consulted and the memoized-level
 	// path taken (materialized runs).
 	Forest ExplainForest `json:"forest"`
@@ -106,6 +109,22 @@ type ExplainRedZones struct {
 	Count     int   `json:"count"`
 	Regions   []int `json:"regions"`
 	Truncated bool  `json:"truncated,omitempty"`
+}
+
+// ExplainScatter reports a sharded run's fan-out: how many shards were
+// queried, what each contributed, and which failed (leaving the answer
+// explicitly partial).
+type ExplainScatter struct {
+	Shards   int            `json:"shards"`
+	PerShard []ExplainShard `json:"per_shard"`
+	Failed   []string       `json:"failed,omitempty"`
+	Partial  bool           `json:"partial,omitempty"`
+}
+
+// ExplainShard is one shard's contribution to a scatter, in scatter order.
+type ExplainShard struct {
+	Name   string `json:"name"`
+	Micros int    `json:"micros"`
 }
 
 // ExplainMemo is one memoized-level lookup inside the forest.
@@ -267,6 +286,24 @@ func (e *Explain) setRedZones(zones []int) {
 	e.RedZones = rz
 }
 
+// setScatter records a sharded run's fan-out. Nil-safe. Shard results arrive
+// in scatter order, which is stable across runs.
+func (e *Explain) setScatter(info ScatterInfo, shards []ShardResult) {
+	if e == nil {
+		return
+	}
+	sc := &ExplainScatter{
+		Shards:  info.Shards,
+		Failed:  info.Failed,
+		Partial: len(info.Failed) > 0,
+	}
+	sc.PerShard = make([]ExplainShard, len(shards))
+	for i, s := range shards {
+		sc.PerShard[i] = ExplainShard{Name: s.Shard, Micros: len(s.Candidates)}
+	}
+	e.Scatter = sc
+}
+
 // setForestVersion ties the record to a forest state. Nil-safe.
 func (e *Explain) setForestVersion(v uint64) {
 	if e == nil {
@@ -375,6 +412,16 @@ func (e *Explain) Text() string {
 		fmt.Fprintf(&b, "  red zones    %d regions pass the bound: %v", e.RedZones.Count, e.RedZones.Regions)
 		if e.RedZones.Truncated {
 			fmt.Fprintf(&b, " (+%d more)", e.RedZones.Count-len(e.RedZones.Regions))
+		}
+		b.WriteByte('\n')
+	}
+	if e.Scatter != nil {
+		fmt.Fprintf(&b, "  scatter      %d shards:", e.Scatter.Shards)
+		for _, s := range e.Scatter.PerShard {
+			fmt.Fprintf(&b, " %s=%d", s.Name, s.Micros)
+		}
+		if e.Scatter.Partial {
+			fmt.Fprintf(&b, " (PARTIAL; failed: %v)", e.Scatter.Failed)
 		}
 		b.WriteByte('\n')
 	}

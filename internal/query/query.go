@@ -106,6 +106,12 @@ type Result struct {
 	RedZones int
 	// Bound is the significance severity bound δs·length(T)·N used.
 	Bound cps.Severity
+	// Partial reports that at least one shard failed after retry during a
+	// scattered run, so the answer may be missing that shard's candidates.
+	// Partial answers are always explicitly flagged, never silent.
+	Partial bool
+	// FailedShards names the shards behind Partial, in scatter order.
+	FailedShards []string
 	// Elapsed is the wall-clock query time.
 	Elapsed time.Duration
 }
@@ -132,14 +138,21 @@ type Engine struct {
 	// nil — the default — disables instrumentation at the cost of one nil
 	// check per run.
 	Obs *Metrics
+	// Scatterer, when non-nil, replaces the candidates stage of Run with a
+	// scatter-gather fan-out over shards (see scatter.go). Forest must still
+	// be set: it supplies the window spec and serves RunMaterialized, which
+	// always reads locally.
+	Scatterer Scatterer
 }
 
 // Run executes q under the given strategy.
 func (e *Engine) Run(q Query, s Strategy) *Result {
 	res, err := e.RunCtx(context.Background(), q, s)
 	if err != nil {
-		// A background context cannot cancel, so the only reachable error
-		// is ErrUnknownStrategy — a programming bug worth a loud stop.
+		// A background context cannot cancel, so the reachable errors are
+		// ErrUnknownStrategy (a programming bug worth a loud stop) and,
+		// with a Scatterer over remote backends, a whole-fan-out failure;
+		// sharded callers wanting a soft failure path use RunCtx.
 		panic(err)
 	}
 	return res
@@ -177,15 +190,36 @@ func (e *Engine) runCtx(ctx context.Context, q Query, s Strategy) (*Result, erro
 		inRegion[r] = true
 	}
 
-	// Candidates: micro-clusters in the time range touching W.
+	// Candidates: micro-clusters in the time range touching W — served
+	// locally, or gathered from shards when a Scatterer is configured.
 	st := exp.stageStart()
-	raw := e.Forest.MicrosInRange(q.Time)
-	candidates, err := e.filterTouching(ctx, raw, inRegion)
-	if err != nil {
-		return nil, err
+	var candidates []*cluster.Cluster
+	var err error
+	if e.Scatterer != nil {
+		shards, info, serr := e.Scatterer.Scatter(ctx, q.Time, q.Regions)
+		if serr != nil {
+			return nil, serr
+		}
+		gathered := 0
+		for _, sr := range shards {
+			gathered += len(sr.Candidates)
+		}
+		res.Partial = len(info.Failed) > 0
+		res.FailedShards = info.Failed
+		exp.stageEnd(st, "scatter", info.Shards, gathered)
+		exp.setScatter(info, shards)
+		st = exp.stageStart()
+		candidates = mergeShardCandidates(cps.Window(e.Forest.Spec().PerDay()), shards)
+		exp.stageEnd(st, "gather", gathered, len(candidates))
+	} else {
+		raw := e.Forest.MicrosInRange(q.Time)
+		candidates, err = e.filterTouching(ctx, raw, inRegion)
+		if err != nil {
+			return nil, err
+		}
+		exp.stageEnd(st, "candidates", len(raw), len(candidates))
 	}
 	res.CandidateMicros = len(candidates)
-	exp.stageEnd(st, "candidates", len(raw), len(candidates))
 
 	var inputs []*cluster.Cluster
 	switch s {
@@ -414,10 +448,5 @@ func (e *Engine) sensorsInRegions(regions []geo.RegionID) int {
 // clusterTouches reports whether any of the cluster's sensors lies in the
 // region set — the "intersect with the red zones" test of Example 7.
 func (e *Engine) clusterTouches(c *cluster.Cluster, regions map[geo.RegionID]bool) bool {
-	for _, entry := range c.SF {
-		if regions[e.Net.Sensor(entry.Key).Region] {
-			return true
-		}
-	}
-	return false
+	return Touches(e.Net, c, regions)
 }

@@ -1,0 +1,102 @@
+package query
+
+import (
+	"context"
+	"sort"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+// Sharded query support. A Scatterer replaces only the candidates stage of a
+// run: each shard answers "which of your stored micro-clusters are in the
+// time range and touch W", and the coordinator re-establishes the canonical
+// single-forest candidate order before the unchanged strategy pipeline
+// (prune / red zones / integrate / significance) runs once, at the
+// coordinator. Because micro-cluster IDs are assigned positionally at
+// extraction time and every shard holds a disjoint slice of the same forest,
+// sorting the union by (day, ID) reproduces MicrosInRange + filterTouching
+// byte for byte — integration then sees identical inputs in identical order,
+// so the whole answer is byte-identical to the unsharded one (Properties 2
+// and 3 make the downstream algebra order-insensitive anyway; the sort makes
+// it exact rather than merely equivalent).
+
+// ShardResult is one shard's answer to a scatter: the candidate
+// micro-clusters it owns that lie in the time range and touch W.
+type ShardResult struct {
+	// Shard names the answering shard (stable across runs).
+	Shard string
+	// Candidates are the shard's matching micro-clusters in its local
+	// (day-ascending, ID-ascending) order.
+	Candidates []*cluster.Cluster
+}
+
+// ScatterInfo summarizes one fan-out for the Result and EXPLAIN surfaces.
+type ScatterInfo struct {
+	// Shards is the total number of shards queried.
+	Shards int
+	// Failed names the shards that failed after retry, in scatter order.
+	// Their candidates are missing from the gathered set: the run is
+	// explicitly partial, never silently truncated.
+	Failed []string
+}
+
+// Scatterer fans the candidates stage of a query out to shards. The engine
+// treats a failed scatter (error return) as a failed run; per-shard failures
+// that still leave at least one answering shard are reported through
+// ScatterInfo.Failed instead, and the run proceeds flagged as partial.
+type Scatterer interface {
+	// NumShards reports the fan-out width (for EXPLAIN and metrics).
+	NumShards() int
+	// Scatter queries every shard for candidates in tr touching the region
+	// set, concurrently, and returns the per-shard results.
+	Scatter(ctx context.Context, tr cps.TimeRange, regions []geo.RegionID) ([]ShardResult, ScatterInfo, error)
+}
+
+// Touches reports whether any of the cluster's sensors lies in the region
+// set — the "intersect with the red zones" test of Example 7, exported for
+// shard backends that run the candidates filter locally.
+func Touches(net *traffic.Network, c *cluster.Cluster, regions map[geo.RegionID]bool) bool {
+	for _, entry := range c.SF {
+		if regions[net.Sensor(entry.Key).Region] {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeShardCandidates restores the canonical single-forest candidate order
+// over the union of the shard answers. MicrosInRange iterates days ascending
+// and, within a day, in append order — which is ID-ascending, because
+// extraction reserves per-day ID blocks positionally and later appends draw
+// monotonically increasing IDs. IDs are unique, so (day, ID) is a total
+// order and the sort is deterministic.
+func mergeShardCandidates(perDay cps.Window, shards []ShardResult) []*cluster.Cluster {
+	total := 0
+	for _, s := range shards {
+		total += len(s.Candidates)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]*cluster.Cluster, 0, total)
+	for _, s := range shards {
+		out = append(out, s.Candidates...)
+	}
+	day := func(c *cluster.Cluster) cps.Window {
+		if len(c.TF) == 0 {
+			return 0
+		}
+		return c.TF[0].Key / perDay
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := day(out[i]), day(out[j])
+		if di != dj {
+			return di < dj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

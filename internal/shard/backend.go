@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/forest"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/query"
+	"github.com/cpskit/atypical/internal/traffic"
+)
+
+// Backend answers the shard half of a scattered query: the candidate
+// micro-clusters this shard owns that lie in the time range and touch the
+// region set, in the shard's local day-ascending, ID-ascending order.
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	// Name identifies the shard in metrics, spans, EXPLAIN, and partial-
+	// result reports. Stable across runs.
+	Name() string
+	// Candidates runs the candidates filter over the shard's slice.
+	Candidates(ctx context.Context, tr cps.TimeRange, regions []geo.RegionID) ([]*cluster.Cluster, error)
+	// Ready reports whether the shard can answer queries (nil = ready).
+	Ready(ctx context.Context) error
+}
+
+// Local serves one shard from an in-process forest: either a dedicated
+// per-shard forest (Set) holding exactly this shard's micro-clusters, or a
+// home-filtered view over a full forest (NewLocalView) — the shape an HTTP
+// shard server uses, since it ingests the whole deterministic stream and
+// owns its slice by predicate rather than by physical partition.
+type Local struct {
+	name string
+	net  *traffic.Network
+	// fst resolves the forest per call, so views follow facade-level forest
+	// swaps (LoadForest) without rewiring.
+	fst  func() *forest.Forest
+	keep func(*cluster.Cluster) bool // nil keeps everything
+}
+
+// NewLocal returns a backend over a dedicated per-shard forest.
+func NewLocal(name string, net *traffic.Network, fst func() *forest.Forest) *Local {
+	return &Local{name: name, net: net, fst: fst}
+}
+
+// NewLocalView returns a backend serving shard s of m as a home-filtered
+// view over a full forest.
+func NewLocalView(name string, net *traffic.Network, fst func() *forest.Forest, m *Map, s int) *Local {
+	return &Local{
+		name: name,
+		net:  net,
+		fst:  fst,
+		keep: func(c *cluster.Cluster) bool { return m.HomeShard(net, c) == s },
+	}
+}
+
+// Name implements Backend.
+func (l *Local) Name() string { return l.name }
+
+// Candidates implements Backend: the shard-side candidates stage —
+// micro-clusters in range, owned by this shard, touching the region set —
+// in stored (canonical) order.
+func (l *Local) Candidates(ctx context.Context, tr cps.TimeRange, regions []geo.RegionID) ([]*cluster.Cluster, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	inRegion := make(map[geo.RegionID]bool, len(regions))
+	for _, r := range regions {
+		inRegion[r] = true
+	}
+	var out []*cluster.Cluster
+	for _, c := range l.fst().MicrosInRange(tr) {
+		if l.keep != nil && !l.keep(c) {
+			continue
+		}
+		if query.Touches(l.net, c, inRegion) {
+			out = append(out, c)
+		}
+	}
+	return out, ctx.Err()
+}
+
+// Ready implements Backend: an in-process forest is always ready.
+func (l *Local) Ready(ctx context.Context) error { return ctx.Err() }
+
+// Set is the in-process sharded forest: one dedicated forest per shard, fed
+// during ingest by routing each day's extracted micro-clusters to their home
+// shard. Routing preserves extraction order, so each shard's forest stores
+// its slice in the same relative order the global forest does — the
+// invariant the coordinator's (day, ID) merge relies on. The per-shard
+// forests share the stored *cluster.Cluster values with the global forest
+// (clusters are immutable once built), so the split costs slice headers, not
+// copies.
+type Set struct {
+	m            *Map
+	net          *traffic.Network
+	spec         cps.WindowSpec
+	gen          *cluster.IDGen
+	opts         cluster.IntegrateOptions
+	daysPerMonth int
+
+	mu      sync.RWMutex // guards the forests slice (Reset swaps it mid-flight)
+	forests []*forest.Forest
+}
+
+// NewSet builds an empty sharded forest over m.
+func NewSet(m *Map, net *traffic.Network, spec cps.WindowSpec, gen *cluster.IDGen, opts cluster.IntegrateOptions, daysPerMonth int) *Set {
+	s := &Set{m: m, net: net, spec: spec, gen: gen, opts: opts, daysPerMonth: daysPerMonth}
+	s.forests = s.freshForests()
+	return s
+}
+
+func (s *Set) freshForests() []*forest.Forest {
+	fs := make([]*forest.Forest, s.m.NumShards())
+	for i := range fs {
+		fs[i] = forest.New(s.spec, s.gen, s.opts, s.daysPerMonth)
+	}
+	return fs
+}
+
+// Map returns the set's shard map.
+func (s *Set) Map() *Map { return s.m }
+
+// AppendDay routes one day's micro-clusters (in canonical extraction order)
+// to their home shards, preserving relative order within each shard.
+func (s *Set) AppendDay(day int, micros []*cluster.Cluster) {
+	perShard := make([][]*cluster.Cluster, s.m.NumShards())
+	for _, c := range micros {
+		h := s.m.HomeShard(s.net, c)
+		perShard[h] = append(perShard[h], c)
+	}
+	for i, cs := range perShard {
+		if len(cs) > 0 {
+			s.Forest(i).AppendDay(day, cs)
+		}
+	}
+}
+
+// Reset discards every shard's contents (after a facade-level forest swap;
+// the caller re-feeds via AppendDay).
+func (s *Set) Reset() {
+	fresh := s.freshForests()
+	s.mu.Lock()
+	s.forests = fresh
+	s.mu.Unlock()
+}
+
+// Forest returns shard i's current forest (the forests themselves are safe
+// for concurrent use; the indirection survives Reset).
+func (s *Set) Forest(i int) *forest.Forest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.forests[i]
+}
+
+// Backends returns one Local backend per shard, named shard0..shardN-1.
+func (s *Set) Backends() []Backend {
+	n := s.m.NumShards()
+	out := make([]Backend, n)
+	for i := 0; i < n; i++ {
+		i := i
+		out[i] = NewLocal(fmt.Sprintf("shard%d", i), s.net, func() *forest.Forest { return s.Forest(i) })
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/obs"
+	"github.com/cpskit/atypical/internal/par"
+	"github.com/cpskit/atypical/internal/query"
+)
+
+// ErrAllShardsFailed reports a scatter in which no shard answered: with zero
+// candidates from zero shards the coordinator cannot distinguish "nothing
+// matched" from "everything is down", so the run fails loudly instead of
+// returning a confidently empty answer.
+var ErrAllShardsFailed = errors.New("shard: all shards failed")
+
+// Coordinator fans the candidates stage of a query out to shard backends —
+// concurrently, via internal/par — and gathers the answers. It implements
+// query.Scatterer.
+//
+// Failure semantics: a shard that errors is retried once; a shard that
+// fails the retry too is named in ScatterInfo.Failed and its (missing)
+// candidates make the run explicitly partial — never a silent truncation.
+// Only when every shard fails does Scatter return an error. Context
+// cancellation is different: it aborts the whole scatter immediately.
+type Coordinator struct {
+	backends []Backend
+	om       *coordMetrics
+}
+
+// coordMetrics holds the coordinator's pre-resolved per-shard metric
+// handles. nil disables instrumentation (obs handles are nil-safe, but the
+// containing struct keeps the wiring in one place).
+type coordMetrics struct {
+	queries  []*obs.Counter
+	failures []*obs.Counter
+	retries  []*obs.Counter
+}
+
+// NewCoordinator wires a coordinator over the backends, registering
+// per-shard counters on r (nil r disables metrics):
+//
+//	atyp_shard_queries_total{shard}  scatters reaching the shard
+//	atyp_shard_retries_total{shard}  first-attempt failures retried
+//	atyp_shard_failures_total{shard} shards lost after retry (partial runs)
+func NewCoordinator(backends []Backend, r *obs.Registry) *Coordinator {
+	c := &Coordinator{backends: backends}
+	if r != nil {
+		m := &coordMetrics{}
+		for _, b := range backends {
+			m.queries = append(m.queries, r.Counter("atyp_shard_queries_total",
+				"Per-shard scatter fan-outs.", "shard", b.Name()))
+			m.retries = append(m.retries, r.Counter("atyp_shard_retries_total",
+				"Per-shard first-attempt failures that were retried.", "shard", b.Name()))
+			m.failures = append(m.failures, r.Counter("atyp_shard_failures_total",
+				"Per-shard failures after retry; each one marks a partial query result.", "shard", b.Name()))
+		}
+		c.om = m
+	}
+	return c
+}
+
+// Backends returns the coordinator's backends in scatter order.
+func (c *Coordinator) Backends() []Backend { return c.backends }
+
+// NumShards implements query.Scatterer.
+func (c *Coordinator) NumShards() int { return len(c.backends) }
+
+// Scatter implements query.Scatterer: query every shard concurrently (a
+// shard not overlapping W simply answers empty — cheaper than a directory,
+// and immune to clusters homed on one shard touching regions owned by
+// another), retry each failure once, and report survivors plus the failed
+// set in deterministic scatter order.
+func (c *Coordinator) Scatter(ctx context.Context, tr cps.TimeRange, regions []geo.RegionID) ([]query.ShardResult, query.ScatterInfo, error) {
+	n := len(c.backends)
+	if n == 0 {
+		return nil, query.ScatterInfo{}, ErrAllShardsFailed
+	}
+	results := make([]query.ShardResult, n)
+	failed := make([]error, n)
+	err := par.Do(ctx, n, n, func(i int) error {
+		b := c.backends[i]
+		sctx, sp := obs.Start(ctx, "shard.query")
+		sp.SetAttr("shard", b.Name())
+		defer sp.End()
+		if c.om != nil {
+			c.om.queries[i].Inc()
+		}
+		cs, err := b.Candidates(sctx, tr, regions)
+		if err != nil && ctx.Err() == nil {
+			if c.om != nil {
+				c.om.retries[i].Inc()
+			}
+			cs, err = b.Candidates(sctx, tr, regions)
+		}
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr // cancellation aborts the scatter
+			}
+			if c.om != nil {
+				c.om.failures[i].Inc()
+			}
+			failed[i] = err
+			return nil // partial, not fatal
+		}
+		results[i] = query.ShardResult{Shard: b.Name(), Candidates: cs}
+		return nil
+	})
+	if err != nil {
+		return nil, query.ScatterInfo{}, err
+	}
+	info := query.ScatterInfo{Shards: n}
+	var ok []query.ShardResult
+	for i, b := range c.backends {
+		if failed[i] != nil {
+			info.Failed = append(info.Failed, b.Name())
+			continue
+		}
+		ok = append(ok, results[i])
+	}
+	if len(ok) == 0 {
+		return nil, info, fmt.Errorf("%w: %d shards, first error: %v", ErrAllShardsFailed, n, firstErr(failed))
+	}
+	return ok, info, nil
+}
+
+func firstErr(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Status is one shard's readiness report.
+type Status struct {
+	Shard string
+	Err   error // nil = ready
+}
+
+// Ready probes every backend concurrently and reports per-shard status in
+// scatter order (the /readyz surface when sharding is enabled).
+func (c *Coordinator) Ready(ctx context.Context) []Status {
+	out := make([]Status, len(c.backends))
+	for i, b := range c.backends {
+		// Prefill so a cancelled probe still reports every shard by name.
+		out[i] = Status{Shard: b.Name(), Err: ctx.Err()}
+	}
+	_ = par.Do(ctx, len(c.backends), len(c.backends), func(i int) error {
+		out[i].Err = c.backends[i].Ready(ctx)
+		return nil
+	})
+	return out
+}

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/storage"
+)
+
+// The HTTP shard protocol: the coordinator POSTs a small JSON request to
+// /shard/query and the shard answers with the exact binary cluster codec
+// (storage.WriteClustersExact) — severities travel as raw float64 bits, so
+// the gathered clusters are bit-identical to the shard's own and the
+// coordinator's final answer is byte-identical to an unsharded run. JSON on
+// the way in (tiny, debuggable), binary on the way out (the bulk).
+
+// QueryPath is the shard query endpoint a shard server mounts.
+const QueryPath = "/shard/query"
+
+// ErrUnavailable reports a shard server that answered the wire protocol
+// with a non-OK status (shedding, not ready, or a server-side failure).
+var ErrUnavailable = errors.New("shard: unavailable")
+
+// wireRequest is the JSON body of a shard query.
+type wireRequest struct {
+	From    int64   `json:"from"`
+	To      int64   `json:"to"`
+	Regions []int32 `json:"regions"`
+}
+
+// maxWireRequest clamps the request body a shard server will read.
+const maxWireRequest = 8 << 20
+
+// HTTP is a Backend served by a remote shard process over the hardened
+// atypserve path (deadlines, shedding, readiness gating upstream of the
+// handler).
+type HTTP struct {
+	name   string
+	base   string // e.g. "http://host:port", no trailing slash
+	client *http.Client
+}
+
+// DefaultHTTPTimeout bounds one shard request when the caller's context
+// carries no earlier deadline.
+const DefaultHTTPTimeout = 30 * time.Second
+
+// NewHTTP returns an HTTP backend for the shard server at base. A nil
+// client gets a dedicated one with DefaultHTTPTimeout.
+func NewHTTP(name, base string, client *http.Client) *HTTP {
+	if client == nil {
+		client = &http.Client{Timeout: DefaultHTTPTimeout}
+	}
+	return &HTTP{name: name, base: base, client: client}
+}
+
+// Name implements Backend.
+func (h *HTTP) Name() string { return h.name }
+
+// Candidates implements Backend over the wire protocol.
+func (h *HTTP) Candidates(ctx context.Context, tr cps.TimeRange, regions []geo.RegionID) ([]*cluster.Cluster, error) {
+	wr := wireRequest{From: int64(tr.From), To: int64(tr.To), Regions: make([]int32, len(regions))}
+	for i, r := range regions {
+		wr.Regions[i] = int32(r)
+	}
+	body, err := json.Marshal(wr)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+QueryPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: %w", h.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("%w: shard %s: status %d: %s", ErrUnavailable, h.name, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	cs, err := storage.ReadClustersExact(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: %w", h.name, err)
+	}
+	return cs, nil
+}
+
+// Ready implements Backend by probing the shard server's /readyz.
+func (h *HTTP) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("shard %s: %w", h.name, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: shard %s: readyz status %d", ErrUnavailable, h.name, resp.StatusCode)
+	}
+	return nil
+}
+
+// NewHandler returns the server half of the wire protocol: an http.Handler
+// answering QueryPath POSTs from b. Mount it behind the serve path's
+// readiness and shedding gates.
+func NewHandler(b Backend) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var wr wireRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxWireRequest)).Decode(&wr); err != nil {
+			http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+			return
+		}
+		tr := cps.TimeRange{From: cps.Window(wr.From), To: cps.Window(wr.To)}
+		regions := make([]geo.RegionID, len(wr.Regions))
+		for i, id := range wr.Regions {
+			regions[i] = geo.RegionID(id)
+		}
+		cs, err := b.Candidates(r.Context(), tr, regions)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("shard query: %v", err), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if _, err := storage.WriteClustersExact(w, cs); err != nil {
+			// Headers are gone; the truncated body fails the client's CRC.
+			return
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+)
+
+// Exact cluster wire format, version 1 (little endian):
+//
+//	magic "ATYPCLX1" | uvarint payloadLen | uint32 crc | payload
+//	payload: uvarint clusterCount, then per cluster:
+//	         uvarint id, uvarint micros,
+//	         uvarint len(SF), per entry uvarint keyDelta + 8-byte raw
+//	         IEEE-754 severity bits, uvarint len(TF) likewise.
+//
+// This is the shard wire protocol, not a persistence format: unlike the
+// cluster files (clusters.go), which quantize severities by SeverityQuantum
+// for compact storage, severities here travel as raw math.Float64bits so a
+// coordinator gathering candidates from remote shards reconstructs clusters
+// bit-identical to its own — the precondition for byte-identical sharded
+// answers. Children are never encoded: only leaf micro-clusters cross the
+// wire. Decoded clusters arrive hydrated (severity cache rebuilt).
+
+var clusterExactMagic = [8]byte{'A', 'T', 'Y', 'P', 'C', 'L', 'X', '1'}
+
+// WriteClustersExact encodes micro-clusters bit-exactly for shard transport
+// and returns the bytes written.
+func WriteClustersExact(w io.Writer, cs []*cluster.Cluster) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if _, err := bw.Write(clusterExactMagic[:]); err != nil {
+		return cw.n, err
+	}
+	var buf []byte
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf = append(buf, scratch[:n]...)
+	}
+	putSev := func(s cps.Severity) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(float64(s)))
+		buf = append(buf, b[:]...)
+	}
+	put(uint64(len(cs)))
+	for _, c := range cs {
+		put(uint64(c.ID))
+		put(uint64(c.Micros))
+		put(uint64(len(c.SF)))
+		prevS := cps.SensorID(0)
+		for _, e := range c.SF {
+			put(uint64(e.Key - prevS))
+			putSev(e.Sev)
+			prevS = e.Key
+		}
+		put(uint64(len(c.TF)))
+		prevW := cps.Window(0)
+		for _, e := range c.TF {
+			put(uint64(e.Key - prevW))
+			putSev(e.Sev)
+			prevW = e.Key
+		}
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	if _, err := bw.Write(hdr[:binary.PutUvarint(hdr[:], uint64(len(buf)))]); err != nil {
+		return cw.n, err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(buf))
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return cw.n, err
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadClustersExact decodes clusters written by WriteClustersExact, verifying
+// the length/CRC frame. Any integrity failure returns an error wrapping
+// ErrCorrupt (or ErrBadMagic) — never partial data. The returned clusters
+// are hydrated.
+func ReadClustersExact(r io.Reader) ([]*cluster.Cluster, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if magic != clusterExactMagic {
+		return nil, ErrBadMagic
+	}
+	payloadLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: payload length: %v", ErrCorrupt, err)
+	}
+	if payloadLen > maxClusterPayload {
+		return nil, fmt.Errorf("%w: absurd payload length %d", ErrCorrupt, payloadLen)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: crc: %v", ErrCorrupt, err)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return nil, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	if _, err := br.ReadByte(); err == nil {
+		return nil, fmt.Errorf("%w: data past payload", ErrCorrupt)
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	pos := 0
+	get := func() (uint64, error) {
+		v, k := binary.Uvarint(payload[pos:])
+		if k <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+		}
+		pos += k
+		return v, nil
+	}
+	getSev := func() (cps.Severity, error) {
+		if pos+8 > len(payload) {
+			return 0, fmt.Errorf("%w: truncated severity", ErrCorrupt)
+		}
+		bits := binary.LittleEndian.Uint64(payload[pos : pos+8])
+		pos += 8
+		return cps.Severity(math.Float64frombits(bits)), nil
+	}
+	n, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("%w: cluster count: %v", ErrCorrupt, err)
+	}
+	out := make([]*cluster.Cluster, 0, capHint(n))
+	for i := uint64(0); i < n; i++ {
+		id, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: cluster id: %v", ErrCorrupt, err)
+		}
+		micros, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: micros: %v", ErrCorrupt, err)
+		}
+		sf, err := readFeatureExact[cps.SensorID](get, getSev)
+		if err != nil {
+			return nil, err
+		}
+		tf, err := readFeatureExact[cps.Window](get, getSev)
+		if err != nil {
+			return nil, err
+		}
+		c := &cluster.Cluster{ID: cluster.ID(id), SF: sf, TF: tf, Micros: int(micros)}
+		c.Hydrate()
+		out = append(out, c)
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(payload)-pos)
+	}
+	return out, nil
+}
+
+func readFeatureExact[K cluster.Key](get func() (uint64, error), getSev func() (cps.Severity, error)) (cluster.Feature[K], error) {
+	n, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("%w: feature length: %v", ErrCorrupt, err)
+	}
+	f := make(cluster.Feature[K], 0, capHint(n))
+	var prev K
+	for i := uint64(0); i < n; i++ {
+		kd, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: feature key: %v", ErrCorrupt, err)
+		}
+		sev, err := getSev()
+		if err != nil {
+			return nil, err
+		}
+		key := prev + K(kd)
+		f = append(f, cluster.Entry[K]{Key: key, Sev: sev})
+		prev = key
+	}
+	return f, nil
+}

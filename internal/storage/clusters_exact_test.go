@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/cps"
+)
+
+// exactCluster builds a micro-cluster without quantizing severities — the
+// whole point of the exact codec is that values like 0.1 and 1/3 survive
+// bit-for-bit.
+func exactCluster(g *cluster.IDGen, recs []cps.Record) *cluster.Cluster {
+	return cluster.FromRecords(g.Next(), recs)
+}
+
+func TestClustersExactBitExactRoundTrip(t *testing.T) {
+	var g cluster.IDGen
+	a := exactCluster(&g, []cps.Record{
+		{Sensor: 1, Window: 97, Severity: 0.1},
+		{Sensor: 2, Window: 98, Severity: cps.Severity(1.0 / 3.0)},
+	})
+	b := exactCluster(&g, []cps.Record{
+		{Sensor: 1, Window: 99, Severity: cps.Severity(math.Nextafter(2.5, 3))},
+		{Sensor: 7, Window: 99, Severity: 1e-17},
+	})
+	var buf bytes.Buffer
+	n, err := WriteClustersExact(&buf, []*cluster.Cluster{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadClustersExact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d clusters, want 2", len(got))
+	}
+	for i, want := range []*cluster.Cluster{a, b} {
+		c := got[i]
+		if c.ID != want.ID || c.Micros != want.Micros {
+			t.Errorf("cluster %d header mismatch: %+v vs %+v", i, c, want)
+		}
+		if len(c.SF) != len(want.SF) || len(c.TF) != len(want.TF) {
+			t.Fatalf("cluster %d feature sizes differ", i)
+		}
+		for k := range c.SF {
+			if c.SF[k].Key != want.SF[k].Key ||
+				math.Float64bits(float64(c.SF[k].Sev)) != math.Float64bits(float64(want.SF[k].Sev)) {
+				t.Errorf("cluster %d SF[%d] = %v, want bit-exact %v", i, k, c.SF[k], want.SF[k])
+			}
+		}
+		for k := range c.TF {
+			if c.TF[k].Key != want.TF[k].Key ||
+				math.Float64bits(float64(c.TF[k].Sev)) != math.Float64bits(float64(want.TF[k].Sev)) {
+				t.Errorf("cluster %d TF[%d] = %v, want bit-exact %v", i, k, c.TF[k], want.TF[k])
+			}
+		}
+		if math.Float64bits(float64(c.Severity())) != math.Float64bits(float64(want.Severity())) {
+			t.Errorf("cluster %d hydrated severity %v, want %v", i, c.Severity(), want.Severity())
+		}
+	}
+}
+
+func TestClustersExactEmptySet(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteClustersExact(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadClustersExact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("read %d clusters from empty set", len(got))
+	}
+}
+
+func TestClustersExactRejectsCorruption(t *testing.T) {
+	var g cluster.IDGen
+	c := exactCluster(&g, []cps.Record{{Sensor: 3, Window: 5, Severity: 0.7}})
+	var buf bytes.Buffer
+	if _, err := WriteClustersExact(&buf, []*cluster.Cluster{c}); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] ^= 0xff
+		if _, err := ReadClustersExact(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("got %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("flipped payload byte", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(bad)-1] ^= 0x01
+		if _, err := ReadClustersExact(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := ReadClustersExact(bytes.NewReader(good[:len(good)-3])); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		bad := append(append([]byte(nil), good...), 0x00)
+		if _, err := ReadClustersExact(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+}

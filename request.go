@@ -1,0 +1,150 @@
+package atypical
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/cpskit/atypical/internal/cps"
+	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/query"
+)
+
+// QueryRequest describes one analytical query Q(W, T) for System.Run — the
+// single entry point the legacy Query{City,Box,At}{,Explain}{,Ctx} matrix
+// collapsed into. The zero value asks for the whole city over an empty day
+// range at the configured δs under IntegrateAll; set only what differs.
+type QueryRequest struct {
+	// Spatial scope W, first match wins:
+	//
+	//   1. Regions — the explicit pre-defined region set. A non-nil empty
+	//      slice is honored as "no regions" (the degenerate query).
+	//   2. Box — the regions intersecting the bounding box.
+	//   3. neither — the whole deployment.
+	Regions []RegionID
+	Box     *BBox
+
+	// Time period T: FirstDay/Days select the day-aligned range
+	// [FirstDay, FirstDay+Days); a non-nil Window overrides it with a raw
+	// half-open window range.
+	FirstDay int
+	Days     int
+	Window   *TimeRange
+
+	// DeltaS is the relative severity threshold δs of Definition 5; zero or
+	// negative selects the Config default. (A literal δs = 0 run — bound 0,
+	// everything significant — is not expressible here; it was a degenerate
+	// accident of the old QueryAt surface.)
+	DeltaS float64
+
+	// Strategy selects IntegrateAll, Pruned or Guided (zero value:
+	// IntegrateAll).
+	Strategy Strategy
+
+	// Explain arms per-run EXPLAIN collection; the record lands in
+	// RunResult.Explain. Collection never changes the answer.
+	Explain bool
+
+	// AllowPartial tolerates shards lost after retry on a sharded system:
+	// the run proceeds and the Report carries Partial/FailedShards. When
+	// false (default), a partial answer is refused with ErrPartialResult —
+	// either way the degradation is explicit, never silent.
+	AllowPartial bool
+
+	// BypassShards serves this run from the coordinator's own forest even
+	// when sharding is configured — the shard hint for debugging and for
+	// equivalence checks (a sharded and a bypassed run must agree byte for
+	// byte).
+	BypassShards bool
+}
+
+// RunResult is Run's answer: the Report plus the EXPLAIN record when one
+// was requested.
+type RunResult struct {
+	*Report
+	// Explain is non-nil iff QueryRequest.Explain was set.
+	Explain *Explain
+}
+
+// Run executes one analytical query. It is the primitive every query entry
+// point funnels through: it snapshots the current engine under the system
+// lock (so a concurrent LoadForest cannot tear the query), refuses Guided
+// runs while the severity index is stale (ErrSeverityStale), honors ctx
+// inside the parallel engine, and — on a sharded system — refuses partial
+// answers unless req.AllowPartial is set.
+func (s *System) Run(ctx context.Context, req QueryRequest) (*RunResult, error) {
+	var exp *Explain
+	if req.Explain {
+		ctx, exp = query.WithExplain(ctx)
+	}
+	rep, err := s.runQuery(ctx, s.buildQuery(req), req.Strategy, req.BypassShards)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Partial && !req.AllowPartial {
+		s.obs.queryError()
+		return nil, fmt.Errorf("atypical: shards %v failed after retry: %w", rep.FailedShards, ErrPartialResult)
+	}
+	return &RunResult{Report: rep, Explain: exp}, nil
+}
+
+// buildQuery resolves a QueryRequest to the engine's query shape, matching
+// the legacy constructors (CityQuery, BoxQuery) exactly so the deprecated
+// wrappers stay byte-identical to their pre-Run selves.
+func (s *System) buildQuery(req QueryRequest) query.Query {
+	deltaS := req.DeltaS
+	if deltaS <= 0 {
+		deltaS = s.cfg.DeltaS
+	}
+	var tr cps.TimeRange
+	if req.Window != nil {
+		tr = *req.Window
+	} else {
+		tr = cps.DayRange(s.spec, req.FirstDay, req.Days)
+	}
+	var regions []geo.RegionID
+	switch {
+	case req.Regions != nil:
+		regions = req.Regions
+	case req.Box != nil:
+		regions = s.net.Grid.RegionsIntersecting(*req.Box)
+	default:
+		regions = make([]geo.RegionID, 0, s.net.Grid.NumRegions())
+		for _, r := range s.net.Grid.Regions() {
+			regions = append(regions, r.ID)
+		}
+	}
+	return query.Query{Regions: regions, Time: tr, DeltaS: deltaS}
+}
+
+// requestFromQuery lifts a legacy explicit query.Query into the request
+// shape, preserving its semantics exactly (a nil region set stays an
+// explicit empty scope, not "whole city").
+func requestFromQuery(q query.Query, strat Strategy) QueryRequest {
+	regions := q.Regions
+	if regions == nil {
+		regions = []RegionID{}
+	}
+	tr := q.Time
+	return QueryRequest{Regions: regions, Window: &tr, DeltaS: q.DeltaS, Strategy: strat}
+}
+
+// runQuery snapshots the engine and executes the resolved query.
+func (s *System) runQuery(ctx context.Context, q query.Query, strat Strategy, bypassShards bool) (*Report, error) {
+	s.mu.RLock()
+	engine, stale := s.engine, s.sevStale
+	s.mu.RUnlock()
+	if strat == Guided && stale {
+		s.obs.queryError()
+		return nil, fmt.Errorf("atypical: guided query on stale severity index: %w", ErrSeverityStale)
+	}
+	if bypassShards && engine.Scatterer != nil {
+		e := *engine
+		e.Scatterer = nil
+		engine = &e
+	}
+	res, err := engine.RunCtx(s.armSpans(ctx), q, strat)
+	if err != nil {
+		s.obs.queryError()
+	}
+	return res, err
+}

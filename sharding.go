@@ -1,0 +1,136 @@
+package atypical
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/shard"
+)
+
+// Sharding. A System normally answers queries from its single in-process
+// forest. WithShards and WithShardServers partition the candidates stage
+// across shards instead: a deterministic district-granular shard map over
+// the region grid assigns every micro-cluster a home shard, each shard
+// answers "my candidates in range touching W", and the coordinator restores
+// the canonical candidate order before the unchanged strategy pipeline runs
+// once at the coordinator. Answers are byte-identical to the unsharded ones
+// — see DESIGN.md "Sharding & scatter-gather" for the argument.
+
+// ShardQueryPath is the URL path shard servers mount their ShardHandler at
+// and WithShardServers coordinators POST to.
+const ShardQueryPath = shard.QueryPath
+
+// WithShards partitions query serving across n in-process shards: ingest
+// routes every micro-cluster to a per-shard forest by home region, and
+// queries scatter-gather across the shard forests. The global forest keeps
+// its full copy (Save, materialized queries, and BypassShards runs read it),
+// sharing cluster values with the shards.
+func WithShards(n int) Option {
+	return func(o *systemOptions) { o.shards = n }
+}
+
+// WithShardServers routes query serving to remote shard processes, one URL
+// per shard (e.g. "http://host:9001"), each serving shard.QueryPath behind
+// its hardened serve path — an atypserve started with -shardserve k/n over
+// the same Config. The local System still ingests everything (the identical
+// deterministic stream keeps cluster IDs aligned across processes, and Gui's
+// red zones plus the integration stages run at the coordinator); remote
+// shards answer only the candidates stage. A shard lost after one retry
+// makes the answer explicitly partial — see QueryRequest.AllowPartial and
+// the atyp_shard_failures_total metric.
+func WithShardServers(urls ...string) Option {
+	return func(o *systemOptions) { o.shardURLs = append([]string(nil), urls...) }
+}
+
+// WithShardClient overrides the HTTP client used by WithShardServers
+// backends (timeouts, transports; tests).
+func WithShardClient(c *http.Client) Option {
+	return func(o *systemOptions) { o.shardClient = c }
+}
+
+// wireShards applies the shard options during NewSystem: builds the shard
+// map, the local shard set or HTTP backends, the coordinator, and hooks it
+// into the engine.
+func (s *System) wireShards(o *systemOptions, opts cluster.IntegrateOptions) error {
+	if o.shards == 0 && len(o.shardURLs) == 0 {
+		return nil
+	}
+	if o.shards != 0 && len(o.shardURLs) > 0 {
+		return fmt.Errorf("%w: WithShards and WithShardServers are mutually exclusive", ErrInvalidConfig)
+	}
+	n := o.shards
+	if n == 0 {
+		n = len(o.shardURLs)
+	}
+	if n < 1 {
+		return fmt.Errorf("%w: shard count must be at least 1, got %d", ErrInvalidConfig, n)
+	}
+	m, err := shard.NewMap(s.net.Grid, n)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	s.shardMap = m
+	var backends []shard.Backend
+	if o.shards != 0 {
+		s.shardSet = shard.NewSet(m, s.net, s.spec, &s.idgen, opts, s.cfg.DaysPerMonth)
+		backends = s.shardSet.Backends()
+	} else {
+		for i, u := range o.shardURLs {
+			backends = append(backends, shard.NewHTTP(fmt.Sprintf("shard%d", i), u, o.shardClient))
+		}
+	}
+	s.coord = shard.NewCoordinator(backends, o.registry)
+	s.engine.Scatterer = s.coord
+	return nil
+}
+
+// ShardStatus is one shard's readiness report, as surfaced by ShardsReady
+// and atypserve's /readyz.
+type ShardStatus struct {
+	// Shard is the shard's stable name (shard0..shardN-1).
+	Shard string
+	// Err is nil when the shard is ready to answer.
+	Err error
+}
+
+// ShardsReady probes every shard's readiness concurrently. It returns nil
+// when the system is not sharded.
+func (s *System) ShardsReady(ctx context.Context) []ShardStatus {
+	if s == nil || s.coord == nil {
+		return nil
+	}
+	sts := s.coord.Ready(s.armSpans(ctx))
+	out := make([]ShardStatus, len(sts))
+	for i, st := range sts {
+		out[i] = ShardStatus{Shard: st.Shard, Err: st.Err}
+	}
+	return out
+}
+
+// NumShards reports the configured shard fan-out (0 when unsharded).
+func (s *System) NumShards() int {
+	if s == nil || s.coord == nil {
+		return 0
+	}
+	return s.coord.NumShards()
+}
+
+// ShardHandler returns the HTTP handler a shard server mounts at
+// shard.QueryPath to serve shard k of n: a home-filtered view over this
+// system's forest speaking the exact wire codec. The serving system must be
+// built from the same Config as the coordinator (same deployment, same
+// deterministic ingest) so cluster IDs line up; it follows LoadForest swaps
+// automatically.
+func (s *System) ShardHandler(k, n int) (http.Handler, error) {
+	if k < 0 || n < 1 || k >= n {
+		return nil, fmt.Errorf("%w: shard index %d of %d", ErrInvalidConfig, k, n)
+	}
+	m, err := shard.NewMap(s.net.Grid, n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	b := shard.NewLocalView(fmt.Sprintf("shard%d", k), s.net, s.Forest, m, k)
+	return shard.NewHandler(b), nil
+}

@@ -1,0 +1,242 @@
+package atypical
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/cpskit/atypical/internal/shard"
+)
+
+// renderRuns is renderReports through the Run surface, with per-request
+// overrides applied — the probe for BypassShards and sharded equivalence.
+func renderRuns(t *testing.T, sys *System, mutate func(*QueryRequest)) string {
+	t.Helper()
+	var b strings.Builder
+	for _, strat := range []Strategy{IntegrateAll, Pruned, Guided} {
+		req := QueryRequest{FirstDay: 0, Days: 7, Strategy: strat, AllowPartial: true}
+		if mutate != nil {
+			mutate(&req)
+		}
+		res, err := sys.Run(context.Background(), req)
+		if err != nil {
+			t.Fatalf("Run(%v): %v", strat, err)
+		}
+		fmt.Fprintf(&b, "# %v candidates=%d inputs=%d zones=%d bound=%v macros=%d\n",
+			res.Strategy, res.CandidateMicros, res.InputMicros, res.RedZones, res.Bound, len(res.Macros))
+		b.WriteString(sys.Ranking(res.Significant))
+		for _, c := range res.Significant {
+			b.WriteString(sys.Describe(c))
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// The tentpole invariant: a sharded system answers byte-identically to the
+// unsharded one, for every shard count — the coordinator re-establishes the
+// canonical candidate order, so integration sees the same inputs in the same
+// order and mints the same IDs.
+func TestShardedQueryByteIdentical(t *testing.T) {
+	want := renderReports(buildSystem(t))
+	if want == "" {
+		t.Fatal("unsharded system rendered nothing; byte-identity check is vacuous")
+	}
+	for _, n := range []int{1, 2, 8} {
+		got := renderReports(buildSystem(t, WithShards(n)))
+		if got != want {
+			t.Fatalf("shards=%d diverged from unsharded:\n%s", n, diffAt(got, want))
+		}
+	}
+}
+
+// BypassShards must serve the identical answer from the coordinator's own
+// forest — the debugging escape hatch is equivalence-checked too.
+func TestBypassShardsByteIdentical(t *testing.T) {
+	want := renderRuns(t, buildSystem(t), nil)
+	got := renderRuns(t, buildSystem(t, WithShards(4)), func(req *QueryRequest) {
+		req.BypassShards = true
+	})
+	if got != want {
+		t.Fatalf("BypassShards diverged from unsharded:\n%s", diffAt(got, want))
+	}
+}
+
+// shardServers starts one httptest server per shard, each serving the data
+// system's home-filtered view at ShardQueryPath plus a trivial /readyz.
+func shardServers(t *testing.T, data *System, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for k := 0; k < n; k++ {
+		h, err := data.ShardHandler(k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle(ShardQueryPath, h)
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprintln(w, "ready") })
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		urls[k] = srv.URL
+	}
+	return urls
+}
+
+// The shard matrix: every shard count × both backends must render the
+// unsharded bytes. The HTTP half runs real shard servers speaking the exact
+// wire codec; the coordinator is a separate System over the same Config, so
+// the deterministic ingest keeps cluster IDs aligned across processes.
+func TestShardMatrix(t *testing.T) {
+	want := renderReports(buildSystem(t))
+	for _, n := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("local-%d", n), func(t *testing.T) {
+			if got := renderReports(buildSystem(t, WithShards(n))); got != want {
+				t.Fatalf("local shards=%d diverged:\n%s", n, diffAt(got, want))
+			}
+		})
+		t.Run(fmt.Sprintf("http-%d", n), func(t *testing.T) {
+			data := buildSystem(t)
+			urls := shardServers(t, data, n)
+			coord := buildSystem(t, WithShardServers(urls...))
+			if got := renderReports(coord); got != want {
+				t.Fatalf("http shards=%d diverged:\n%s", n, diffAt(got, want))
+			}
+			sts := coord.ShardsReady(context.Background())
+			if len(sts) != n {
+				t.Fatalf("ShardsReady reported %d shards, want %d", len(sts), n)
+			}
+			for _, st := range sts {
+				if st.Err != nil {
+					t.Errorf("shard %s not ready: %v", st.Shard, st.Err)
+				}
+			}
+		})
+	}
+}
+
+// Losing a shard after retry must be loud: the legacy surface flags the
+// Report and bumps atyp_shard_failures_total, Run refuses the partial answer
+// unless AllowPartial is set, and losing everything is an error.
+func TestShardedPartialFailure(t *testing.T) {
+	data := buildSystem(t)
+	live := shardServers(t, data, 2)[0]
+	deadSrv := httptest.NewServer(http.NewServeMux())
+	dead := deadSrv.URL
+	deadSrv.Close()
+
+	reg := NewObserver()
+	sys := buildSystem(t, WithShardServers(live, dead), WithObserver(reg))
+
+	rep := sys.QueryCity(0, 7, IntegrateAll)
+	if !rep.Partial {
+		t.Fatal("losing a shard did not mark the report partial")
+	}
+	if len(rep.FailedShards) != 1 || rep.FailedShards[0] != "shard1" {
+		t.Fatalf("FailedShards = %v, want [shard1]", rep.FailedShards)
+	}
+	if v, ok := reg.Snapshot().Value("atyp_shard_failures_total", "shard", "shard1"); !ok || v < 1 {
+		t.Fatalf("atyp_shard_failures_total{shard=shard1} = %v (ok=%v), want >= 1", v, ok)
+	}
+
+	if _, err := sys.Run(context.Background(), QueryRequest{Days: 7}); !errors.Is(err, ErrPartialResult) {
+		t.Fatalf("Run without AllowPartial = %v, want ErrPartialResult", err)
+	}
+	res, err := sys.Run(context.Background(), QueryRequest{Days: 7, AllowPartial: true})
+	if err != nil || !res.Partial {
+		t.Fatalf("Run with AllowPartial: res=%+v err=%v", res, err)
+	}
+
+	allDead := buildSystem(t, WithShardServers(dead, dead))
+	if _, err := allDead.QueryCityCtx(context.Background(), 0, 7, IntegrateAll); !errors.Is(err, shard.ErrAllShardsFailed) {
+		t.Fatalf("all shards dead = %v, want ErrAllShardsFailed", err)
+	}
+}
+
+// Scatter-gather under the race detector: concurrent sharded queries across
+// strategies while the per-shard forests serve them.
+func TestShardedQueryRaceHammer(t *testing.T) {
+	sys := buildSystem(t, WithShards(4), WithQueryWorkers(2))
+	want := sys.QueryCity(0, 7, IntegrateAll).CandidateMicros
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				strat := []Strategy{IntegrateAll, Pruned, Guided}[(g+i)%3]
+				res, err := sys.Run(context.Background(), QueryRequest{Days: 7, Strategy: strat, AllowPartial: true})
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if res.CandidateMicros != want {
+					t.Errorf("goroutine %d: candidates = %d, want %d", g, res.CandidateMicros, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// fuzzConfig is deliberately tiny: the fuzzer builds two full systems per
+// execution.
+func fuzzConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Sensors = 60
+	cfg.DaysPerMonth = 5
+	return cfg
+}
+
+func fuzzSystem(t testing.TB, options ...Option) *System {
+	sys, err := NewSystem(fuzzConfig(), options...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Ingest(sys.GenerateMonth(0).Atypical)
+	return sys
+}
+
+// FuzzShardedQueryEquivalence drives random (shard count, day range,
+// strategy) triples through a sharded and an unsharded system and requires
+// byte-identical renderings — the fuzzing half of the tentpole invariant.
+func FuzzShardedQueryEquivalence(f *testing.F) {
+	f.Add(uint8(2), uint8(0), uint8(5), uint8(0))
+	f.Add(uint8(1), uint8(1), uint8(3), uint8(1))
+	f.Add(uint8(8), uint8(4), uint8(1), uint8(2))
+	f.Add(uint8(5), uint8(3), uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, nb, firstb, daysb, stratb uint8) {
+		n := int(nb)%8 + 1
+		firstDay := int(firstb) % 5
+		days := int(daysb)%5 + 1
+		strat := []Strategy{IntegrateAll, Pruned, Guided}[int(stratb)%3]
+
+		render := func(sys *System) string {
+			res, err := sys.Run(context.Background(), QueryRequest{
+				FirstDay: firstDay, Days: days, Strategy: strat, AllowPartial: true,
+			})
+			if err != nil {
+				t.Fatalf("n=%d first=%d days=%d strat=%v: %v", n, firstDay, days, strat, err)
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "candidates=%d inputs=%d zones=%d bound=%v macros=%d\n",
+				res.CandidateMicros, res.InputMicros, res.RedZones, res.Bound, len(res.Macros))
+			b.WriteString(sys.Ranking(res.Significant))
+			for _, c := range res.Significant {
+				b.WriteString(sys.Describe(c))
+				b.WriteString("\n")
+			}
+			return b.String()
+		}
+		want := render(fuzzSystem(t))
+		got := render(fuzzSystem(t, WithShards(n)))
+		if got != want {
+			t.Fatalf("n=%d first=%d days=%d strat=%v diverged:\n%s", n, firstDay, days, strat, diffAt(got, want))
+		}
+	})
+}
