@@ -2,12 +2,13 @@ GO      ?= go
 FUZZTIME ?= 10s
 
 CLUSTER_FUZZ = FuzzMergeCommutativity FuzzMergeAssociativity FuzzMicroVsRawAgreement FuzzParallelIntegrateEquivalence
-CUBE_FUZZ    = FuzzCubeDeterminism
+CUBE_FUZZ    = FuzzCubeDeterminism FuzzColumnarSeverityEquivalence
 OBS_FUZZ     = FuzzParseSeries FuzzHistogramMerge
+QUERY_FUZZ   = FuzzCanonicalKeyCollisionFree
 STORAGE_FUZZ = FuzzRecordReaderCorrupt
 ROOT_FUZZ    = FuzzShardedQueryEquivalence
 
-.PHONY: all build test race lint lint-json fuzz-smoke crash-matrix bench-quick shard-matrix ci
+.PHONY: all build test race lint lint-json fuzz-smoke crash-matrix bench-quick shard-matrix load-smoke ci
 
 all: build test lint
 
@@ -49,6 +50,10 @@ fuzz-smoke:
 		echo "-- fuzz $$t ($(FUZZTIME))"; \
 		$(GO) test ./internal/obs/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
+	@for t in $(QUERY_FUZZ); do \
+		echo "-- fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/query/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
 	@for t in $(STORAGE_FUZZ); do \
 		echo "-- fuzz $$t ($(FUZZTIME))"; \
 		$(GO) test ./internal/storage/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
@@ -74,6 +79,17 @@ crash-matrix:
 bench-quick:
 	$(GO) run ./cmd/atypbench -sensors 250 -months 1 -days 14 -parjson BENCH_parallel.json
 
+## load-smoke: the answer-cache load gate — a repeated-query read stream
+## (2000 requests cycling 6 shapes) measured once without and once with the
+## canonical-keyed cache, written to BENCH_load.json. Fails when a phase p99
+## regressed by more than LOADREGRESS vs the previous artifact; the budget
+## is looser than bench-quick's because cached hits are microsecond-scale
+## and proportionally noisier.
+LOADREGRESS ?= 1.0
+load-smoke:
+	$(GO) run ./cmd/atypload -sensors 120 -days 7 -requests 2000 -distinct 6 \
+		-mix 1 -workers 4 -json BENCH_load.json -maxregress $(LOADREGRESS)
+
 ## shard-matrix: the tentpole equivalence gate — sharded answers (1/2/8
 ## shards, in-process and HTTP backends) must render byte-identically to the
 ## unsharded system, wrappers must stay veneers over Run, and shard loss must
@@ -84,4 +100,4 @@ shard-matrix:
 		-run 'TestShardedQueryByteIdentical|TestBypassShardsByteIdentical|TestShardMatrix|TestShardedPartialFailure|TestWrappersByteIdenticalToRun|TestCoordinatorGatherEqualsUnshardedCandidates|TestHTTPBackendRoundTripAndFailure' \
 		-count=1
 
-ci: build lint race crash-matrix shard-matrix fuzz-smoke bench-quick
+ci: build lint race crash-matrix shard-matrix fuzz-smoke bench-quick load-smoke

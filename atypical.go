@@ -115,6 +115,7 @@ type systemOptions struct {
 	shards          int
 	shardURLs       []string
 	shardClient     *http.Client
+	queryCache      int
 }
 
 // WithWorkers bounds the goroutines used for offline construction (per-day
@@ -140,6 +141,19 @@ func WithWorkers(n int) Option {
 // no matter what WithWorkers or Config.Workers say.
 func WithQueryWorkers(n int) Option {
 	return func(o *systemOptions) { o.queryWorkers = n; o.queryWorkersSet = true }
+}
+
+// WithQueryCache enables the canonical-keyed answer cache with room for
+// `entries` finished queries (entries <= 0 leaves caching off). Cached
+// answers are version-stamped against the forest's write-version counter,
+// so every ingest invalidates them atomically; loading a different forest
+// or rebuilding the severity index clears the cache outright. Answers
+// served from the cache are byte-identical to a fresh run — partial
+// (shard-degraded) answers are never stored — and cache traffic surfaces
+// as atyp_query_cache_{hits,misses,evictions}_total when an Observer is
+// attached, plus a "cache" stage in EXPLAIN records on hits.
+func WithQueryCache(entries int) Option {
+	return func(o *systemOptions) { o.queryCache = entries }
 }
 
 // WithBalance selects the similarity balance function g by typed constant
@@ -206,6 +220,11 @@ type System struct {
 	shardMap *shard.Map
 	shardSet *shard.Set
 	coord    *shard.Coordinator
+
+	// cache is the optional canonical-keyed answer cache (WithQueryCache);
+	// nil when caching is off. The pointer is fixed at construction — forest
+	// swaps clear the cache and carry it into the rebuilt engine.
+	cache *query.AnswerCache
 
 	// mu guards the swappable model pointers (LoadForest replaces them) and
 	// the severity staleness flag. The structures behind the pointers are
@@ -289,9 +308,11 @@ func NewSystem(cfg Config, options ...Option) (*System, error) {
 	s.exporter = o.exporter
 	s.obs = newSystemObs(o.registry)
 	s.forest.SetObserver(o.registry)
+	s.cache = query.NewAnswerCache(o.queryCache)
+	s.cache.BindMetrics(o.registry)
 	s.engine = &query.Engine{
 		Net: net, Forest: s.forest, Severity: s.sev, Gen: &s.idgen,
-		Workers: queryWorkers, Obs: query.NewMetrics(o.registry),
+		Workers: queryWorkers, Obs: query.NewMetrics(o.registry), Cache: s.cache,
 	}
 	for _, slo := range o.slos {
 		s.engine.Obs.SetSLO(slo.strat, slo.target)
@@ -331,6 +352,12 @@ func (s *System) Forest() *forest.Forest {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.forest
+}
+
+// QueryCacheStats returns the lifetime hit/miss/eviction counts of the
+// answer cache enabled by WithQueryCache; all zeros when caching is off.
+func (s *System) QueryCacheStats() (hits, misses, evictions uint64) {
+	return s.cache.Stats()
 }
 
 // GenerateMonth synthesizes dataset m (0-based) for this deployment — the

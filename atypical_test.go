@@ -50,9 +50,9 @@ func TestEndToEndPipeline(t *testing.T) {
 		t.Fatal("no micro-clusters in the forest")
 	}
 
-	all := sys.QueryCity(0, 7, IntegrateAll)
-	gui := sys.QueryCity(0, 7, Guided)
-	pru := sys.QueryCity(0, 7, Pruned)
+	all := mustRun(t, sys, QueryRequest{Days: 7})
+	gui := mustRun(t, sys, QueryRequest{Days: 7, Strategy: Guided})
+	pru := mustRun(t, sys, QueryRequest{Days: 7, Strategy: Pruned})
 
 	if all.InputMicros == 0 {
 		t.Fatal("All saw no inputs")
@@ -81,7 +81,7 @@ func TestDescribe(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.IngestMonths(1)
-	res := sys.QueryCity(0, 7, IntegrateAll)
+	res := mustRun(t, sys, QueryRequest{Days: 7})
 	if len(res.Macros) == 0 {
 		t.Fatal("no clusters to describe")
 	}
@@ -103,10 +103,10 @@ func TestQueryBoxNarrowsScope(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.IngestMonths(1)
-	city := sys.QueryCity(0, 7, IntegrateAll)
+	city := mustRun(t, sys, QueryRequest{Days: 7})
 	half := sys.Network().Grid.Box
 	half.Max.Lat = (half.Min.Lat + half.Max.Lat) / 2
-	box := sys.QueryBox(half, 0, 7, IntegrateAll)
+	box := mustRun(t, sys, QueryRequest{Box: &half, Days: 7})
 	if box.CandidateMicros > city.CandidateMicros {
 		t.Errorf("box candidates %d > city %d", box.CandidateMicros, city.CandidateMicros)
 	}
@@ -138,13 +138,13 @@ func TestGenerateMonthDeterministic(t *testing.T) {
 	}
 }
 
-func TestRankingAndQueryAt(t *testing.T) {
+func TestRankingAndExplicitScope(t *testing.T) {
 	sys, err := NewSystem(testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	sys.IngestMonths(1)
-	res := sys.QueryCity(0, 7, IntegrateAll)
+	res := mustRun(t, sys, QueryRequest{Days: 7})
 	if len(res.Significant) == 0 {
 		t.Skip("no significant clusters on this seed")
 	}
@@ -153,12 +153,13 @@ func TestRankingAndQueryAt(t *testing.T) {
 		t.Errorf("Ranking output: %q", out)
 	}
 
-	// QueryAt allows a custom δs on an explicit query.
-	q := Query{Time: DayRange(sys.Spec(), 0, 7), DeltaS: 0.001}
+	// Run accepts a custom δs on an explicit region/window scope.
+	win := DayRange(sys.Spec(), 0, 7)
+	var regions []RegionID
 	for _, r := range sys.Network().Grid.Regions() {
-		q.Regions = append(q.Regions, r.ID)
+		regions = append(regions, r.ID)
 	}
-	loose := sys.QueryAt(q, IntegrateAll)
+	loose := mustRun(t, sys, QueryRequest{Regions: regions, Window: &win, DeltaS: 0.001})
 	if len(loose.Significant) < len(res.Significant) {
 		t.Errorf("looser δs found fewer significant clusters: %d < %d",
 			len(loose.Significant), len(res.Significant))

@@ -100,6 +100,7 @@ func main() {
 		slowQuery    = flag.Duration("slowquery", -1, "log queries at or above this latency with their EXPLAIN (0 logs all, <0 disables)")
 		slo          = flag.String("slo", "", "per-strategy latency SLO targets, e.g. gui=500ms,all=2s")
 		sloObjective = flag.Float64("sloobjective", 0.99, "fraction of queries that must meet their SLO target")
+		queryCache   = flag.Int("querycache", 0, "canonical-keyed answer cache entries (0 disables)")
 		shards       = flag.Int("shards", 0, "partition query serving across n in-process shards (0 unsharded)")
 		shardPeers   = flag.String("shardpeers", "", "comma-separated shard server base URLs (HTTP scatter-gather)")
 		shardServe   = flag.String("shardserve", "", "serve shard k of n at /shard/query, e.g. 0/4")
@@ -111,7 +112,7 @@ func main() {
 		workers: *workers, queryWorkers: *queryWorkers, deltaS: *deltaS,
 		maxInflight: *maxInflight, queryTimeout: *queryTimeout, drain: *drain,
 		logJSON: *logJSON, traces: *traces, slowQuery: *slowQuery,
-		slo: *slo, sloObjective: *sloObjective,
+		slo: *slo, sloObjective: *sloObjective, queryCache: *queryCache,
 		shards: *shards, shardPeers: *shardPeers, shardServe: *shardServe,
 	}))
 }
@@ -130,6 +131,7 @@ type serveConfig struct {
 	slowQuery             time.Duration
 	slo                   string
 	sloObjective          float64
+	queryCache            int
 	shards                int
 	shardPeers            string
 	shardServe            string
@@ -203,6 +205,9 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 		atypical.WithWorkers(sc.workers),
 		atypical.WithQueryWorkers(sc.queryWorkers),
 		atypical.WithObserver(reg),
+	}
+	if sc.queryCache > 0 {
+		opts = append(opts, atypical.WithQueryCache(sc.queryCache))
 	}
 	var ring *atypical.TraceRing
 	if sc.traces > 0 {
@@ -617,6 +622,10 @@ func serveQuery(ac apiConfig, w http.ResponseWriter, r *http.Request) {
 	req.Explain = wantExplain || slowArmed
 	res, err := ac.sys.Run(ctx, req)
 	if err != nil {
+		if errors.Is(err, atypical.ErrInvalidRequest) {
+			writeRequestError(w, err)
+			return
+		}
 		status := http.StatusInternalServerError
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) ||
 			errors.Is(err, atypical.ErrPartialResult) {
@@ -668,6 +677,25 @@ func serveQuery(ac apiConfig, w http.ResponseWriter, r *http.Request) {
 	if err := enc.Encode(resp); err != nil {
 		ac.logger.Error("encoding response", "err", err)
 	}
+}
+
+// requestErrorJSON is the structured 400 body for a request that failed
+// QueryRequest.Validate: a stable machine-matchable code plus the full error
+// text naming the offending field.
+type requestErrorJSON struct {
+	Error  string `json:"error"`
+	Detail string `json:"detail"`
+}
+
+// writeRequestError answers a malformed QueryRequest with HTTP 400 and a
+// structured JSON body, so clients can branch on the code instead of
+// string-matching the detail.
+func writeRequestError(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(requestErrorJSON{Error: "invalid_request", Detail: err.Error()})
 }
 
 // intParam parses an optional integer query parameter.

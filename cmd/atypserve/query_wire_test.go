@@ -102,6 +102,24 @@ func TestQueryPostValidation(t *testing.T) {
 	if rec := do(t, h, "POST", "/query", `not json`); rec.Code != http.StatusBadRequest {
 		t.Errorf("malformed body = %d, want 400", rec.Code)
 	}
+	// A request that decodes fine but fails QueryRequest.Validate answers a
+	// structured 400: machine-matchable code plus the offending field.
+	for _, body := range []string{
+		`{"strategy":"all","days":-3}`,
+		`{"strategy":"all","delta_s":-0.5}`,
+	} {
+		rec := do(t, h, "POST", "/query", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("invalid request %s = %d, want 400", body, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("invalid request %s Content-Type = %q, want application/json", body, ct)
+		}
+		if got := rec.Body.String(); !strings.Contains(got, `"error": "invalid_request"`) ||
+			!strings.Contains(got, "atypical: invalid query request") {
+			t.Errorf("invalid request %s body not structured:\n%s", body, got)
+		}
+	}
 	// A box scope narrows the query without erroring.
 	rec := do(t, h, "POST", "/query",
 		`{"strategy":"all","box":{"min_lat":0,"min_lon":0,"max_lat":90,"max_lon":180}}`)

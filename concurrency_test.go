@@ -5,29 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 	"testing"
 )
-
-// renderReports serializes every user-facing query surface of a system: the
-// three strategies' result shapes plus the rendered rankings and
-// descriptions. Elapsed is deliberately excluded — it is the only
-// non-deterministic Report field.
-func renderReports(sys *System) string {
-	var b strings.Builder
-	for _, strat := range []Strategy{IntegrateAll, Pruned, Guided} {
-		res := sys.QueryCity(0, 7, strat)
-		fmt.Fprintf(&b, "# %v candidates=%d inputs=%d zones=%d bound=%v macros=%d\n",
-			res.Strategy, res.CandidateMicros, res.InputMicros, res.RedZones, res.Bound, len(res.Macros))
-		b.WriteString(sys.Ranking(res.Significant))
-		for _, c := range res.Significant {
-			b.WriteString(sys.Describe(c))
-			b.WriteString("\n")
-		}
-	}
-	return b.String()
-}
 
 // buildSystem constructs a system with the given options and ingests the
 // deterministic first generated month.
@@ -41,11 +21,22 @@ func buildSystem(t *testing.T, options ...Option) *System {
 	return sys
 }
 
+// mustRun executes one request through Run — the single query entry point —
+// failing the test on any error.
+func mustRun(t *testing.T, sys *System, req QueryRequest) *Report {
+	t.Helper()
+	res, err := sys.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Report
+}
+
 // Parallel ingestion must be byte-identical to the legacy serial pipeline:
 // block-reserved cluster IDs and day-sharded severity accumulation make the
 // worker fan-out invisible, down to rendered report text.
 func TestParallelIngestByteIdenticalToSerial(t *testing.T) {
-	want := renderReports(buildSystem(t, WithWorkers(0)))
+	want := renderRuns(t, buildSystem(t, WithWorkers(0)), nil)
 	if want == "" {
 		t.Fatal("serial system rendered nothing; byte-identity check is vacuous")
 	}
@@ -53,7 +44,7 @@ func TestParallelIngestByteIdenticalToSerial(t *testing.T) {
 		// WithWorkers alone must suffice: queries stay on the serial path
 		// unless WithQueryWorkers opts in, so only ingestion parallelism
 		// varies here.
-		got := renderReports(buildSystem(t, WithWorkers(workers)))
+		got := renderRuns(t, buildSystem(t, WithWorkers(workers)), nil)
 		if got != want {
 			t.Fatalf("workers=%d ingest diverged from serial:\n%s", workers, diffAt(got, want))
 		}
@@ -64,9 +55,9 @@ func TestParallelIngestByteIdenticalToSerial(t *testing.T) {
 // merge tree's shape is fixed, so every worker count (including the
 // GOMAXPROCS-derived one) renders the same bytes.
 func TestParallelQueryWorkerCountIndependent(t *testing.T) {
-	want := renderReports(buildSystem(t, WithWorkers(4), WithQueryWorkers(1)))
+	want := renderRuns(t, buildSystem(t, WithWorkers(4), WithQueryWorkers(1)), nil)
 	for _, qw := range []int{2, 8, -1} {
-		got := renderReports(buildSystem(t, WithWorkers(4), WithQueryWorkers(qw)))
+		got := renderRuns(t, buildSystem(t, WithWorkers(4), WithQueryWorkers(qw)), nil)
 		if got != want {
 			t.Fatalf("query workers=%d diverged from 1 worker:\n%s", qw, diffAt(got, want))
 		}
@@ -79,7 +70,7 @@ func TestPipelineByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
 	render := func(procs int) string {
 		prev := runtime.GOMAXPROCS(procs)
 		defer runtime.GOMAXPROCS(prev)
-		return renderReports(buildSystem(t, WithWorkers(4), WithQueryWorkers(4)))
+		return renderRuns(t, buildSystem(t, WithWorkers(4), WithQueryWorkers(4)), nil)
 	}
 	at1, at8 := render(1), render(8)
 	if at1 != at8 {
@@ -114,7 +105,7 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 				default:
 				}
 				for _, strat := range []Strategy{IntegrateAll, Pruned, Guided} {
-					if _, err := sys.QueryCityCtx(context.Background(), 0, 7, strat); err != nil {
+					if _, err := sys.Run(context.Background(), QueryRequest{Days: 7, Strategy: strat}); err != nil {
 						t.Errorf("query during ingest: %v", err)
 						return
 					}
@@ -156,8 +147,8 @@ func TestQueryCtxCancellation(t *testing.T) {
 	sys := buildSystem(t, WithWorkers(2), WithQueryWorkers(2))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := sys.QueryCityCtx(ctx, 0, 7, IntegrateAll); !errors.Is(err, context.Canceled) {
-		t.Fatalf("cancelled QueryCityCtx error = %v, want context.Canceled", err)
+	if _, err := sys.Run(ctx, QueryRequest{Days: 7}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Run error = %v, want context.Canceled", err)
 	}
 	if _, err := sys.IngestMonthsCtx(ctx, 1); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled IngestMonthsCtx error = %v, want context.Canceled", err)

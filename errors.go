@@ -16,6 +16,9 @@ import (
 //     are refused until RebuildSeverity runs (LoadForest, QueryAtCtx).
 //   - ErrUnknownStrategy: a Strategy value outside IntegrateAll/Pruned/
 //     Guided reached the engine.
+//   - ErrInvalidRequest: a QueryRequest fails Validate — conflicting
+//     spatial scopes, a non-positive day count, a negative δs, or a
+//     malformed window range (Run; atypserve maps it to HTTP 400).
 //   - ErrNoData: the requested range holds nothing to operate on
 //     (TrainPredictor).
 //   - ErrPartialResult: a sharded query lost shards after retry and the
@@ -38,6 +41,14 @@ var ErrSeverityStale = errors.New("atypical: severity index is stale; call Rebui
 
 // ErrUnknownStrategy reports a Strategy value outside the defined constants.
 var ErrUnknownStrategy = query.ErrUnknownStrategy
+
+// ErrInvalidRequest reports a QueryRequest that fails validation before it
+// reaches the engine: conflicting spatial scopes (Regions and Box both
+// set), a non-positive Days with no Window override, a negative DeltaS, or
+// a Window with negative origin or inverted bounds. Run returns it wrapped
+// with the offending field spelled out; atypserve answers HTTP 400 with a
+// structured body.
+var ErrInvalidRequest = errors.New("atypical: invalid query request")
 
 // ErrNoData reports that the requested operation found nothing to work on,
 // e.g. a training range with no micro-clusters.

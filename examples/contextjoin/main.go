@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -58,7 +59,11 @@ func main() {
 		Locate:  func(s atypical.SensorID) geo.Point { return sys.Network().Sensor(s).Loc },
 	}
 
-	rep := sys.QueryCity(0, cfg.DaysPerMonth, atypical.IntegrateAll)
+	res, err := sys.Run(context.Background(), atypical.QueryRequest{Days: cfg.DaysPerMonth})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.Report
 	sort.Slice(rep.Significant, func(i, j int) bool {
 		return rep.Significant[i].Severity() > rep.Significant[j].Severity()
 	})

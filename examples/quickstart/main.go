@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,11 @@ func main() {
 
 	// Online query: the significant clusters of the whole city this week,
 	// retrieved with red-zone guided clustering.
-	rep := sys.QueryCity(0, 7, atypical.Guided)
+	res, err := sys.Run(context.Background(), atypical.QueryRequest{Days: 7, Strategy: atypical.Guided})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.Report
 	fmt.Printf("query integrated %d of %d micro-clusters (%d red zones), %d significant clusters:\n",
 		rep.InputMicros, rep.CandidateMicros, rep.RedZones, len(rep.Significant))
 	for _, c := range rep.Significant {

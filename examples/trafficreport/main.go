@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -28,7 +29,11 @@ func main() {
 	sys.IngestMonths(1)
 
 	fmt.Println("=== Monthly congestion report ===")
-	rep := sys.QueryCity(0, 28, atypical.Guided)
+	res, err := sys.Run(context.Background(), atypical.QueryRequest{Days: 28, Strategy: atypical.Guided})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.Report
 	sort.Slice(rep.Significant, func(i, j int) bool {
 		return rep.Significant[i].Severity() > rep.Significant[j].Severity()
 	})
@@ -60,7 +65,11 @@ func main() {
 	fmt.Println("\n=== Query strategy comparison (28-day city query) ===")
 	fmt.Printf("%-9s %8s %8s %12s %8s\n", "strategy", "inputs", "macros", "significant", "time")
 	for _, s := range []atypical.Strategy{atypical.IntegrateAll, atypical.Pruned, atypical.Guided} {
-		r := sys.QueryCity(0, 28, s)
+		sres, err := sys.Run(context.Background(), atypical.QueryRequest{Days: 28, Strategy: s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := sres.Report
 		fmt.Printf("%-9s %8d %8d %12d %8s\n", s, r.InputMicros, len(r.Macros), len(r.Significant), r.Elapsed.Round(1e6))
 	}
 

@@ -16,16 +16,14 @@ import (
 // explain-free entry point returns.
 func TestQueryExplainFacade(t *testing.T) {
 	sys := buildSystem(t)
-	plain, err := sys.QueryCityCtx(context.Background(), 0, 7, Guided)
-	if err != nil {
-		t.Fatal(err)
-	}
+	plain := mustRun(t, sys, QueryRequest{Days: 7, Strategy: Guided})
 	var payloads [][]byte
 	for run := 0; run < 2; run++ {
-		rep, exp, err := sys.QueryCityExplainCtx(context.Background(), 0, 7, Guided)
+		res, err := sys.Run(context.Background(), QueryRequest{Days: 7, Strategy: Guided, Explain: true})
 		if err != nil {
 			t.Fatal(err)
 		}
+		rep, exp := res.Report, res.Explain
 		if exp == nil {
 			t.Fatal("explain record missing")
 		}
@@ -55,7 +53,7 @@ func TestQuerySLOOption(t *testing.T) {
 	reg := NewObserver()
 	sys := buildSystem(t, WithObserver(reg),
 		WithQuerySLO(Guided, SLOTarget{Latency: time.Nanosecond, Objective: 0.99}))
-	if rep := sys.QueryCity(0, 7, Guided); len(rep.Macros) == 0 {
+	if rep := mustRun(t, sys, QueryRequest{Days: 7, Strategy: Guided}); len(rep.Macros) == 0 {
 		t.Fatal("query returned nothing; SLO assertions would be vacuous")
 	}
 	snap := sys.Metrics()
@@ -76,7 +74,7 @@ func TestQuerySLOOption(t *testing.T) {
 func TestTraceRingFacade(t *testing.T) {
 	ring := NewTraceRing(16)
 	sys := buildSystem(t, WithSpanExporter(ring.Export))
-	if _, err := sys.QueryCityCtx(context.Background(), 0, 7, IntegrateAll); err != nil {
+	if _, err := sys.Run(context.Background(), QueryRequest{Days: 7}); err != nil {
 		t.Fatal(err)
 	}
 	traces := ring.Snapshot()

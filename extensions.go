@@ -179,9 +179,14 @@ func (s *System) installForestLocked(f *forest.Forest) {
 			s.shardSet.AppendDay(day, f.Day(day))
 		}
 	}
+	// The answer cache cannot rely on version stamps across a forest swap
+	// (a freshly loaded forest restarts its version counter), so it is
+	// cleared outright and carried into the new engine.
+	s.cache.Clear()
 	s.engine = &query.Engine{
 		Net: s.net, Forest: f, Severity: s.sev, Gen: &s.idgen,
 		Workers: s.queryWorkers, Obs: s.engine.Obs, Scatterer: s.engine.Scatterer,
+		Cache: s.cache,
 	}
 }
 
@@ -205,6 +210,9 @@ func (s *System) RebuildSeverity(ctx context.Context, rs *RecordSet) error {
 	s.mu.Lock()
 	s.sevStale = false
 	s.mu.Unlock()
+	// Guided answers depend on the severity index, which changed without a
+	// forest version bump: drop every cached answer.
+	s.cache.Clear()
 	return nil
 }
 

@@ -140,17 +140,17 @@ func TestForestPersistenceThroughFacade(t *testing.T) {
 	}
 	// All-strategy queries never consult the severity index and work while
 	// it is stale; Guided ones are refused until a rebuild.
-	res := sys2.QueryCity(0, 7, IntegrateAll)
+	res := mustRun(t, sys2, QueryRequest{Days: 7})
 	if res.CandidateMicros == 0 {
 		t.Error("loaded forest served no candidates")
 	}
-	if _, err := sys2.QueryCityCtx(context.Background(), 0, 7, Guided); !errors.Is(err, ErrSeverityStale) {
+	if _, err := sys2.Run(context.Background(), QueryRequest{Days: 7, Strategy: Guided}); !errors.Is(err, ErrSeverityStale) {
 		t.Errorf("Guided query on stale index error = %v, want ErrSeverityStale", err)
 	}
 	if err := sys2.RebuildSeverity(context.Background(), ds.Atypical); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys2.QueryCityCtx(context.Background(), 0, 7, Guided); err != nil {
+	if _, err := sys2.Run(context.Background(), QueryRequest{Days: 7, Strategy: Guided}); err != nil {
 		t.Errorf("Guided query after RebuildSeverity: %v", err)
 	}
 
@@ -159,8 +159,8 @@ func TestForestPersistenceThroughFacade(t *testing.T) {
 	if err := sys3.LoadForestAndRebuild(context.Background(), dir, ds.Atypical); err != nil {
 		t.Fatal(err)
 	}
-	g1 := sys2.QueryCity(0, 7, Guided)
-	g3 := sys3.QueryCity(0, 7, Guided)
+	g1 := mustRun(t, sys2, QueryRequest{Days: 7, Strategy: Guided})
+	g3 := mustRun(t, sys3, QueryRequest{Days: 7, Strategy: Guided})
 	if g1.RedZones != g3.RedZones || len(g1.Significant) != len(g3.Significant) {
 		t.Errorf("rebuild paths disagree: %d/%d zones, %d/%d significant",
 			g1.RedZones, g3.RedZones, len(g1.Significant), len(g3.Significant))

@@ -1,0 +1,130 @@
+// Package deprecatedcall defines an analyzer fencing in method calls the
+// codebase has deprecated in favor of a replacement entry point. The table
+// below names each method and the migration; the analyzer convicts every
+// use — calls, method values, method expressions — outside the method's
+// grace zone:
+//
+//   - the declaring package itself (the wrappers delegate to each other and
+//     to the replacement, and must keep compiling);
+//   - _test.go files (the wrappers are byte-identity fixtures: the tests
+//     that pin them to the replacement are their whole remaining purpose).
+//
+// Package main is deliberately NOT exempt — commands were the first callers
+// migrated, and new command code must start on the replacement surface.
+//
+// Resolution is type-based, not textual: a selector counts only when the
+// owning named type matches the table entry, so an unrelated type that
+// happens to share a method name stays quiet.
+package deprecatedcall
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/cpskit/atypical/internal/analysis/framework"
+)
+
+// Entry names one deprecated method and the migration away from it.
+type Entry struct {
+	// PkgSuffix matches the declaring package's import path: equal to it,
+	// or a "/"-delimited suffix (so "atypical" matches both the module
+	// root and a fixture package named atypical).
+	PkgSuffix string
+	// Type is the named type declaring the method.
+	Type string
+	// Method is the deprecated method's name.
+	Method string
+	// Advice says what to use instead; it is appended to the diagnostic.
+	Advice string
+}
+
+// runAdvice is the shared migration note for the legacy query matrix.
+const runAdvice = "migrate to Run(ctx, QueryRequest{...})"
+
+// Deprecated is the table of retired methods. Tests may append fixture
+// entries; the production table holds the legacy Query matrix that
+// Run(QueryRequest) replaced.
+var Deprecated = []Entry{
+	{PkgSuffix: "atypical", Type: "System", Method: "QueryCity", Advice: runAdvice},
+	{PkgSuffix: "atypical", Type: "System", Method: "QueryCityCtx", Advice: runAdvice},
+	{PkgSuffix: "atypical", Type: "System", Method: "QueryCityExplainCtx", Advice: runAdvice + " with Explain set"},
+	{PkgSuffix: "atypical", Type: "System", Method: "QueryBox", Advice: runAdvice + " with Box set"},
+	{PkgSuffix: "atypical", Type: "System", Method: "QueryBoxCtx", Advice: runAdvice + " with Box set"},
+	{PkgSuffix: "atypical", Type: "System", Method: "QueryBoxExplainCtx", Advice: runAdvice + " with Box and Explain set"},
+	{PkgSuffix: "atypical", Type: "System", Method: "QueryAt", Advice: runAdvice + " with Regions and Window set"},
+	{PkgSuffix: "atypical", Type: "System", Method: "QueryAtCtx", Advice: runAdvice + " with Regions and Window set"},
+	{PkgSuffix: "atypical", Type: "System", Method: "QueryAtExplainCtx", Advice: runAdvice + " with Regions, Window and Explain set"},
+}
+
+// Analyzer flags uses of deprecated methods outside their grace zone.
+var Analyzer = &framework.Analyzer{
+	Name: "deprecatedcall",
+	Doc: "deprecated methods (the legacy System.Query* matrix) must not be called " +
+		"outside their declaring package and tests",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	entries := make([]Entry, 0, len(Deprecated))
+	for _, e := range Deprecated {
+		if !pkgMatches(pass.Pkg.Path(), e.PkgSuffix) {
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if e := match(entries, pass.TypeOf(sel.X), sel.Sel.Name); e != nil {
+				report(pass, sel.Sel.Pos(), e)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func report(pass *framework.Pass, pos token.Pos, e *Entry) {
+	pass.Reportf(pos, "%s.%s is deprecated: %s", e.Type, e.Method, e.Advice)
+}
+
+// match returns the table entry deprecating method name on owner (possibly
+// a pointer to the named type), or nil.
+func match(entries []Entry, owner types.Type, name string) *Entry {
+	if owner == nil {
+		return nil
+	}
+	if ptr, ok := types.Unalias(owner).(*types.Pointer); ok {
+		owner = ptr.Elem()
+	}
+	named, ok := types.Unalias(owner).(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	for i := range entries {
+		e := &entries[i]
+		if name == e.Method && obj.Name() == e.Type && pkgMatches(obj.Pkg().Path(), e.PkgSuffix) {
+			return e
+		}
+	}
+	return nil
+}
+
+// pkgMatches reports whether path is suffix itself or ends in "/"+suffix.
+func pkgMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

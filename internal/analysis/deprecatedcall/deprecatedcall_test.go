@@ -1,0 +1,18 @@
+package deprecatedcall_test
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/analysistest"
+	"github.com/cpskit/atypical/internal/analysis/deprecatedcall"
+)
+
+// TestDeprecatedCall drives the consumer fixture and the package-main
+// fixture (both convicted) plus the declaring-package fixture and a
+// _test.go file (both exempt) in one run.
+func TestDeprecatedCall(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", deprecatedcall.Analyzer, "calluser", "callmain", "atypical")
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,28 @@
+// Package atypical is the fixture stand-in for the facade: it declares the
+// deprecated query wrappers, whose mutual delegation stays exempt.
+package atypical
+
+// Report mirrors the facade query answer shape.
+type Report struct{ Macros int }
+
+// QueryRequest mirrors the replacement request shape.
+type QueryRequest struct {
+	FirstDay, Days int
+}
+
+// System mirrors the facade.
+type System struct{}
+
+// Run is the replacement entry point.
+func (s *System) Run(req QueryRequest) (*Report, error) { return &Report{}, nil }
+
+// QueryCity is a deprecated wrapper; its in-package delegation is exempt.
+func (s *System) QueryCity(firstDay, days int) *Report {
+	rep, _ := s.QueryCityCtx(firstDay, days)
+	return rep
+}
+
+// QueryCityCtx is deprecated too and delegates to the replacement.
+func (s *System) QueryCityCtx(firstDay, days int) (*Report, error) {
+	return s.Run(QueryRequest{FirstDay: firstDay, Days: days})
+}

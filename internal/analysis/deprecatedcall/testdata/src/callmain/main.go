@@ -1,0 +1,11 @@
+// Command callmain shows that package main earns no grace here — unlike
+// deprecatedfield, where flag parsing sanctions the stringly values —
+// because commands were the first callers migrated off the wrappers.
+package main
+
+import "atypical"
+
+func main() {
+	sys := &atypical.System{}
+	_ = sys.QueryCity(0, 7) // want `System\.QueryCity is deprecated`
+}

@@ -1,0 +1,23 @@
+// Package calluser exercises deprecatedcall: calls and method values of the
+// legacy wrappers are convicted, while the replacement entry point and
+// lookalike types stay quiet.
+package calluser
+
+import "atypical"
+
+// lookalike shares the method name but not the type; it must stay quiet.
+type lookalike struct{}
+
+func (lookalike) QueryCity(firstDay, days int) int { return firstDay + days }
+
+func Use(sys *atypical.System) int {
+	rep := sys.QueryCity(0, 7) // want `System\.QueryCity is deprecated`
+	if rep2, err := sys.QueryCityCtx(0, 7); err == nil { // want `System\.QueryCityCtx is deprecated`
+		rep = rep2
+	}
+	f := sys.QueryCity // want `System\.QueryCity is deprecated`
+	_ = f
+	res, _ := sys.Run(atypical.QueryRequest{Days: 7})
+	l := lookalike{}
+	return l.QueryCity(0, 7) + res.Macros + rep.Macros
+}

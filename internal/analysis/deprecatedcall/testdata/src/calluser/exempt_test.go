@@ -1,0 +1,9 @@
+// Tests keep the byte-identity fixtures covered, so _test.go files may call
+// the wrappers freely.
+package calluser
+
+import "atypical"
+
+func helperForTests(sys *atypical.System) *atypical.Report {
+	return sys.QueryCity(0, 7)
+}

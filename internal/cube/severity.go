@@ -17,31 +17,41 @@ import (
 )
 
 // SeverityIndex materializes the distributive total severity F(W', T) per
-// pre-defined region (Property 4): per-(region, day) rollups answer
-// day-aligned queries in O(regions × days), and a sparse per-(region,
-// window) map covers sub-day residuals exactly.
+// pre-defined region (Property 4) in a columnar layout: flat parallel
+// slices sorted by (region, day) answer day-aligned queries with a single
+// binary search plus a linear scan, and a second (region, window) column
+// set covers sub-day residuals exactly. No per-record maps survive past a
+// single accumulation batch; merges between batches are branch-light
+// two-pointer loops over the sorted columns.
 //
 // The index is safe for concurrent use: lookups (F, FTotal, red zones) may
-// run alongside Add/AddDays.
+// run alongside Add/AddDays — writers swap in freshly merged columns under
+// the write lock, so readers never observe a partially merged state.
 type SeverityIndex struct {
 	net  *traffic.Network
 	spec cps.WindowSpec
 
-	mu sync.RWMutex
-	// perDay[r][d] is F(region r, day d); days index from the spec origin.
-	perDay map[geo.RegionID]map[int]cps.Severity
-	// perWindow[r][w] is F(region r, window w), sparse.
-	perWindow map[geo.RegionID]map[cps.Window]cps.Severity
+	mu   sync.RWMutex
+	cols severityColumns
+}
+
+// severityColumns is one generation of the columnar store. Each cell is a
+// (region, key, severity) triple split across three parallel slices; both
+// column sets are sorted by (region, key) with unique keys per region.
+type severityColumns struct {
+	// Day cells: dayKey[i] is the day ordinal from the spec origin.
+	dayRegion []geo.RegionID
+	dayKey    []int64
+	daySev    []cps.Severity
+	// Window cells, sparse: winKey[i] is the absolute window.
+	winRegion []geo.RegionID
+	winKey    []cps.Window
+	winSev    []cps.Severity
 }
 
 // NewSeverityIndex builds the index over the given atypical records.
 func NewSeverityIndex(net *traffic.Network, spec cps.WindowSpec) *SeverityIndex {
-	return &SeverityIndex{
-		net:       net,
-		spec:      spec,
-		perDay:    make(map[geo.RegionID]map[int]cps.Severity),
-		perWindow: make(map[geo.RegionID]map[cps.Window]cps.Severity),
-	}
+	return &SeverityIndex{net: net, spec: spec}
 }
 
 // Reset drops every accumulated severity, returning the index to its
@@ -49,8 +59,7 @@ func NewSeverityIndex(net *traffic.Network, spec cps.WindowSpec) *SeverityIndex 
 // index (see the facade's LoadForest) before a rebuild.
 func (x *SeverityIndex) Reset() {
 	x.mu.Lock()
-	x.perDay = make(map[geo.RegionID]map[int]cps.Severity)
-	x.perWindow = make(map[geo.RegionID]map[cps.Window]cps.Severity)
+	x.cols = severityColumns{}
 	x.mu.Unlock()
 }
 
@@ -61,13 +70,13 @@ func (x *SeverityIndex) Reset() {
 func (x *SeverityIndex) Add(recs []cps.Record) {
 	shard := x.accumulate(recs)
 	x.mu.Lock()
-	x.mergeLocked(shard)
+	x.cols = mergeColumns(x.cols, shard)
 	x.mu.Unlock()
 }
 
 // AddDays aggregates several days' record slices, sharding the accumulation
-// across up to `workers` goroutines — one shard per slice. Shard-local sums
-// merge into the index under one lock.
+// across up to `workers` goroutines — one shard per slice. Shard columns
+// merge into the index in slice order under one lock.
 //
 // Because a window belongs to exactly one day, distinct shards never touch
 // the same (region, day) or (region, window) cell: every cell's severity is
@@ -77,7 +86,7 @@ func (x *SeverityIndex) Add(recs []cps.Record) {
 //
 //atyplint:deterministic
 func (x *SeverityIndex) AddDays(ctx context.Context, days [][]cps.Record, workers int) error {
-	shards := make([]*severityShard, len(days))
+	shards := make([]severityColumns, len(days))
 	if err := par.Do(ctx, len(days), workers, func(i int) error {
 		shards[i] = x.accumulate(days[i])
 		return nil
@@ -86,76 +95,190 @@ func (x *SeverityIndex) AddDays(ctx context.Context, days [][]cps.Record, worker
 	}
 	x.mu.Lock()
 	for _, s := range shards {
-		x.mergeLocked(s)
+		x.cols = mergeColumns(x.cols, s)
 	}
 	x.mu.Unlock()
 	return nil
 }
 
-// severityShard is one lock-free partial accumulation.
-type severityShard struct {
-	perDay    map[geo.RegionID]map[int]cps.Severity
-	perWindow map[geo.RegionID]map[cps.Window]cps.Severity
+// cellTriple is one record's contribution to a cell, tagged with its region.
+type cellTriple struct {
+	region geo.RegionID
+	key    int64
+	sev    cps.Severity
 }
 
-// accumulate sums records into a private shard; no lock required.
-func (x *SeverityIndex) accumulate(recs []cps.Record) *severityShard {
-	s := &severityShard{
-		perDay:    make(map[geo.RegionID]map[int]cps.Severity),
-		perWindow: make(map[geo.RegionID]map[cps.Window]cps.Severity),
-	}
-	perDay := cps.Window(x.spec.PerDay())
+// accumulate sums one record batch into sorted columns; no lock required.
+// Cell sums fold in record order: each triple slice is stable-sorted by
+// (region, key) from the original record order, so records hitting the
+// same cell keep their input order and the fold adds them in exactly the
+// sequence a per-cell `+=` would.
+func (x *SeverityIndex) accumulate(recs []cps.Record) severityColumns {
+	perDay := int64(x.spec.PerDay())
+	winTriples := make([]cellTriple, 0, len(recs))
+	dayTriples := make([]cellTriple, 0, len(recs))
 	for _, r := range recs {
 		region := x.net.Sensor(r.Sensor).Region
 		if region == geo.NoRegion {
 			continue
 		}
-		day := int(r.Window / perDay)
-		dm := s.perDay[region]
-		if dm == nil {
-			dm = make(map[int]cps.Severity)
-			s.perDay[region] = dm
-		}
-		dm[day] += r.Severity
-		wm := s.perWindow[region]
-		if wm == nil {
-			wm = make(map[cps.Window]cps.Severity)
-			s.perWindow[region] = wm
-		}
-		wm[r.Window] += r.Severity
+		winTriples = append(winTriples, cellTriple{region: region, key: int64(r.Window), sev: r.Severity})
+		dayTriples = append(dayTriples, cellTriple{region: region, key: int64(r.Window) / perDay, sev: r.Severity})
 	}
-	return s
+	byRegionKey := func(ts []cellTriple) func(i, j int) bool {
+		return func(i, j int) bool {
+			if ts[i].region != ts[j].region {
+				return ts[i].region < ts[j].region
+			}
+			return ts[i].key < ts[j].key
+		}
+	}
+	var c severityColumns
+
+	sort.SliceStable(winTriples, byRegionKey(winTriples))
+	for i := 0; i < len(winTriples); {
+		j := i + 1
+		sum := winTriples[i].sev
+		for j < len(winTriples) && winTriples[j].region == winTriples[i].region && winTriples[j].key == winTriples[i].key {
+			sum += winTriples[j].sev
+			j++
+		}
+		c.winRegion = append(c.winRegion, winTriples[i].region)
+		c.winKey = append(c.winKey, cps.Window(winTriples[i].key))
+		c.winSev = append(c.winSev, sum)
+		i = j
+	}
+
+	sort.SliceStable(dayTriples, byRegionKey(dayTriples))
+	for i := 0; i < len(dayTriples); {
+		j := i + 1
+		sum := dayTriples[i].sev
+		for j < len(dayTriples) && dayTriples[j].region == dayTriples[i].region && dayTriples[j].key == dayTriples[i].key {
+			sum += dayTriples[j].sev
+			j++
+		}
+		c.dayRegion = append(c.dayRegion, dayTriples[i].region)
+		c.dayKey = append(c.dayKey, dayTriples[i].key)
+		c.daySev = append(c.daySev, sum)
+		i = j
+	}
+	return c
 }
 
-// mergeLocked folds a shard into the index. Cells are independent, so the
-// map iteration order cannot influence any resulting value. Callers hold
-// x.mu.
-func (x *SeverityIndex) mergeLocked(s *severityShard) {
-	for region, dm := range s.perDay { //atyplint:ignore rangedeterminism cells are disjoint; += on distinct keys commutes exactly
-		gdm := x.perDay[region]
-		if gdm == nil {
-			gdm = make(map[int]cps.Severity, len(dm))
-			x.perDay[region] = gdm
-		}
-		for day, sev := range dm { //atyplint:ignore rangedeterminism cells are disjoint; += on distinct keys commutes exactly
-			gdm[day] += sev
+// mergeColumns folds shard columns b into a, producing a fresh generation:
+// a linear two-pointer merge per column set. Shared cells add as old+new —
+// the same order a map-backed `+=` merge used — and the inputs are never
+// mutated, so concurrent readers of the old generation stay consistent.
+func mergeColumns(a, b severityColumns) severityColumns {
+	var out severityColumns
+	out.dayRegion, out.dayKey, out.daySev = mergeDayCells(
+		a.dayRegion, a.dayKey, a.daySev, b.dayRegion, b.dayKey, b.daySev)
+	out.winRegion, out.winKey, out.winSev = mergeWindowCells(
+		a.winRegion, a.winKey, a.winSev, b.winRegion, b.winKey, b.winSev)
+	return out
+}
+
+func mergeDayCells(aR []geo.RegionID, aK []int64, aS []cps.Severity,
+	bR []geo.RegionID, bK []int64, bS []cps.Severity) ([]geo.RegionID, []int64, []cps.Severity) {
+	outR := make([]geo.RegionID, 0, len(aR)+len(bR))
+	outK := make([]int64, 0, len(aK)+len(bK))
+	outS := make([]cps.Severity, 0, len(aS)+len(bS))
+	i, j := 0, 0
+	for i < len(aR) && j < len(bR) {
+		switch {
+		case aR[i] < bR[j] || (aR[i] == bR[j] && aK[i] < bK[j]):
+			outR, outK, outS = append(outR, aR[i]), append(outK, aK[i]), append(outS, aS[i])
+			i++
+		case bR[j] < aR[i] || (aR[i] == bR[j] && bK[j] < aK[i]):
+			outR, outK, outS = append(outR, bR[j]), append(outK, bK[j]), append(outS, bS[j])
+			j++
+		default: // same cell: old value first, shard delta second
+			outR, outK, outS = append(outR, aR[i]), append(outK, aK[i]), append(outS, aS[i]+bS[j])
+			i++
+			j++
 		}
 	}
-	for region, wm := range s.perWindow { //atyplint:ignore rangedeterminism cells are disjoint; += on distinct keys commutes exactly
-		gwm := x.perWindow[region]
-		if gwm == nil {
-			gwm = make(map[cps.Window]cps.Severity, len(wm))
-			x.perWindow[region] = gwm
-		}
-		for w, sev := range wm { //atyplint:ignore rangedeterminism cells are disjoint; += on distinct keys commutes exactly
-			gwm[w] += sev
+	outR, outK, outS = append(outR, aR[i:]...), append(outK, aK[i:]...), append(outS, aS[i:]...)
+	outR, outK, outS = append(outR, bR[j:]...), append(outK, bK[j:]...), append(outS, bS[j:]...)
+	return outR, outK, outS
+}
+
+func mergeWindowCells(aR []geo.RegionID, aK []cps.Window, aS []cps.Severity,
+	bR []geo.RegionID, bK []cps.Window, bS []cps.Severity) ([]geo.RegionID, []cps.Window, []cps.Severity) {
+	outR := make([]geo.RegionID, 0, len(aR)+len(bR))
+	outK := make([]cps.Window, 0, len(aK)+len(bK))
+	outS := make([]cps.Severity, 0, len(aS)+len(bS))
+	i, j := 0, 0
+	for i < len(aR) && j < len(bR) {
+		switch {
+		case aR[i] < bR[j] || (aR[i] == bR[j] && aK[i] < bK[j]):
+			outR, outK, outS = append(outR, aR[i]), append(outK, aK[i]), append(outS, aS[i])
+			i++
+		case bR[j] < aR[i] || (aR[i] == bR[j] && bK[j] < aK[i]):
+			outR, outK, outS = append(outR, bR[j]), append(outK, bK[j]), append(outS, bS[j])
+			j++
+		default:
+			outR, outK, outS = append(outR, aR[i]), append(outK, aK[i]), append(outS, aS[i]+bS[j])
+			i++
+			j++
 		}
 	}
+	outR, outK, outS = append(outR, aR[i:]...), append(outK, aK[i:]...), append(outS, aS[i:]...)
+	outR, outK, outS = append(outR, bR[j:]...), append(outK, bK[j:]...), append(outS, bS[j:]...)
+	return outR, outK, outS
+}
+
+// dayExtent returns the [lo, hi) day-cell range of one region.
+func (c *severityColumns) dayExtent(region geo.RegionID) (int, int) {
+	lo := sort.Search(len(c.dayRegion), func(i int) bool { return c.dayRegion[i] >= region })
+	hi := lo
+	for hi < len(c.dayRegion) && c.dayRegion[hi] == region {
+		hi++
+	}
+	return lo, hi
+}
+
+// winExtent returns the [lo, hi) window-cell range of one region.
+func (c *severityColumns) winExtent(region geo.RegionID) (int, int) {
+	lo := sort.Search(len(c.winRegion), func(i int) bool { return c.winRegion[i] >= region })
+	hi := lo
+	for hi < len(c.winRegion) && c.winRegion[hi] == region {
+		hi++
+	}
+	return lo, hi
+}
+
+// addDays folds the region's day cells in [dayFrom, dayTo) into total, in
+// ascending day order. Absent cells contribute exactly zero, matching the
+// map-backed index's missing-key lookups (a +0.0 add never changes a sum
+// that started from +0.0).
+func (c *severityColumns) addDays(total cps.Severity, region geo.RegionID, dayFrom, dayTo int64) cps.Severity {
+	lo, hi := c.dayExtent(region)
+	keys := c.dayKey[lo:hi]
+	sevs := c.daySev[lo:hi]
+	p := sort.Search(len(keys), func(i int) bool { return keys[i] >= dayFrom })
+	for ; p < len(keys) && keys[p] < dayTo; p++ {
+		total += sevs[p]
+	}
+	return total
+}
+
+// addWindows folds the region's window cells in [from, to) into total, in
+// ascending window order.
+func (c *severityColumns) addWindows(total cps.Severity, region geo.RegionID, from, to cps.Window) cps.Severity {
+	lo, hi := c.winExtent(region)
+	keys := c.winKey[lo:hi]
+	sevs := c.winSev[lo:hi]
+	p := sort.Search(len(keys), func(i int) bool { return keys[i] >= from })
+	for ; p < len(keys) && keys[p] < to; p++ {
+		total += sevs[p]
+	}
+	return total
 }
 
 // F returns the total severity F(W', T) of one region over tr (Equation 1
-// restricted to W' = region). Day-aligned spans use the per-day rollup;
-// ragged edges fall back to the window map.
+// restricted to W' = region). Day-aligned spans use the day columns;
+// ragged edges fall back to the window columns.
 func (x *SeverityIndex) F(region geo.RegionID, tr cps.TimeRange) cps.Severity {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
@@ -178,24 +301,12 @@ func (x *SeverityIndex) fLocked(region geo.RegionID, tr cps.TimeRange) cps.Sever
 	dayTo := tr.To / perDay // first day NOT fully covered
 
 	if dayFrom >= dayTo {
-		// No whole day inside: window map only.
-		wm := x.perWindow[region]
-		for w := tr.From; w < tr.To; w++ {
-			total += wm[w]
-		}
-		return total
+		// No whole day inside: window columns only.
+		return x.cols.addWindows(total, region, tr.From, tr.To)
 	}
-	dm := x.perDay[region]
-	for d := dayFrom; d < dayTo; d++ {
-		total += dm[int(d)]
-	}
-	wm := x.perWindow[region]
-	for w := tr.From; w < dayFrom*perDay; w++ {
-		total += wm[w]
-	}
-	for w := dayTo * perDay; w < tr.To; w++ {
-		total += wm[w]
-	}
+	total = x.cols.addDays(total, region, int64(dayFrom), int64(dayTo))
+	total = x.cols.addWindows(total, region, tr.From, dayFrom*perDay)
+	total = x.cols.addWindows(total, region, dayTo*perDay, tr.To)
 	return total
 }
 

@@ -1,0 +1,231 @@
+package query
+
+import (
+	"container/list"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/cpskit/atypical/internal/cluster"
+	"github.com/cpskit/atypical/internal/obs"
+)
+
+// CanonicalKey is the cache identity of one resolved query: the same
+// normalization discipline as Explain.Canonical() — every run-unique field
+// (timings, cluster IDs) is absent, and only the fields that pin the answer
+// remain: strategy, the half-open window range, the raw δs bits, and the
+// region scope. Fields are '|'-separated and regions ','-separated, with
+// purely numeric encodings in between, so distinct queries cannot collide
+// (FuzzCanonicalKeyCollisionFree drives this).
+//
+// The region sequence is kept verbatim — not sorted, not deduplicated —
+// because the answer is order-sensitive at the bit level: a duplicated
+// region changes the sensor count N (and so the significance bound), and
+// GuidedRedZones folds district severities in region order, so re-ordering
+// could flip a tie. Equivalent scopes still canonicalize in practice: the
+// facade resolves whole-city and box scopes to deterministic region
+// sequences, so two requests asking the same question produce the same key.
+//
+//atyplint:deterministic
+func CanonicalKey(q Query, s Strategy) string {
+	var b strings.Builder
+	b.Grow(32 + 8*len(q.Regions))
+	b.WriteString(s.String())
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(int64(q.Time.From), 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(int64(q.Time.To), 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(math.Float64bits(q.DeltaS), 16))
+	b.WriteByte('|')
+	for i, r := range q.Regions {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(int64(r), 10))
+	}
+	return b.String()
+}
+
+// AnswerCache is an LRU over finished query results, keyed by CanonicalKey
+// and version-stamped against the forest's write-version counter: an entry
+// stored at version v answers lookups only while the forest still reports
+// v, so any AppendDay or rebuild invalidates every prior answer atomically
+// — no explicit flush is needed on ingest. Explicit invalidation (Clear)
+// exists for state swaps the version counter cannot see, such as loading a
+// different forest or rebuilding the severity index.
+//
+// Partial results are never stored: a missing shard's absence must not
+// outlive the failure. Stored results are copied in and copied out, so
+// callers may sort or truncate the slices of a returned Result without
+// corrupting the cache.
+//
+// The zero capacity (and the nil cache) disable every operation, keeping
+// the engine's hot path a single nil check when caching is off.
+type AnswerCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions uint64
+	// Metric handles are optional (BindMetrics); nil leaves the cache
+	// observable through Stats only.
+	hitsC, missesC, evictionsC *obs.Counter
+}
+
+// cacheEntry is one stored answer.
+type cacheEntry struct {
+	key     string
+	version uint64
+	sensors int
+	res     Result
+}
+
+// NewAnswerCache returns a cache holding up to entries answers; entries <= 0
+// returns nil (caching disabled).
+func NewAnswerCache(entries int) *AnswerCache {
+	if entries <= 0 {
+		return nil
+	}
+	return &AnswerCache{
+		cap:   entries,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, entries),
+	}
+}
+
+// BindMetrics registers the cache counter families on r and routes future
+// hits/misses/evictions to them. Call at wiring time. Nil-safe on both
+// sides.
+func (c *AnswerCache) BindMetrics(r *obs.Registry) {
+	if c == nil || r == nil {
+		return
+	}
+	c.mu.Lock()
+	c.hitsC = r.Counter("atyp_query_cache_hits_total",
+		"query answers served from the canonical-key answer cache")
+	c.missesC = r.Counter("atyp_query_cache_misses_total",
+		"query cache lookups that missed (absent or version-stale)")
+	c.evictionsC = r.Counter("atyp_query_cache_evictions_total",
+		"query cache entries dropped (LRU capacity or version-stale)")
+	c.mu.Unlock()
+}
+
+// Stats returns the lifetime hit/miss/eviction counts.
+func (c *AnswerCache) Stats() (hits, misses, evictions uint64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// Len returns the current entry count.
+func (c *AnswerCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Clear drops every entry. Used when the engine's backing state is swapped
+// out from under the version counter (LoadForest, severity rebuilds).
+func (c *AnswerCache) Clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.cap)
+	c.mu.Unlock()
+}
+
+// get returns a copy of the cached answer for key at forest version, or
+// reports a miss. A version-stale entry is dropped (counted as an eviction)
+// and reported as a miss.
+func (c *AnswerCache) get(key string, version uint64) (*Result, int, bool) {
+	if c == nil {
+		return nil, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.missLocked()
+		return nil, 0, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.version != version {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.evictLocked()
+		c.missLocked()
+		return nil, 0, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	if c.hitsC != nil {
+		c.hitsC.Inc()
+	}
+	res := copyResult(&ent.res)
+	return &res, ent.sensors, true
+}
+
+// put stores a copy of res under key at forest version, evicting the least
+// recently used entry past capacity.
+func (c *AnswerCache) put(key string, version uint64, sensors int, res *Result) {
+	if c == nil || res == nil || res.Partial {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value = &cacheEntry{key: key, version: version, sensors: sensors, res: copyResult(res)}
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, version: version, sensors: sensors, res: copyResult(res)})
+	c.items[key] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictLocked()
+	}
+}
+
+func (c *AnswerCache) missLocked() {
+	c.misses++
+	if c.missesC != nil {
+		c.missesC.Inc()
+	}
+}
+
+func (c *AnswerCache) evictLocked() {
+	c.evictions++
+	if c.evictionsC != nil {
+		c.evictionsC.Inc()
+	}
+}
+
+// copyResult clones a Result deep enough for cache safety: the slice
+// headers are copied (so callers may reorder or truncate theirs), the
+// clusters themselves are shared — they are immutable after a run.
+func copyResult(r *Result) Result {
+	out := *r
+	if r.Macros != nil {
+		out.Macros = append([]*cluster.Cluster(nil), r.Macros...)
+	}
+	if r.Significant != nil {
+		out.Significant = append([]*cluster.Cluster(nil), r.Significant...)
+	}
+	if r.FailedShards != nil {
+		out.FailedShards = append([]string(nil), r.FailedShards...)
+	}
+	return out
+}

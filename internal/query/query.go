@@ -143,6 +143,14 @@ type Engine struct {
 	// be set: it supplies the window spec and serves RunMaterialized, which
 	// always reads locally.
 	Scatterer Scatterer
+	// Cache, when non-nil, serves repeated queries from the canonical-keyed
+	// answer cache (cache.go). The lookup happens before the candidates
+	// stage, so on a sharded engine a hit skips the whole scatter-gather
+	// fan-out. Entries are version-stamped: the forest version is read once
+	// at the top of the run, before any forest data, so a concurrent
+	// AppendDay can only make a stored answer conservatively stale, never
+	// silently fresh.
+	Cache *AnswerCache
 }
 
 // Run executes q under the given strategy.
@@ -179,11 +187,28 @@ func (e *Engine) runCtx(ctx context.Context, q Query, s Strategy) (*Result, erro
 	exp := ExplainFromContext(ctx)
 	exp.reset()
 
+	ver := e.Forest.Version()
+	var key string
+	if e.Cache != nil {
+		key = CanonicalKey(q, s)
+		if hit, sensors, ok := e.Cache.get(key, ver); ok {
+			st := exp.stageStart()
+			exp.begin(q, s, sensors)
+			exp.setBound(q.DeltaS, q.Time.Len(), sensors, float64(hit.Bound))
+			exp.setForestVersion(ver)
+			exp.setCandidates(hit.CandidateMicros, hit.InputMicros)
+			exp.stageEnd(st, "cache", hit.CandidateMicros, len(hit.Significant))
+			hit.Elapsed = time.Since(start)
+			exp.finish(hit.Elapsed)
+			return hit, nil
+		}
+	}
+
 	numSensors := e.sensorsInRegions(q.Regions)
 	res.Bound = cluster.SignificanceBound(q.DeltaS, q.Time.Len(), numSensors)
 	exp.begin(q, s, numSensors)
 	exp.setBound(q.DeltaS, q.Time.Len(), numSensors, float64(res.Bound))
-	exp.setForestVersion(e.Forest.Version())
+	exp.setForestVersion(ver)
 
 	inRegion := make(map[geo.RegionID]bool, len(q.Regions))
 	for _, r := range q.Regions {
@@ -294,6 +319,11 @@ func (e *Engine) runCtx(ctx context.Context, q Query, s Strategy) (*Result, erro
 	exp.stageEnd(st, "significance", len(res.Macros), len(res.Significant))
 	res.Elapsed = time.Since(start)
 	exp.finish(res.Elapsed)
+	if e.Cache != nil {
+		// Partial answers are refused inside put; everything else is stamped
+		// with the version read before the first forest access.
+		e.Cache.put(key, ver, numSensors, res)
+	}
 	return res, nil
 }
 

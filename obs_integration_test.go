@@ -13,14 +13,14 @@ import (
 // Attaching an observer and a span exporter must be invisible in every
 // answer: the instrumented system renders byte-identical reports.
 func TestObserverResultNeutral(t *testing.T) {
-	want := renderReports(buildSystem(t))
+	want := renderRuns(t, buildSystem(t), nil)
 	if want == "" {
 		t.Fatal("baseline system rendered nothing; neutrality check is vacuous")
 	}
-	got := renderReports(buildSystem(t,
+	got := renderRuns(t, buildSystem(t,
 		WithObserver(NewObserver()),
 		WithSpanExporter(func(Span) {}),
-	))
+	), nil)
 	if got != want {
 		t.Fatalf("observer changed query results:\n%s", diffAt(got, want))
 	}
@@ -32,7 +32,7 @@ func TestMetricsCoverPipeline(t *testing.T) {
 	reg := NewObserver()
 	sys := buildSystem(t, WithObserver(reg))
 	for _, strat := range []Strategy{IntegrateAll, Pruned, Guided} {
-		if rep := sys.QueryCity(0, 7, strat); len(rep.Macros) == 0 {
+		if rep := mustRun(t, sys, QueryRequest{Days: 7, Strategy: strat}); len(rep.Macros) == 0 {
 			t.Fatalf("strategy %v returned no macros; metric assertions would be vacuous", strat)
 		}
 	}
@@ -133,12 +133,17 @@ func TestSharedRegistryConcurrentUse(t *testing.T) {
 			return
 		}
 		other.Ingest(other.GenerateMonth(1).Atypical)
-		other.QueryCity(0, 7, Pruned)
+		if _, err := other.Run(context.Background(), QueryRequest{Days: 7, Strategy: Pruned}); err != nil {
+			t.Error(err)
+		}
 	}()
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 8; i++ {
-			sys.QueryCity(0, 7, Strategy(i%3))
+			if _, err := sys.Run(context.Background(), QueryRequest{Days: 7, Strategy: Strategy(i % 3)}); err != nil {
+				t.Error(err)
+				return
+			}
 		}
 	}()
 	go func() {
@@ -238,7 +243,9 @@ func TestSpanExporterReceivesPipelineSpans(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.Ingest(sys.GenerateMonth(0).Atypical)
-	sys.QueryCity(0, 7, Guided)
+	if _, err := sys.Run(context.Background(), QueryRequest{Days: 7, Strategy: Guided}); err != nil {
+		t.Fatal(err)
+	}
 
 	mu.Lock()
 	defer mu.Unlock()
@@ -282,7 +289,7 @@ func TestContextExporterOverridesSystemExporter(t *testing.T) {
 		ctxSpans++
 		mu.Unlock()
 	})
-	if _, err := sys.QueryCityCtx(ctx, 0, 7, Pruned); err != nil {
+	if _, err := sys.Run(ctx, QueryRequest{Days: 7, Strategy: Pruned}); err != nil {
 		t.Fatal(err)
 	}
 	if ctxSpans == 0 {

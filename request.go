@@ -11,8 +11,9 @@ import (
 
 // QueryRequest describes one analytical query Q(W, T) for System.Run — the
 // single entry point the legacy Query{City,Box,At}{,Explain}{,Ctx} matrix
-// collapsed into. The zero value asks for the whole city over an empty day
-// range at the configured δs under IntegrateAll; set only what differs.
+// collapsed into. Set only what differs from the defaults (whole city, the
+// configured δs, IntegrateAll); a time period is mandatory, so the zero
+// value is rejected by Validate — set Days or Window.
 type QueryRequest struct {
 	// Spatial scope W, first match wins:
 	//
@@ -25,15 +26,17 @@ type QueryRequest struct {
 
 	// Time period T: FirstDay/Days select the day-aligned range
 	// [FirstDay, FirstDay+Days); a non-nil Window overrides it with a raw
-	// half-open window range.
+	// half-open window range. Days must be positive unless Window is set
+	// (Validate rejects the rest).
 	FirstDay int
 	Days     int
 	Window   *TimeRange
 
-	// DeltaS is the relative severity threshold δs of Definition 5; zero or
-	// negative selects the Config default. (A literal δs = 0 run — bound 0,
-	// everything significant — is not expressible here; it was a degenerate
-	// accident of the old QueryAt surface.)
+	// DeltaS is the relative severity threshold δs of Definition 5; zero
+	// selects the Config default, negative values are rejected by Validate.
+	// (A literal δs = 0 run — bound 0, everything significant — is not
+	// expressible here; it was a degenerate accident of the old QueryAt
+	// surface.)
 	DeltaS float64
 
 	// Strategy selects IntegrateAll, Pruned or Guided (zero value:
@@ -65,13 +68,46 @@ type RunResult struct {
 	Explain *Explain
 }
 
+// Validate checks the request's internal consistency before it reaches the
+// engine. Violations return an error wrapping ErrInvalidRequest naming the
+// offending field:
+//
+//   - Regions and Box are mutually exclusive spatial scopes;
+//   - Days must be positive unless Window overrides the time period;
+//   - DeltaS must not be negative (zero selects the configured default);
+//   - Window, when set, must satisfy 0 <= From <= To.
+//
+// Run calls Validate on every request; calling it directly is useful for
+// rejecting malformed requests at an API boundary before spending a
+// round-trip (atypserve maps the error to HTTP 400).
+func (r QueryRequest) Validate() error {
+	if r.Regions != nil && r.Box != nil {
+		return fmt.Errorf("%w: Regions and Box are mutually exclusive spatial scopes", ErrInvalidRequest)
+	}
+	if r.Window == nil && r.Days <= 0 {
+		return fmt.Errorf("%w: Days must be positive (got %d) unless Window is set", ErrInvalidRequest, r.Days)
+	}
+	if r.DeltaS < 0 {
+		return fmt.Errorf("%w: DeltaS must not be negative (got %v); zero selects the configured default", ErrInvalidRequest, r.DeltaS)
+	}
+	if w := r.Window; w != nil && (w.From < 0 || w.To < w.From) {
+		return fmt.Errorf("%w: Window [%d, %d) must satisfy 0 <= From <= To", ErrInvalidRequest, w.From, w.To)
+	}
+	return nil
+}
+
 // Run executes one analytical query. It is the primitive every query entry
-// point funnels through: it snapshots the current engine under the system
-// lock (so a concurrent LoadForest cannot tear the query), refuses Guided
-// runs while the severity index is stale (ErrSeverityStale), honors ctx
-// inside the parallel engine, and — on a sharded system — refuses partial
-// answers unless req.AllowPartial is set.
+// point funnels through: it validates the request (ErrInvalidRequest),
+// snapshots the current engine under the system lock (so a concurrent
+// LoadForest cannot tear the query), refuses Guided runs while the severity
+// index is stale (ErrSeverityStale), honors ctx inside the parallel engine,
+// and — on a sharded system — refuses partial answers unless
+// req.AllowPartial is set.
 func (s *System) Run(ctx context.Context, req QueryRequest) (*RunResult, error) {
+	if err := req.Validate(); err != nil {
+		s.obs.queryError()
+		return nil, err
+	}
 	var exp *Explain
 	if req.Explain {
 		ctx, exp = query.WithExplain(ctx)

@@ -13,8 +13,10 @@ import (
 	"github.com/cpskit/atypical/internal/shard"
 )
 
-// renderRuns is renderReports through the Run surface, with per-request
-// overrides applied — the probe for BypassShards and sharded equivalence.
+// renderRuns serializes every user-facing query surface of a system — the
+// three strategies' result shapes plus the rendered rankings and
+// descriptions — through Run, with per-request overrides applied. Elapsed is
+// deliberately excluded: it is the only non-deterministic Report field.
 func renderRuns(t *testing.T, sys *System, mutate func(*QueryRequest)) string {
 	t.Helper()
 	var b strings.Builder
@@ -43,12 +45,12 @@ func renderRuns(t *testing.T, sys *System, mutate func(*QueryRequest)) string {
 // canonical candidate order, so integration sees the same inputs in the same
 // order and mints the same IDs.
 func TestShardedQueryByteIdentical(t *testing.T) {
-	want := renderReports(buildSystem(t))
+	want := renderRuns(t, buildSystem(t), nil)
 	if want == "" {
 		t.Fatal("unsharded system rendered nothing; byte-identity check is vacuous")
 	}
 	for _, n := range []int{1, 2, 8} {
-		got := renderReports(buildSystem(t, WithShards(n)))
+		got := renderRuns(t, buildSystem(t, WithShards(n)), nil)
 		if got != want {
 			t.Fatalf("shards=%d diverged from unsharded:\n%s", n, diffAt(got, want))
 		}
@@ -92,10 +94,10 @@ func shardServers(t *testing.T, data *System, n int) []string {
 // wire codec; the coordinator is a separate System over the same Config, so
 // the deterministic ingest keeps cluster IDs aligned across processes.
 func TestShardMatrix(t *testing.T) {
-	want := renderReports(buildSystem(t))
+	want := renderRuns(t, buildSystem(t), nil)
 	for _, n := range []int{1, 2, 8} {
 		t.Run(fmt.Sprintf("local-%d", n), func(t *testing.T) {
-			if got := renderReports(buildSystem(t, WithShards(n))); got != want {
+			if got := renderRuns(t, buildSystem(t, WithShards(n)), nil); got != want {
 				t.Fatalf("local shards=%d diverged:\n%s", n, diffAt(got, want))
 			}
 		})
@@ -103,7 +105,7 @@ func TestShardMatrix(t *testing.T) {
 			data := buildSystem(t)
 			urls := shardServers(t, data, n)
 			coord := buildSystem(t, WithShardServers(urls...))
-			if got := renderReports(coord); got != want {
+			if got := renderRuns(t, coord, nil); got != want {
 				t.Fatalf("http shards=%d diverged:\n%s", n, diffAt(got, want))
 			}
 			sts := coord.ShardsReady(context.Background())
@@ -119,9 +121,9 @@ func TestShardMatrix(t *testing.T) {
 	}
 }
 
-// Losing a shard after retry must be loud: the legacy surface flags the
-// Report and bumps atyp_shard_failures_total, Run refuses the partial answer
-// unless AllowPartial is set, and losing everything is an error.
+// Losing a shard after retry must be loud: the Report is flagged Partial and
+// atyp_shard_failures_total bumped, Run refuses the partial answer unless
+// AllowPartial is set, and losing everything is an error.
 func TestShardedPartialFailure(t *testing.T) {
 	data := buildSystem(t)
 	live := shardServers(t, data, 2)[0]
@@ -132,7 +134,7 @@ func TestShardedPartialFailure(t *testing.T) {
 	reg := NewObserver()
 	sys := buildSystem(t, WithShardServers(live, dead), WithObserver(reg))
 
-	rep := sys.QueryCity(0, 7, IntegrateAll)
+	rep := mustRun(t, sys, QueryRequest{Days: 7, AllowPartial: true})
 	if !rep.Partial {
 		t.Fatal("losing a shard did not mark the report partial")
 	}
@@ -152,7 +154,7 @@ func TestShardedPartialFailure(t *testing.T) {
 	}
 
 	allDead := buildSystem(t, WithShardServers(dead, dead))
-	if _, err := allDead.QueryCityCtx(context.Background(), 0, 7, IntegrateAll); !errors.Is(err, shard.ErrAllShardsFailed) {
+	if _, err := allDead.Run(context.Background(), QueryRequest{Days: 7, AllowPartial: true}); !errors.Is(err, shard.ErrAllShardsFailed) {
 		t.Fatalf("all shards dead = %v, want ErrAllShardsFailed", err)
 	}
 }
@@ -161,7 +163,7 @@ func TestShardedPartialFailure(t *testing.T) {
 // strategies while the per-shard forests serve them.
 func TestShardedQueryRaceHammer(t *testing.T) {
 	sys := buildSystem(t, WithShards(4), WithQueryWorkers(2))
-	want := sys.QueryCity(0, 7, IntegrateAll).CandidateMicros
+	want := mustRun(t, sys, QueryRequest{Days: 7, AllowPartial: true}).CandidateMicros
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
