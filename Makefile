@@ -81,14 +81,16 @@ bench-quick:
 
 ## load-smoke: the answer-cache load gate — a repeated-query read stream
 ## (2000 requests cycling 6 shapes) measured once without and once with the
-## canonical-keyed cache, written to BENCH_load.json. Fails when a phase p99
-## regressed by more than LOADREGRESS vs the previous artifact; the budget
-## is looser than bench-quick's because cached hits are microsecond-scale
-## and proportionally noisier.
-LOADREGRESS ?= 1.0
+## canonical-keyed cache, written to BENCH_load.json. The gate is the
+## within-run cache-off/cache-on p99 ratio (LOADIMPROVE floor): both phases
+## share the host and the moment, so the ratio is stable where cross-run
+## absolute p99s — microsecond-scale when cached, restored from a possibly
+## different runner — are not. The delta vs the previous artifact still
+## prints, report-only (-maxregress 0).
+LOADIMPROVE ?= 5
 load-smoke:
 	$(GO) run ./cmd/atypload -sensors 120 -days 7 -requests 2000 -distinct 6 \
-		-mix 1 -workers 4 -json BENCH_load.json -maxregress $(LOADREGRESS)
+		-mix 1 -workers 4 -json BENCH_load.json -maxregress 0 -minimprove $(LOADIMPROVE)
 
 ## shard-matrix: the tentpole equivalence gate — sharded answers (1/2/8
 ## shards, in-process and HTTP backends) must render byte-identically to the

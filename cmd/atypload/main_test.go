@@ -70,6 +70,19 @@ func TestRunLocalArtifactAndRegressionGate(t *testing.T) {
 	}
 }
 
+// The within-run ratio gate: an unreachable -minimprove floor fails the
+// run on its own measurements, no baseline artifact involved.
+func TestRunLocalMinImproveGate(t *testing.T) {
+	var out strings.Builder
+	args := []string{
+		"-sensors", "40", "-days", "3", "-requests", "90", "-distinct", "3",
+		"-workers", "2", "-minimprove", "1e12",
+	}
+	if code := run(args, &out); code != 1 {
+		t.Fatalf("unreachable floor exited %d, want 1:\n%s", code, out.String())
+	}
+}
+
 // HTTP mode posts wire-format bodies to the target and never attempts
 // ingest operations, whatever the requested mix.
 func TestRunHTTPModeIsReadOnly(t *testing.T) {

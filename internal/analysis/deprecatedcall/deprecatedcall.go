@@ -28,9 +28,15 @@ import (
 
 // Entry names one deprecated method and the migration away from it.
 type Entry struct {
-	// PkgSuffix matches the declaring package's import path: equal to it,
-	// or a "/"-delimited suffix (so "atypical" matches both the module
-	// root and a fixture package named atypical).
+	// Path, when set, matches the declaring package's full import path
+	// exactly. The production table uses it so an unrelated or vendored
+	// package that merely shares the facade's last path segment neither
+	// triggers the fence nor slips through its grace zone.
+	Path string
+	// PkgSuffix, consulted only when Path is empty, matches the declaring
+	// package's import path by equality or "/"-delimited suffix. It exists
+	// for test fixtures, whose GOPATH-style single-segment import paths
+	// carry no module prefix to match exactly.
 	PkgSuffix string
 	// Type is the named type declaring the method.
 	Type string
@@ -46,16 +52,19 @@ const runAdvice = "migrate to Run(ctx, QueryRequest{...})"
 // Deprecated is the table of retired methods. Tests may append fixture
 // entries; the production table holds the legacy Query matrix that
 // Run(QueryRequest) replaced.
+// facadePath is the facade's full import path — the module root.
+const facadePath = "github.com/cpskit/atypical"
+
 var Deprecated = []Entry{
-	{PkgSuffix: "atypical", Type: "System", Method: "QueryCity", Advice: runAdvice},
-	{PkgSuffix: "atypical", Type: "System", Method: "QueryCityCtx", Advice: runAdvice},
-	{PkgSuffix: "atypical", Type: "System", Method: "QueryCityExplainCtx", Advice: runAdvice + " with Explain set"},
-	{PkgSuffix: "atypical", Type: "System", Method: "QueryBox", Advice: runAdvice + " with Box set"},
-	{PkgSuffix: "atypical", Type: "System", Method: "QueryBoxCtx", Advice: runAdvice + " with Box set"},
-	{PkgSuffix: "atypical", Type: "System", Method: "QueryBoxExplainCtx", Advice: runAdvice + " with Box and Explain set"},
-	{PkgSuffix: "atypical", Type: "System", Method: "QueryAt", Advice: runAdvice + " with Regions and Window set"},
-	{PkgSuffix: "atypical", Type: "System", Method: "QueryAtCtx", Advice: runAdvice + " with Regions and Window set"},
-	{PkgSuffix: "atypical", Type: "System", Method: "QueryAtExplainCtx", Advice: runAdvice + " with Regions, Window and Explain set"},
+	{Path: facadePath, Type: "System", Method: "QueryCity", Advice: runAdvice},
+	{Path: facadePath, Type: "System", Method: "QueryCityCtx", Advice: runAdvice},
+	{Path: facadePath, Type: "System", Method: "QueryCityExplainCtx", Advice: runAdvice + " with Explain set"},
+	{Path: facadePath, Type: "System", Method: "QueryBox", Advice: runAdvice + " with Box set"},
+	{Path: facadePath, Type: "System", Method: "QueryBoxCtx", Advice: runAdvice + " with Box set"},
+	{Path: facadePath, Type: "System", Method: "QueryBoxExplainCtx", Advice: runAdvice + " with Box and Explain set"},
+	{Path: facadePath, Type: "System", Method: "QueryAt", Advice: runAdvice + " with Regions and Window set"},
+	{Path: facadePath, Type: "System", Method: "QueryAtCtx", Advice: runAdvice + " with Regions and Window set"},
+	{Path: facadePath, Type: "System", Method: "QueryAtExplainCtx", Advice: runAdvice + " with Regions, Window and Explain set"},
 }
 
 // Analyzer flags uses of deprecated methods outside their grace zone.
@@ -69,7 +78,7 @@ var Analyzer = &framework.Analyzer{
 func run(pass *framework.Pass) (any, error) {
 	entries := make([]Entry, 0, len(Deprecated))
 	for _, e := range Deprecated {
-		if !pkgMatches(pass.Pkg.Path(), e.PkgSuffix) {
+		if !pkgMatches(pass.Pkg.Path(), &e) {
 			entries = append(entries, e)
 		}
 	}
@@ -117,14 +126,19 @@ func match(entries []Entry, owner types.Type, name string) *Entry {
 	}
 	for i := range entries {
 		e := &entries[i]
-		if name == e.Method && obj.Name() == e.Type && pkgMatches(obj.Pkg().Path(), e.PkgSuffix) {
+		if name == e.Method && obj.Name() == e.Type && pkgMatches(obj.Pkg().Path(), e) {
 			return e
 		}
 	}
 	return nil
 }
 
-// pkgMatches reports whether path is suffix itself or ends in "/"+suffix.
-func pkgMatches(path, suffix string) bool {
-	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+// pkgMatches reports whether path is the entry's declaring package: exactly
+// e.Path when set, otherwise e.PkgSuffix itself or any "/"-delimited suffix
+// of it (fixture mode).
+func pkgMatches(path string, e *Entry) bool {
+	if e.Path != "" {
+		return path == e.Path
+	}
+	return path == e.PkgSuffix || strings.HasSuffix(path, "/"+e.PkgSuffix)
 }

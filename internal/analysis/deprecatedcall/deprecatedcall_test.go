@@ -9,10 +9,35 @@ import (
 
 // TestDeprecatedCall drives the consumer fixture and the package-main
 // fixture (both convicted) plus the declaring-package fixture and a
-// _test.go file (both exempt) in one run.
+// _test.go file (both exempt) in one run. The production table matches the
+// facade by exact import path, which the fixture's GOPATH-style "atypical"
+// path is not, so the run installs suffix-matched fixture entries — the
+// mode PkgSuffix exists for.
 func TestDeprecatedCall(t *testing.T) {
+	saved := deprecatedcall.Deprecated
+	deprecatedcall.Deprecated = append(append([]deprecatedcall.Entry(nil), saved...),
+		deprecatedcall.Entry{PkgSuffix: "atypical", Type: "System", Method: "QueryCity",
+			Advice: "migrate to Run(ctx, QueryRequest{...})"},
+		deprecatedcall.Entry{PkgSuffix: "atypical", Type: "System", Method: "QueryCityCtx",
+			Advice: "migrate to Run(ctx, QueryRequest{...})"},
+	)
+	defer func() { deprecatedcall.Deprecated = saved }()
+
 	diags := analysistest.Run(t, "testdata", deprecatedcall.Analyzer, "calluser", "callmain", "atypical")
 	if len(diags) != 4 {
 		t.Fatalf("got %d diagnostics, want 4: %v", len(diags), diags)
+	}
+}
+
+// TestProductionTableIsExactPath pins the fence's reason for being: every
+// production entry names the facade by full import path, so a vendored or
+// unrelated package that happens to be called "atypical" is neither fenced
+// nor granted the declaring-package grace zone.
+func TestProductionTableIsExactPath(t *testing.T) {
+	for _, e := range deprecatedcall.Deprecated {
+		if e.Path != "github.com/cpskit/atypical" {
+			t.Errorf("entry %s.%s matches by %q/%q, want exact facade path",
+				e.Type, e.Method, e.Path, e.PkgSuffix)
+		}
 	}
 }

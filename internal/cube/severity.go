@@ -27,12 +27,20 @@ import (
 // The index is safe for concurrent use: lookups (F, FTotal, red zones) may
 // run alongside Add/AddDays — writers swap in freshly merged columns under
 // the write lock, so readers never observe a partially merged state.
+//
+// Every mutation (Add, AddDays, Reset) also bumps a monotonic generation
+// counter under the same lock. Gen exposes it so derived artifacts — the
+// query answer cache in particular — can stamp what they computed against
+// a specific severity state and detect that the state has since changed,
+// even when no forest version bump accompanied the change (RebuildSeverity,
+// the severity half of an in-flight ingest).
 type SeverityIndex struct {
 	net  *traffic.Network
 	spec cps.WindowSpec
 
 	mu   sync.RWMutex
 	cols severityColumns
+	gen  uint64
 }
 
 // severityColumns is one generation of the columnar store. Each cell is a
@@ -55,34 +63,60 @@ func NewSeverityIndex(net *traffic.Network, spec cps.WindowSpec) *SeverityIndex 
 }
 
 // Reset drops every accumulated severity, returning the index to its
-// just-constructed state. Used when the forest is swapped out from under the
+// just-constructed state (the generation counter keeps climbing — it marks
+// change, not content). Used when the forest is swapped out from under the
 // index (see the facade's LoadForest) before a rebuild.
 func (x *SeverityIndex) Reset() {
 	x.mu.Lock()
 	x.cols = severityColumns{}
+	x.gen++
 	x.mu.Unlock()
+}
+
+// Gen returns the index's mutation generation: it increases on every Add,
+// AddDays and Reset, and never otherwise. Two equal readings with data
+// reads in between guarantee those reads all saw the same severity state.
+// Nil-safe (a nil index reports generation 0 forever).
+func (x *SeverityIndex) Gen() uint64 {
+	if x == nil {
+		return 0
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.gen
 }
 
 // Add aggregates records into the index. Records for sensors outside the
 // region grid are ignored (they belong to no pre-defined region).
+//
+// Each call rebuilds the live column generation, so its cost is
+// O(existing cells + batch), not O(batch): a stream of many small batches
+// does quadratic cumulative work. Batch ingest paths should hand whole day
+// sets to AddDays, which pre-merges the batch and pays the full-copy merge
+// once per call.
 //
 //atyplint:deterministic
 func (x *SeverityIndex) Add(recs []cps.Record) {
 	shard := x.accumulate(recs)
 	x.mu.Lock()
 	x.cols = mergeColumns(x.cols, shard)
+	x.gen++
 	x.mu.Unlock()
 }
 
 // AddDays aggregates several days' record slices, sharding the accumulation
-// across up to `workers` goroutines — one shard per slice. Shard columns
-// merge into the index in slice order under one lock.
+// across up to `workers` goroutines — one shard per slice. The shard columns
+// pre-merge pairwise outside the lock (O(batch·log shards)), so the live
+// columns are copied exactly once per call however many days arrive — the
+// amortization Add's per-call O(existing + batch) cost note points at.
 //
 // Because a window belongs to exactly one day, distinct shards never touch
 // the same (region, day) or (region, window) cell: every cell's severity is
-// accumulated in a single shard, in record order. Building a fresh index
-// from per-day slices therefore produces bit-identical floats to feeding the
-// same slices through Add one day at a time, for every worker count.
+// accumulated in a single shard, in record order, and the pairwise shard
+// merge never adds two floats (disjoint cells interleave, they don't
+// combine). Building a fresh index from per-day slices therefore produces
+// bit-identical floats to feeding the same slices through Add one day at a
+// time, for every worker count.
 //
 //atyplint:deterministic
 func (x *SeverityIndex) AddDays(ctx context.Context, days [][]cps.Record, workers int) error {
@@ -93,10 +127,20 @@ func (x *SeverityIndex) AddDays(ctx context.Context, days [][]cps.Record, worker
 	}); err != nil {
 		return err
 	}
-	x.mu.Lock()
-	for _, s := range shards {
-		x.cols = mergeColumns(x.cols, s)
+	for len(shards) > 1 {
+		half := shards[:(len(shards)+1)/2]
+		for i := range half {
+			if j := len(shards) - 1 - i; j > i {
+				half[i] = mergeColumns(shards[i], shards[j])
+			}
+		}
+		shards = half
 	}
+	x.mu.Lock()
+	if len(shards) == 1 {
+		x.cols = mergeColumns(x.cols, shards[0])
+	}
+	x.gen++
 	x.mu.Unlock()
 	return nil
 }

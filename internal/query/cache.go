@@ -49,12 +49,20 @@ func CanonicalKey(q Query, s Strategy) string {
 }
 
 // AnswerCache is an LRU over finished query results, keyed by CanonicalKey
-// and version-stamped against the forest's write-version counter: an entry
-// stored at version v answers lookups only while the forest still reports
-// v, so any AppendDay or rebuild invalidates every prior answer atomically
-// — no explicit flush is needed on ingest. Explicit invalidation (Clear)
-// exists for state swaps the version counter cannot see, such as loading a
-// different forest or rebuilding the severity index.
+// and stamped with the pair of state counters an answer depends on: the
+// forest's write-version counter and the severity index's mutation
+// generation. An entry stored at (v, g) answers lookups only while both
+// counters still read (v, g), so any AppendDay or severity write
+// invalidates every prior answer atomically — no explicit flush is needed
+// on ingest. The severity stamp closes the window the forest version alone
+// leaves open: ingest bumps the forest version before the severity index
+// absorbs the same days, so a Guided query racing that window sees the new
+// version with the old severities; its answer is stored under the
+// pre-ingest generation and dies the moment the severity write lands,
+// instead of replaying as fresh forever. The same stamp retires answers
+// computed against a severity state that changed with no forest bump at
+// all (RebuildSeverity, Reset). Explicit invalidation (Clear) remains for
+// forest swaps, whose fresh version counter may alias old stamps.
 //
 // Partial results are never stored: a missing shard's absence must not
 // outlive the failure. Stored results are copied in and copied out, so
@@ -75,10 +83,12 @@ type AnswerCache struct {
 	hitsC, missesC, evictionsC *obs.Counter
 }
 
-// cacheEntry is one stored answer.
+// cacheEntry is one stored answer, stamped with the forest version and
+// severity generation its run observed before touching any data.
 type cacheEntry struct {
 	key     string
 	version uint64
+	sevGen  uint64
 	sensors int
 	res     Result
 }
@@ -145,10 +155,10 @@ func (c *AnswerCache) Clear() {
 	c.mu.Unlock()
 }
 
-// get returns a copy of the cached answer for key at forest version, or
-// reports a miss. A version-stale entry is dropped (counted as an eviction)
-// and reported as a miss.
-func (c *AnswerCache) get(key string, version uint64) (*Result, int, bool) {
+// get returns a copy of the cached answer for key at the given forest
+// version and severity generation, or reports a miss. An entry stale on
+// either stamp is dropped (counted as an eviction) and reported as a miss.
+func (c *AnswerCache) get(key string, version, sevGen uint64) (*Result, int, bool) {
 	if c == nil {
 		return nil, 0, false
 	}
@@ -160,7 +170,7 @@ func (c *AnswerCache) get(key string, version uint64) (*Result, int, bool) {
 		return nil, 0, false
 	}
 	ent := el.Value.(*cacheEntry)
-	if ent.version != version {
+	if ent.version != version || ent.sevGen != sevGen {
 		c.ll.Remove(el)
 		delete(c.items, key)
 		c.evictLocked()
@@ -176,20 +186,21 @@ func (c *AnswerCache) get(key string, version uint64) (*Result, int, bool) {
 	return &res, ent.sensors, true
 }
 
-// put stores a copy of res under key at forest version, evicting the least
-// recently used entry past capacity.
-func (c *AnswerCache) put(key string, version uint64, sensors int, res *Result) {
+// put stores a copy of res under key at the given forest version and
+// severity generation, evicting the least recently used entry past
+// capacity.
+func (c *AnswerCache) put(key string, version, sevGen uint64, sensors int, res *Result) {
 	if c == nil || res == nil || res.Partial {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value = &cacheEntry{key: key, version: version, sensors: sensors, res: copyResult(res)}
+		el.Value = &cacheEntry{key: key, version: version, sevGen: sevGen, sensors: sensors, res: copyResult(res)}
 		c.ll.MoveToFront(el)
 		return
 	}
-	el := c.ll.PushFront(&cacheEntry{key: key, version: version, sensors: sensors, res: copyResult(res)})
+	el := c.ll.PushFront(&cacheEntry{key: key, version: version, sevGen: sevGen, sensors: sensors, res: copyResult(res)})
 	c.items[key] = el
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()

@@ -27,20 +27,20 @@ func TestAnswerCacheLRUAndCounters(t *testing.T) {
 	c := NewAnswerCache(2)
 	c.BindMetrics(reg)
 
-	if _, _, ok := c.get("a", 1); ok {
+	if _, _, ok := c.get("a", 1, 0); ok {
 		t.Fatal("empty cache claimed a hit")
 	}
-	c.put("a", 1, 10, cacheResult(1))
-	c.put("b", 1, 10, cacheResult(2))
-	if res, sensors, ok := c.get("a", 1); !ok || sensors != 10 || res.CandidateMicros != 1 {
+	c.put("a", 1, 0, 10, cacheResult(1))
+	c.put("b", 1, 0, 10, cacheResult(2))
+	if res, sensors, ok := c.get("a", 1, 0); !ok || sensors != 10 || res.CandidateMicros != 1 {
 		t.Fatalf("get(a) = %+v, %d, %v", res, sensors, ok)
 	}
 	// "b" is now coldest; inserting "c" evicts it.
-	c.put("c", 1, 10, cacheResult(3))
-	if _, _, ok := c.get("b", 1); ok {
+	c.put("c", 1, 0, 10, cacheResult(3))
+	if _, _, ok := c.get("b", 1, 0); ok {
 		t.Fatal("LRU kept the coldest entry")
 	}
-	if _, _, ok := c.get("c", 1); !ok {
+	if _, _, ok := c.get("c", 1, 0); !ok {
 		t.Fatal("fresh entry missing")
 	}
 	hits, misses, evictions := c.Stats()
@@ -63,8 +63,8 @@ func TestAnswerCacheLRUAndCounters(t *testing.T) {
 // the AppendDay invalidation path.
 func TestAnswerCacheVersionStale(t *testing.T) {
 	c := NewAnswerCache(4)
-	c.put("a", 1, 10, cacheResult(1))
-	if _, _, ok := c.get("a", 2); ok {
+	c.put("a", 1, 0, 10, cacheResult(1))
+	if _, _, ok := c.get("a", 2, 0); ok {
 		t.Fatal("stale version served")
 	}
 	if c.Len() != 0 {
@@ -76,12 +76,67 @@ func TestAnswerCacheVersionStale(t *testing.T) {
 	}
 }
 
+// A severity-generation mismatch drops the entry exactly like a forest
+// version mismatch — the stamp that retires answers computed over a
+// severity state that changed without a forest bump (the ingest
+// AppendDay→AddDays window, RebuildSeverity).
+func TestAnswerCacheSeverityGenStale(t *testing.T) {
+	c := NewAnswerCache(4)
+	c.put("a", 1, 7, 10, cacheResult(1))
+	if _, _, ok := c.get("a", 1, 7); !ok {
+		t.Fatal("matching stamps missed")
+	}
+	if _, _, ok := c.get("a", 1, 8); ok {
+		t.Fatal("severity-stale entry served")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("severity-stale entry retained: len=%d", c.Len())
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 1 || misses != 1 || evictions != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 1 hit, 1 miss, 1 eviction", hits, misses, evictions)
+	}
+}
+
+// The ingest-race regression: a Guided answer cached against one severity
+// state must not be replayed after the severity index changes under an
+// unchanged forest version. Before the severity generation stamp, this
+// sequence (severity write with no AppendDay — exactly what a query racing
+// ingest's AppendDay→AddDays window produces, and what RebuildSeverity does
+// wholesale) served the first answer as fresh forever.
+func TestEngineCacheInvalidatedBySeverityChange(t *testing.T) {
+	e, spec := pipeline(t, 30, 3)
+	e.Cache = NewAnswerCache(8)
+	q := CityQuery(e.Net, spec, 0, 3, 0.02)
+
+	first := e.Run(q, Gui)
+	if hits, misses, _ := e.Cache.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("first run stats = %d hits/%d misses, want 0/1", hits, misses)
+	}
+	second := e.Run(q, Gui)
+	if hits, _, _ := e.Cache.Stats(); hits != 1 {
+		t.Fatal("repeat run did not hit the cache")
+	}
+	if second.RedZones != first.RedZones || len(second.Significant) != len(first.Significant) {
+		t.Fatal("cache hit changed the answer")
+	}
+
+	// Severity changes, forest version does not: the cached Guided answer
+	// must be retired, not replayed.
+	e.Severity.Add([]cps.Record{{Sensor: 0, Window: 0, Severity: 1}})
+	e.Run(q, Gui)
+	hits, misses, evictions := e.Cache.Stats()
+	if hits != 1 || misses != 2 || evictions != 1 {
+		t.Fatalf("post-severity-change stats = %d/%d/%d, want 1 hit, 2 misses, 1 eviction", hits, misses, evictions)
+	}
+}
+
 // Partial results must never be stored, nil caches are inert, and returned
 // results are slice copies the caller may mutate freely.
 func TestAnswerCacheSafety(t *testing.T) {
 	var nilCache *AnswerCache
-	nilCache.put("a", 1, 10, cacheResult(1))
-	if _, _, ok := nilCache.get("a", 1); ok {
+	nilCache.put("a", 1, 0, 10, cacheResult(1))
+	if _, _, ok := nilCache.get("a", 1, 0); ok {
 		t.Fatal("nil cache served an answer")
 	}
 	nilCache.Clear()
@@ -96,15 +151,15 @@ func TestAnswerCacheSafety(t *testing.T) {
 	partial := cacheResult(1)
 	partial.Partial = true
 	partial.FailedShards = []string{"shard1"}
-	c.put("p", 1, 10, partial)
-	if _, _, ok := c.get("p", 1); ok {
+	c.put("p", 1, 0, 10, partial)
+	if _, _, ok := c.get("p", 1, 0); ok {
 		t.Fatal("partial result was cached")
 	}
 
-	c.put("a", 1, 10, cacheResult(5))
-	got, _, _ := c.get("a", 1)
+	c.put("a", 1, 0, 10, cacheResult(5))
+	got, _, _ := c.get("a", 1, 0)
 	got.Significant = got.Significant[:0] // caller truncates its copy
-	again, _, _ := c.get("a", 1)
+	again, _, _ := c.get("a", 1, 0)
 	if len(again.Significant) != 1 {
 		t.Fatal("caller mutation corrupted the cached answer")
 	}

@@ -146,10 +146,14 @@ type Engine struct {
 	// Cache, when non-nil, serves repeated queries from the canonical-keyed
 	// answer cache (cache.go). The lookup happens before the candidates
 	// stage, so on a sharded engine a hit skips the whole scatter-gather
-	// fan-out. Entries are version-stamped: the forest version is read once
-	// at the top of the run, before any forest data, so a concurrent
-	// AppendDay can only make a stored answer conservatively stale, never
-	// silently fresh.
+	// fan-out. Entries carry two stamps — the forest version and the
+	// severity index generation — both read once at the top of the run,
+	// before any forest or severity data, so a concurrent AppendDay or
+	// severity write can only make a stored answer conservatively stale,
+	// never silently fresh. The severity stamp matters because ingest bumps
+	// the forest version before the severity index absorbs the same days: a
+	// Guided run in that window pairs the new version with old red zones,
+	// and without the second stamp would be cached as fresh indefinitely.
 	Cache *AnswerCache
 }
 
@@ -188,10 +192,11 @@ func (e *Engine) runCtx(ctx context.Context, q Query, s Strategy) (*Result, erro
 	exp.reset()
 
 	ver := e.Forest.Version()
+	sevGen := e.Severity.Gen()
 	var key string
 	if e.Cache != nil {
 		key = CanonicalKey(q, s)
-		if hit, sensors, ok := e.Cache.get(key, ver); ok {
+		if hit, sensors, ok := e.Cache.get(key, ver, sevGen); ok {
 			st := exp.stageStart()
 			exp.begin(q, s, sensors)
 			exp.setBound(q.DeltaS, q.Time.Len(), sensors, float64(hit.Bound))
@@ -321,8 +326,10 @@ func (e *Engine) runCtx(ctx context.Context, q Query, s Strategy) (*Result, erro
 	exp.finish(res.Elapsed)
 	if e.Cache != nil {
 		// Partial answers are refused inside put; everything else is stamped
-		// with the version read before the first forest access.
-		e.Cache.put(key, ver, numSensors, res)
+		// with the version and severity generation read before the first
+		// data access, so an entry computed over state that changed mid-run
+		// is stored already-stale and never served.
+		e.Cache.put(key, ver, sevGen, numSensors, res)
 	}
 	return res, nil
 }
