@@ -7,6 +7,7 @@ OBS_FUZZ     = FuzzParseSeries FuzzHistogramMerge
 QUERY_FUZZ   = FuzzCanonicalKeyCollisionFree
 STORAGE_FUZZ = FuzzRecordReaderCorrupt
 ROOT_FUZZ    = FuzzShardedQueryEquivalence
+SUB_FUZZ     = FuzzStandingQueryEquivalence
 
 .PHONY: all build test race lint lint-json fuzz-smoke crash-matrix bench-quick shard-matrix load-smoke ci
 
@@ -58,6 +59,10 @@ fuzz-smoke:
 		echo "-- fuzz $$t ($(FUZZTIME))"; \
 		$(GO) test ./internal/storage/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
+	@for t in $(SUB_FUZZ); do \
+		echo "-- fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/subscribe/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
 	@for t in $(ROOT_FUZZ); do \
 		echo "-- fuzz $$t ($(FUZZTIME))"; \
 		$(GO) test . -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
@@ -90,7 +95,8 @@ bench-quick:
 LOADIMPROVE ?= 5
 load-smoke:
 	$(GO) run ./cmd/atypload -sensors 120 -days 7 -requests 2000 -distinct 6 \
-		-mix 1 -workers 4 -json BENCH_load.json -maxregress 0 -minimprove $(LOADIMPROVE)
+		-mix 1 -workers 4 -subscribers 4 -json BENCH_load.json \
+		-maxregress 0 -minimprove $(LOADIMPROVE)
 
 ## shard-matrix: the tentpole equivalence gate — sharded answers (1/2/8
 ## shards, in-process and HTTP backends) must render byte-identically to the

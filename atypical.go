@@ -59,6 +59,7 @@ import (
 	"github.com/cpskit/atypical/internal/query"
 	"github.com/cpskit/atypical/internal/report"
 	"github.com/cpskit/atypical/internal/shard"
+	"github.com/cpskit/atypical/internal/subscribe"
 	"github.com/cpskit/atypical/internal/traffic"
 )
 
@@ -116,6 +117,9 @@ type systemOptions struct {
 	shardURLs       []string
 	shardClient     *http.Client
 	queryCache      int
+	maxSubs         int
+	maxSubsSet      bool
+	subBuffer       int
 }
 
 // WithWorkers bounds the goroutines used for offline construction (per-day
@@ -154,6 +158,28 @@ func WithQueryWorkers(n int) Option {
 // attached, plus a "cache" stage in EXPLAIN records on hits.
 func WithQueryCache(entries int) Option {
 	return func(o *systemOptions) { o.queryCache = entries }
+}
+
+// DefaultMaxSubscribers caps concurrent standing-query subscriptions when
+// WithSubscriptions is not used.
+const DefaultMaxSubscribers = 1024
+
+// WithSubscriptions overrides the standing-query subscriber cap (default
+// DefaultMaxSubscribers): Subscribe beyond it fails with
+// ErrTooManySubscribers. max <= 0 removes the cap. The cap protects the
+// ingest path — every emitted micro-cluster is evaluated against every
+// active subscription — not memory alone.
+func WithSubscriptions(max int) Option {
+	return func(o *systemOptions) { o.maxSubs = max; o.maxSubsSet = true }
+}
+
+// WithSubscriptionBuffer sets the per-subscriber push buffer capacity
+// (default subscribe.DefaultBuffer). A subscriber that falls more than this
+// many pushes behind starts dropping — explicitly, with
+// atyp_sub_dropped_total accounting and a gap marker — rather than ever
+// slowing ingest.
+func WithSubscriptionBuffer(n int) Option {
+	return func(o *systemOptions) { o.subBuffer = n }
 }
 
 // WithBalance selects the similarity balance function g by typed constant
@@ -225,6 +251,11 @@ type System struct {
 	// nil when caching is off. The pointer is fixed at construction — forest
 	// swaps clear the cache and carry it into the rebuilt engine.
 	cache *query.AnswerCache
+
+	// subs is the standing-query registry (subscribe.go). Always non-nil;
+	// stream processors built by NewStreamProcessor fan emitted
+	// micro-clusters into it before the caller's emit hook runs.
+	subs *subscribe.Registry
 
 	// mu guards the swappable model pointers (LoadForest replaces them) and
 	// the severity staleness flag. The structures behind the pointers are
@@ -320,6 +351,20 @@ func NewSystem(cfg Config, options ...Option) (*System, error) {
 	if err := s.wireShards(&o, opts); err != nil {
 		return nil, err
 	}
+
+	maxSubs := DefaultMaxSubscribers
+	if o.maxSubsSet {
+		maxSubs = o.maxSubs
+	}
+	subsReg, serr := subscribe.NewRegistry(subscribe.Config{
+		Net: net, Spec: spec, Options: opts,
+		MaxSubscribers: maxSubs, Buffer: o.subBuffer,
+	})
+	if serr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, serr)
+	}
+	subsReg.SetObserver(o.registry)
+	s.subs = subsReg
 
 	gcfg := gen.DefaultConfig(net)
 	gcfg.Seed = cfg.Seed

@@ -6,7 +6,7 @@
 //
 //	atypload [-requests 2000] [-workers 4] [-qps 0] [-mix 1.0] [-distinct 6]
 //	         [-sensors 120] [-days 7] [-seed 42] [-querycache 256]
-//	         [-target http://host:port] [-json BENCH_load.json]
+//	         [-subscribers 0] [-target http://host:port] [-json BENCH_load.json]
 //	         [-minimprove 0] [-maxregress 0.25]
 //
 // Two modes share the workload generator:
@@ -20,6 +20,12 @@
 //     bodies. The server owns its cache configuration, so only one phase
 //     runs. atypserve exposes no ingest endpoint; the mix is forced to
 //     pure reads.
+//
+// -subscribers N additionally registers N standing queries that are fed a
+// live stream while the measured phase runs — in process in local mode, as
+// SSE connections to -target's /subscribe in HTTP mode (run that server with
+// -stream) — and reports push latency percentiles as the sub_push phase,
+// included in the -maxregress comparison.
 //
 // The read stream cycles deterministically through -distinct query shapes
 // (window length and strategy vary), which is the repeated-query profile an
@@ -75,6 +81,9 @@ type phaseResult struct {
 	P999Ms      float64 `json:"p999_ms"`
 	CacheHits   uint64  `json:"cache_hits,omitempty"`
 	CacheMisses uint64  `json:"cache_misses,omitempty"`
+	// Dropped counts pushes lost to subscriber backpressure (sub_push phase
+	// only): buffer overflows locally, gap markers over HTTP.
+	Dropped uint64 `json:"dropped,omitempty"`
 }
 
 // loadResult is the JSON artifact (BENCH_load.json).
@@ -89,6 +98,10 @@ type loadResult struct {
 	CacheOff     *phaseResult `json:"cache_off,omitempty"`
 	CacheOn      *phaseResult `json:"cache_on,omitempty"`
 	HTTP         *phaseResult `json:"http,omitempty"`
+	// Subscribers/SubPush appear with -subscribers: push latency percentiles
+	// of standing queries fed while the measured phase ran.
+	Subscribers int          `json:"subscribers,omitempty"`
+	SubPush     *phaseResult `json:"sub_push,omitempty"`
 	// P99Improvement is the cache-off/cache-on p99 ratio (local mode).
 	P99Improvement float64 `json:"p99_improvement,omitempty"`
 }
@@ -266,19 +279,20 @@ func main() {
 func run(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("atypload", flag.ExitOnError)
 	var (
-		requests   = fs.Int("requests", 2000, "total operations per phase")
-		workers    = fs.Int("workers", 4, "concurrent workers")
-		qps        = fs.Float64("qps", 0, "target operations/sec across workers (0 = unthrottled)")
-		mix        = fs.Float64("mix", 1.0, "read fraction of the stream; the rest are ingest ops (local mode)")
-		distinct   = fs.Int("distinct", 6, "distinct query shapes cycled by the read stream")
-		sensors    = fs.Int("sensors", 120, "deployment size (local mode)")
-		days       = fs.Int("days", 7, "days per generated month (local mode)")
-		seed       = fs.Int64("seed", 42, "workload seed (local mode)")
-		queryCache = fs.Int("querycache", 256, "answer-cache entries for the cache-on phase (local mode)")
-		target     = fs.String("target", "", "atypserve base URL; empty runs the in-process cache-off/cache-on comparison")
-		jsonPath   = fs.String("json", "", "write the result JSON to this path (atomic)")
-		minImprove = fs.Float64("minimprove", 0, "fail when this run's cache-off/cache-on p99 ratio falls below this floor (local mode; 0 disables)")
-		maxRegress = fs.Float64("maxregress", 0.25, "fail when a phase p99 regressed by more than this fraction vs the previous JSON (0 disables)")
+		requests    = fs.Int("requests", 2000, "total operations per phase")
+		workers     = fs.Int("workers", 4, "concurrent workers")
+		qps         = fs.Float64("qps", 0, "target operations/sec across workers (0 = unthrottled)")
+		mix         = fs.Float64("mix", 1.0, "read fraction of the stream; the rest are ingest ops (local mode)")
+		distinct    = fs.Int("distinct", 6, "distinct query shapes cycled by the read stream")
+		sensors     = fs.Int("sensors", 120, "deployment size (local mode)")
+		days        = fs.Int("days", 7, "days per generated month (local mode)")
+		seed        = fs.Int64("seed", 42, "workload seed (local mode)")
+		queryCache  = fs.Int("querycache", 256, "answer-cache entries for the cache-on phase (local mode)")
+		target      = fs.String("target", "", "atypserve base URL; empty runs the in-process cache-off/cache-on comparison")
+		jsonPath    = fs.String("json", "", "write the result JSON to this path (atomic)")
+		subscribers = fs.Int("subscribers", 0, "standing-query subscribers fed during the measured phase (0 disables)")
+		minImprove  = fs.Float64("minimprove", 0, "fail when this run's cache-off/cache-on p99 ratio falls below this floor (local mode; 0 disables)")
+		maxRegress  = fs.Float64("maxregress", 0.25, "fail when a phase p99 regressed by more than this fraction vs the previous JSON (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -289,6 +303,10 @@ func run(args []string, out io.Writer) int {
 	}
 	if *distinct < 1 || *requests < 1 || *workers < 1 || *days < 1 {
 		fmt.Fprintln(os.Stderr, "atypload: -distinct, -requests, -workers and -days must be positive")
+		return 2
+	}
+	if *subscribers < 0 {
+		fmt.Fprintln(os.Stderr, "atypload: -subscribers must be non-negative")
 		return 2
 	}
 
@@ -305,10 +323,23 @@ func run(args []string, out io.Writer) int {
 			res.ReadMix = 1
 		}
 		r := httpRunner{base: *target, client: &http.Client{Timeout: 30 * time.Second}}
+		var finishSubs func() (phaseResult, error)
+		if *subscribers > 0 {
+			finishSubs = startHTTPSubscribers(*target, *subscribers, *days)
+		}
 		p := runPhase("http", r, nil, nil, *requests, *workers, 1, *qps, reqs)
 		res.HTTP = &p
 		fmt.Fprintf(out, "# http load: %d reads against %s, %d errors, %.0f op/s, p50 %.3fms p99 %.3fms p999 %.3fms\n",
 			p.Reads, *target, p.Errors, p.AchievedQPS, p.P50Ms, p.P99Ms, p.P999Ms)
+		if finishSubs != nil {
+			pSub, err := finishSubs()
+			if err != nil {
+				return fatal(err)
+			}
+			res.Subscribers = *subscribers
+			res.SubPush = &pSub
+			printSubPush(out, pSub, *subscribers)
+		}
 	} else {
 		res.Mode = "local"
 		res.CacheEntries = *queryCache
@@ -325,9 +356,26 @@ func run(args []string, out io.Writer) int {
 		if err != nil {
 			return fatal(err)
 		}
+		// Subscribers ride along with the cache-on phase: push latency is
+		// measured while the query workload contends for the same cores.
+		var finishSubs func() (phaseResult, error)
+		if *subscribers > 0 {
+			if finishSubs, err = startLocalSubscribers(on, *subscribers, *days); err != nil {
+				return fatal(err)
+			}
+		}
 		pOn := runPhase("cache_on", localRunner{on}, on, ingest, *requests, *workers, *mix, *qps, reqs)
 		pOn.CacheHits, pOn.CacheMisses, _ = on.QueryCacheStats()
 		res.CacheOn = &pOn
+		if finishSubs != nil {
+			pSub, err := finishSubs()
+			if err != nil {
+				return fatal(err)
+			}
+			res.Subscribers = *subscribers
+			res.SubPush = &pSub
+			printSubPush(out, pSub, *subscribers)
+		}
 
 		if pOn.P99Ms > 0 {
 			res.P99Improvement = pOff.P99Ms / pOn.P99Ms
@@ -341,7 +389,7 @@ func run(args []string, out io.Writer) int {
 	}
 
 	errorsSeen := 0
-	for _, p := range []*phaseResult{res.CacheOff, res.CacheOn, res.HTTP} {
+	for _, p := range []*phaseResult{res.CacheOff, res.CacheOn, res.HTTP, res.SubPush} {
 		if p != nil {
 			errorsSeen += p.Errors
 		}
@@ -378,7 +426,8 @@ func run(args []string, out io.Writer) int {
 		}
 		fmt.Fprintf(out, "# delta vs previous run (%s):\n", pp)
 		for _, pair := range [][2]*phaseResult{
-			{prev.CacheOff, res.CacheOff}, {prev.CacheOn, res.CacheOn}, {prev.HTTP, res.HTTP},
+			{prev.CacheOff, res.CacheOff}, {prev.CacheOn, res.CacheOn},
+			{prev.HTTP, res.HTTP}, {prev.SubPush, res.SubPush},
 		} {
 			old, cur := pair[0], pair[1]
 			if old == nil || cur == nil || old.P99Ms <= 0 {

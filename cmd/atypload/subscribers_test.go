@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A local run with -subscribers must record a sub_push phase with real
+// pushes, no drops, and write it into the artifact.
+func TestRunLocalSubscribers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_load.json")
+	var out strings.Builder
+	args := []string{
+		"-sensors", "40", "-days", "3", "-requests", "60", "-distinct", "3",
+		"-workers", "2", "-subscribers", "3", "-json", path, "-maxregress", "0",
+	}
+	if code := run(args, &out); code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res loadResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Subscribers != 3 || res.SubPush == nil {
+		t.Fatalf("artifact missing sub_push phase: %+v", res)
+	}
+	if res.SubPush.Label != "sub_push" || res.SubPush.Errors != 0 {
+		t.Fatalf("sub_push phase malformed: %+v", res.SubPush)
+	}
+	if res.SubPush.Reads == 0 {
+		t.Fatal("sub_push recorded no pushes; the replayed month must fire standing queries")
+	}
+	if res.SubPush.P50Ms < 0 || res.SubPush.P99Ms < res.SubPush.P50Ms {
+		t.Fatalf("sub_push percentiles inconsistent: %+v", res.SubPush)
+	}
+	if !strings.Contains(out.String(), "# sub_push") {
+		t.Fatalf("summary missing sub_push line:\n%s", out.String())
+	}
+}
+
+// HTTP mode with -subscribers: SSE connections land on /subscribe, parse
+// push events, and compute latency from ts_unix_ns. The stub server replays
+// a fixed SSE script so the measured latencies are under the test's control.
+func TestRunHTTPSubscribers(t *testing.T) {
+	var subscribes atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/query":
+			w.Write([]byte("{}"))
+		case "/subscribe":
+			if r.URL.Query().Get("strategy") != "all" || r.URL.Query().Get("deltas") == "" {
+				t.Errorf("subscribe missing parameters: %s", r.URL.RawQuery)
+			}
+			subscribes.Add(1)
+			fl := w.(http.Flusher)
+			w.Header().Set("Content-Type", "text/event-stream")
+			fmt.Fprintf(w, "event: subscribed\ndata: {\"subscription\":1}\n\n")
+			fl.Flush()
+			// Two pushes stamped in the recent past, one flagged as a gap.
+			now := time.Now().UnixNano()
+			fmt.Fprintf(w, "event: push\ndata: {\"seq\":1,\"component\":1,\"ts_unix_ns\":%d,\"clusters\":[]}\n\n",
+				now-int64(2*time.Millisecond))
+			fmt.Fprintf(w, "event: push\ndata: {\"seq\":2,\"component\":1,\"gap\":true,\"ts_unix_ns\":%d,\"clusters\":[]}\n\n",
+				now-int64(time.Millisecond))
+			fl.Flush()
+			// Hold the stream open until the harness cancels.
+			<-r.Context().Done()
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+	}))
+	defer srv.Close()
+
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	var out strings.Builder
+	// The -qps pacing stretches the measured phase to ~100ms, giving the SSE
+	// readers ample time to consume the stub's pushes before teardown.
+	args := []string{
+		"-target", srv.URL, "-requests", "6", "-qps", "50", "-workers", "1",
+		"-subscribers", "2", "-json", path, "-maxregress", "0",
+	}
+	if code := run(args, &out); code != 0 {
+		t.Fatalf("http run exited %d:\n%s", code, out.String())
+	}
+	if got := subscribes.Load(); got != 2 {
+		t.Fatalf("server saw %d subscribes, want 2", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res loadResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.SubPush == nil || res.Subscribers != 2 {
+		t.Fatalf("artifact missing sub_push phase: %+v", res)
+	}
+	if res.SubPush.Reads != 4 || res.SubPush.Dropped != 2 || res.SubPush.Errors != 0 {
+		t.Fatalf("sub_push counters = %+v, want 4 pushes / 2 dropped / 0 errors", res.SubPush)
+	}
+	if res.SubPush.P50Ms <= 0 {
+		t.Fatalf("sub_push p50 = %v, want > 0 (stamps were in the past)", res.SubPush.P50Ms)
+	}
+	if !strings.Contains(out.String(), "# sub_push") {
+		t.Fatalf("summary missing sub_push line:\n%s", out.String())
+	}
+}
+
+// A subscribe endpoint that refuses the connection counts as a sub_push
+// error and fails the run.
+func TestRunHTTPSubscribersErrorFails(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/query":
+			w.Write([]byte("{}"))
+		default:
+			http.Error(w, "no subscriptions here", http.StatusServiceUnavailable)
+		}
+	}))
+	defer srv.Close()
+	var out strings.Builder
+	args := []string{"-target", srv.URL, "-requests", "4", "-workers", "1", "-subscribers", "1"}
+	if code := run(args, &out); code != 1 {
+		t.Fatalf("run with failing subscribe exited %d, want 1:\n%s", code, out.String())
+	}
+}

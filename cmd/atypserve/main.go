@@ -12,6 +12,7 @@
 //	          [-maxinflight 64] [-querytimeout 30s] [-drain 15s]
 //	          [-logjson] [-traces 256] [-slowquery -1]
 //	          [-slo gui=500ms,all=2s] [-sloobjective 0.99]
+//	          [-maxsubs 1024] [-subbuffer 64] [-stream] [-streamrate 2000]
 //	          [-shards 0] [-shardpeers url,url] [-shardserve k/n]
 //
 // Endpoints on -addr:
@@ -22,6 +23,9 @@
 //	                                        JSON body (see wireQuery); byte-
 //	                                        identical to the GET answer
 //	GET  /healthz                           liveness probe (always 200)
+//	GET  /subscribe?strategy=all&days=7     standing query over the live stream:
+//	                                        SSE push events (mode=poll switches
+//	                                        to a long-poll session; see below)
 //	GET  /readyz                            readiness probe (503 until ingest
 //	                                        completes; per-shard lines when
 //	                                        sharding is enabled)
@@ -50,6 +54,17 @@
 // serve their slice at /shard/query behind the same readiness and shedding
 // gates. A peer lost after retry yields an explicitly partial response
 // ("partial": true plus failed_shards) and bumps atyp_shard_failures_total.
+//
+// Standing queries: GET /subscribe registers the request as a standing query
+// and pushes incremental answers the moment a macro-cluster's significant set
+// changes — as Server-Sent Events by default, or through a long-poll session
+// (mode=poll; the first response carries the session id, later requests
+// drain with ?id=...&wait=30s and tear down with &close=1). Slow consumers
+// never block ingest: overflowing pushes are dropped, counted in
+// atyp_sub_dropped_total, and flagged with a gap marker on the next delivered
+// push. -maxsubs caps concurrent subscribers, -subbuffer sizes each push
+// buffer, and -stream replays the generated months as a paced live stream
+// (-streamrate records/sec) so subscriptions have something to watch.
 //
 // Logs are structured (internal/obs/olog): every line carries level and
 // message keys, and lines emitted under an active span carry trace/span IDs
@@ -101,6 +116,10 @@ func main() {
 		slo          = flag.String("slo", "", "per-strategy latency SLO targets, e.g. gui=500ms,all=2s")
 		sloObjective = flag.Float64("sloobjective", 0.99, "fraction of queries that must meet their SLO target")
 		queryCache   = flag.Int("querycache", 0, "canonical-keyed answer cache entries (0 disables)")
+		maxSubs      = flag.Int("maxsubs", atypical.DefaultMaxSubscribers, "max standing-query subscribers (0 keeps the library default, <0 unlimited)")
+		subBuffer    = flag.Int("subbuffer", 0, "per-subscriber push buffer entries (0 keeps the library default)")
+		streamLive   = flag.Bool("stream", false, "after ingest, replay the generated months as a live stream feeding /subscribe")
+		streamRate   = flag.Int("streamrate", 2000, "live replay pace in records/sec (<=0 unpaced)")
 		shards       = flag.Int("shards", 0, "partition query serving across n in-process shards (0 unsharded)")
 		shardPeers   = flag.String("shardpeers", "", "comma-separated shard server base URLs (HTTP scatter-gather)")
 		shardServe   = flag.String("shardserve", "", "serve shard k of n at /shard/query, e.g. 0/4")
@@ -113,6 +132,8 @@ func main() {
 		maxInflight: *maxInflight, queryTimeout: *queryTimeout, drain: *drain,
 		logJSON: *logJSON, traces: *traces, slowQuery: *slowQuery,
 		slo: *slo, sloObjective: *sloObjective, queryCache: *queryCache,
+		maxSubs: *maxSubs, subBuffer: *subBuffer,
+		stream: *streamLive, streamRate: *streamRate,
 		shards: *shards, shardPeers: *shardPeers, shardServe: *shardServe,
 	}))
 }
@@ -132,6 +153,9 @@ type serveConfig struct {
 	slo                   string
 	sloObjective          float64
 	queryCache            int
+	maxSubs, subBuffer    int
+	stream                bool
+	streamRate            int
 	shards                int
 	shardPeers            string
 	shardServe            string
@@ -208,6 +232,12 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 	}
 	if sc.queryCache > 0 {
 		opts = append(opts, atypical.WithQueryCache(sc.queryCache))
+	}
+	if sc.maxSubs != 0 {
+		opts = append(opts, atypical.WithSubscriptions(sc.maxSubs))
+	}
+	if sc.subBuffer > 0 {
+		opts = append(opts, atypical.WithSubscriptionBuffer(sc.subBuffer))
 	}
 	var ring *atypical.TraceRing
 	if sc.traces > 0 {
@@ -328,6 +358,9 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 		}
 		logger.Info("ingest done", "elapsed", time.Since(start).Round(time.Millisecond).String())
 		ready.Store(true)
+		if sc.stream {
+			go replayStream(ctx, logger, sys, sc.months, sc.streamRate)
+		}
 	}()
 
 	code := 0
@@ -396,6 +429,19 @@ func newAPIHandler(ac apiConfig) http.Handler {
 		serveQuery(ac, w, r)
 	}))
 	mux.Handle("/query", shedGate(query, ac.maxInflight, ac.obs))
+	// Standing-query subscriptions are long-lived: admitting them through the
+	// shed gate would let one dashboard pin a query slot for hours, so
+	// /subscribe sits outside it — the registry's subscriber cap (-maxsubs)
+	// and per-subscriber buffers (-subbuffer) are its admission control.
+	polls := newSubStore()
+	mux.Handle("/subscribe", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ac.ready != nil && !ac.ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "warming up: ingest in progress", http.StatusServiceUnavailable)
+			return
+		}
+		serveSubscribe(ac, polls, w, r)
+	}))
 	if ac.shardHandler != nil {
 		sh := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if ac.ready != nil && !ac.ready.Load() {

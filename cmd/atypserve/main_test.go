@@ -109,7 +109,7 @@ func TestServeUntil(t *testing.T) {
 		done <- serveUntil(ctx, serveConfig{
 			addr:        "127.0.0.1:0",
 			metricsAddr: "127.0.0.1:0",
-			sensors: 30, seed: 7, months: 1, days: 7, deltaS: 0.02,
+			sensors:     30, seed: 7, months: 1, days: 7, deltaS: 0.02,
 			maxInflight: 4, queryTimeout: 10 * time.Second, drain: 5 * time.Second,
 			traces: 32, slowQuery: 0, slo: "gui=1ns", sloObjective: 0.9,
 			onListen: func(name string, a net.Addr) {

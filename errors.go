@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"github.com/cpskit/atypical/internal/query"
+	"github.com/cpskit/atypical/internal/subscribe"
 )
 
 // The error contract of the facade. Every error returned by a System method
@@ -24,6 +25,8 @@ import (
 //   - ErrPartialResult: a sharded query lost shards after retry and the
 //     request did not opt into partial answers (Run with
 //     QueryRequest.AllowPartial unset).
+//   - ErrTooManySubscribers: Subscribe would exceed the standing-query cap
+//     set by WithSubscriptions.
 //
 // Context cancellation surfaces as the context's own error
 // (context.Canceled, context.DeadlineExceeded), never wrapped in a sentinel.
@@ -53,6 +56,11 @@ var ErrInvalidRequest = errors.New("atypical: invalid query request")
 // ErrNoData reports that the requested operation found nothing to work on,
 // e.g. a training range with no micro-clusters.
 var ErrNoData = errors.New("atypical: no data in requested range")
+
+// ErrTooManySubscribers reports that Subscribe hit the subscriber cap
+// (WithSubscriptions; DefaultMaxSubscribers without it). The cap bounds the
+// per-emission evaluation work on the ingest path; raise it deliberately.
+var ErrTooManySubscribers = subscribe.ErrRegistryFull
 
 // ErrPartialResult reports that a sharded query would return a partial
 // answer (one or more shards failed after retry) and the request refused

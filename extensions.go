@@ -24,12 +24,23 @@ type StreamProcessor = stream.Processor
 
 // NewStreamProcessor returns a processor wired to this system's thresholds
 // (δd, δt). Emitted clusters carry system-unique IDs; feed them to the
-// forest with IngestClusters or consume them directly.
+// forest with IngestClusters or consume them directly. Every emitted cluster
+// is also offered to the system's standing-query subscriptions (Subscribe)
+// before the caller's emit hook runs — delivery is non-blocking, so slow
+// subscribers never stall the stream.
 func (s *System) NewStreamProcessor(emit func(*Cluster)) (*StreamProcessor, error) {
+	if emit == nil {
+		// Validate before wrapping: the subscription fan-out closure below
+		// would otherwise hide a nil hook from stream.New's config check.
+		return nil, fmt.Errorf("%w: stream: Config.Emit is required", ErrInvalidConfig)
+	}
 	p, err := stream.New(stream.Config{
 		Neighbors: s.neighbors,
 		MaxGap:    s.maxGap,
-		Emit:      emit,
+		Emit: func(c *Cluster) {
+			s.subs.Offer(c)
+			emit(c)
+		},
 	}, &s.idgen)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)

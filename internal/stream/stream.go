@@ -65,12 +65,25 @@ type Config struct {
 // only one goroutine may feed the stream. The progress counters (Observed,
 // Emitted) are atomic and may be read concurrently from other goroutines —
 // e.g. a monitoring loop watching an ObserveAll in flight.
+//
+// Memory invariant for long-lived streams: every internal structure is
+// bounded by the records of the last MaxGap+1 windows. In particular the
+// recent map holds no sensor whose latest record is more than MaxGap windows
+// behind the stream clock — stale refs can never satisfy join and are pruned
+// as the clock advances, so a perpetual stream over many sensors does not
+// accumulate dead entries between Flushes.
 type Processor struct {
 	cfg Config
 	gen *cluster.IDGen
 
 	// recent maps each sensor to the event and window of its latest record.
 	recent map[cps.SensorID]sensorRef
+	// expiry buckets the sensors of recent by the window of their latest
+	// record, so advance prunes stale refs in time amortized by the records
+	// that created them instead of scanning the whole map. A sensor appears
+	// in the bucket of every window it reported in; only the bucket matching
+	// its current ref deletes it.
+	expiry map[cps.Window][]cps.SensorID
 	// open lists live events (some entries may be forwarded; compacted on
 	// advance).
 	open []*event
@@ -128,6 +141,7 @@ func New(cfg Config, gen *cluster.IDGen) (*Processor, error) {
 		cfg:    cfg,
 		gen:    gen,
 		recent: make(map[cps.SensorID]sensorRef),
+		expiry: make(map[cps.Window][]cps.SensorID),
 	}, nil
 }
 
@@ -204,7 +218,11 @@ func (p *Processor) Observe(r cps.Record) error {
 	if r.Window > home.last {
 		home.last = r.Window
 	}
+	prev, had := p.recent[r.Sensor]
 	p.recent[r.Sensor] = sensorRef{ev: home, window: r.Window}
+	if !had || prev.window != r.Window {
+		p.expiry[r.Window] = append(p.expiry[r.Window], r.Sensor)
+	}
 	return nil
 }
 
@@ -226,7 +244,8 @@ func (p *Processor) ObserveAll(ctx context.Context, recs []cps.Record) error {
 }
 
 // advance moves the stream clock to w, closing events that can no longer
-// gain records (last record more than MaxGap windows in the past).
+// gain records (last record more than MaxGap windows in the past) and
+// pruning recent-map refs that can no longer satisfy join.
 func (p *Processor) advance(w cps.Window) {
 	p.window = w
 	p.started = true
@@ -241,9 +260,33 @@ func (p *Processor) advance(w cps.Window) {
 		}
 		live = append(live, e)
 	}
+	// Nil the compacted tail: the backing array otherwise pins the
+	// emitted/merged events — records slices included — until the slice
+	// grows back over the slots.
+	clear(p.open[len(live):])
 	p.open = live
+
+	// Expire the recent buckets of every window now more than MaxGap behind
+	// the clock. At most MaxGap+1 buckets are live after a prune, so the key
+	// scan is O(MaxGap) plus the refs actually deleted — amortized by the
+	// records that created them, never a full-map sweep.
+	for bw, sensors := range p.expiry {
+		if w-bw <= cps.Window(p.cfg.MaxGap) {
+			continue
+		}
+		for _, s := range sensors {
+			if ref, ok := p.recent[s]; ok && ref.window == bw {
+				delete(p.recent, s)
+			}
+		}
+		delete(p.expiry, bw)
+	}
+
 	if m := p.obsm.Load(); m != nil {
-		m.open.Set(float64(p.OpenEvents()))
+		// Compaction dropped every forwarded entry, so len(live) is already
+		// the exact open-event count; OpenEvents() stays for external
+		// callers, where open may hold forwarded entries between advances.
+		m.open.Set(float64(len(live)))
 	}
 }
 
@@ -254,8 +297,10 @@ func (p *Processor) Flush() {
 			p.emit(e)
 		}
 	}
+	clear(p.open) // drop the event refs the backing array would pin
 	p.open = p.open[:0]
 	p.recent = make(map[cps.SensorID]sensorRef)
+	clear(p.expiry)
 	p.started = false
 	if m := p.obsm.Load(); m != nil {
 		m.open.Set(0)

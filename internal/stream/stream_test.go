@@ -327,6 +327,90 @@ func TestObserveAllMatchesObserveLoop(t *testing.T) {
 	}
 }
 
+// The recent map must not leak: once a sensor's latest record is more than
+// MaxGap windows behind the stream clock it can never satisfy join, so
+// advance prunes it without waiting for Flush.
+func TestRecentMapPrunedAfterGap(t *testing.T) {
+	const n = 40
+	p, _ := newProc(t, lineLocs(n, 10), 1.5, 2)
+	for i := 0; i < n; i++ {
+		if err := p.Observe(cps.Record{Sensor: cps.SensorID(i), Window: 0, Severity: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(p.recent) != n {
+		t.Fatalf("recent = %d sensors, want %d", len(p.recent), n)
+	}
+	// Advance past the gap: every window-0 ref is stale now.
+	if err := p.Observe(cps.Record{Sensor: 0, Window: 10, Severity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.recent) != 1 {
+		t.Errorf("recent = %d sensors after gap, want 1 (the live one)", len(p.recent))
+	}
+	if len(p.expiry) != 1 {
+		t.Errorf("expiry = %d buckets after gap, want 1", len(p.expiry))
+	}
+}
+
+// A re-reporting sensor must survive the prune of its older bucket: only the
+// bucket matching the sensor's current ref may delete it.
+func TestRecentPruneKeepsRefreshedSensor(t *testing.T) {
+	p, _ := newProc(t, lineLocs(4, 10), 1.5, 2)
+	feedNoFlush := []cps.Record{
+		{Sensor: 0, Window: 0, Severity: 1},
+		{Sensor: 1, Window: 0, Severity: 1},
+		{Sensor: 0, Window: 2, Severity: 1}, // sensor 0 refreshes
+		{Sensor: 2, Window: 4, Severity: 1}, // window 0 expires, window 2 lives
+	}
+	for _, r := range feedNoFlush {
+		if err := p.Observe(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := p.recent[0]; !ok {
+		t.Error("refreshed sensor 0 pruned by its stale bucket")
+	}
+	if _, ok := p.recent[1]; ok {
+		t.Error("stale sensor 1 survived the prune")
+	}
+	if _, ok := p.recent[2]; !ok {
+		t.Error("live sensor 2 missing from recent")
+	}
+}
+
+// Compaction must nil the tail slots it vacates: the backing array otherwise
+// pins emitted events and their records until the slice grows back.
+func TestCompactionClearsTailSlots(t *testing.T) {
+	p, _ := newProc(t, lineLocs(8, 10), 1.5, 1)
+	for i := 0; i < 8; i++ {
+		if err := p.Observe(cps.Record{Sensor: cps.SensorID(i), Window: 0, Severity: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close all 8 far-apart events, then open one new event: the compacted
+	// tail of the shared backing array must hold no stale *event refs.
+	if err := p.Observe(cps.Record{Sensor: 0, Window: 5, Severity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tail := p.open[len(p.open):cap(p.open)]
+	for i, e := range tail {
+		if e != nil {
+			t.Fatalf("backing-array slot %d still pins an emitted event", i)
+		}
+	}
+	p.Flush()
+	tail = p.open[:cap(p.open)]
+	for i, e := range tail {
+		if e != nil {
+			t.Fatalf("slot %d still pins an event after Flush", i)
+		}
+	}
+	if len(p.expiry) != 0 {
+		t.Errorf("expiry = %d buckets after Flush, want 0", len(p.expiry))
+	}
+}
+
 func TestObserveAllCancelled(t *testing.T) {
 	p, _ := newProc(t, lineLocs(3, 1), 1.5, 2)
 	ctx, cancel := context.WithCancel(context.Background())

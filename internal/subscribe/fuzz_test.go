@@ -1,0 +1,43 @@
+package subscribe
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/cpskit/atypical/internal/query"
+)
+
+// fuzzEnv is built once per process: the deployment is fuzz-invariant, only
+// the stream and query parameters vary per input.
+var (
+	fuzzOnce sync.Once
+	fuzzE    *env
+)
+
+func fuzzEnvOnce() *env {
+	fuzzOnce.Do(func() { fuzzE = newEnv(60) })
+	return fuzzE
+}
+
+// FuzzStandingQueryEquivalence fuzzes the package's correctness anchor: for
+// any finite canonical stream, the events a standing query pushed must equal
+// the batch Run answer after flush + rebuild, under both supported
+// strategies and arbitrary δs operating points.
+func FuzzStandingQueryEquivalence(f *testing.F) {
+	f.Add(int64(1), uint16(150), uint8(1), uint8(5), false)
+	f.Add(int64(42), uint16(400), uint8(2), uint8(0), true)
+	f.Add(int64(7), uint16(60), uint8(3), uint8(40), false)
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, daysRaw, dsRaw uint8, pru bool) {
+		e := fuzzEnvOnce()
+		days := 1 + int(daysRaw%3)
+		nrecs := 20 + int(n%600)
+		deltaS := 1e-6 + float64(dsRaw%50)/5000
+		strat := query.All
+		if pru {
+			strat = query.Pru
+		}
+		recs := e.randRecords(rand.New(rand.NewSource(seed)), nrecs, days)
+		checkEquivalence(t, e, recs, days, deltaS, strat)
+	})
+}

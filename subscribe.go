@@ -1,0 +1,66 @@
+package atypical
+
+import (
+	"fmt"
+
+	"github.com/cpskit/atypical/internal/subscribe"
+)
+
+// This file exposes the standing-query (CEP) layer through the facade:
+// long-lived subscriptions evaluated incrementally as stream processors close
+// micro-clusters, pushing the moment a macro-cluster's significance changes
+// instead of waiting for a batch Run. See internal/subscribe for the
+// incremental evaluator and its batch-equivalence argument, and DESIGN.md §3f
+// for the architecture.
+
+// Subscription is one registered standing query. Pushes arrive on Pushes();
+// Done() signals teardown after Unsubscribe.
+type Subscription = subscribe.Subscription
+
+// Push is one standing-query notification: a component's complete current
+// significant set (empty means retraction), with merge bookkeeping
+// (Absorbed) and the explicit backpressure gap marker.
+type Push = subscribe.Push
+
+// PushReplay folds a push sequence back into the standing query's current
+// answer; after a stream flush, a gap-free replay equals the batch Run
+// answer for the same request.
+type PushReplay = subscribe.Replay
+
+// NewPushReplay returns an empty replay state.
+func NewPushReplay() *PushReplay { return subscribe.NewReplay() }
+
+// Subscribe registers req as a standing query over this system's live
+// streams: every processor built by NewStreamProcessor feeds its emitted
+// micro-clusters to the subscription's incremental evaluator, and a Push
+// lands in the subscription's buffer whenever the request's significant set
+// changes. The request is resolved exactly like Run resolves it (scope
+// expansion, δs defaulting), so for any finite canonical stream the pushed
+// events equal what Run reports after Flush + IngestClusters — the
+// equivalence the property tests and FuzzStandingQueryEquivalence enforce.
+//
+// Strategies: IntegrateAll and Pruned. Guided is rejected (wrapping
+// ErrInvalidRequest): its red zones track the mutable severity index, which
+// incremental pushes cannot replay consistently. Exceeding the subscriber
+// cap (WithSubscriptions) fails with ErrTooManySubscribers.
+//
+// Slow consumers never block ingest: a full push buffer
+// (WithSubscriptionBuffer) drops the push, counts it in
+// atyp_sub_dropped_total and Subscription.Dropped, and marks the next
+// delivered push with Gap — the consumer's cue to resync via Run.
+func (s *System) Subscribe(req QueryRequest) (*Subscription, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if req.Strategy == Guided {
+		return nil, fmt.Errorf("%w: Guided standing queries are not supported (red zones track the mutable severity index)", ErrInvalidRequest)
+	}
+	return s.subs.Register(s.buildQuery(req), req.Strategy)
+}
+
+// Unsubscribe removes a standing query, reporting whether the id was active.
+// The subscription's Done channel closes; buffered pushes stay readable.
+func (s *System) Unsubscribe(id uint64) bool { return s.subs.Unregister(id) }
+
+// ActiveSubscriptions returns the number of registered standing queries.
+func (s *System) ActiveSubscriptions() int { return s.subs.Active() }
