@@ -9,7 +9,7 @@ STORAGE_FUZZ = FuzzRecordReaderCorrupt
 ROOT_FUZZ    = FuzzShardedQueryEquivalence
 SUB_FUZZ     = FuzzStandingQueryEquivalence
 
-.PHONY: all build test race lint lint-json fuzz-smoke crash-matrix bench-quick shard-matrix load-smoke ci
+.PHONY: all build test race lint lint-json fuzz-smoke crash-matrix bench-quick shard-matrix load-smoke trace-stitch ci
 
 all: build test lint
 
@@ -108,4 +108,13 @@ shard-matrix:
 		-run 'TestShardedQueryByteIdentical|TestBypassShardsByteIdentical|TestShardMatrix|TestShardedPartialFailure|TestWrappersByteIdenticalToRun|TestCoordinatorGatherEqualsUnshardedCandidates|TestHTTPBackendRoundTripAndFailure' \
 		-count=1
 
-ci: build lint race crash-matrix shard-matrix fuzz-smoke bench-quick load-smoke
+## trace-stitch: the observability smoke — an in-process 2-shard atypserve
+## pair plus a coordinator serve one sharded query, and the coordinator's
+## /debug/traces must show the scatter with shard child spans, both shard
+## servers must carry continuation spans under the coordinator's trace ID
+## (W3C traceparent propagation), and /debug/querylog must hold the matching
+## flight-recorder wide event. -count=1 defeats the test cache.
+trace-stitch:
+	$(GO) test ./cmd/atypserve/ -run TestTraceStitch -count=1
+
+ci: build lint race crash-matrix shard-matrix fuzz-smoke bench-quick load-smoke trace-stitch

@@ -56,6 +56,7 @@ import (
 	"github.com/cpskit/atypical/internal/geo"
 	"github.com/cpskit/atypical/internal/index"
 	"github.com/cpskit/atypical/internal/obs"
+	"github.com/cpskit/atypical/internal/obs/flight"
 	"github.com/cpskit/atypical/internal/query"
 	"github.com/cpskit/atypical/internal/report"
 	"github.com/cpskit/atypical/internal/shard"
@@ -120,6 +121,8 @@ type systemOptions struct {
 	maxSubs         int
 	maxSubsSet      bool
 	subBuffer       int
+	querylog        flight.Config
+	querylogSet     bool
 }
 
 // WithWorkers bounds the goroutines used for offline construction (per-day
@@ -252,6 +255,10 @@ type System struct {
 	// swaps clear the cache and carry it into the rebuilt engine.
 	cache *query.AnswerCache
 
+	// qlog is the optional per-query flight recorder (WithQueryLog); nil
+	// when recording is off. Run records one wide event per request into it.
+	qlog *flight.Recorder
+
 	// subs is the standing-query registry (subscribe.go). Always non-nil;
 	// stream processors built by NewStreamProcessor fan emitted
 	// micro-clusters into it before the caller's emit hook runs.
@@ -341,6 +348,9 @@ func NewSystem(cfg Config, options ...Option) (*System, error) {
 	s.forest.SetObserver(o.registry)
 	s.cache = query.NewAnswerCache(o.queryCache)
 	s.cache.BindMetrics(o.registry)
+	if o.querylogSet {
+		s.qlog = flight.NewRecorder(o.querylog)
+	}
 	s.engine = &query.Engine{
 		Net: net, Forest: s.forest, Severity: s.sev, Gen: &s.idgen,
 		Workers: queryWorkers, Obs: query.NewMetrics(o.registry), Cache: s.cache,

@@ -25,6 +25,7 @@ import (
 	"github.com/cpskit/atypical/internal/geo"
 	"github.com/cpskit/atypical/internal/index"
 	"github.com/cpskit/atypical/internal/obs"
+	"github.com/cpskit/atypical/internal/obs/flight"
 	"github.com/cpskit/atypical/internal/predict"
 	"github.com/cpskit/atypical/internal/query"
 	"github.com/cpskit/atypical/internal/storage"
@@ -211,15 +212,18 @@ func BenchmarkFig17QueryGui(b *testing.B) { benchQuery(b, query.Gui) }
 // is largest relative to the work. "off" is the shipped default (obs
 // compiled in, every handle nil); "on" records into a live registry;
 // "explain" additionally arms a per-query Explain collector on the context
-// (the EXPLAIN side-channel, priced per query rather than per system). The
-// DESIGN.md zero-overhead claim is that off stays within noise of the
-// pre-instrumentation engine and on stays within a few percent; explain is
-// allowed to cost more — it is opt-in per request — but must stay within
-// the same order of magnitude.
+// (the EXPLAIN side-channel, priced per query rather than per system);
+// "recorder" arms the flight recorder the way the facade does — a wide
+// event plus the EXPLAIN collector it rides on, recorded into a sampling
+// ring per query. The DESIGN.md zero-overhead claim is that off stays
+// within noise of the pre-instrumentation engine and on stays within a few
+// percent; explain and recorder are allowed to cost more — both are opt-in
+// per request/deployment — but must stay within the same order of
+// magnitude.
 func BenchmarkObsOverheadQuery(b *testing.B) {
 	f := benchFixture(b)
 	q := query.CityQuery(f.net, f.spec, 0, 14, 0.02)
-	run := func(b *testing.B, m *query.Metrics, explain bool) {
+	run := func(b *testing.B, m *query.Metrics, explain bool, rec *flight.Recorder) {
 		engine := &query.Engine{
 			Net: f.engine.Net, Forest: f.engine.Forest, Severity: f.engine.Severity,
 			Gen: f.engine.Gen, Obs: m,
@@ -227,17 +231,25 @@ func BenchmarkObsOverheadQuery(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			ctx := context.Background()
-			if explain {
+			var ev *flight.Event
+			if rec != nil {
+				ctx, ev = flight.WithEvent(ctx)
+			}
+			if explain || rec != nil {
 				ctx, _ = query.WithExplain(ctx)
 			}
 			if _, err := engine.RunCtx(ctx, q, query.Pru); err != nil {
 				b.Fatal(err)
 			}
+			rec.Record(ev) // nil-safe; no-op for the other variants
 		}
 	}
-	b.Run("off", func(b *testing.B) { run(b, nil, false) })
-	b.Run("on", func(b *testing.B) { run(b, query.NewMetrics(obs.NewRegistry()), false) })
-	b.Run("explain", func(b *testing.B) { run(b, nil, true) })
+	b.Run("off", func(b *testing.B) { run(b, nil, false, nil) })
+	b.Run("on", func(b *testing.B) { run(b, query.NewMetrics(obs.NewRegistry()), false, nil) })
+	b.Run("explain", func(b *testing.B) { run(b, nil, true, nil) })
+	b.Run("recorder", func(b *testing.B) {
+		run(b, nil, false, flight.NewRecorder(flight.Config{Entries: 256, SampleEvery: 1}))
+	})
 }
 
 // --- Fig. 18/19: precision-recall scoring path ---

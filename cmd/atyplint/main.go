@@ -27,6 +27,7 @@
 //	rangedeterminism  no map-iteration order leaking into output
 //	rawfswrite        no direct os writes outside the faultfs seam
 //	rawlog            no log.Printf/fmt.Print* in commands outside olog
+//	spanend           every obs.Start span is ended or returned to the caller
 //
 // A finding can be suppressed — with a written justification — by a
 // "//atyplint:ignore <analyzer> reason" comment on the same or preceding
@@ -59,6 +60,7 @@ import (
 	"github.com/cpskit/atypical/internal/analysis/rangedeterminism"
 	"github.com/cpskit/atypical/internal/analysis/rawfswrite"
 	"github.com/cpskit/atypical/internal/analysis/rawlog"
+	"github.com/cpskit/atypical/internal/analysis/spanend"
 )
 
 // analyzers is the multichecker suite, alphabetical.
@@ -75,6 +77,7 @@ var analyzers = []*framework.Analyzer{
 	rangedeterminism.Analyzer,
 	rawfswrite.Analyzer,
 	rawlog.Analyzer,
+	spanend.Analyzer,
 }
 
 // vetPasses is the curated go vet subset run alongside the custom suite:

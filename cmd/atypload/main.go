@@ -138,6 +138,11 @@ var strategyWire = map[atypical.Strategy]string{
 	atypical.Guided:       "gui",
 }
 
+// discardSpans arms outbound requests with trace identity without retaining
+// the spans locally: the traceparent header carries the IDs, and the server
+// side stitches them into its own trace buffer.
+func discardSpans(atypical.Span) {}
+
 func (r httpRunner) do(req atypical.QueryRequest) error {
 	days := req.Days
 	body, err := json.Marshal(wireQuery{
@@ -146,7 +151,16 @@ func (r httpRunner) do(req atypical.QueryRequest) error {
 	if err != nil {
 		return err
 	}
-	resp, err := r.client.Post(r.base+"/query", "application/json", bytes.NewReader(body))
+	ctx, sp := atypical.StartSpan(
+		atypical.WithSpanContext(context.Background(), discardSpans), "atypload.query")
+	defer sp.End()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	atypical.InjectTraceparent(ctx, hreq.Header)
+	resp, err := r.client.Do(hreq)
 	if err != nil {
 		return err
 	}

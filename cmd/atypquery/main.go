@@ -8,12 +8,17 @@
 //	atypquery -forest forest/ -data data/ -from 0 -days 7
 //	          [-strategy gui] [-deltas 0.02] [-sensors 400] [-seed 42]
 //	          [-minlat x -minlon x -maxlat x -maxlon x]
-//	          [-shards 0] [-explain] [-explainjson]
+//	          [-shards 0] [-shardpeers url,url] [-explain] [-explainjson]
 //
 // -shards n answers the query scatter-gather across n in-process shards
 // (the loaded forest is partitioned by home region) instead of one pass
 // over the whole forest; the answer is byte-identical either way, so the
 // flag exists to exercise and time the sharded path from the CLI.
+// -shardpeers scatters to remote shard servers instead (atypserve
+// -shardserve processes over the same deployment configuration); the run
+// executes under a root span whose traceparent is injected on every shard
+// call, so the printed trace ID finds the scatter on the servers'
+// /debug/traces.
 //
 // -explain prints the run's EXPLAIN table after the report: strategy,
 // significance bound arithmetic, per-stage timings, pruning and red-zone
@@ -26,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/cpskit/atypical/internal/cluster"
@@ -33,6 +39,7 @@ import (
 	"github.com/cpskit/atypical/internal/cube"
 	"github.com/cpskit/atypical/internal/forest"
 	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/obs"
 	"github.com/cpskit/atypical/internal/query"
 	"github.com/cpskit/atypical/internal/report"
 	"github.com/cpskit/atypical/internal/shard"
@@ -56,6 +63,7 @@ func main() {
 		maxLat    = flag.Float64("maxlat", 0, "spatial range: north edge")
 		maxLon    = flag.Float64("maxlon", 0, "spatial range: east edge")
 		shards      = flag.Int("shards", 0, "scatter-gather the query across n in-process shards (0 unsharded)")
+		shardPeers  = flag.String("shardpeers", "", "comma-separated shard server base URLs: scatter the candidates stage to remote atypserve -shardserve processes")
 		showMap     = flag.Bool("map", false, "print the region severity map with red zones")
 		explain     = flag.Bool("explain", false, "print the query EXPLAIN table after the report")
 		explainJSON = flag.Bool("explainjson", false, "print the query EXPLAIN record as JSON after the report")
@@ -101,7 +109,18 @@ func main() {
 	}
 
 	engine := &query.Engine{Net: net, Forest: f, Severity: sev, Gen: &idgen}
-	if *shards > 0 {
+	switch {
+	case *shardPeers != "":
+		var backends []shard.Backend
+		for i, base := range strings.Split(*shardPeers, ",") {
+			base = strings.TrimSpace(base)
+			if base == "" {
+				fatal(fmt.Errorf("-shardpeers: empty URL at position %d", i))
+			}
+			backends = append(backends, shard.NewHTTP(fmt.Sprintf("shard%d", i), base, nil))
+		}
+		engine.Scatterer = shard.NewCoordinator(backends, nil)
+	case *shards > 0:
 		m, err := shard.NewMap(net.Grid, *shards)
 		if err != nil {
 			fatal(err)
@@ -120,11 +139,21 @@ func main() {
 		q = query.CityQuery(net, spec, *from, *days, *deltaS)
 	}
 	ctx := context.Background()
+	var rootSpan *obs.Span
+	if *shardPeers != "" {
+		// Remote scatter runs under a root span with a discard exporter: the
+		// span is not retained here, but the scatter's HTTP calls inject its
+		// traceparent, so the shard servers stitch this run into their own
+		// /debug/traces under the trace ID printed below.
+		ctx = obs.WithExporter(ctx, func(obs.Span) {})
+		ctx, rootSpan = obs.Start(ctx, "atypquery.query")
+	}
 	var exp *query.Explain
 	if *explain || *explainJSON {
 		ctx, exp = query.WithExplain(ctx)
 	}
 	res, err := engine.RunCtx(ctx, q, strategy)
+	rootSpan.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -132,6 +161,9 @@ func main() {
 	out := os.Stdout
 	fmt.Fprintf(out, "query: days [%d, %d), %d regions, strategy %s, δs=%.3g (bound %.0f severity-min)\n",
 		*from, *from+*days, len(q.Regions), res.Strategy, *deltaS, float64(res.Bound))
+	if rootSpan != nil {
+		fmt.Fprintf(out, "trace: %s (find the scatter on the shard servers' /debug/traces)\n", rootSpan.TraceHex())
+	}
 	fmt.Fprintf(out, "inputs: %d of %d micro-clusters", res.InputMicros, res.CandidateMicros)
 	if strategy == query.Gui {
 		fmt.Fprintf(out, " (%d red zones)", res.RedZones)

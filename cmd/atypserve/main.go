@@ -11,6 +11,7 @@
 //	          [-workers 0] [-queryworkers 0] [-deltas 0.02]
 //	          [-maxinflight 64] [-querytimeout 30s] [-drain 15s]
 //	          [-logjson] [-traces 256] [-slowquery -1]
+//	          [-querylog 256] [-querylogsample 1] [-querylogslow 1s]
 //	          [-slo gui=500ms,all=2s] [-sloobjective 0.99]
 //	          [-maxsubs 1024] [-subbuffer 64] [-stream] [-streamrate 2000]
 //	          [-shards 0] [-shardpeers url,url] [-shardserve k/n]
@@ -36,6 +37,9 @@
 //	GET /metrics                            Prometheus text format 0.0.4
 //	GET /debug/pprof/                       net/http/pprof suite
 //	GET /debug/traces                       last -traces finished spans, newest first
+//	GET /debug/querylog                     last -querylog flight-recorder wide
+//	                                        events, newest first (?format=text
+//	                                        for one line per event)
 //
 // The server is hardened for production traffic: both listeners bind and
 // serve before ingestion starts (readiness gates /query with 503 until the
@@ -68,10 +72,17 @@
 //
 // Logs are structured (internal/obs/olog): every line carries level and
 // message keys, and lines emitted under an active span carry trace/span IDs
-// for correlation with /debug/traces. -slowquery T arms the slow-query log:
-// any query at or above T is logged at WARN with its full EXPLAIN record
-// (T=0 logs every query; negative disables). -slo installs per-strategy
-// latency objectives surfaced as atyp_slo_burn_rate gauges.
+// for correlation with /debug/traces. Every API request runs under an
+// "http.request" span that adopts an inbound W3C traceparent header — a
+// coordinator's scatter calls inject the header toward shard servers, so a
+// sharded query stitches into one trace across processes — and leaves one
+// access-log line (method, path, status, duration, trace_id, partial).
+// -querylog arms the per-query flight recorder: one wide event per Run with
+// trace ID, canonical key, cache verdict, per-shard timings, stage timings
+// and SLO verdict, served at /debug/querylog. -slowquery T arms the
+// slow-query log: any query at or above T is logged at WARN with its full
+// EXPLAIN record (T=0 logs every query; negative disables). -slo installs
+// per-strategy latency objectives surfaced as atyp_slo_burn_rate gauges.
 package main
 
 import (
@@ -113,6 +124,9 @@ func main() {
 		logJSON      = flag.Bool("logjson", false, "emit logs as JSON lines instead of key=value text")
 		traces       = flag.Int("traces", 256, "finished traces retained for /debug/traces (<=0 disables)")
 		slowQuery    = flag.Duration("slowquery", -1, "log queries at or above this latency with their EXPLAIN (0 logs all, <0 disables)")
+		queryLog     = flag.Int("querylog", 256, "flight-recorder wide events retained for /debug/querylog (<=0 disables)")
+		queryLogN    = flag.Int("querylogsample", 1, "head sampling: record 1 of every N normal queries (slow/error/partial always kept)")
+		queryLogSlow = flag.Duration("querylogslow", time.Second, "flight-recorder tail-keep threshold: queries at or above this latency bypass sampling (<=0 keeps tail-keep for errors/partials only)")
 		slo          = flag.String("slo", "", "per-strategy latency SLO targets, e.g. gui=500ms,all=2s")
 		sloObjective = flag.Float64("sloobjective", 0.99, "fraction of queries that must meet their SLO target")
 		queryCache   = flag.Int("querycache", 0, "canonical-keyed answer cache entries (0 disables)")
@@ -131,6 +145,7 @@ func main() {
 		workers: *workers, queryWorkers: *queryWorkers, deltaS: *deltaS,
 		maxInflight: *maxInflight, queryTimeout: *queryTimeout, drain: *drain,
 		logJSON: *logJSON, traces: *traces, slowQuery: *slowQuery,
+		queryLog: *queryLog, queryLogSample: *queryLogN, queryLogSlow: *queryLogSlow,
 		slo: *slo, sloObjective: *sloObjective, queryCache: *queryCache,
 		maxSubs: *maxSubs, subBuffer: *subBuffer,
 		stream: *streamLive, streamRate: *streamRate,
@@ -150,6 +165,9 @@ type serveConfig struct {
 	logJSON               bool
 	traces                int
 	slowQuery             time.Duration
+	queryLog              int
+	queryLogSample        int
+	queryLogSlow          time.Duration
 	slo                   string
 	sloObjective          float64
 	queryCache            int
@@ -244,6 +262,13 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 		ring = atypical.NewTraceRing(sc.traces)
 		opts = append(opts, atypical.WithSpanExporter(ring.Export))
 	}
+	if sc.queryLog > 0 {
+		opts = append(opts, atypical.WithQueryLog(atypical.QueryLogConfig{
+			Entries:     sc.queryLog,
+			SampleEvery: sc.queryLogSample,
+			Slow:        sc.queryLogSlow,
+		}))
+	}
 	for _, strat := range []atypical.Strategy{atypical.IntegrateAll, atypical.Pruned, atypical.Guided} {
 		if target, ok := slos[strat]; ok {
 			opts = append(opts, atypical.WithQuerySLO(strat, target))
@@ -317,6 +342,10 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 		}
 		return 1
 	}
+	var exporter atypical.SpanExporter
+	if ring != nil {
+		exporter = ring.Export
+	}
 	var ready atomic.Bool
 	if err := start1("query API", &http.Server{
 		Addr: sc.addr,
@@ -324,6 +353,7 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 			sys: sys, obs: reg, ready: &ready, logger: logger,
 			maxInflight: sc.maxInflight, queryTimeout: sc.queryTimeout,
 			slowQuery: sc.slowQuery, shardHandler: shardHandler,
+			exporter: exporter,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
@@ -333,10 +363,14 @@ func serveUntil(ctx context.Context, sc serveConfig) int {
 		return bindFailed(err)
 	}
 
+	debugMux := atypical.NewDebugMux(reg, ring)
+	if qh := sys.QueryLogHandler(); qh != nil {
+		debugMux.Handle("/debug/querylog", qh)
+	}
 	if sc.metricsAddr != "" {
 		if err := start1("metrics and pprof", &http.Server{
 			Addr:              sc.metricsAddr,
-			Handler:           atypical.NewDebugMux(reg, ring),
+			Handler:           debugMux,
 			ReadHeaderTimeout: 5 * time.Second,
 			ReadTimeout:       10 * time.Second,
 			WriteTimeout:      30 * time.Second,
@@ -414,6 +448,9 @@ type apiConfig struct {
 	// shardHandler, when set, is mounted at atypical.ShardQueryPath behind
 	// the readiness and shedding gates (-shardserve role).
 	shardHandler http.Handler
+	// exporter, when set, receives the middleware's per-request server spans
+	// (the -traces ring in production wiring).
+	exporter atypical.SpanExporter
 }
 
 // newAPIHandler assembles the query API: routing, the readiness gate, the
@@ -463,7 +500,7 @@ func newAPIHandler(ac apiConfig) http.Handler {
 		}
 		serveReady(ac, w, r)
 	})
-	return mux
+	return withObservability(mux, ac.exporter, ac.logger)
 }
 
 // serveReady answers /readyz once ingest completed. On a sharded system the
@@ -677,10 +714,20 @@ func serveQuery(ac apiConfig, w http.ResponseWriter, r *http.Request) {
 			errors.Is(err, atypical.ErrPartialResult) {
 			status = http.StatusServiceUnavailable
 		}
+		if errors.Is(err, atypical.ErrPartialResult) {
+			if rec := accessRecordFrom(ctx); rec != nil {
+				rec.partial.Store(true)
+			}
+		}
 		http.Error(w, err.Error(), status)
 		return
 	}
 	rep, exp := res.Report, res.Explain
+	if rep.Partial {
+		if rec := accessRecordFrom(ctx); rec != nil {
+			rec.partial.Store(true)
+		}
+	}
 	if slowArmed && rep.Elapsed >= ac.slowQuery {
 		attrs := []any{
 			"strategy", rep.Strategy.String(),

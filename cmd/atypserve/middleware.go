@@ -1,0 +1,107 @@
+package main
+
+// Request observability middleware: every API request runs under an
+// "http.request" server span that adopts an inbound traceparent header (so
+// a coordinator's scatter and a client's query stitch into one trace across
+// processes), and leaves exactly one structured access-log line — method,
+// path, status, duration, trace ID, and the shard-partial flag — so failed
+// and shed requests leave a record, not only slow queries.
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/cpskit/atypical"
+)
+
+// statusWriter records the response status for the access log. It forwards
+// Flush and exposes Unwrap so the SSE path's http.Flusher assertion and
+// http.NewResponseController (per-write deadlines) still reach the real
+// ResponseWriter through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// accessRecord carries handler-level facts back to the access-log line; the
+// query handler stamps the partial flag on degraded sharded answers.
+type accessRecord struct {
+	partial atomic.Bool
+}
+
+type accessRecordKey struct{}
+
+// accessRecordFrom returns the request's access record, or nil outside the
+// middleware (direct handler tests).
+func accessRecordFrom(ctx context.Context) *accessRecord {
+	rec, _ := ctx.Value(accessRecordKey{}).(*accessRecord)
+	return rec
+}
+
+// withObservability wraps the API mux with the tracing and access-log
+// middleware. A nil exporter still extracts inbound traceparents (so flight
+// events carry the caller's trace ID) but starts no spans.
+func withObservability(next http.Handler, exporter atypical.SpanExporter, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx := atypical.ExtractTraceparent(r.Context(), r.Header)
+		if exporter != nil {
+			ctx = atypical.WithSpanContext(ctx, exporter)
+		}
+		ctx, sp := atypical.StartSpan(ctx, "http.request")
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		rec := &accessRecord{}
+		ctx = context.WithValue(ctx, accessRecordKey{}, rec)
+
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		sp.SetAttr("status", strconv.Itoa(status))
+		sp.End()
+
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"duration", time.Since(start).String(),
+		}
+		if sp != nil {
+			attrs = append(attrs, "trace_id", sp.TraceHex())
+		}
+		if rec.partial.Load() {
+			attrs = append(attrs, "partial", true)
+		}
+		logger.InfoContext(ctx, "request", attrs...)
+	})
+}

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/cpskit/atypical"
@@ -150,7 +151,7 @@ func serveSubscribe(ac apiConfig, st *subStore, w http.ResponseWriter, r *http.R
 			subscribeError(w, err)
 			return
 		}
-		serveSSE(ac, w, r, sub)
+		serveSSE(ac, w, r, req, sub)
 	case "poll":
 		servePoll(ac, st, w, r)
 	default:
@@ -163,8 +164,28 @@ func serveSubscribe(ac apiConfig, st *subStore, w http.ResponseWriter, r *http.R
 // every later "push" event carries one pushJSON. The per-write deadline
 // overrides the server's WriteTimeout, which would otherwise kill the stream
 // at queryTimeout+5s like any ordinary response.
-func serveSSE(ac apiConfig, w http.ResponseWriter, r *http.Request, sub *atypical.Subscription) {
-	defer ac.sys.Unsubscribe(sub.ID())
+func serveSSE(ac apiConfig, w http.ResponseWriter, r *http.Request, req atypical.QueryRequest, sub *atypical.Subscription) {
+	started := time.Now()
+	var pushed uint64
+	var maxLatNS int64
+	defer func() {
+		ac.sys.Unsubscribe(sub.ID())
+		ev := &atypical.QueryLogEvent{
+			Time:             started,
+			Kind:             "subscribe",
+			Source:           "/subscribe",
+			Strategy:         req.Strategy.String(),
+			DurationNS:       time.Since(started).Nanoseconds(),
+			Pushes:           pushed,
+			Dropped:          sub.Dropped(),
+			Gaps:             sub.Gaps(),
+			MaxPushLatencyNS: maxLatNS,
+		}
+		if sp := atypical.SpanFromContext(r.Context()); sp != nil {
+			ev.TraceID = sp.TraceHex()
+		}
+		ac.sys.RecordQueryLog(ev)
+	}()
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -206,6 +227,10 @@ func serveSSE(ac apiConfig, w http.ResponseWriter, r *http.Request, sub *atypica
 			if err := writeEvent("push", data); err != nil {
 				return
 			}
+			pushed++
+			if lat := time.Since(p.Ts).Nanoseconds(); lat > maxLatNS {
+				maxLatNS = lat
+			}
 		case <-tick.C:
 			_ = rc.SetWriteDeadline(time.Now().Add(subWriteGrace))
 			if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
@@ -216,10 +241,47 @@ func serveSSE(ac apiConfig, w http.ResponseWriter, r *http.Request, sub *atypica
 	}
 }
 
-// pollSession is one long-poll subscription between requests.
+// pollSession is one long-poll subscription between requests. The stream
+// counters accumulate across requests so the teardown flight event summarizes
+// the whole session, not just its final drain; they are atomics because
+// nothing stops a client from draining the same id concurrently.
 type pollSession struct {
 	sub      *atypical.Subscription
 	lastSeen time.Time
+	started  time.Time
+	strategy atypical.Strategy
+	traceID  string
+	pushed   atomic.Uint64
+	maxLatNS atomic.Int64
+}
+
+// noteLatency folds one push's evaluation-to-wire latency into the session
+// maximum.
+func (s *pollSession) noteLatency(ns int64) {
+	for {
+		cur := s.maxLatNS.Load()
+		if ns <= cur || s.maxLatNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// recordPollEvent emits the session's teardown flight event: one "subscribe"
+// wide event per poll session, on explicit close, stream teardown, or idle
+// sweep.
+func recordPollEvent(ac apiConfig, sess *pollSession) {
+	ac.sys.RecordQueryLog(&atypical.QueryLogEvent{
+		Time:             sess.started,
+		Kind:             "subscribe",
+		Source:           "/subscribe?mode=poll",
+		TraceID:          sess.traceID,
+		Strategy:         sess.strategy.String(),
+		DurationNS:       time.Since(sess.started).Nanoseconds(),
+		Pushes:           sess.pushed.Load(),
+		Dropped:          sess.sub.Dropped(),
+		Gaps:             sess.sub.Gaps(),
+		MaxPushLatencyNS: sess.maxLatNS.Load(),
+	})
 }
 
 // subStore holds the long-poll sessions. Expiry is lazy: every poll request
@@ -234,15 +296,15 @@ func newSubStore() *subStore {
 	return &subStore{sessions: make(map[string]*pollSession)}
 }
 
-// sweep drops sessions idle past pollIdleExpiry, handing each dead
-// subscription to drop for unregistration.
-func (st *subStore) sweep(now time.Time, drop func(*atypical.Subscription)) {
+// sweep drops sessions idle past pollIdleExpiry, handing each dead session
+// to drop for unregistration and its teardown flight event.
+func (st *subStore) sweep(now time.Time, drop func(*pollSession)) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for id, s := range st.sessions {
 		if now.Sub(s.lastSeen) > pollIdleExpiry {
 			delete(st.sessions, id)
-			drop(s.sub)
+			drop(s)
 		}
 	}
 }
@@ -259,10 +321,11 @@ func (st *subStore) touch(id string, now time.Time) (*pollSession, bool) {
 }
 
 // put registers a fresh session under a new random id.
-func (st *subStore) put(sub *atypical.Subscription, now time.Time) string {
+func (st *subStore) put(sess *pollSession, now time.Time) string {
 	id := newSessionID()
+	sess.lastSeen = now
 	st.mu.Lock()
-	st.sessions[id] = &pollSession{sub: sub, lastSeen: now}
+	st.sessions[id] = sess
 	st.mu.Unlock()
 	return id
 }
@@ -299,8 +362,9 @@ type pollResponse struct {
 // clients get push latency close to SSE without holding a stream open.
 func servePoll(ac apiConfig, st *subStore, w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
-	st.sweep(now, func(sub *atypical.Subscription) {
-		ac.sys.Unsubscribe(sub.ID())
+	st.sweep(now, func(sess *pollSession) {
+		ac.sys.Unsubscribe(sess.sub.ID())
+		recordPollEvent(ac, sess)
 	})
 
 	q := r.URL.Query()
@@ -318,8 +382,11 @@ func servePoll(ac apiConfig, st *subStore, w http.ResponseWriter, r *http.Reques
 			subscribeError(w, err)
 			return
 		}
-		id = st.put(sub, now)
-		sess = &pollSession{sub: sub, lastSeen: now}
+		sess = &pollSession{sub: sub, started: now, strategy: req.Strategy}
+		if sp := atypical.SpanFromContext(r.Context()); sp != nil {
+			sess.traceID = sp.TraceHex()
+		}
+		id = st.put(sess, now)
 	} else {
 		var ok bool
 		sess, ok = st.touch(id, now)
@@ -334,6 +401,7 @@ func servePoll(ac apiConfig, st *subStore, w http.ResponseWriter, r *http.Reques
 		if q.Get("close") == "1" {
 			st.remove(id)
 			ac.sys.Unsubscribe(sess.sub.ID())
+			recordPollEvent(ac, sess)
 			writePollResponse(ac, w, pollResponse{ID: id, Pushes: []pushJSON{}, Closed: true})
 			return
 		}
@@ -349,8 +417,14 @@ func servePoll(ac apiConfig, st *subStore, w http.ResponseWriter, r *http.Reques
 	}
 
 	pushes, closed := drainPushes(ac.sys, sess.sub, r.Context(), wait)
+	sess.pushed.Add(uint64(len(pushes)))
+	drained := time.Now().UnixNano()
+	for i := range pushes {
+		sess.noteLatency(drained - pushes[i].TsUnixNS)
+	}
 	if closed {
 		st.remove(id)
+		recordPollEvent(ac, sess)
 	}
 	writePollResponse(ac, w, pollResponse{
 		ID: id, Pushes: pushes, Dropped: sess.sub.Dropped(), Closed: closed,

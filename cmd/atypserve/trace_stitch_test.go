@@ -1,0 +1,232 @@
+package main
+
+// Cross-process trace-stitch smoke: two shard servers plus a coordinator,
+// one sharded query, and the assertion the whole PR hangs together — the
+// coordinator's trace shows the scatter, each shard server shows a span
+// adopted from the coordinator's traceparent under the SAME trace ID, and
+// the coordinator's flight recorder holds the matching wide event. `make
+// trace-stitch` runs exactly this test as a CI gate.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stitchTrace mirrors the /debug/traces wire shape.
+type stitchTrace struct {
+	Trace string `json:"trace"`
+	Root  struct {
+		Name  string            `json:"name"`
+		Attrs map[string]string `json:"attrs"`
+	} `json:"root"`
+	Children []struct {
+		Name string `json:"name"`
+	} `json:"children"`
+}
+
+// stitchEvent mirrors the /debug/querylog wire shape.
+type stitchEvent struct {
+	Kind     string `json:"kind"`
+	TraceID  string `json:"trace_id"`
+	Key      string `json:"key"`
+	Strategy string `json:"strategy"`
+	Cache    string `json:"cache"`
+	Shards   []struct {
+		Name       string `json:"name"`
+		DurationNS int64  `json:"duration_ns"`
+	} `json:"shards"`
+	Stages []struct {
+		Name string `json:"name"`
+	} `json:"stages"`
+}
+
+// stitchServer is one booted serveUntil instance.
+type stitchServer struct {
+	api, metrics string
+	cancel       context.CancelFunc
+	done         chan int
+}
+
+// bootStitchServer starts serveUntil on ephemeral ports with the shared
+// deployment configuration, mutated per role, and waits for both listeners.
+func bootStitchServer(t *testing.T, mutate func(*serveConfig)) *stitchServer {
+	t.Helper()
+	addrs := make(map[string]string)
+	var mu sync.Mutex
+	var logs lockedBuffer
+	sc := serveConfig{
+		addr:        "127.0.0.1:0",
+		metricsAddr: "127.0.0.1:0",
+		sensors:     30, seed: 7, months: 1, days: 7, deltaS: 0.02,
+		maxInflight: 4, queryTimeout: 10 * time.Second, drain: 5 * time.Second,
+		traces: 32, slowQuery: -1,
+		onListen: func(name string, a net.Addr) {
+			mu.Lock()
+			addrs[name] = a.String()
+			mu.Unlock()
+		},
+		logTo: &logs,
+	}
+	mutate(&sc)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &stitchServer{cancel: cancel, done: make(chan int, 1)}
+	go func() { s.done <- serveUntil(ctx, sc) }()
+	s.api = waitForAddr(t, &mu, addrs, "query API")
+	s.metrics = waitForAddr(t, &mu, addrs, "metrics and pprof")
+	return s
+}
+
+// stop cancels the server and waits for its drain.
+func (s *stitchServer) stop(t *testing.T) {
+	t.Helper()
+	s.cancel()
+	select {
+	case code := <-s.done:
+		if code != 0 {
+			t.Errorf("serveUntil exit code = %d, want 0", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("serveUntil did not drain after cancel")
+	}
+}
+
+// TestTraceStitch boots a 2-shard server pair and a coordinator scattering
+// to them over HTTP, serves one query through the coordinator, and asserts
+// one stitched trace: coordinator root with shard.query children, remote
+// continuation spans on both shard servers under the coordinator's trace ID,
+// and a flight-recorder wide event carrying that same trace ID, the
+// canonical key, the cache verdict, and both shard timings.
+func TestTraceStitch(t *testing.T) {
+	shard0 := bootStitchServer(t, func(sc *serveConfig) { sc.shardServe = "0/2" })
+	defer shard0.stop(t)
+	shard1 := bootStitchServer(t, func(sc *serveConfig) { sc.shardServe = "1/2" })
+	defer shard1.stop(t)
+	waitForReady(t, "http://"+shard0.api+"/readyz")
+	waitForReady(t, "http://"+shard1.api+"/readyz")
+
+	coord := bootStitchServer(t, func(sc *serveConfig) {
+		sc.shardPeers = "http://" + shard0.api + ",http://" + shard1.api
+		sc.queryLog = 64
+		sc.queryLogSample = 1
+		sc.queryLogSlow = time.Second
+	})
+	defer coord.stop(t)
+	waitForReady(t, "http://"+coord.api+"/readyz")
+
+	getOK(t, "http://"+coord.api+"/query?strategy=all&from=0&days=7")
+
+	// The coordinator trace: one http.request root whose flat child list
+	// carries the engine's query.run and the scatter's per-shard spans.
+	var coordTrace string
+	waitFor(t, "coordinator trace with shard.query children", func() bool {
+		var traces []stitchTrace
+		mustJSON(t, "http://"+coord.metrics+"/debug/traces", &traces)
+		for _, tr := range traces {
+			if tr.Root.Name != "http.request" || tr.Root.Attrs["path"] != "/query" {
+				continue
+			}
+			var shardCalls int
+			var sawRun bool
+			for _, c := range tr.Children {
+				if c.Name == "shard.query" {
+					shardCalls++
+				}
+				if c.Name == "query.run" {
+					sawRun = true
+				}
+			}
+			if sawRun && shardCalls == 2 {
+				coordTrace = tr.Trace
+				return true
+			}
+		}
+		return false
+	})
+
+	// Each shard server continued the coordinator's trace: a span published
+	// as a local root (its parent lives in the coordinator) under the SAME
+	// trace ID.
+	for i, s := range []*stitchServer{shard0, shard1} {
+		s := s
+		waitFor(t, fmt.Sprintf("shard %d trace continuation", i), func() bool {
+			var traces []stitchTrace
+			mustJSON(t, "http://"+s.metrics+"/debug/traces", &traces)
+			for _, tr := range traces {
+				if tr.Trace == coordTrace {
+					return true
+				}
+			}
+			return false
+		})
+	}
+
+	// The flight recorder holds the matching wide event.
+	var events []stitchEvent
+	mustJSON(t, "http://"+coord.metrics+"/debug/querylog", &events)
+	var ev *stitchEvent
+	for i := range events {
+		if events[i].Kind == "query" && events[i].TraceID == coordTrace {
+			ev = &events[i]
+			break
+		}
+	}
+	if ev == nil {
+		t.Fatalf("/debug/querylog has no query event with trace %s: %+v", coordTrace, events)
+	}
+	if ev.Key == "" {
+		t.Error("wide event missing canonical key")
+	}
+	if ev.Cache != "off" {
+		t.Errorf("wide event cache verdict = %q, want off (no -querycache)", ev.Cache)
+	}
+	if !strings.EqualFold(ev.Strategy, "all") {
+		t.Errorf("wide event strategy = %q, want all", ev.Strategy)
+	}
+	if len(ev.Shards) != 2 {
+		t.Fatalf("wide event has %d shard calls, want 2: %+v", len(ev.Shards), ev.Shards)
+	}
+	for _, sc := range ev.Shards {
+		if sc.DurationNS <= 0 {
+			t.Errorf("shard %s call has no duration", sc.Name)
+		}
+	}
+	if len(ev.Stages) == 0 {
+		t.Error("wide event has no stage timings")
+	}
+
+	// The text rendering serves the same event one line per record.
+	text := string(getOK(t, "http://"+coord.metrics+"/debug/querylog?format=text"))
+	if !strings.Contains(text, coordTrace) {
+		t.Errorf("?format=text missing trace %s:\n%s", coordTrace, text)
+	}
+}
+
+// waitFor polls cond until true or the deadline fails the test. The
+// coordinator's root span publishes after the response body is written, so
+// the first /debug/traces read may race the middleware's End.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// mustJSON fetches url and decodes its JSON body.
+func mustJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	body := getOK(t, url)
+	if err := json.Unmarshal(body, into); err != nil {
+		t.Fatalf("GET %s: not JSON: %v\n%s", url, err, body)
+	}
+}

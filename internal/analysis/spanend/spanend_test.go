@@ -1,0 +1,15 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"github.com/cpskit/atypical/internal/analysis/analysistest"
+	"github.com/cpskit/atypical/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", spanend.Analyzer, "spanend")
+	if len(diags) == 0 {
+		t.Fatal("expected at least one true-positive diagnostic on the fixture")
+	}
+}

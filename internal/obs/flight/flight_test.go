@@ -1,0 +1,168 @@
+package flight
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWithEventRoundTrip(t *testing.T) {
+	if EventFromContext(context.Background()) != nil {
+		t.Fatal("unarmed context returned an event")
+	}
+	ctx, ev := WithEvent(context.Background())
+	if got := EventFromContext(ctx); got != ev {
+		t.Fatalf("EventFromContext = %p, want the armed event %p", got, ev)
+	}
+}
+
+func TestRecorderKeepsNewestFirst(t *testing.T) {
+	r := NewRecorder(Config{Entries: 3})
+	for i := 0; i < 5; i++ {
+		r.Record(&Event{Kind: "query", DurationNS: int64(i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("snapshot length = %d, want ring capacity 3", len(got))
+	}
+	for i, want := range []int64{4, 3, 2} {
+		if got[i].DurationNS != want {
+			t.Errorf("snapshot[%d].DurationNS = %d, want %d (newest first)", i, got[i].DurationNS, want)
+		}
+	}
+	if rec, _ := r.Stats(); rec != 5 {
+		t.Errorf("recorded = %d, want 5", rec)
+	}
+}
+
+func TestRecorderRecordsCopies(t *testing.T) {
+	r := NewRecorder(Config{Entries: 2})
+	ev := &Event{Kind: "query", Strategy: "All"}
+	r.Record(ev)
+	ev.Strategy = "mutated-after-record"
+	if got := r.Snapshot(); got[0].Strategy != "All" {
+		t.Errorf("recorded event aliased the caller's: %q", got[0].Strategy)
+	}
+}
+
+func TestHeadSamplingKeepsOneOfN(t *testing.T) {
+	r := NewRecorder(Config{Entries: 100, SampleEvery: 10})
+	for i := 0; i < 100; i++ {
+		r.Record(&Event{Kind: "query"})
+	}
+	rec, sampled := r.Stats()
+	if rec != 10 || sampled != 90 {
+		t.Errorf("recorded/sampled = %d/%d, want 10/90", rec, sampled)
+	}
+	if got := len(r.Snapshot()); got != 10 {
+		t.Errorf("snapshot length = %d, want 10", got)
+	}
+}
+
+func TestTailKeepBypassesSampling(t *testing.T) {
+	r := NewRecorder(Config{Entries: 100, SampleEvery: 1000, Slow: time.Second})
+	r.Record(&Event{Kind: "query"}) // 1st normal event: kept by head sampling
+	interesting := []*Event{
+		{Kind: "query", Err: "boom"},
+		{Kind: "query", Partial: true},
+		{Kind: "query", DurationNS: (2 * time.Second).Nanoseconds()},
+	}
+	for _, ev := range interesting {
+		r.Record(ev)
+	}
+	for i := 0; i < 50; i++ {
+		r.Record(&Event{Kind: "query"}) // all dropped: next head keep is the 1001st
+	}
+	rec, _ := r.Stats()
+	if rec != 1+uint64(len(interesting)) {
+		t.Errorf("recorded = %d, want %d (tail-keep for error/partial/slow)", rec, 1+len(interesting))
+	}
+	var errs, partials, slows int
+	for _, ev := range r.Snapshot() {
+		switch {
+		case ev.Err != "":
+			errs++
+		case ev.Partial:
+			partials++
+		case ev.DurationNS >= time.Second.Nanoseconds():
+			slows++
+		}
+	}
+	if errs != 1 || partials != 1 || slows != 1 {
+		t.Errorf("tail-kept errs/partials/slows = %d/%d/%d, want 1/1/1", errs, partials, slows)
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Record(&Event{})
+	if r.Snapshot() != nil {
+		t.Error("nil recorder snapshot not nil")
+	}
+	if rec, sampled := r.Stats(); rec != 0 || sampled != 0 {
+		t.Error("nil recorder stats not zero")
+	}
+}
+
+func TestHandlerJSONAndText(t *testing.T) {
+	r := NewRecorder(Config{Entries: 8})
+	r.Record(&Event{
+		Time: time.Unix(0, 0).UTC(), Kind: "query", TraceID: "00000000000000ab",
+		Key: "All|0|7|3f947ae147ae147b|", Strategy: "All", Cache: "miss",
+		DurationNS: int64(3 * time.Millisecond),
+		Shards:     []ShardCall{{Name: "shard-0", DurationNS: 1000}, {Name: "shard-1", DurationNS: 2000, Retried: true}},
+		Stages:     []Stage{{Name: "candidates", In: 10, Out: 5, DurationNS: 100}},
+		SLO:        &SLOVerdict{TargetNS: int64(time.Second), Met: true},
+	})
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/querylog", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var events []Event
+	if err := json.Unmarshal(rec.Body.Bytes(), &events); err != nil {
+		t.Fatalf("querylog not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(events) != 1 || events[0].TraceID != "00000000000000ab" || len(events[0].Shards) != 2 {
+		t.Fatalf("JSON round trip mangled the event: %+v", events)
+	}
+
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/querylog?format=text", nil))
+	text := rec.Body.String()
+	for _, want := range []string{"kind=query", "trace=00000000000000ab", "strategy=All", "cache=miss", "shards=2", "slo_met=true"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text form missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(Config{Entries: 64, SampleEvery: 3, Slow: time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ev := &Event{Kind: "query", DurationNS: int64(i)}
+				if i%7 == 0 {
+					ev.Err = "boom"
+				}
+				r.Record(ev)
+				r.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, ev := range r.Snapshot() {
+		if ev.Kind != "query" {
+			t.Fatalf("torn event in ring: %+v", ev)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"log/slog"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/cpskit/atypical/internal/obs"
@@ -107,5 +108,100 @@ func TestWithAttrsAndGroupKeepCorrelation(t *testing.T) {
 	// nesting; assert they exist somewhere.
 	if rec["trace"] == nil && group["trace"] == nil {
 		t.Errorf("derived logger lost correlation: %v", rec)
+	}
+}
+
+// TestConcurrentLoggingNoTornLines hammers one correlated logger from many
+// goroutines — half inside spans, half not — and checks (under -race) that
+// every emitted line is intact, well-formed JSON with a stable key order.
+// slog serializes the final write per record; this pins that the olog
+// decoration layer (Clone + AddAttrs at Handle time) does not reintroduce
+// shared mutable state between concurrent Handle calls.
+func TestConcurrentLoggingNoTornLines(t *testing.T) {
+	var buf bytes.Buffer
+	logger := olog.NewJSON(&buf)
+	ctx := obs.WithExporter(context.Background(), func(obs.Span) {})
+
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if w%2 == 0 {
+					sctx, sp := obs.Start(ctx, "query.run")
+					logger.InfoContext(sctx, "traced", "worker", w, "i", i)
+					sp.End()
+				} else {
+					logger.InfoContext(context.Background(), "plain", "worker", w, "i", i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if got, want := len(lines), workers*perWorker; got != want {
+		t.Fatalf("got %d log lines, want %d (torn or lost writes)", got, want)
+	}
+	keyOrder := func(line string) string {
+		dec := json.NewDecoder(strings.NewReader(line))
+		var keys []string
+		depth := 0
+		expectKey := false
+		for {
+			tok, err := dec.Token()
+			if err != nil {
+				break
+			}
+			switch v := tok.(type) {
+			case json.Delim:
+				switch v {
+				case '{':
+					depth++
+					expectKey = depth == 1
+				case '}':
+					depth--
+					expectKey = depth == 1
+				}
+			case string:
+				if depth == 1 && expectKey {
+					keys = append(keys, v)
+					expectKey = false
+				} else if depth == 1 {
+					expectKey = true
+				}
+			default:
+				if depth == 1 {
+					expectKey = true
+				}
+			}
+		}
+		return strings.Join(keys, ",")
+	}
+	orders := map[string]string{} // msg -> key order
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("torn line %q: %v", line, err)
+		}
+		msg, _ := rec["msg"].(string)
+		if msg != "traced" && msg != "plain" {
+			t.Fatalf("unexpected msg %q in line %q", msg, line)
+		}
+		if msg == "traced" && (rec["trace"] == nil || rec["span"] == nil) {
+			t.Errorf("traced line lost correlation: %s", line)
+		}
+		if msg == "plain" && rec["trace"] != nil {
+			t.Errorf("plain line gained correlation: %s", line)
+		}
+		order := keyOrder(line)
+		if prev, ok := orders[msg]; !ok {
+			orders[msg] = order
+		} else if prev != order {
+			t.Errorf("key order of %q lines unstable: %q vs %q", msg, prev, order)
+		}
 	}
 }

@@ -53,13 +53,15 @@ func NewTraceRing(n int) *TraceRing {
 }
 
 // Export implements SpanExporter: child spans stage until their root ends,
-// root spans assemble the trace and publish it into the ring. Spans without
-// a trace ID (never produced by Start) are dropped.
+// root spans assemble the trace and publish it into the ring. A Remote span
+// — one whose parent lives in another process — publishes as a local root:
+// its true parent will never End here, so staging it would leak it forever.
+// Spans without a trace ID (never produced by Start) are dropped.
 func (tr *TraceRing) Export(s Span) {
 	if tr == nil || s.TraceID == 0 {
 		return
 	}
-	if s.ParentID != 0 {
+	if s.ParentID != 0 && !s.Remote {
 		tr.mu.Lock()
 		// Bound the staging map: a root that never ends (panic, programmer
 		// error) must not leak its children forever. Dropping the incoming

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -44,6 +46,11 @@ type Span struct {
 	SpanID uint64
 	// ParentID is the enclosing span's SpanID, 0 at the root.
 	ParentID uint64
+	// Remote marks a span whose parent lives in another process: TraceID
+	// and ParentID were extracted from an inbound traceparent header. The
+	// trace ring publishes such spans as local roots — their true parent
+	// will never End in this process.
+	Remote bool
 	// Start is the opening wall-clock instant.
 	Start time.Time
 	// Duration is stamped by End.
@@ -54,12 +61,31 @@ type Span struct {
 	exporter SpanExporter
 }
 
-// idCounter deals process-unique span and trace IDs, starting at 1 so 0
-// stays the "absent" sentinel.
+// idCounter deals process-unique span and trace IDs. It is seeded once per
+// process from crypto/rand so IDs from distinct processes land in disjoint
+// ranges with overwhelming probability — two shard servers must not both
+// mint TraceID 1 when their traces are stitched on a coordinator. Within a
+// process IDs stay monotonic (cheap atomic increment, no per-span entropy).
 var idCounter atomic.Uint64
 
-// nextID returns a fresh non-zero ID.
-func nextID() uint64 { return idCounter.Add(1) }
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		idCounter.Store(binary.LittleEndian.Uint64(b[:]))
+	}
+	// On entropy failure the counter starts at 0 — in-process uniqueness
+	// (the correctness property) is preserved either way.
+}
+
+// nextID returns a fresh non-zero ID; 0 stays the "absent" sentinel even
+// when the seeded counter wraps past it.
+func nextID() uint64 {
+	for {
+		if id := idCounter.Add(1); id != 0 {
+			return id
+		}
+	}
+}
 
 // TraceHex renders the trace ID as fixed-width hex, the form log lines and
 // the /debug/traces JSON share.
@@ -122,6 +148,12 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 		s.Parent = parent.Name
 		s.TraceID = parent.TraceID
 		s.ParentID = parent.SpanID
+	} else if rp, ok := ctx.Value(remoteParentKey{}).(remoteParent); ok {
+		// No local parent, but the context carries an extracted traceparent:
+		// continue the caller's trace across the process boundary.
+		s.TraceID = rp.traceID
+		s.ParentID = rp.spanID
+		s.Remote = true
 	} else {
 		s.TraceID = nextID()
 	}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Cross-process trace propagation. The wire form is the W3C Trace Context
+// traceparent header:
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// Our trace IDs are 64-bit, so they ride in the low 64 bits of the 128-bit
+// field with the high half zero; on extract the low 64 bits are kept. An
+// outbound hop injects the current span's IDs (InjectTraceparent); the
+// receiving process extracts them into its context (ExtractTraceparent),
+// and the first span started there adopts the remote trace ID, records the
+// remote span as its parent, and is marked Remote so the local trace ring
+// publishes it as a root — stitching happens by trace ID across the
+// /debug/traces surfaces of both processes.
+
+// TraceparentHeader is the canonical header name (lowercase per W3C; Go's
+// http.Header canonicalizes on Set/Get either way).
+const TraceparentHeader = "traceparent"
+
+// remoteParent carries an extracted traceparent through a context until the
+// first Start call adopts it.
+type remoteParent struct {
+	traceID uint64
+	spanID  uint64
+}
+
+type remoteParentKey struct{}
+
+// FormatTraceparent renders a traceparent header value for the given trace
+// and span IDs, with the sampled flag set. Returns "" if either ID is zero
+// (the absent sentinel must not cross the wire).
+func FormatTraceparent(traceID, spanID uint64) string {
+	if traceID == 0 || spanID == 0 {
+		return ""
+	}
+	return "00-0000000000000000" + idHex(traceID) + "-" + idHex(spanID) + "-01"
+}
+
+// ParseTraceparent parses a traceparent header value, accepting any version
+// except the reserved "ff" and keeping the low 64 bits of the 128-bit trace
+// ID. ok is false on malformed input or all-zero IDs.
+func ParseTraceparent(value string) (traceID, spanID uint64, ok bool) {
+	parts := strings.Split(strings.TrimSpace(value), "-")
+	if len(parts) < 4 {
+		return 0, 0, false
+	}
+	ver, trace, span := parts[0], parts[1], parts[2]
+	if len(ver) != 2 || len(trace) != 32 || len(span) != 16 {
+		return 0, 0, false
+	}
+	if _, err := strconv.ParseUint(ver, 16, 8); err != nil || strings.EqualFold(ver, "ff") {
+		return 0, 0, false
+	}
+	if _, err := strconv.ParseUint(trace[:16], 16, 64); err != nil {
+		return 0, 0, false
+	}
+	traceID, err := strconv.ParseUint(trace[16:], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	spanID, err = strconv.ParseUint(span, 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	if traceID == 0 || spanID == 0 {
+		return 0, 0, false
+	}
+	return traceID, spanID, true
+}
+
+// InjectTraceparent writes the context's current span as a traceparent
+// header on h. No-op when the context carries no span — an unarmed caller
+// sends no header rather than a fabricated trace.
+func InjectTraceparent(ctx context.Context, h http.Header) {
+	sp := SpanFromContext(ctx)
+	if sp == nil {
+		return
+	}
+	if v := FormatTraceparent(sp.TraceID, sp.SpanID); v != "" {
+		h.Set(TraceparentHeader, v)
+	}
+}
+
+// ExtractTraceparent reads a traceparent header from h and returns a
+// context carrying the remote parent; the next Start below it (with no
+// local parent) continues the remote trace. Returns ctx unchanged when the
+// header is absent or malformed.
+func ExtractTraceparent(ctx context.Context, h http.Header) context.Context {
+	traceID, spanID, ok := ParseTraceparent(h.Get(TraceparentHeader))
+	if !ok {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteParentKey{}, remoteParent{traceID: traceID, spanID: spanID})
+}

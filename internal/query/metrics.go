@@ -103,6 +103,21 @@ func (m *Metrics) SetSLO(s Strategy, t SLOTarget) {
 	m.slo[s] = st
 }
 
+// SLOVerdict reports how a run of the given strategy and elapsed time fares
+// against the configured latency objective. armed is false when no SLO is
+// installed for the strategy (or m is nil); the flight recorder uses it to
+// stamp per-query SLO verdicts onto wide events.
+func (m *Metrics) SLOVerdict(s Strategy, elapsed time.Duration) (target time.Duration, met, armed bool) {
+	if m == nil || s > Gui {
+		return 0, false, false
+	}
+	slo := m.slo[s]
+	if slo == nil {
+		return 0, false, false
+	}
+	return slo.target.Latency, elapsed <= slo.target.Latency, true
+}
+
 // observe records one finished run. A nil res (error path) counts only the
 // error; a strategy outside the known range records nothing per-strategy.
 func (m *Metrics) observe(res *Result, err error) {

@@ -18,6 +18,7 @@ import (
 	"github.com/cpskit/atypical/internal/forest"
 	"github.com/cpskit/atypical/internal/geo"
 	"github.com/cpskit/atypical/internal/obs"
+	"github.com/cpskit/atypical/internal/obs/flight"
 	"github.com/cpskit/atypical/internal/par"
 	"github.com/cpskit/atypical/internal/traffic"
 )
@@ -178,6 +179,9 @@ func (e *Engine) Run(q Query, s Strategy) *Result {
 func (e *Engine) RunCtx(ctx context.Context, q Query, s Strategy) (*Result, error) {
 	ctx, sp := obs.Start(ctx, "query.run")
 	sp.SetAttr("strategy", s.String())
+	if fe := flight.EventFromContext(ctx); fe != nil && sp != nil {
+		fe.TraceID = sp.TraceHex()
+	}
 	res, err := e.runCtx(ctx, q, s)
 	sp.End()
 	e.Obs.observe(res, err)
@@ -190,13 +194,28 @@ func (e *Engine) runCtx(ctx context.Context, q Query, s Strategy) (*Result, erro
 	res := &Result{Strategy: s}
 	exp := ExplainFromContext(ctx)
 	exp.reset()
+	fe := flight.EventFromContext(ctx)
 
 	ver := e.Forest.Version()
 	sevGen := e.Severity.Gen()
+	if fe != nil {
+		fe.ForestVersion = ver
+		fe.SeverityGen = sevGen
+		fe.Cache = "off"
+	}
 	var key string
 	if e.Cache != nil {
+		if fe != nil {
+			fe.Cache = "miss"
+		}
 		key = CanonicalKey(q, s)
 		if hit, sensors, ok := e.Cache.get(key, ver, sevGen); ok {
+			if fe != nil {
+				fe.Cache = "hit"
+				fe.Candidates = hit.CandidateMicros
+				fe.Inputs = hit.InputMicros
+				fe.Significant = len(hit.Significant)
+			}
 			st := exp.stageStart()
 			exp.begin(q, s, sensors)
 			exp.setBound(q.DeltaS, q.Time.Len(), sensors, float64(hit.Bound))
@@ -236,6 +255,21 @@ func (e *Engine) runCtx(ctx context.Context, q Query, s Strategy) (*Result, erro
 		}
 		res.Partial = len(info.Failed) > 0
 		res.FailedShards = info.Failed
+		if fe != nil {
+			fe.Partial = res.Partial
+			fe.FailedShards = info.Failed
+			if len(info.PerShard) > 0 {
+				fe.Shards = make([]flight.ShardCall, len(info.PerShard))
+				for i, ps := range info.PerShard {
+					fe.Shards[i] = flight.ShardCall{
+						Name:       ps.Shard,
+						DurationNS: ps.Duration.Nanoseconds(),
+						Retried:    ps.Retried,
+						Failed:     ps.Failed,
+					}
+				}
+			}
+		}
 		exp.stageEnd(st, "scatter", info.Shards, gathered)
 		exp.setScatter(info, shards)
 		st = exp.stageStart()
@@ -322,6 +356,11 @@ func (e *Engine) runCtx(ctx context.Context, q Query, s Strategy) (*Result, erro
 		}
 	}
 	exp.stageEnd(st, "significance", len(res.Macros), len(res.Significant))
+	if fe != nil {
+		fe.Candidates = res.CandidateMicros
+		fe.Inputs = res.InputMicros
+		fe.Significant = len(res.Significant)
+	}
 	res.Elapsed = time.Since(start)
 	exp.finish(res.Elapsed)
 	if e.Cache != nil {

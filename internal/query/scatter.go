@@ -3,6 +3,7 @@ package query
 import (
 	"context"
 	"sort"
+	"time"
 
 	"github.com/cpskit/atypical/internal/cluster"
 	"github.com/cpskit/atypical/internal/cps"
@@ -33,7 +34,8 @@ type ShardResult struct {
 	Candidates []*cluster.Cluster
 }
 
-// ScatterInfo summarizes one fan-out for the Result and EXPLAIN surfaces.
+// ScatterInfo summarizes one fan-out for the Result, EXPLAIN, and flight-
+// recorder surfaces.
 type ScatterInfo struct {
 	// Shards is the total number of shards queried.
 	Shards int
@@ -41,6 +43,21 @@ type ScatterInfo struct {
 	// Their candidates are missing from the gathered set: the run is
 	// explicitly partial, never silently truncated.
 	Failed []string
+	// PerShard holds each shard's call timing in scatter order; nil when the
+	// scatterer does not track timings.
+	PerShard []ShardStat
+}
+
+// ShardStat is one shard's call timing within a fan-out.
+type ShardStat struct {
+	// Shard names the backend.
+	Shard string
+	// Duration is the wall-clock time of the call including any retry.
+	Duration time.Duration
+	// Retried reports whether the first attempt failed and was retried.
+	Retried bool
+	// Failed reports whether the shard was lost after retry.
+	Failed bool
 }
 
 // Scatterer fans the candidates stage of a query out to shards. The engine

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/cpskit/atypical/internal/cps"
 	"github.com/cpskit/atypical/internal/geo"
@@ -82,8 +83,12 @@ func (c *Coordinator) Scatter(ctx context.Context, tr cps.TimeRange, regions []g
 	}
 	results := make([]query.ShardResult, n)
 	failed := make([]error, n)
+	stats := make([]query.ShardStat, n)
 	err := par.Do(ctx, n, n, func(i int) error {
 		b := c.backends[i]
+		began := time.Now()
+		stats[i] = query.ShardStat{Shard: b.Name()}
+		defer func() { stats[i].Duration = time.Since(began) }()
 		sctx, sp := obs.Start(ctx, "shard.query")
 		sp.SetAttr("shard", b.Name())
 		defer sp.End()
@@ -95,6 +100,7 @@ func (c *Coordinator) Scatter(ctx context.Context, tr cps.TimeRange, regions []g
 			if c.om != nil {
 				c.om.retries[i].Inc()
 			}
+			stats[i].Retried = true
 			cs, err = b.Candidates(sctx, tr, regions)
 		}
 		if err != nil {
@@ -104,6 +110,7 @@ func (c *Coordinator) Scatter(ctx context.Context, tr cps.TimeRange, regions []g
 			if c.om != nil {
 				c.om.failures[i].Inc()
 			}
+			stats[i].Failed = true
 			failed[i] = err
 			return nil // partial, not fatal
 		}
@@ -113,7 +120,7 @@ func (c *Coordinator) Scatter(ctx context.Context, tr cps.TimeRange, regions []g
 	if err != nil {
 		return nil, query.ScatterInfo{}, err
 	}
-	info := query.ScatterInfo{Shards: n}
+	info := query.ScatterInfo{Shards: n, PerShard: stats}
 	var ok []query.ShardResult
 	for i, b := range c.backends {
 		if failed[i] != nil {

@@ -13,6 +13,7 @@ import (
 	"github.com/cpskit/atypical/internal/cluster"
 	"github.com/cpskit/atypical/internal/cps"
 	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/obs"
 	"github.com/cpskit/atypical/internal/storage"
 )
 
@@ -80,6 +81,10 @@ func (h *HTTP) Candidates(ctx context.Context, tr cps.TimeRange, regions []geo.R
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the coordinator's trace across the hop: the shard server
+	// extracts the header and its spans adopt the same trace ID, so
+	// /debug/traces stitches the scatter end to end.
+	obs.InjectTraceparent(ctx, req.Header)
 	resp, err := h.client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("shard %s: %w", h.name, err)

@@ -107,7 +107,9 @@ type Subscription struct {
 	ch   chan Push
 	done chan struct{}
 
-	dropped atomic.Uint64
+	dropped   atomic.Uint64
+	delivered atomic.Uint64
+	gaps      atomic.Uint64
 
 	// seq and gapPending are guarded by the owning registry's mu.
 	seq        uint64
@@ -128,6 +130,14 @@ func (s *Subscription) Done() <-chan struct{} { return s.done }
 // Dropped returns how many pushes were dropped at a full buffer. Safe for
 // concurrent use.
 func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Delivered returns how many pushes were handed to the subscriber's buffer.
+// Safe for concurrent use.
+func (s *Subscription) Delivered() uint64 { return s.delivered.Load() }
+
+// Gaps returns how many delivered pushes carried the gap marker — each one
+// announces at least one earlier drop. Safe for concurrent use.
+func (s *Subscription) Gaps() uint64 { return s.gaps.Load() }
 
 // subObs bundles the registry's pre-resolved metric handles.
 type subObs struct {
@@ -281,6 +291,10 @@ func (r *Registry) deliverLocked(m *subObs, s *Subscription, p Push) {
 		// from subs on the next Offer, this push just evaporates.
 	case s.ch <- p:
 		s.gapPending = false
+		s.delivered.Add(1)
+		if p.Gap {
+			s.gaps.Add(1)
+		}
 		if m != nil {
 			m.pushes.Inc()
 		}

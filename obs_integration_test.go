@@ -10,8 +10,10 @@ import (
 	"testing"
 )
 
-// Attaching an observer and a span exporter must be invisible in every
-// answer: the instrumented system renders byte-identical reports.
+// Attaching an observer, a span exporter, or the flight recorder must be
+// invisible in every answer: the instrumented system renders byte-identical
+// reports. The recorder internally arms EXPLAIN on every run, so this also
+// pins that the EXPLAIN side-channel never leaks into the answer.
 func TestObserverResultNeutral(t *testing.T) {
 	want := renderRuns(t, buildSystem(t), nil)
 	if want == "" {
@@ -23,6 +25,23 @@ func TestObserverResultNeutral(t *testing.T) {
 	), nil)
 	if got != want {
 		t.Fatalf("observer changed query results:\n%s", diffAt(got, want))
+	}
+
+	logged := buildSystem(t, WithQueryLog(QueryLogConfig{Entries: 64}))
+	if got := renderRuns(t, logged, nil); got != want {
+		t.Fatalf("flight recorder changed query results:\n%s", diffAt(got, want))
+	}
+	events := logged.QueryLog()
+	if len(events) == 0 {
+		t.Fatal("flight recorder armed but no wide events recorded")
+	}
+	for _, ev := range events {
+		if ev.Kind != "query" {
+			t.Errorf("facade event kind = %q, want query", ev.Kind)
+		}
+		if ev.Key == "" || ev.Strategy == "" || len(ev.Stages) == 0 {
+			t.Errorf("wide event missing key/strategy/stages: %+v", ev)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/cpskit/atypical/internal/obs"
+	"github.com/cpskit/atypical/internal/obs/flight"
 	"github.com/cpskit/atypical/internal/query"
 )
 
@@ -118,6 +119,67 @@ func WithQuerySLO(strat Strategy, target SLOTarget) Option {
 		o.slos = append(o.slos, sloSpec{strat: strat, target: target})
 	}
 }
+
+// StartSpan opens a span named name when ctx carries a span exporter
+// (WithSpanContext), as the child of the context's current span — or, with
+// no local parent, of a remote parent extracted from a traceparent header.
+// Without an exporter it returns ctx and a nil no-op span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.Start(ctx, name)
+}
+
+// SpanFromContext returns the span ctx is currently inside, or nil.
+func SpanFromContext(ctx context.Context) *Span { return obs.SpanFromContext(ctx) }
+
+// InjectTraceparent writes the context's current span onto h as a W3C
+// traceparent header for an outbound hop; no-op when ctx carries no span.
+func InjectTraceparent(ctx context.Context, h http.Header) { obs.InjectTraceparent(ctx, h) }
+
+// ExtractTraceparent reads a traceparent header from h into the returned
+// context: the next span started below it with no local parent continues
+// the remote trace (and is published as a local root by trace rings).
+// Returns ctx unchanged when the header is absent or malformed.
+func ExtractTraceparent(ctx context.Context, h http.Header) context.Context {
+	return obs.ExtractTraceparent(ctx, h)
+}
+
+// QueryLogEvent is one wide event of the per-query flight recorder: the
+// full story of a single Run (or subscription stream) — trace ID, canonical
+// query key, strategy, cache verdict, per-shard fan-out timings, EXPLAIN
+// stage timings, and the SLO verdict — in one denormalized record.
+type QueryLogEvent = flight.Event
+
+// QueryLogConfig sizes and tunes the flight recorder; see WithQueryLog.
+type QueryLogConfig = flight.Config
+
+// WithQueryLog arms the per-query flight recorder: every Run records one
+// QueryLogEvent into a bounded ring of cfg.Entries events. Normal events are
+// head-sampled (cfg.SampleEvery keeps 1 of every N; <= 1 keeps all), while
+// slow (>= cfg.Slow), errored, and partial events are always kept — the
+// outliers are the events the recorder exists for. Recording is strictly
+// answer-neutral: reports are byte-identical with the recorder on or off.
+func WithQueryLog(cfg QueryLogConfig) Option {
+	return func(o *systemOptions) { o.querylog = cfg; o.querylogSet = true }
+}
+
+// QueryLog returns the recorded flight events, newest first; nil when
+// WithQueryLog is not configured.
+func (s *System) QueryLog() []QueryLogEvent { return s.qlog.Snapshot() }
+
+// QueryLogHandler serves the flight recorder as JSON (or plain text with
+// ?format=text), newest first — the /debug/querylog surface. Returns nil
+// when WithQueryLog is not configured.
+func (s *System) QueryLogHandler() http.Handler {
+	if s.qlog == nil {
+		return nil
+	}
+	return s.qlog.Handler()
+}
+
+// RecordQueryLog records an externally assembled event — e.g. a subscription
+// stream teardown summary — into the flight recorder. No-op when
+// WithQueryLog is not configured or ev is nil.
+func (s *System) RecordQueryLog(ev *QueryLogEvent) { s.qlog.Record(ev) }
 
 // Observer returns the registry attached via WithObserver, or nil.
 func (s *System) Observer() *Observer { return s.registry }

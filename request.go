@@ -3,9 +3,11 @@ package atypical
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/cpskit/atypical/internal/cps"
 	"github.com/cpskit/atypical/internal/geo"
+	"github.com/cpskit/atypical/internal/obs/flight"
 	"github.com/cpskit/atypical/internal/query"
 )
 
@@ -108,19 +110,75 @@ func (s *System) Run(ctx context.Context, req QueryRequest) (*RunResult, error) 
 		s.obs.queryError()
 		return nil, err
 	}
+	// The flight recorder rides the EXPLAIN machinery for stage timings, so
+	// an armed recorder forces collection internally; the record is returned
+	// to the caller only when they asked (RunResult.Explain stays non-nil
+	// iff req.Explain). Both are answer-neutral.
+	wantExplain := req.Explain
 	var exp *Explain
-	if req.Explain {
+	if wantExplain || s.qlog != nil {
 		ctx, exp = query.WithExplain(ctx)
 	}
-	rep, err := s.runQuery(ctx, s.buildQuery(req), req.Strategy, req.BypassShards)
+	var fe *flight.Event
+	var started time.Time
+	if s.qlog != nil {
+		ctx, fe = flight.WithEvent(ctx)
+		started = time.Now()
+	}
+	q := s.buildQuery(req)
+	rep, err := s.runQuery(ctx, q, req.Strategy, req.BypassShards)
+	if err == nil && rep.Partial && !req.AllowPartial {
+		s.obs.queryError()
+		err = fmt.Errorf("atypical: shards %v failed after retry: %w", rep.FailedShards, ErrPartialResult)
+	}
+	if fe != nil {
+		s.finishQueryEvent(fe, q, req, rep, exp, err, started)
+		s.qlog.Record(fe)
+	}
 	if err != nil {
 		return nil, err
 	}
-	if rep.Partial && !req.AllowPartial {
-		s.obs.queryError()
-		return nil, fmt.Errorf("atypical: shards %v failed after retry: %w", rep.FailedShards, ErrPartialResult)
+	if !wantExplain {
+		exp = nil
 	}
 	return &RunResult{Report: rep, Explain: exp}, nil
+}
+
+// finishQueryEvent fills the facade-level fields of a flight event after the
+// engine ran: the inner layers already stamped trace ID, cache verdict,
+// generations, and per-shard timings through the context.
+func (s *System) finishQueryEvent(fe *flight.Event, q query.Query, req QueryRequest, rep *Report, exp *Explain, err error, started time.Time) {
+	fe.Time = started
+	fe.Kind = "query"
+	fe.Key = query.CanonicalKey(q, req.Strategy)
+	fe.Strategy = req.Strategy.String()
+	elapsed := time.Since(started)
+	fe.DurationNS = elapsed.Nanoseconds()
+	if err != nil {
+		fe.Err = err.Error()
+	}
+	if rep != nil && rep.Partial {
+		// Stamped by the engine on sharded runs; kept here for the refusal
+		// path, where the partial answer surfaces as an error.
+		fe.Partial = true
+		fe.FailedShards = rep.FailedShards
+	}
+	if exp != nil && len(exp.Stages) > 0 {
+		fe.Stages = make([]flight.Stage, len(exp.Stages))
+		for i, st := range exp.Stages {
+			fe.Stages[i] = flight.Stage{Name: st.Name, In: st.In, Out: st.Out, DurationNS: st.DurationNS}
+		}
+	}
+	s.mu.RLock()
+	m := s.engine.Obs
+	s.mu.RUnlock()
+	sloElapsed := elapsed
+	if rep != nil && rep.Elapsed > 0 {
+		sloElapsed = rep.Elapsed // the engine-measured time the SLO counters saw
+	}
+	if target, met, armed := m.SLOVerdict(req.Strategy, sloElapsed); armed {
+		fe.SLO = &flight.SLOVerdict{TargetNS: target.Nanoseconds(), Met: met}
+	}
 }
 
 // buildQuery resolves a QueryRequest to the engine's query shape, matching
